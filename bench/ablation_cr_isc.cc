@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation A3: the two sharing optimizations in isolation and
+ * together (Section 5.1.2 evaluates CR and ISC separately; Section
+ * 5.1.3 evaluates the combination). Relative IPC vs uniform-shared on
+ * the multithreaded workloads.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace cnsim;
+
+namespace
+{
+
+SystemConfig
+nurapidVariant(bool cr, bool isc)
+{
+    SystemConfig cfg = Runner::paperConfig(L2Kind::Nurapid);
+    cfg.nurapid.enable_cr = cr;
+    cfg.nurapid.enable_isc = isc;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::header("Ablation A3: CR and ISC in Isolation",
+                      "Sections 5.1.2-5.1.3");
+
+    std::printf("%-10s %8s %8s %8s %8s   (IPC vs uniform-shared)\n",
+                "workload", "neither", "CR-only", "ISC-only", "CR+ISC");
+    std::printf("------------------------------------------------------\n");
+
+    std::vector<double> none_r, cr_r, isc_r, both_r;
+    for (const auto &w : workloads::multithreadedNames()) {
+        RunResult base = benchutil::run(L2Kind::Shared, w);
+        RunResult none = benchutil::run(nurapidVariant(false, false), w);
+        RunResult cr = benchutil::run(nurapidVariant(true, false), w);
+        RunResult isc = benchutil::run(nurapidVariant(false, true), w);
+        RunResult both = benchutil::run(nurapidVariant(true, true), w);
+        std::printf("%-10s %8.3f %8.3f %8.3f %8.3f\n", w.c_str(),
+                    none.ipc / base.ipc, cr.ipc / base.ipc,
+                    isc.ipc / base.ipc, both.ipc / base.ipc);
+        if (workloads::byName(w).commercial) {
+            none_r.push_back(none.ipc / base.ipc);
+            cr_r.push_back(cr.ipc / base.ipc);
+            isc_r.push_back(isc.ipc / base.ipc);
+            both_r.push_back(both.ipc / base.ipc);
+        }
+    }
+    std::printf("------------------------------------------------------\n");
+    std::printf("%-10s %8.3f %8.3f %8.3f %8.3f\n", "comm-avg",
+                benchutil::geomean(none_r), benchutil::geomean(cr_r),
+                benchutil::geomean(isc_r), benchutil::geomean(both_r));
+    std::printf("expected: each optimization helps alone; the "
+                "combination is best\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation A6: block migration in a shared NUCA cache (CMP-DNUCA vs
+ * CMP-SNUCA), reproducing the negative result the paper builds on
+ * ([6], cited in Sections 1 and 5.1.3): "NUCA's migration is
+ * ineffective in the presence of sharing because each sharer pulls
+ * the block toward it, leaving the block in the middle."
+ *
+ * Expected shape: on the multithreaded (sharing) workloads migration
+ * buys little over static SNUCA; on the multiprogrammed mixes (no
+ * sharing) migration helps, because each block has a single core
+ * pulling it all the way to its corner -- which is exactly why the
+ * paper needs *replication* (CR) rather than migration for shared
+ * data.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace cnsim;
+
+namespace
+{
+
+void
+section(const std::vector<std::string> &names, const char *label)
+{
+    std::printf("%s\n", label);
+    std::printf("%-10s %8s %8s %10s\n", "workload", "snuca", "dnuca",
+                "gain");
+    std::printf("------------------------------------------\n");
+    std::vector<double> gains;
+    for (const auto &w : names) {
+        RunResult base = benchutil::run(L2Kind::Shared, w);
+        RunResult sn = benchutil::run(L2Kind::Snuca, w);
+        RunResult dn = benchutil::run(L2Kind::Dnuca, w);
+        double gain = dn.ipc / sn.ipc;
+        std::printf("%-10s %8.3f %8.3f %9.1f%%\n", w.c_str(),
+                    sn.ipc / base.ipc, dn.ipc / base.ipc,
+                    100 * (gain - 1.0));
+        gains.push_back(gain);
+    }
+    std::printf("------------------------------------------\n");
+    std::printf("%-10s %26.1f%%\n\n", "avg gain",
+                100 * (benchutil::geomean(gains) - 1.0));
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::header("Ablation A6: Migration (CMP-DNUCA) vs Static (CMP-SNUCA)",
+                      "[6]'s negative result, paper Sections 1 / 5.1.3");
+
+    section(workloads::multithreadedNames(),
+            "Multithreaded (sharing defeats migration):");
+    section(workloads::multiprogrammedNames(),
+            "Multiprogrammed (sole users benefit from migration):");
+
+    std::printf("paper's conclusion: replication (CR), not migration, is "
+                "what shared data needs\n");
+    return 0;
+}

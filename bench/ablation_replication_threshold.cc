@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation A4: when should controlled replication copy? Section 3.1
+ * argues for pointer-on-first-use, copy-on-second-use from the Fig.-7
+ * reuse data (42% of ROS blocks are never reused -- copying them
+ * wastes capacity; 50% are reused twice or more -- never copying them
+ * wastes latency). We sweep never / on-first-use / on-second-use.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace cnsim;
+
+namespace
+{
+
+SystemConfig
+withReplication(ReplicationPolicy rp)
+{
+    SystemConfig cfg = Runner::paperConfig(L2Kind::Nurapid);
+    cfg.nurapid.replication = rp;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::header("Ablation A4: Replication Threshold (CR)",
+                      "Section 3.1 (copy on second use)");
+
+    std::printf("%-10s %8s %10s %11s   (IPC vs on-second-use; "
+                "capMiss%% in parens)\n",
+                "workload", "never", "on-first", "on-second");
+    std::printf("---------------------------------------------------------\n");
+
+    std::vector<double> never_r, first_r;
+    for (const auto &w : workloads::multithreadedNames()) {
+        RunResult never =
+            benchutil::run(withReplication(ReplicationPolicy::Never), w);
+        RunResult first = benchutil::run(
+            withReplication(ReplicationPolicy::OnFirstUse), w);
+        RunResult second = benchutil::run(
+            withReplication(ReplicationPolicy::OnSecondUse), w);
+        std::printf("%-10s %8.3f %10.3f %11.3f   (%.1f / %.1f / %.1f)\n",
+                    w.c_str(), never.ipc / second.ipc,
+                    first.ipc / second.ipc, 1.0, 100 * never.frac_cap,
+                    100 * first.frac_cap, 100 * second.frac_cap);
+        if (workloads::byName(w).commercial) {
+            never_r.push_back(never.ipc / second.ipc);
+            first_r.push_back(first.ipc / second.ipc);
+        }
+    }
+    std::printf("---------------------------------------------------------\n");
+    std::printf("%-10s %8.3f %10.3f %11.3f\n", "comm-avg",
+                benchutil::geomean(never_r), benchutil::geomean(first_r),
+                1.0);
+    std::printf("expected: on-first-use raises capacity misses; never "
+                "raises hit latency\n");
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure bench binaries: run-budget
+ * handling, result caching across configurations, and paper-style
+ * table printing.
+ *
+ * Budgets can be scaled with environment variables:
+ *   CNSIM_WARMUP   warm-up instructions per core (default 6M)
+ *   CNSIM_MEASURE  measured instructions per core (default 10M)
+ */
+
+#ifndef CNSIM_BENCH_BENCH_UTIL_HH
+#define CNSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace cnsim
+{
+namespace benchutil
+{
+
+inline std::uint64_t
+envU64(const char *name, std::uint64_t dflt)
+{
+    const char *v = std::getenv(name);
+    return v ? std::strtoull(v, nullptr, 10) : dflt;
+}
+
+inline RunConfig
+runConfig()
+{
+    RunConfig rc;
+    rc.warmup_instructions = envU64("CNSIM_WARMUP", 6'000'000);
+    rc.measure_instructions = envU64("CNSIM_MEASURE", 10'000'000);
+    return rc;
+}
+
+/** Run one (kind, workload) pair under the bench budget. */
+inline RunResult
+run(L2Kind kind, const std::string &workload)
+{
+    return Runner::run(Runner::paperConfig(kind),
+                       workloads::byName(workload), runConfig());
+}
+
+/** Run a custom system configuration. */
+inline RunResult
+run(const SystemConfig &cfg, const std::string &workload)
+{
+    return Runner::run(cfg, workloads::byName(workload), runConfig());
+}
+
+inline void
+header(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("==============================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("==============================================================================\n");
+}
+
+inline void
+note(const std::string &text)
+{
+    std::printf("%s\n", text.c_str());
+}
+
+/** Geometric mean over a vector of ratios. */
+inline double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : v)
+        log_sum += __builtin_log(x);
+    return __builtin_exp(log_sum / static_cast<double>(v.size()));
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+} // namespace benchutil
+} // namespace cnsim
+
+#endif // CNSIM_BENCH_BENCH_UTIL_HH

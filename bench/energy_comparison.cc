@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Extension E1: dynamic-energy comparison of the L2 organizations.
+ *
+ * CMP-NuRAPID descends from an energy-efficiency line of work ([8]:
+ * sequential tag-data access and distance associativity exist to save
+ * energy), and the paper's capacity argument has an energy corollary:
+ * fewer off-chip misses means far less DRAM energy, and closest-d-group
+ * hits drive shorter wires than a monolithic shared array.
+ *
+ * For each organization we charge, per measured run:
+ *   - a tag probe and a data-array access per L2 access (shared pays
+ *     the big central array; private/NuRAPID pay their 2 MB shares,
+ *     with NuRAPID adding wire by d-group distance);
+ *   - bus energy per transaction (address span + 4 snoop probes);
+ *   - DRAM energy per memory read/writeback.
+ *
+ * Expected shape: private caches burn energy in DRAM (more capacity
+ * misses); the uniform-shared cache burns it in the big array and its
+ * wires; CMP-NuRAPID pairs near-shared miss rates with near-private
+ * array energy, so it lands lowest or tied-lowest in nJ/instruction.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "cactilite/energy.hh"
+
+using namespace cnsim;
+
+namespace
+{
+
+constexpr std::uint64_t MB = 1024ull * 1024;
+
+/** nJ per instruction for one measured run of the given organization. */
+double
+njPerInstruction(const EnergyModel &e, const RunResult &r, L2Kind kind)
+{
+    double pj = 0.0;
+    double accesses = static_cast<double>(r.l2_accesses);
+    switch (kind) {
+      case L2Kind::Shared:
+      case L2Kind::Ideal:
+        pj += accesses * (e.tagProbePj(8 * MB / 128) +
+                          e.dataAccessPj(8 * MB) +
+                          e.wirePj(0.7746 *
+                                   e.latencyModel().dieSideMm(8 * MB)));
+        break;
+      case L2Kind::Snuca:
+      case L2Kind::Dnuca:
+        // Banked: a 512 KB bank access plus on average half the die of
+        // routing.
+        pj += accesses * (e.tagProbePj(512 * 1024 / 128) +
+                          e.dataAccessPj(512 * 1024) +
+                          e.wirePj(0.5 *
+                                   e.latencyModel().dieSideMm(8 * MB)));
+        break;
+      case L2Kind::Private:
+      case L2Kind::Update:
+        pj += accesses *
+              (e.tagProbePj(2 * MB / 128) + e.dataAccessPj(2 * MB));
+        break;
+      case L2Kind::Nurapid: {
+        // Tag probe (2x entries) per access; data access charged by
+        // distance: closest hits pay no wire, the rest average the
+        // middle distance.
+        double closest = r.closest_access_frac * accesses;
+        double rest = accesses - closest;
+        pj += accesses * e.tagProbePj(2 * MB / 128 * 2);
+        pj += closest * e.dgroupAccessPj(2 * MB, 0);
+        pj += rest * e.dgroupAccessPj(2 * MB, 1);
+        break;
+      }
+    }
+    pj += static_cast<double>(r.bus_transactions) *
+          e.busTransactionPj(8 * MB);
+    pj += static_cast<double>(r.mem_reads + r.mem_writebacks) *
+          e.dramAccessPj();
+    return pj / 1000.0 / static_cast<double>(r.instructions);
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::header("Extension E1: L2 Dynamic Energy (nJ/instruction)",
+                      "energy corollary of the capacity argument ([8] lineage)");
+
+    EnergyModel e;
+    std::printf("%-10s %8s %8s %8s %8s   (lower is better)\n",
+                "workload", "shared", "private", "nurapid", "ideal");
+    std::printf("--------------------------------------------------------\n");
+
+    std::vector<double> sh, pv, nu;
+    for (const auto &w : workloads::multithreadedNames()) {
+        RunResult rs = benchutil::run(L2Kind::Shared, w);
+        RunResult rp = benchutil::run(L2Kind::Private, w);
+        RunResult rn = benchutil::run(L2Kind::Nurapid, w);
+        RunResult ri = benchutil::run(L2Kind::Ideal, w);
+        double es = njPerInstruction(e, rs, L2Kind::Shared);
+        double ep = njPerInstruction(e, rp, L2Kind::Private);
+        double en = njPerInstruction(e, rn, L2Kind::Nurapid);
+        double ei = njPerInstruction(e, ri, L2Kind::Ideal);
+        std::printf("%-10s %8.3f %8.3f %8.3f %8.3f\n", w.c_str(), es, ep,
+                    en, ei);
+        if (workloads::byName(w).commercial) {
+            sh.push_back(es);
+            pv.push_back(ep);
+            nu.push_back(en);
+        }
+    }
+    std::printf("--------------------------------------------------------\n");
+    std::printf("%-10s %8.3f %8.3f %8.3f\n", "comm-avg",
+                benchutil::mean(sh), benchutil::mean(pv),
+                benchutil::mean(nu));
+    std::printf("expected: NuRAPID pairs near-shared miss rates (DRAM "
+                "energy) with\n          near-private array energy, "
+                "landing at or near the bottom\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 9: distribution of data-array
+ * accesses for CMP-NuRAPID with CR only and with ISC only -- hits in
+ * the requestor's closest d-group, hits in farther d-groups, and
+ * misses.
+ *
+ * Expected shape (paper, commercial average): CR services ~83% of all
+ * accesses from the closest d-group and ISC ~76% -- ISC writers reach
+ * into the reader-side d-group on every write, trading farther hits
+ * for the RWS misses it eliminates.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace cnsim;
+
+namespace
+{
+
+SystemConfig
+nurapidVariant(bool cr, bool isc)
+{
+    SystemConfig cfg = Runner::paperConfig(L2Kind::Nurapid);
+    cfg.nurapid.enable_cr = cr;
+    cfg.nurapid.enable_isc = isc;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::header("Figure 9: Distribution of Data Array Accesses",
+                      "Figure 9, Section 5.1.2");
+
+    std::printf("%-10s %-7s %12s %12s %8s\n", "workload", "config",
+                "closestHit", "fartherHit", "miss");
+    std::printf("----------------------------------------------------------\n");
+
+    std::vector<double> cr_closest, isc_closest;
+    for (const auto &w : workloads::multithreadedNames()) {
+        RunResult cr = benchutil::run(nurapidVariant(true, false), w);
+        RunResult isc = benchutil::run(nurapidVariant(false, true), w);
+        const RunResult *rows[2] = {&cr, &isc};
+        const char *names[2] = {"CR", "ISC"};
+        for (int i = 0; i < 2; ++i) {
+            double closest = rows[i]->closest_access_frac;
+            double farther = rows[i]->frac_hit - closest;
+            std::printf("%-10s %-7s %11.1f%% %11.1f%% %7.1f%%\n",
+                        w.c_str(), names[i], 100 * closest, 100 * farther,
+                        100 * rows[i]->miss_rate);
+        }
+        if (workloads::byName(w).commercial) {
+            cr_closest.push_back(cr.closest_access_frac);
+            isc_closest.push_back(isc.closest_access_frac);
+        }
+    }
+    std::printf("----------------------------------------------------------\n");
+    std::printf("comm-avg closest-d-group hits: CR %.0f%% (paper ~83%%), "
+                "ISC %.0f%% (paper ~76%%)\n",
+                100 * benchutil::mean(cr_closest),
+                100 * benchutil::mean(isc_closest));
+    return 0;
+}

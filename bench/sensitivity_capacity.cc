@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Sensitivity S1: total on-chip L2 capacity (4 / 8 / 16 MB).
+ *
+ * The paper evaluates one point (8 MB, "substantially more aggressive
+ * than existing CMP proposals" -- Sun Gemini and Power5 had 1-1.9 MB).
+ * This sweep rebuilds every organization at each capacity with
+ * latencies re-derived from the CactiLite model (bigger arrays are
+ * slower, Table-1 style) and reports relative performance on the
+ * commercial workloads.
+ *
+ * Expected shape: capacity pressure dominates at the small end --
+ * below the workloads' footprints even the pooled organizations thrash
+ * and the uniform-shared cache's global LRU wins (only the unbuildable
+ * ideal cache stays ahead). From the paper's 8 MB point upward the
+ * battle shifts to latency and CMP-NuRAPID leads, with the margin
+ * growing at 16 MB.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "cactilite/cactilite.hh"
+
+using namespace cnsim;
+
+namespace
+{
+
+SystemConfig
+configFor(L2Kind kind, std::uint64_t total_mb)
+{
+    SystemConfig cfg = Runner::paperConfig(kind);
+    CactiLite m;
+    std::uint64_t total = total_mb * 1024 * 1024;
+    std::uint64_t per_core = total / 4;
+
+    cfg.shared.capacity = total;
+    cfg.shared.latency = m.sharedCache(total, 128).total;
+    cfg.priv.capacity_per_core = per_core;
+    cfg.priv.latency = m.privateCache(per_core, 128).total;
+    cfg.ideal_latency = cfg.priv.latency;
+    cfg.nurapid.dgroup_capacity = per_core;
+    cfg.nurapid.tag_latency = m.nurapidTagCycles(per_core, 128, 2);
+    cfg.nurapid.dgroup_latencies = m.dgroupLatencies(per_core);
+    cfg.bus.latency = m.busCycles(total);
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::header("Sensitivity S1: Total L2 Capacity",
+                      "extension of Section 4.2's single 8 MB point");
+
+    for (std::uint64_t mb : {4ull, 8ull, 16ull}) {
+        CactiLite m;
+        std::uint64_t per_core = mb * 1024 * 1024 / 4;
+        DGroupLatencies dg = m.dgroupLatencies(per_core);
+        std::printf("\n-- %llu MB total (shared %llu cy, private %llu cy, "
+                    "d-groups %llu/%llu/%llu cy, bus %llu cy) --\n",
+                    (unsigned long long)mb,
+                    (unsigned long long)m.sharedCache(mb << 20, 128).total,
+                    (unsigned long long)m.privateCache(per_core, 128).total,
+                    (unsigned long long)dg.closest,
+                    (unsigned long long)dg.middle,
+                    (unsigned long long)dg.farthest,
+                    (unsigned long long)m.busCycles(mb << 20));
+        std::printf("%-10s %10s %10s %10s\n", "workload", "private",
+                    "nurapid", "ideal");
+        std::vector<double> pv, nu, id;
+        for (const auto &w : workloads::commercialNames()) {
+            RunResult base = benchutil::run(configFor(L2Kind::Shared, mb), w);
+            RunResult p = benchutil::run(configFor(L2Kind::Private, mb), w);
+            RunResult n = benchutil::run(configFor(L2Kind::Nurapid, mb), w);
+            RunResult i = benchutil::run(configFor(L2Kind::Ideal, mb), w);
+            std::printf("%-10s %10.3f %10.3f %10.3f\n", w.c_str(),
+                        p.ipc / base.ipc, n.ipc / base.ipc,
+                        i.ipc / base.ipc);
+            pv.push_back(p.ipc / base.ipc);
+            nu.push_back(n.ipc / base.ipc);
+            id.push_back(i.ipc / base.ipc);
+        }
+        std::printf("%-10s %10.3f %10.3f %10.3f\n", "comm-avg",
+                    benchutil::geomean(pv), benchutil::geomean(nu),
+                    benchutil::geomean(id));
+    }
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Sensitivity S2: core count (4 vs 8 cores).
+ *
+ * The paper's configuration is a 4-core CMP with four d-groups; its
+ * mechanisms generalize ("the number of d-groups need not equal the
+ * number of cores", Section 2.2.1). This sweep builds an 8-core /
+ * 8-d-group CMP-NuRAPID (2 MB per d-group, 16 MB total, preference
+ * rankings from the generalized Latin-square staggering) against the
+ * equivalently scaled shared and private organizations, with array and
+ * bus latencies from CactiLite.
+ *
+ * Expected shape: more cores sharpen both of the paper's pressures --
+ * the shared cache's latency (a bigger array and longer bus) and the
+ * private caches' coherence traffic -- so CMP-NuRAPID's advantage
+ * persists or grows at 8 cores.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "cactilite/cactilite.hh"
+
+using namespace cnsim;
+
+namespace
+{
+
+SystemConfig
+configFor(L2Kind kind, int cores)
+{
+    SystemConfig cfg = Runner::paperConfig(kind);
+    CactiLite m;
+    std::uint64_t per_core = 2ull * 1024 * 1024;
+    std::uint64_t total = per_core * cores;
+
+    cfg.num_cores = cores;
+    cfg.shared.num_cores = cores;
+    cfg.shared.capacity = total;
+    cfg.shared.latency = m.sharedCache(total, 128).total;
+    cfg.shared.ports = cores;
+    cfg.priv.num_cores = cores;
+    cfg.priv.capacity_per_core = per_core;
+    cfg.ideal_latency = cfg.priv.latency;
+    cfg.nurapid.num_cores = cores;
+    cfg.nurapid.num_dgroups = cores;
+    cfg.nurapid.dgroup_capacity = per_core;
+    cfg.bus.latency = m.busCycles(total);
+    return cfg;
+}
+
+void
+row(const char *label, int cores)
+{
+    std::vector<double> pv, nu;
+    for (const auto &w : workloads::commercialNames()) {
+        WorkloadSpec spec = workloads::byName(w, cores);
+        RunConfig rc = benchutil::runConfig();
+        RunResult base =
+            Runner::run(configFor(L2Kind::Shared, cores), spec, rc);
+        RunResult p =
+            Runner::run(configFor(L2Kind::Private, cores), spec, rc);
+        RunResult n =
+            Runner::run(configFor(L2Kind::Nurapid, cores), spec, rc);
+        pv.push_back(p.ipc / base.ipc);
+        nu.push_back(n.ipc / base.ipc);
+    }
+    std::printf("%-28s %10.3f %10.3f\n", label, benchutil::geomean(pv),
+                benchutil::geomean(nu));
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::header("Sensitivity S2: Core Count (commercial average)",
+                      "generalization of the Section-4 4-core platform");
+
+    std::printf("%-28s %10s %10s   (IPC vs same-scale shared)\n",
+                "configuration", "private", "nurapid");
+    std::printf("--------------------------------------------------------\n");
+    row("4 cores, 8 MB, 4 d-groups", 4);
+    row("8 cores, 16 MB, 8 d-groups", 8);
+    std::printf("expected: CMP-NuRAPID stays ahead as the core count "
+                "scales\n");
+    return 0;
+}

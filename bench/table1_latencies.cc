@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates the paper's Table 1: "8 MB Cache and Bus Latencies" at
+ * 70 nm / 5 GHz from the CactiLite analytical model, side by side with
+ * the values the paper reports from its modified Cacti 3.2.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "cactilite/cactilite.hh"
+
+using namespace cnsim;
+
+int
+main()
+{
+    constexpr std::uint64_t MB = 1024ull * 1024;
+    CactiLite m;
+
+    benchutil::header("Table 1: 8 MB Cache and Bus Latencies (cycles)",
+                      "Table 1, Section 4.2 (70 nm, 5 GHz, 128 B blocks)");
+
+    std::printf("%-56s %8s %8s\n", "Cache and Component", "model", "paper");
+    std::printf("------------------------------------------------------------------------------\n");
+
+    CacheLatency sh = m.sharedCache(8 * MB, 128);
+    std::printf("Shared 8 MB 32-way, 4 ports (latency of 8-way, 1-port)\n");
+    std::printf("  %-54s %8llu %8d\n", "Tag (includes wire delay of central tag)",
+                (unsigned long long)sh.tag, 26);
+    std::printf("  %-54s %8llu %8d\n", "Data", (unsigned long long)sh.data, 33);
+    std::printf("  %-54s %8llu %8d\n", "Total", (unsigned long long)sh.total, 59);
+
+    CacheLatency pv = m.privateCache(2 * MB, 128);
+    std::printf("Private 2 MB 8-way, 1 port\n");
+    std::printf("  %-54s %8llu %8d\n", "Tag", (unsigned long long)pv.tag, 4);
+    std::printf("  %-54s %8llu %8d\n", "Data", (unsigned long long)pv.data, 6);
+    std::printf("  %-54s %8llu %8d\n", "Total", (unsigned long long)pv.total, 10);
+
+    DGroupLatencies dg = m.dgroupLatencies(2 * MB);
+    std::printf("CMP-NuRAPID with four 2 MB d-groups\n");
+    std::printf("  %-54s %8llu %8d\n", "Tag w/ extra tag space",
+                (unsigned long long)m.nurapidTagCycles(2 * MB, 128, 2), 5);
+    std::printf("  %-54s %llu,%llu,%llu,%llu %s\n",
+                "Data d-groups (a,b,c,d from P0)",
+                (unsigned long long)dg.closest, (unsigned long long)dg.middle,
+                (unsigned long long)dg.middle, (unsigned long long)dg.farthest,
+                "6,20,20,33");
+    std::printf("%-56s %8llu %8d\n",
+                "Pipelined split-transaction bus (all designs with bus)",
+                (unsigned long long)m.busCycles(8 * MB), 32);
+
+    std::printf("\nDerived floorplan: d-group side %.2f mm, die side %.2f mm\n",
+                m.macroSideMm(2 * MB), m.dieSideMm(8 * MB));
+    return 0;
+}

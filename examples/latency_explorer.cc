@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Latency explorer: uses the CactiLite model to answer "what if"
+ * questions around Table 1 -- how cache latency scales with capacity,
+ * what the tag-capacity factor costs, and how the d-group latencies
+ * would change at other cache sizes or clock frequencies.
+ */
+
+#include <cstdio>
+
+#include "cactilite/cactilite.hh"
+
+using namespace cnsim;
+
+int
+main()
+{
+    constexpr std::uint64_t MB = 1024ull * 1024;
+    CactiLite m;
+
+    std::printf("Cache latency vs capacity (70 nm, 5 GHz, 128 B blocks)\n");
+    std::printf("%8s %8s %8s %8s\n", "size", "tag", "data", "total");
+    for (std::uint64_t s = 1; s <= 16; s *= 2) {
+        CacheLatency l = m.privateCache(s * MB, 128);
+        std::printf("%6lluMB %8llu %8llu %8llu\n",
+                    (unsigned long long)s, (unsigned long long)l.tag,
+                    (unsigned long long)l.data,
+                    (unsigned long long)l.total);
+    }
+
+    std::printf("\nCMP-NuRAPID tag latency vs tag-capacity factor "
+                "(2 MB per-core share)\n");
+    std::printf("%8s %8s   %s\n", "factor", "cycles", "total-cache overhead");
+    for (unsigned f : {1u, 2u, 4u}) {
+        // Tag bytes as a fraction of the 8 MB + tags total.
+        double tag_bytes = 4.0 * (2.0 * MB / 128) * f * 4;  // 4 cores
+        double overhead = tag_bytes / (8.0 * MB) * 100.0;
+        std::printf("%7ux %8llu   %.1f%% %s\n", f,
+                    (unsigned long long)m.nurapidTagCycles(2 * MB, 128, f),
+                    overhead,
+                    f == 2 ? "(paper's choice: ~6%)"
+                           : (f == 4 ? "(paper rejects: ~23%, slower)" : ""));
+    }
+
+    std::printf("\nD-group latencies vs d-group size (closest/middle/"
+                "farthest from a core)\n");
+    for (std::uint64_t s = 1; s <= 4; s *= 2) {
+        DGroupLatencies d = m.dgroupLatencies(s * MB);
+        std::printf("%6lluMB  %llu / %llu / %llu cycles\n",
+                    (unsigned long long)s, (unsigned long long)d.closest,
+                    (unsigned long long)d.middle,
+                    (unsigned long long)d.farthest);
+    }
+
+    std::printf("\nClock sweep for the 8 MB shared cache "
+                "(same physical design)\n");
+    for (double ghz : {2.5, 5.0, 7.5}) {
+        TechParams tp;
+        tp.clock_ghz = ghz;
+        CactiLite mm(tp);
+        CacheLatency l = mm.sharedCache(8 * MB, 128);
+        std::printf("%5.1f GHz: tag %llu, data %llu, total %llu cycles; "
+                    "bus %llu\n",
+                    ghz, (unsigned long long)l.tag,
+                    (unsigned long long)l.data, (unsigned long long)l.total,
+                    (unsigned long long)mm.busCycles(8 * MB));
+    }
+    return 0;
+}

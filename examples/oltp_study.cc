@@ -1,0 +1,57 @@
+/**
+ * @file
+ * OLTP study: the paper's motivating scenario end to end. Runs the
+ * OLTP workload model on all five L2 organizations and reports the
+ * latency/capacity story behind Figure 10's best case (CMP-NuRAPID
+ * +16% over uniform-shared on OLTP).
+ *
+ * Demonstrates configuring several System variants and comparing
+ * RunResults, including the per-class miss breakdown that explains
+ * *why* each organization performs the way it does.
+ */
+
+#include <cstdio>
+
+#include "sim/runner.hh"
+
+using namespace cnsim;
+
+int
+main()
+{
+    WorkloadSpec oltp = workloads::byName("oltp");
+    RunConfig rc;
+    rc.warmup_instructions = 4'000'000;
+    rc.measure_instructions = 6'000'000;
+
+    std::printf("OLTP on five L2 organizations (4 cores, 8 MB on-chip)\n");
+    std::printf("%-10s %8s %8s %8s %8s %8s %8s %9s\n", "config", "IPC",
+                "rel", "hit%", "ros%", "rws%", "cap%", "missRate");
+    std::printf("-----------------------------------------------------------------------\n");
+
+    double base_ipc = 0.0;
+    for (L2Kind k : {L2Kind::Shared, L2Kind::Snuca, L2Kind::Private,
+                     L2Kind::Nurapid, L2Kind::Ideal}) {
+        RunResult r = Runner::run(Runner::paperConfig(k), oltp, rc);
+        if (k == L2Kind::Shared)
+            base_ipc = r.ipc;
+        std::printf("%-10s %8.3f %8.3f %7.1f%% %7.1f%% %7.1f%% %7.1f%% %8.1f%%\n",
+                    r.l2_kind.c_str(), r.ipc, r.ipc / base_ipc,
+                    100 * r.frac_hit, 100 * r.frac_ros, 100 * r.frac_rws,
+                    100 * r.frac_cap, 100 * r.miss_rate);
+    }
+
+    std::printf("\nReading the table:\n");
+    std::printf(" - shared: one copy of everything (lowest miss rate) but "
+                "59-cycle access.\n");
+    std::printf(" - snuca: same misses, distance-dependent bank latency.\n");
+    std::printf(" - private: 10-cycle access, but OLTP's read-write "
+                "sharing turns into\n   coherence misses and replication "
+                "wastes capacity.\n");
+    std::printf(" - nurapid: private-style latency, shared-style "
+                "capacity; ISC removes the\n   RWS misses that dominate "
+                "OLTP (paper: +16%% over shared here).\n");
+    std::printf(" - ideal: unbuildable upper bound (shared capacity at "
+                "private latency).\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Quickstart: build the paper's 4-core / 8 MB CMP with a CMP-NuRAPID
+ * L2, run the OLTP workload model on it, and print the statistics.
+ *
+ * This is the smallest complete use of the cnsim public API:
+ *   1. pick a system configuration (Runner::paperConfig),
+ *   2. pick a workload (workloads::byName),
+ *   3. run (Runner::run),
+ *   4. read the RunResult.
+ */
+
+#include <cstdio>
+
+#include "sim/runner.hh"
+
+using namespace cnsim;
+
+int
+main()
+{
+    // 1. The paper's Section-4 platform with the CMP-NuRAPID L2.
+    SystemConfig cfg = Runner::paperConfig(L2Kind::Nurapid);
+
+    // 2. The OLTP (TPC-C-like) multithreaded workload model.
+    WorkloadSpec oltp = workloads::byName("oltp");
+
+    // 3. Warm up, then measure.
+    RunConfig rc;
+    rc.warmup_instructions = 4'000'000;
+    rc.measure_instructions = 6'000'000;
+    RunResult r = Runner::run(cfg, oltp, rc);
+
+    // 4. Report.
+    std::printf("workload            : %s\n", r.workload.c_str());
+    std::printf("L2 organization     : %s\n", r.l2_kind.c_str());
+    std::printf("instructions        : %llu\n",
+                (unsigned long long)r.instructions);
+    std::printf("cycles              : %llu\n",
+                (unsigned long long)r.cycles);
+    std::printf("aggregate IPC       : %.3f\n", r.ipc);
+    for (std::size_t c = 0; c < r.core_ipc.size(); ++c)
+        std::printf("  core %zu IPC        : %.3f\n", c, r.core_ipc[c]);
+    std::printf("L2 accesses         : %llu\n",
+                (unsigned long long)r.l2_accesses);
+    std::printf("  hits              : %5.1f%%\n", 100 * r.frac_hit);
+    std::printf("  ROS misses        : %5.1f%%\n", 100 * r.frac_ros);
+    std::printf("  RWS misses        : %5.1f%%\n", 100 * r.frac_rws);
+    std::printf("  capacity misses   : %5.1f%%\n", 100 * r.frac_cap);
+    std::printf("closest-d-group hits: %5.1f%% of hits\n",
+                100 * r.closest_hit_frac);
+    return 0;
+}

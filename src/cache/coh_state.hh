@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Coherence states for the MESI and MESIC protocols.
+ *
+ * MESIC is the paper's extension of MESI with a fifth state C
+ * ("communication"): a dirty block shared by multiple tag copies, used
+ * by in-situ communication so that a writer and its readers access one
+ * data copy without coherence misses (Section 3.2).
+ */
+
+#ifndef CNSIM_CACHE_COH_STATE_HH
+#define CNSIM_CACHE_COH_STATE_HH
+
+namespace cnsim
+{
+
+/** MESI + Communication coherence states. */
+enum class CohState : unsigned char
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+    Communication,
+};
+
+/** @return true for any valid state. */
+constexpr bool
+isValid(CohState s)
+{
+    return s != CohState::Invalid;
+}
+
+/** @return true for states that imply the block is dirty on chip. */
+constexpr bool
+isDirty(CohState s)
+{
+    return s == CohState::Modified || s == CohState::Communication;
+}
+
+/**
+ * @return true for "private" states in the paper's replacement-priority
+ * sense (Section 3.3.2): E and M blocks have a single tag copy.
+ */
+constexpr bool
+isPrivateState(CohState s)
+{
+    return s == CohState::Exclusive || s == CohState::Modified;
+}
+
+/**
+ * @return true for "shared" states: S and C blocks may have tag copies
+ * in several private tag arrays pointing at one data copy.
+ */
+constexpr bool
+isSharedState(CohState s)
+{
+    return s == CohState::Shared || s == CohState::Communication;
+}
+
+/** Single-letter name (M/E/S/I/C) for tracing. */
+constexpr char
+stateChar(CohState s)
+{
+    switch (s) {
+      case CohState::Invalid: return 'I';
+      case CohState::Shared: return 'S';
+      case CohState::Exclusive: return 'E';
+      case CohState::Modified: return 'M';
+      case CohState::Communication: return 'C';
+    }
+    return '?';
+}
+
+} // namespace cnsim
+
+#endif // CNSIM_CACHE_COH_STATE_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Level-1 cache model.
+ *
+ * Per the paper's methodology (Section 4.1): 64 KB, 2-way, 64-byte
+ * blocks, 3-cycle latency, one outstanding miss, inclusion maintained
+ * with the L2.
+ *
+ * The L1 is write-back with an ownership bit: a store may complete
+ * silently in the L1 only when the core holds exclusive ownership
+ * (L2 state E/M). Blocks whose L2 state is C (in-situ communication)
+ * are write-through in the L1 (paper Section 3.2), so every store to
+ * them reaches the L2.
+ */
+
+#ifndef CNSIM_CACHE_L1_CACHE_HH
+#define CNSIM_CACHE_L1_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/packet.hh"
+
+namespace cnsim
+{
+
+/** Parameters for an L1 cache. */
+struct L1Params
+{
+    unsigned size = 64 * 1024;
+    unsigned assoc = 2;
+    unsigned block_size = 64;
+    Tick latency = 3;
+};
+
+/** Outcome of checking a store against the L1. */
+enum class L1StoreCheck
+{
+    Hit,            //!< present and owned: completes silently in L1
+    WriteThrough,   //!< present but C-state: L2 must see the store
+    NeedOwnership,  //!< present but only shared: L2 upgrade required
+    Miss,           //!< not present
+};
+
+/** A single L1 cache (instruction or data). */
+class L1Cache
+{
+  public:
+    L1Cache(std::string name, const L1Params &p = L1Params{});
+
+    /** @return true on load/ifetch hit; updates LRU. */
+    bool loadHit(Addr addr);
+
+    /** Classify a store against the current L1 contents. */
+    L1StoreCheck storeCheck(Addr addr);
+
+    /**
+     * Fill (or update the permissions of) the block containing @p addr.
+     *
+     * @param owned true when the L2 granted exclusive ownership (E/M).
+     * @param write_through true when the L2 block is in state C.
+     */
+    void fill(Addr addr, bool owned, bool write_through);
+
+    /**
+     * Invalidate every L1 block covered by the L2 block at
+     * @p l2_block_addr (used for inclusion back-invalidation and for
+     * coherence invalidations observed on the bus).
+     *
+     * @return true if at least one block was invalidated.
+     */
+    bool invalidateL2Block(Addr l2_block_addr, unsigned l2_block_size);
+
+    /**
+     * Downgrade ownership of every L1 block covered by the L2 block
+     * (the block stays readable but stores will revisit the L2); used
+     * when an observed BusRd demotes M/E to S or C.
+     *
+     * @param make_write_through also mark the surviving blocks C-state.
+     */
+    void downgradeL2Block(Addr l2_block_addr, unsigned l2_block_size,
+                          bool make_write_through);
+
+    /** @return the hit latency in ticks. */
+    Tick latency() const { return params.latency; }
+
+    unsigned blockSize() const { return params.block_size; }
+
+    void regStats(StatGroup &group);
+    void resetStats();
+
+    std::uint64_t hits() const { return n_hits.value(); }
+    std::uint64_t misses() const { return n_misses.value(); }
+
+    /** Drop all contents (used between runs). */
+    void flushAll();
+
+  private:
+    struct Block
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool owned = false;
+        bool write_through = false;
+        std::uint64_t lru = 0;
+    };
+
+    Block *findBlock(Addr addr);
+    unsigned setIndex(Addr addr) const;
+
+    std::string _name;
+    L1Params params;
+    unsigned num_sets;
+    std::vector<Block> blocks;
+    std::uint64_t lru_clock = 0;
+
+    Counter n_hits;
+    Counter n_misses;
+    Counter n_invalidations;
+};
+
+} // namespace cnsim
+
+#endif // CNSIM_CACHE_L1_CACHE_HH

@@ -1,0 +1,51 @@
+#include "cache/reuse_tracker.hh"
+
+namespace cnsim
+{
+
+namespace
+{
+// Track exact reuse counts 0..31; anything larger lands in overflow,
+// which is far above the ">5" boundary Figure 7 uses.
+constexpr std::uint64_t max_tracked = 31;
+} // namespace
+
+ReuseTracker::ReuseTracker()
+{
+    ros.init(0, max_tracked, 1);
+    rws.init(0, max_tracked, 1);
+}
+
+ReuseBuckets
+ReuseTracker::buckets(const Distribution &d)
+{
+    ReuseBuckets b;
+    b.samples = d.samples();
+    if (b.samples == 0)
+        return b;
+    double n = static_cast<double>(b.samples);
+    b.zero = d.bucketCount(0) / n;
+    b.one = d.bucketCount(1) / n;
+    b.two_to_five = d.rangeCount(2, 5) / n;
+    b.more_than_five =
+        (d.rangeCount(6, max_tracked) + d.overflow()) / n;
+    return b;
+}
+
+void
+ReuseTracker::regStats(StatGroup &group)
+{
+    group.addDistribution("reuse.rosReplaced", &ros,
+                          "reuses of ROS-filled blocks before replacement");
+    group.addDistribution("reuse.rwsInvalidated", &rws,
+                          "reuses of RWS-filled blocks before invalidation");
+}
+
+void
+ReuseTracker::resetStats()
+{
+    ros.reset();
+    rws.reset();
+}
+
+} // namespace cnsim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Block-reuse accounting for the paper's Figure 7.
+ *
+ * Figure 7 characterizes, for private caches, how many times a block
+ * brought in by a read-only-sharing miss is reused before being
+ * *replaced* (left bars), and how many times a block brought in by a
+ * read-write-sharing miss is reused before being *invalidated* by a
+ * writer (right bars), bucketed as 0, 1, 2-5, and >5 reuses.
+ */
+
+#ifndef CNSIM_CACHE_REUSE_TRACKER_HH
+#define CNSIM_CACHE_REUSE_TRACKER_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "mem/packet.hh"
+
+namespace cnsim
+{
+
+/** Fractions of block lifetimes per reuse bucket (sums to 1). */
+struct ReuseBuckets
+{
+    double zero = 0.0;
+    double one = 0.0;
+    double two_to_five = 0.0;
+    double more_than_five = 0.0;
+    std::uint64_t samples = 0;
+};
+
+/** Records end-of-lifetime reuse counts for ROS- and RWS-filled blocks. */
+class ReuseTracker
+{
+  public:
+    ReuseTracker();
+
+    /** A block that was filled by a ROS miss has been replaced. */
+    void rosReplaced(std::uint64_t reuses) { ros.sample(reuses); }
+
+    /** A block that was filled by a RWS miss has been invalidated. */
+    void rwsInvalidated(std::uint64_t reuses) { rws.sample(reuses); }
+
+    /** @return Figure-7a style buckets for ROS-filled replacements. */
+    ReuseBuckets rosBuckets() const { return buckets(ros); }
+
+    /** @return Figure-7b style buckets for RWS-filled invalidations. */
+    ReuseBuckets rwsBuckets() const { return buckets(rws); }
+
+    void regStats(StatGroup &group);
+    void resetStats();
+
+  private:
+    static ReuseBuckets buckets(const Distribution &d);
+
+    Distribution ros;
+    Distribution rws;
+};
+
+} // namespace cnsim
+
+#endif // CNSIM_CACHE_REUSE_TRACKER_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * A reusable set-associative array with LRU bookkeeping.
+ *
+ * Shared by the conventional L2 organizations and by CMP-NuRAPID's
+ * private tag arrays. The block type is supplied by the user and must
+ * expose `valid`, `addr` (block-aligned), and `lru` members.
+ */
+
+#ifndef CNSIM_CACHE_SET_ASSOC_HH
+#define CNSIM_CACHE_SET_ASSOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace cnsim
+{
+
+/** Set-associative storage of BlockT with LRU tracking. */
+template <typename BlockT>
+class SetAssocArray
+{
+  public:
+    /**
+     * @param num_sets Number of sets (power of two).
+     * @param assoc Ways per set.
+     * @param block_size Bytes per block (power of two), for indexing.
+     */
+    SetAssocArray(unsigned num_sets, unsigned assoc, unsigned block_size)
+        : _num_sets(num_sets), _assoc(assoc), _block_size(block_size)
+    {
+        cnsim_assert(isPowerOf2(num_sets) && isPowerOf2(block_size),
+                     "set-assoc geometry must be powers of two");
+        blocks.assign(static_cast<std::size_t>(num_sets) * assoc, BlockT{});
+    }
+
+    unsigned numSets() const { return _num_sets; }
+    unsigned assoc() const { return _assoc; }
+    unsigned blockSize() const { return _block_size; }
+
+    /** @return the set index for @p addr. */
+    unsigned
+    setIndex(Addr addr) const
+    {
+        return static_cast<unsigned>((addr / _block_size) % _num_sets);
+    }
+
+    /** @return pointer to the first way of @p addr's set. */
+    BlockT *
+    set(Addr addr)
+    {
+        return &blocks[static_cast<std::size_t>(setIndex(addr)) * _assoc];
+    }
+
+    const BlockT *
+    set(Addr addr) const
+    {
+        return &blocks[static_cast<std::size_t>(setIndex(addr)) * _assoc];
+    }
+
+    /** @return the matching valid block, or nullptr. */
+    BlockT *
+    find(Addr addr)
+    {
+        Addr tag = blockAlign(addr, _block_size);
+        BlockT *s = set(addr);
+        for (unsigned w = 0; w < _assoc; ++w) {
+            if (s[w].valid && s[w].addr == tag)
+                return &s[w];
+        }
+        return nullptr;
+    }
+
+    const BlockT *
+    find(Addr addr) const
+    {
+        return const_cast<SetAssocArray *>(this)->find(addr);
+    }
+
+    /** Mark @p b most-recently-used. */
+    void touch(BlockT *b) { b->lru = ++lru_clock; }
+
+    /**
+     * @return the way to fill for a new block in @p addr's set: an
+     * invalid way if one exists, else the LRU way (still valid -- the
+     * caller must handle its eviction).
+     */
+    BlockT *
+    victim(Addr addr)
+    {
+        BlockT *s = set(addr);
+        BlockT *v = &s[0];
+        for (unsigned w = 0; w < _assoc; ++w) {
+            if (!s[w].valid)
+                return &s[w];
+            if (s[w].lru < v->lru)
+                v = &s[w];
+        }
+        return v;
+    }
+
+    /** Iterate over all blocks (for invariant checks and flushes). */
+    std::vector<BlockT> &raw() { return blocks; }
+    const std::vector<BlockT> &raw() const { return blocks; }
+
+    /** Invalidate everything. */
+    void
+    flushAll()
+    {
+        for (auto &b : blocks)
+            b = BlockT{};
+        lru_clock = 0;
+    }
+
+  private:
+    unsigned _num_sets;
+    unsigned _assoc;
+    unsigned _block_size;
+    std::vector<BlockT> blocks;
+    std::uint64_t lru_clock = 0;
+};
+
+} // namespace cnsim
+
+#endif // CNSIM_CACHE_SET_ASSOC_HH

@@ -1,0 +1,112 @@
+#include "cactilite/cactilite.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cnsim
+{
+
+CactiLite::CactiLite(const TechParams &tp) : tp(tp)
+{
+    cnsim_assert(tp.clock_ghz > 0, "bad clock frequency");
+}
+
+Tick
+CactiLite::psToCycles(double ps) const
+{
+    double period_ps = 1000.0 / tp.clock_ghz;
+    return static_cast<Tick>(std::llround(ps / period_ps));
+}
+
+Tick
+CactiLite::dataArrayCycles(std::uint64_t bytes) const
+{
+    double kbytes = static_cast<double>(bytes) / 1024.0;
+    return psToCycles(tp.data_base_ps +
+                      tp.data_slope_ps * std::sqrt(kbytes));
+}
+
+Tick
+CactiLite::tagArrayCycles(std::uint64_t blocks) const
+{
+    double kbytes =
+        static_cast<double>(blocks) * tp.tag_bytes_per_block / 1024.0;
+    return psToCycles(tp.tag_base_ps + tp.tag_slope_ps * std::sqrt(kbytes));
+}
+
+Tick
+CactiLite::wireCycles(double mm) const
+{
+    return psToCycles(mm * tp.wire_ps_per_mm);
+}
+
+double
+CactiLite::macroSideMm(std::uint64_t bytes) const
+{
+    double mbytes = static_cast<double>(bytes) / (1024.0 * 1024.0);
+    return std::sqrt(mbytes * tp.mm2_per_mb);
+}
+
+double
+CactiLite::dieSideMm(std::uint64_t cache_bytes) const
+{
+    double mbytes = static_cast<double>(cache_bytes) / (1024.0 * 1024.0);
+    return std::sqrt(mbytes * tp.mm2_per_mb * tp.die_area_factor);
+}
+
+CacheLatency
+CactiLite::sharedCache(std::uint64_t bytes, unsigned block_size) const
+{
+    CacheLatency l;
+    double die = dieSideMm(bytes);
+    // The tag must be placed centrally to minimize the worst-core
+    // latency, so every access pays the global wire to reach it.
+    l.tag = tagArrayCycles(bytes / block_size) +
+            wireCycles(tp.central_tag_dist * die);
+    // Data is aggressively routed straight back to the requesting core
+    // (Section 4.2), paying the route around closer subarrays.
+    l.data = dataArrayCycles(bytes) +
+             wireCycles(tp.shared_data_route * die);
+    l.total = l.tag + l.data;
+    return l;
+}
+
+CacheLatency
+CactiLite::privateCache(std::uint64_t bytes, unsigned block_size) const
+{
+    CacheLatency l;
+    // Adjacent to its core: no global wire component.
+    l.tag = tagArrayCycles(bytes / block_size);
+    l.data = dataArrayCycles(bytes);
+    l.total = l.tag + l.data;
+    return l;
+}
+
+Tick
+CactiLite::nurapidTagCycles(std::uint64_t bytes, unsigned block_size,
+                            unsigned tag_factor) const
+{
+    return tagArrayCycles(bytes / block_size * tag_factor);
+}
+
+DGroupLatencies
+CactiLite::dgroupLatencies(std::uint64_t dgroup_bytes) const
+{
+    DGroupLatencies d;
+    Tick array = dataArrayCycles(dgroup_bytes);
+    double side = macroSideMm(dgroup_bytes);
+    d.closest = array;
+    d.middle = array + wireCycles(tp.middle_dgroup_dist * side);
+    d.farthest = array + wireCycles(tp.far_dgroup_dist * side);
+    return d;
+}
+
+Tick
+CactiLite::busCycles(std::uint64_t total_cache_bytes) const
+{
+    double die = dieSideMm(total_cache_bytes);
+    return wireCycles(tp.bus_span * die * std::sqrt(2.0));
+}
+
+} // namespace cnsim

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * CactiLite: an analytical cache latency model for Table 1.
+ *
+ * The paper derives its latencies from a modified Cacti 3.2 at 70 nm /
+ * 5 GHz, treating each d-group as an independent tagless cache,
+ * accounting for RC wire delay to route around closer d-groups, and
+ * optimizing the split tag arrays separately (Section 4.2). CactiLite
+ * reproduces that flow with a compact model:
+ *
+ *  - SRAM subarray access time grows with sqrt(capacity) (decoder +
+ *    wordline + bitline + sense amp over an optimized subarray
+ *    geometry), with separate calibrations for data and tag arrays
+ *    (tag arrays are smaller but decode-dominated).
+ *  - Global wires are repeated RC wires with a fixed delay per mm.
+ *  - A simple floorplan supplies distances: d-groups are squares of
+ *    area proportional to capacity; cores sit at the corners; the
+ *    uniform-shared cache's tag must sit centrally; the bus spans the
+ *    chip to the farthest tag array.
+ *
+ * With the default 70 nm / 5 GHz technology parameters the model
+ * reproduces every row of Table 1 exactly (see tests/test_cactilite).
+ */
+
+#ifndef CNSIM_CACTILITE_CACTILITE_HH
+#define CNSIM_CACTILITE_CACTILITE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "nurapid/pref_table.hh"
+
+namespace cnsim
+{
+
+/** Technology/floorplan calibration (defaults: 70 nm, 5 GHz). */
+struct TechParams
+{
+    double clock_ghz = 5.0;
+    /** Repeated global-wire delay, ps per mm. */
+    double wire_ps_per_mm = 800.0;
+    /** SRAM area density at this node, mm^2 per MB. */
+    double mm2_per_mb = 3.51;
+    /** Die area relative to total cache area (cores, pads, ...). */
+    double die_area_factor = 1.8;
+
+    /** Data-array access time: base + slope * sqrt(KB), in ps. */
+    double data_base_ps = 150.0;
+    double data_slope_ps = 22.0;
+    /** Tag-array access time: base + slope * sqrt(KB), in ps. */
+    double tag_base_ps = 400.0;
+    double tag_slope_ps = 45.0;
+    /** Bytes of tag storage per cache block (tag + state + pointer). */
+    double tag_bytes_per_block = 4.0;
+
+    /** Floorplan factors (fractions of d-group side / die span). */
+    double middle_dgroup_dist = 1.33;   //!< x d-group side
+    double far_dgroup_dist = 2.55;      //!< x d-group side
+    double central_tag_dist = 0.70;     //!< x die side
+    double shared_data_route = 0.7746;  //!< x die side
+    double bus_span = 0.80;             //!< x die diagonal
+};
+
+/** Tag/data/total latency triple for one cache design. */
+struct CacheLatency
+{
+    Tick tag = 0;
+    Tick data = 0;
+    Tick total = 0;
+};
+
+/** The analytical latency model. */
+class CactiLite
+{
+  public:
+    explicit CactiLite(const TechParams &tp = TechParams{});
+
+    /** Access cycles of a data subarray of @p bytes. */
+    Tick dataArrayCycles(std::uint64_t bytes) const;
+
+    /** Access cycles of a tag array for @p blocks cache blocks. */
+    Tick tagArrayCycles(std::uint64_t blocks) const;
+
+    /** Cycles to traverse @p mm of repeated global wire. */
+    Tick wireCycles(double mm) const;
+
+    /** Side of a square SRAM macro holding @p bytes, in mm. */
+    double macroSideMm(std::uint64_t bytes) const;
+
+    /** Die side for a chip whose caches total @p cache_bytes. */
+    double dieSideMm(std::uint64_t cache_bytes) const;
+
+    /**
+     * Uniform-shared cache (Table 1 row 1): central tag reached over
+     * global wire, data routed directly back to the cores.
+     */
+    CacheLatency sharedCache(std::uint64_t bytes,
+                             unsigned block_size) const;
+
+    /** Per-core private cache (Table 1 row 2): adjacent to its core. */
+    CacheLatency privateCache(std::uint64_t bytes,
+                              unsigned block_size) const;
+
+    /**
+     * CMP-NuRAPID private tag array with @p tag_factor x entries for a
+     * @p bytes per-core data share (Table 1 row 3).
+     */
+    Tick nurapidTagCycles(std::uint64_t bytes, unsigned block_size,
+                          unsigned tag_factor) const;
+
+    /**
+     * D-group latencies as seen from a core: closest (adjacent),
+     * middle (routed around one d-group), farthest (across the array).
+     */
+    DGroupLatencies dgroupLatencies(std::uint64_t dgroup_bytes) const;
+
+    /** Split-transaction bus latency: reach the farthest tag array. */
+    Tick busCycles(std::uint64_t total_cache_bytes) const;
+
+    const TechParams &tech() const { return tp; }
+
+  private:
+    Tick psToCycles(double ps) const;
+
+    TechParams tp;
+};
+
+} // namespace cnsim
+
+#endif // CNSIM_CACTILITE_CACTILITE_HH

@@ -1,0 +1,58 @@
+#include "cactilite/energy.hh"
+
+#include <cmath>
+
+namespace cnsim
+{
+
+EnergyModel::EnergyModel(const EnergyParams &ep, const TechParams &tp)
+    : ep(ep), lat(tp)
+{
+}
+
+double
+EnergyModel::dataAccessPj(std::uint64_t bytes) const
+{
+    double kb = static_cast<double>(bytes) / 1024.0;
+    return ep.data_base_pj + ep.data_slope_pj * std::sqrt(kb);
+}
+
+double
+EnergyModel::tagProbePj(std::uint64_t blocks) const
+{
+    double kb = static_cast<double>(blocks) *
+                lat.tech().tag_bytes_per_block / 1024.0;
+    return ep.tag_base_pj + ep.tag_slope_pj * std::sqrt(kb);
+}
+
+double
+EnergyModel::wirePj(double mm) const
+{
+    return ep.wire_pj_per_mm * mm;
+}
+
+double
+EnergyModel::busTransactionPj(std::uint64_t total_cache_bytes) const
+{
+    // The address traverses the bus span; every snooper probes its tag
+    // array. Approximated as the bus wire plus four private-tag probes
+    // of a 2 MB share each.
+    double die = lat.dieSideMm(total_cache_bytes);
+    double span = lat.tech().bus_span * die * std::sqrt(2.0);
+    std::uint64_t share_blocks = total_cache_bytes / 4 / 128;
+    return wirePj(span) + 4.0 * tagProbePj(share_blocks);
+}
+
+double
+EnergyModel::dgroupAccessPj(std::uint64_t dgroup_bytes, int rank) const
+{
+    double side = lat.macroSideMm(dgroup_bytes);
+    double mm = 0.0;
+    if (rank == 1 || rank == 2)
+        mm = lat.tech().middle_dgroup_dist * side;
+    else if (rank >= 3)
+        mm = lat.tech().far_dgroup_dist * side;
+    return dataAccessPj(dgroup_bytes) + wirePj(mm);
+}
+
+} // namespace cnsim

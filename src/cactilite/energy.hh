@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Per-access energy model for the cache organizations.
+ *
+ * The NuRAPID line of work is explicitly about *energy-efficient*
+ * non-uniform caches (its predecessor paper [8] is titled "Distance
+ * associativity for high-performance energy-efficient non-uniform
+ * cache architectures", and sequential tag-data access -- the
+ * mechanism CMP-NuRAPID builds on -- exists to save energy). This
+ * module extends CactiLite with dynamic-energy estimates so the bench
+ * harness can report nJ/instruction alongside performance:
+ *
+ *  - SRAM access energy grows with sqrt(capacity) (bitline/wordline
+ *    swing over an optimized subarray), with tag arrays much cheaper
+ *    than data arrays;
+ *  - global wires cost energy per mm traversed (bus snoops pay the
+ *    full span; d-group accesses pay their distance);
+ *  - DRAM accesses dominate everything (hundreds of times an SRAM
+ *    access), so miss-rate differences usually decide total energy.
+ *
+ * Absolute values are representative 70 nm estimates; as with the
+ * latency model, the *relative* story across organizations is what the
+ * energy bench evaluates.
+ */
+
+#ifndef CNSIM_CACTILITE_ENERGY_HH
+#define CNSIM_CACTILITE_ENERGY_HH
+
+#include <cstdint>
+
+#include "cactilite/cactilite.hh"
+
+namespace cnsim
+{
+
+/** Energy calibration (defaults: representative 70 nm dynamic energy). */
+struct EnergyParams
+{
+    /** Data-array read/write: base + slope * sqrt(KB), in pJ. */
+    double data_base_pj = 50.0;
+    double data_slope_pj = 12.0;
+    /** Tag-array probe: base + slope * sqrt(KB), in pJ. */
+    double tag_base_pj = 10.0;
+    double tag_slope_pj = 4.0;
+    /** Global wire energy, pJ per mm (repeated wire + drivers). */
+    double wire_pj_per_mm = 35.0;
+    /** Off-chip DRAM access (I/O + array), in pJ. */
+    double dram_pj = 15000.0;
+};
+
+/** Dynamic-energy estimates built on the CactiLite floorplan. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &ep = EnergyParams{},
+                         const TechParams &tp = TechParams{});
+
+    /** Energy of one data-array access of a @p bytes structure, pJ. */
+    double dataAccessPj(std::uint64_t bytes) const;
+
+    /** Energy of one tag probe for @p blocks entries, pJ. */
+    double tagProbePj(std::uint64_t blocks) const;
+
+    /** Energy of driving @p mm of global wire, pJ. */
+    double wirePj(double mm) const;
+
+    /** Energy of one bus transaction (address span + snoop probes). */
+    double busTransactionPj(std::uint64_t total_cache_bytes) const;
+
+    /** Energy of one DRAM access. */
+    double dramAccessPj() const { return ep.dram_pj; }
+
+    /**
+     * Energy of one d-group access from a core at preference rank
+     * @p rank (0 = closest): array energy plus the wire to reach it.
+     */
+    double dgroupAccessPj(std::uint64_t dgroup_bytes, int rank) const;
+
+    const EnergyParams &params() const { return ep; }
+    const CactiLite &latencyModel() const { return lat; }
+
+  private:
+    EnergyParams ep;
+    CactiLite lat;
+};
+
+} // namespace cnsim
+
+#endif // CNSIM_CACTILITE_ENERGY_HH

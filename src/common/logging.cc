@@ -1,0 +1,97 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace cnsim
+{
+
+namespace
+{
+bool quiet_flag = false;
+} // namespace
+
+std::string
+vstrfmt(const char *fmt, std::va_list args)
+{
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (n < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = vstrfmt(fmt, args);
+    va_end(args);
+    return s;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = vstrfmt(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "panic: %s\n", s.c_str());
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = vstrfmt(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "fatal: %s\n", s.c_str());
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (quiet_flag)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = vstrfmt(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", s.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quiet_flag)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = vstrfmt(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "info: %s\n", s.c_str());
+}
+
+void
+setQuiet(bool quiet)
+{
+    quiet_flag = quiet;
+}
+
+bool
+quiet()
+{
+    return quiet_flag;
+}
+
+} // namespace cnsim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Error reporting and status messages, in the gem5 tradition.
+ *
+ * panic()  -- an internal simulator invariant was violated (a cnsim bug);
+ *             aborts so the failure can be debugged.
+ * fatal()  -- the simulation cannot continue because of a user error
+ *             (bad configuration, impossible parameters); exits cleanly.
+ * warn()   -- something is modelled approximately; simulation continues.
+ * inform() -- normal operating status.
+ *
+ * All functions take a printf-style format string.
+ */
+
+#ifndef CNSIM_COMMON_LOGGING_HH
+#define CNSIM_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace cnsim
+{
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vstrfmt(const char *fmt, std::va_list args);
+
+/**
+ * Report an internal invariant violation and abort.
+ * Use for conditions that indicate a bug in cnsim itself.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ * Use for conditions that are the user's fault, not a simulator bug.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a condition that is modelled imperfectly but survivable. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence inform()/warn() output (used by tests and benches). */
+void setQuiet(bool quiet);
+
+/** @return true when inform()/warn() output is suppressed. */
+bool quiet();
+
+/**
+ * Assert a simulator invariant; on failure, panic with location info.
+ * Active in all build types: the invariants guard protocol correctness,
+ * and the simulator is fast enough to keep them on.
+ */
+#define cnsim_assert(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::cnsim::panic("assertion '%s' failed at %s:%d: %s", #cond,     \
+                           __FILE__, __LINE__,                              \
+                           ::cnsim::strfmt(__VA_ARGS__).c_str());           \
+        }                                                                   \
+    } while (0)
+
+} // namespace cnsim
+
+#endif // CNSIM_COMMON_LOGGING_HH

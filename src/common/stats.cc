@@ -1,0 +1,124 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+namespace cnsim
+{
+
+void
+StatGroup::addCounter(const std::string &n, Counter *c, std::string desc)
+{
+    cnsim_assert(c != nullptr, "null counter '%s'", n.c_str());
+    counters[n] = {c, std::move(desc)};
+}
+
+void
+StatGroup::addScalar(const std::string &n, Scalar *s, std::string desc)
+{
+    cnsim_assert(s != nullptr, "null scalar '%s'", n.c_str());
+    scalars[n] = {s, std::move(desc)};
+}
+
+void
+StatGroup::addDistribution(const std::string &n, Distribution *d,
+                           std::string desc)
+{
+    cnsim_assert(d != nullptr, "null distribution '%s'", n.c_str());
+    dists[n] = {d, std::move(desc)};
+}
+
+const Counter &
+StatGroup::counter(const std::string &n) const
+{
+    auto it = counters.find(n);
+    if (it == counters.end())
+        panic("no counter '%s' in group '%s'", n.c_str(), _name.c_str());
+    return *it->second.first;
+}
+
+const Scalar &
+StatGroup::scalar(const std::string &n) const
+{
+    auto it = scalars.find(n);
+    if (it == scalars.end())
+        panic("no scalar '%s' in group '%s'", n.c_str(), _name.c_str());
+    return *it->second.first;
+}
+
+const Distribution &
+StatGroup::distribution(const std::string &n) const
+{
+    auto it = dists.find(n);
+    if (it == dists.end())
+        panic("no distribution '%s' in group '%s'", n.c_str(), _name.c_str());
+    return *it->second.first;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : counters)
+        kv.second.first->reset();
+    for (auto &kv : scalars)
+        kv.second.first->reset();
+    for (auto &kv : dists)
+        kv.second.first->reset();
+}
+
+std::string
+StatGroup::dumpCsv() const
+{
+    std::ostringstream os;
+    os << "stat,value\n";
+    for (const auto &kv : counters) {
+        os << _name << "." << kv.first << ","
+           << kv.second.first->value() << "\n";
+    }
+    for (const auto &kv : scalars) {
+        os << _name << "." << kv.first << ","
+           << strfmt("%.6f", kv.second.first->value()) << "\n";
+    }
+    for (const auto &kv : dists) {
+        const Distribution &d = *kv.second.first;
+        os << _name << "." << kv.first << ".samples," << d.samples()
+           << "\n";
+        os << _name << "." << kv.first << ".mean,"
+           << strfmt("%.6f", d.mean()) << "\n";
+        os << _name << "." << kv.first << ".overflow," << d.overflow()
+           << "\n";
+    }
+    return os.str();
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &kv : counters) {
+        os << strfmt("%-48s %20llu", (_name + "." + kv.first).c_str(),
+                     static_cast<unsigned long long>(kv.second.first->value()));
+        if (!kv.second.second.empty())
+            os << "  # " << kv.second.second;
+        os << "\n";
+    }
+    for (const auto &kv : scalars) {
+        os << strfmt("%-48s %20.6f", (_name + "." + kv.first).c_str(),
+                     kv.second.first->value());
+        if (!kv.second.second.empty())
+            os << "  # " << kv.second.second;
+        os << "\n";
+    }
+    for (const auto &kv : dists) {
+        const Distribution &d = *kv.second.first;
+        os << strfmt("%-48s samples=%llu mean=%.3f overflow=%llu",
+                     (_name + "." + kv.first).c_str(),
+                     static_cast<unsigned long long>(d.samples()), d.mean(),
+                     static_cast<unsigned long long>(d.overflow()));
+        if (!kv.second.second.empty())
+            os << "  # " << kv.second.second;
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace cnsim

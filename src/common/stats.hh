@@ -1,0 +1,205 @@
+/**
+ * @file
+ * A small statistics package for the simulator.
+ *
+ * Components register named statistics into a StatGroup; the group can
+ * be dumped as aligned text or CSV, queried by name, and reset between
+ * the warm-up and measurement phases of a run.
+ *
+ * Supported kinds:
+ *  - Counter: a monotonically increasing event count.
+ *  - Scalar: an arbitrary floating-point value.
+ *  - Distribution: bucketed counts over a fixed integer range with
+ *    underflow/overflow buckets (used for, e.g., reuse-count histograms).
+ */
+
+#ifndef CNSIM_COMMON_STATS_HH
+#define CNSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace cnsim
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Increment by @p n (default 1). */
+    void inc(std::uint64_t n = 1) { _value += n; }
+
+    /** @return the current count. */
+    std::uint64_t value() const { return _value; }
+
+    /** Reset to zero (end of warm-up). */
+    void reset() { _value = 0; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** An arbitrary scalar value. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    void set(double v) { _value = v; }
+    void add(double v) { _value += v; }
+    double value() const { return _value; }
+    void reset() { _value = 0.0; }
+
+  private:
+    double _value = 0.0;
+};
+
+/**
+ * Bucketed counts over [min, max] with one bucket per @p bucket_size
+ * values, plus an overflow bucket for samples above max.
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    /** Configure the bucket layout; must be called before sampling. */
+    void
+    init(std::uint64_t min, std::uint64_t max, std::uint64_t bucket_size)
+    {
+        cnsim_assert(bucket_size > 0 && max >= min, "bad distribution shape");
+        _min = min;
+        _max = max;
+        _bucket = bucket_size;
+        buckets.assign((max - min) / bucket_size + 1, 0);
+        _overflow = 0;
+        _samples = 0;
+        _sum = 0;
+    }
+
+    /** Record one sample. */
+    void
+    sample(std::uint64_t v)
+    {
+        ++_samples;
+        _sum += v;
+        if (v > _max) {
+            ++_overflow;
+        } else {
+            std::uint64_t b = v < _min ? 0 : (v - _min) / _bucket;
+            ++buckets[b];
+        }
+    }
+
+    std::uint64_t samples() const { return _samples; }
+    std::uint64_t overflow() const { return _overflow; }
+    double mean() const
+    {
+        return _samples ? static_cast<double>(_sum) / _samples : 0.0;
+    }
+
+    /** @return the count of samples in the bucket containing @p v. */
+    std::uint64_t
+    bucketCount(std::uint64_t v) const
+    {
+        cnsim_assert(v >= _min && v <= _max, "bucket query out of range");
+        return buckets[(v - _min) / _bucket];
+    }
+
+    /** @return total samples in the inclusive value range [lo, hi]. */
+    std::uint64_t
+    rangeCount(std::uint64_t lo, std::uint64_t hi) const
+    {
+        std::uint64_t total = 0;
+        for (std::uint64_t v = lo; v <= hi; v += _bucket)
+            total += bucketCount(v);
+        return total;
+    }
+
+    void
+    reset()
+    {
+        for (auto &b : buckets)
+            b = 0;
+        _overflow = 0;
+        _samples = 0;
+        _sum = 0;
+    }
+
+  private:
+    std::uint64_t _min = 0;
+    std::uint64_t _max = 0;
+    std::uint64_t _bucket = 1;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _samples = 0;
+    std::uint64_t _sum = 0;
+};
+
+/**
+ * A named collection of statistics owned by one simulated component.
+ *
+ * The group does not own the stat objects; components embed their stats
+ * as members and register pointers, so the hot-path update is a plain
+ * member increment.
+ */
+class StatGroup
+{
+  public:
+    /** Create a group with a dotted-path name, e.g. "system.l2". */
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    void addCounter(const std::string &n, Counter *c, std::string desc = "");
+    void addScalar(const std::string &n, Scalar *s, std::string desc = "");
+    void addDistribution(const std::string &n, Distribution *d,
+                         std::string desc = "");
+
+    /** Look up a registered counter by name; panics if absent. */
+    const Counter &counter(const std::string &n) const;
+    /** Look up a registered scalar by name; panics if absent. */
+    const Scalar &scalar(const std::string &n) const;
+    /** Look up a registered distribution by name; panics if absent. */
+    const Distribution &distribution(const std::string &n) const;
+
+    /** @return true if a counter with this name exists. */
+    bool hasCounter(const std::string &n) const
+    {
+        return counters.count(n) != 0;
+    }
+
+    /** Reset every registered statistic (end of warm-up). */
+    void resetAll();
+
+    /** Render all statistics as aligned "name value  # desc" text. */
+    std::string dump() const;
+
+    /**
+     * Render all statistics as CSV ("name,value" rows with a header),
+     * for spreadsheet/plotting pipelines. Distributions emit their
+     * sample count, mean, and overflow as separate rows.
+     */
+    std::string dumpCsv() const;
+
+    const std::string &name() const { return _name; }
+
+  private:
+    struct Named
+    {
+        std::string desc;
+    };
+
+    std::string _name;
+    std::map<std::string, std::pair<Counter *, std::string>> counters;
+    std::map<std::string, std::pair<Scalar *, std::string>> scalars;
+    std::map<std::string, std::pair<Distribution *, std::string>> dists;
+};
+
+} // namespace cnsim
+
+#endif // CNSIM_COMMON_STATS_HH

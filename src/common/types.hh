@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fundamental simulator-wide types and constants.
+ *
+ * Everything in the cnsim library counts time in processor clock cycles
+ * ("ticks") at the simulated 5 GHz core frequency, and addresses byte
+ * locations in a flat 64-bit physical address space.
+ */
+
+#ifndef CNSIM_COMMON_TYPES_HH
+#define CNSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace cnsim
+{
+
+/** Simulated time, in core clock cycles. */
+using Tick = std::uint64_t;
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Identifier of a core (and of its private tag array / L1 caches). */
+using CoreId = int;
+
+/** Identifier of a data d-group in a distance-associative cache. */
+using DGroupId = int;
+
+/** A tick value no event will ever reach. */
+constexpr Tick max_tick = std::numeric_limits<Tick>::max();
+
+/** Marker for "no core" / "no d-group". */
+constexpr int invalid_id = -1;
+
+/**
+ * Align an address down to the enclosing block of the given size.
+ *
+ * @param addr Any byte address.
+ * @param block_size Block size in bytes; must be a power of two.
+ * @return The address of the first byte of the enclosing block.
+ */
+constexpr Addr
+blockAlign(Addr addr, unsigned block_size)
+{
+    return addr & ~static_cast<Addr>(block_size - 1);
+}
+
+/** @return true iff @p v is a power of two (and nonzero). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** @return floor(log2(v)) for nonzero @p v. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+} // namespace cnsim
+
+#endif // CNSIM_COMMON_TYPES_HH

@@ -1,0 +1,59 @@
+#include "core/core.hh"
+
+#include "sim/system.hh"
+
+namespace cnsim
+{
+
+Core::Core(CoreId id, System &system, TraceSource &source,
+           double non_mem_cpi)
+    : _id(id), system(system), source(source), non_mem_cpi(non_mem_cpi)
+{
+}
+
+void
+Core::start(EventQueue &eq)
+{
+    eq.schedule(eq.now(), [this, &eq](Tick now) { step(eq, now); });
+}
+
+void
+Core::step(EventQueue &eq, Tick now)
+{
+    TraceRecord rec = source.next();
+    // gap non-memory instructions at non_mem_cpi cycles each, then the
+    // memory reference.
+    Tick issue =
+        now + static_cast<Tick>(rec.gap * non_mem_cpi + 0.5);
+    n_instr.inc(rec.gap + 1);
+    n_data_refs.inc();
+    Tick done = system.access(_id, rec, issue);
+    if (done <= now)
+        done = now + 1;
+    eq.schedule(done, [this, &eq](Tick t) { step(eq, t); });
+}
+
+void
+Core::markEpoch(Tick now)
+{
+    epoch_instr = n_instr.value();
+    epoch_start = now;
+}
+
+double
+Core::ipc(Tick now) const
+{
+    Tick dt = now - epoch_start;
+    return dt ? static_cast<double>(epochInstructions()) / dt : 0.0;
+}
+
+void
+Core::regStats(StatGroup &group)
+{
+    group.addCounter(strfmt("core%d.instructions", _id), &n_instr,
+                     "instructions retired");
+    group.addCounter(strfmt("core%d.dataRefs", _id), &n_data_refs,
+                     "data references issued");
+}
+
+} // namespace cnsim

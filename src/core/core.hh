@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Trace-driven in-order core model.
+ *
+ * Per the paper's methodology: in-order issue, one outstanding miss.
+ * Each trace record contributes `gap` single-cycle non-memory
+ * instructions, an instruction fetch, and one data reference; the core
+ * stalls on every L1 miss until the hierarchy returns. The core is an
+ * event-queue initiator: it schedules its own next step at the
+ * completion tick the memory system reports.
+ */
+
+#ifndef CNSIM_CORE_CORE_HH
+#define CNSIM_CORE_CORE_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+#include "trace/trace.hh"
+
+namespace cnsim
+{
+
+class System;
+
+/** A single trace-driven in-order core. */
+class Core
+{
+  public:
+    /**
+     * @param id Core id.
+     * @param system The memory system to issue references into.
+     * @param source The trace source driving this core.
+     * @param non_mem_cpi Average cycles per non-memory instruction
+     *        (in-order front-end/dependence stalls; 1.0 = ideal).
+     */
+    Core(CoreId id, System &system, TraceSource &source,
+         double non_mem_cpi = 1.0);
+
+    /** Schedule the first step into @p eq. */
+    void start(EventQueue &eq);
+
+    /** Instructions retired since construction. */
+    std::uint64_t instructions() const { return n_instr.value(); }
+
+    /** Instructions retired since the last markEpoch(). */
+    std::uint64_t
+    epochInstructions() const
+    {
+        return n_instr.value() - epoch_instr;
+    }
+
+    /**
+     * Begin a measurement epoch at @p now (end of warm-up): IPC is
+     * reported relative to this point.
+     */
+    void markEpoch(Tick now);
+
+    /** IPC over the current epoch, up to @p now. */
+    double ipc(Tick now) const;
+
+    CoreId id() const { return _id; }
+
+    void regStats(StatGroup &group);
+
+  private:
+    void step(EventQueue &eq, Tick now);
+
+    CoreId _id;
+    System &system;
+    TraceSource &source;
+    double non_mem_cpi;
+
+    Counter n_instr;
+    Counter n_data_refs;
+    std::uint64_t epoch_instr = 0;
+    Tick epoch_start = 0;
+};
+
+} // namespace cnsim
+
+#endif // CNSIM_CORE_CORE_HH

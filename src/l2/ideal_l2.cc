@@ -1,0 +1,23 @@
+#include "l2/ideal_l2.hh"
+
+namespace cnsim
+{
+
+namespace
+{
+
+SharedL2Params
+withLatency(SharedL2Params p, Tick latency)
+{
+    p.latency = latency;
+    return p;
+}
+
+} // namespace
+
+IdealL2::IdealL2(SharedL2Params p, Tick private_latency, MainMemory &mem)
+    : SharedL2(withLatency(p, private_latency), mem)
+{
+}
+
+} // namespace cnsim

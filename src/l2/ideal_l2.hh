@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The ideal L2: an upper bound on what any organization can achieve.
+ *
+ * Per the paper's Section 5.1.1, the ideal cache is "a shared cache
+ * with the same latency as that of each private cache" -- the capacity
+ * advantage of a shared cache (a single copy of every block across the
+ * full 8 MB) combined with the 10-cycle access of a 2 MB private
+ * cache. It is not buildable; it bounds CMP-NuRAPID from above in
+ * Figures 6 and 10.
+ */
+
+#ifndef CNSIM_L2_IDEAL_L2_HH
+#define CNSIM_L2_IDEAL_L2_HH
+
+#include "l2/shared_l2.hh"
+
+namespace cnsim
+{
+
+/** Shared capacity at private latency (unbuildable upper bound). */
+class IdealL2 : public SharedL2
+{
+  public:
+    /**
+     * @param p Geometry of the shared cache (capacity, assoc, cores).
+     * @param private_latency Latency of one private cache (Table 1: 10).
+     * @param mem Backing main memory.
+     */
+    IdealL2(SharedL2Params p, Tick private_latency, MainMemory &mem);
+
+    std::string kind() const override { return "ideal"; }
+};
+
+} // namespace cnsim
+
+#endif // CNSIM_L2_IDEAL_L2_HH

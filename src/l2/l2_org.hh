@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Abstract interface shared by every L2 organization.
+ *
+ * The paper evaluates five organizations of the 8 MB on-chip L2:
+ * uniform-shared, private, non-uniform-shared (CMP-SNUCA), ideal
+ * (shared capacity at private latency), and CMP-NuRAPID. They all
+ * implement this interface so the System, Runner, and benches treat
+ * them interchangeably.
+ */
+
+#ifndef CNSIM_L2_L2_ORG_HH
+#define CNSIM_L2_L2_ORG_HH
+
+#include <functional>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/packet.hh"
+
+namespace cnsim
+{
+
+/** Base class for L2 cache organizations. */
+class L2Org
+{
+  public:
+    explicit L2Org(std::string name) : _name(std::move(name)) {}
+    virtual ~L2Org() = default;
+
+    L2Org(const L2Org &) = delete;
+    L2Org &operator=(const L2Org &) = delete;
+
+    /**
+     * Perform an L2 access on behalf of @p acc.core at tick @p at,
+     * updating all coherence state atomically and composing the
+     * completion time from resource occupancies.
+     */
+    virtual AccessResult access(const MemAccess &acc, Tick at) = 0;
+
+    /** Short organization name for reports ("shared", "private", ...). */
+    virtual std::string kind() const = 0;
+
+    /** Register statistics. Overriders must call the base. */
+    virtual void
+    regStats(StatGroup &group)
+    {
+        group.addCounter("l2.accesses", &n_accesses, "L2 accesses");
+        group.addCounter("l2.hits", &cls[0], "L2 hits");
+        group.addCounter("l2.rosMisses", &cls[1], "read-only-sharing misses");
+        group.addCounter("l2.rwsMisses", &cls[2], "read-write-sharing misses");
+        group.addCounter("l2.capacityMisses", &cls[3], "capacity misses");
+    }
+
+    /** Reset statistics (end of warm-up). Overriders call the base. */
+    virtual void
+    resetStats()
+    {
+        n_accesses.reset();
+        for (auto &c : cls)
+            c.reset();
+    }
+
+    /** Verify internal invariants; panics on violation. */
+    virtual void checkInvariants() const {}
+
+    /**
+     * Notification that @p core's L1 serviced a data access to @p addr
+     * without involving the L2. Organizations that track block-reuse
+     * statistics (Figure 7 counts *processor-level* reuses of resident
+     * blocks, most of which the L1 absorbs) override this; the default
+     * ignores it.
+     */
+    virtual void noteL1Hit(CoreId core, Addr addr)
+    {
+        (void)core;
+        (void)addr;
+    }
+
+    /** Total recorded L2 accesses. */
+    std::uint64_t accesses() const { return n_accesses.value(); }
+
+    /** Count of accesses with the given classification. */
+    std::uint64_t
+    clsCount(AccessClass c) const
+    {
+        return cls[static_cast<int>(c)].value();
+    }
+
+    /** Fraction of accesses with the given classification. */
+    double
+    clsFraction(AccessClass c) const
+    {
+        std::uint64_t a = accesses();
+        return a ? static_cast<double>(clsCount(c)) / a : 0.0;
+    }
+
+    /** Overall miss fraction. */
+    double
+    missFraction() const
+    {
+        return 1.0 - clsFraction(AccessClass::Hit);
+    }
+
+    /**
+     * Hook installed by the System: invalidate every L1 block of
+     * @p core covered by the L2 block at the given address.
+     */
+    std::function<void(CoreId core, Addr l2_block_addr)> l1Invalidate;
+
+    /**
+     * Hook installed by the System: downgrade (remove store ownership
+     * from) the L1 blocks of @p core covered by the L2 block; the bool
+     * requests C-state write-through marking.
+     */
+    std::function<void(CoreId core, Addr l2_block_addr, bool wt)> l1Downgrade;
+
+    /** Install both L1 hooks; organizations with inner caches forward. */
+    void
+    setL1Hooks(std::function<void(CoreId, Addr)> inv,
+               std::function<void(CoreId, Addr, bool)> down)
+    {
+        l1Invalidate = std::move(inv);
+        l1Downgrade = std::move(down);
+        onL1Hooks();
+    }
+
+  protected:
+    /** Called after setL1Hooks(); wrappers forward to inner caches. */
+    virtual void onL1Hooks() {}
+
+    /** Record one classified access. */
+    void
+    record(AccessClass c)
+    {
+        n_accesses.inc();
+        cls[static_cast<int>(c)].inc();
+    }
+
+    void
+    invalidateL1(CoreId core, Addr l2_block_addr)
+    {
+        if (l1Invalidate)
+            l1Invalidate(core, l2_block_addr);
+    }
+
+    void
+    downgradeL1(CoreId core, Addr l2_block_addr, bool wt)
+    {
+        if (l1Downgrade)
+            l1Downgrade(core, l2_block_addr, wt);
+    }
+
+    std::string _name;
+
+  private:
+    Counter n_accesses;
+    Counter cls[4];
+};
+
+} // namespace cnsim
+
+#endif // CNSIM_L2_L2_ORG_HH

@@ -1,0 +1,230 @@
+#include "l2/private_l2.hh"
+
+#include "common/logging.hh"
+
+namespace cnsim
+{
+
+PrivateL2::PrivateL2(const PrivateL2Params &p, SnoopBus &bus,
+                     MainMemory &mem)
+    : L2Org("privateL2"), params(p), bus(bus), memory(mem)
+{
+    unsigned sets = static_cast<unsigned>(
+        p.capacity_per_core / (p.assoc * p.block_size));
+    for (int c = 0; c < p.num_cores; ++c) {
+        caches.emplace_back(sets, p.assoc, p.block_size);
+        ports.emplace_back(
+            std::make_unique<Resource>(strfmt("l2Port%d", c), 1));
+    }
+}
+
+void
+PrivateL2::invalidateCopy(CoreId core, Block *b)
+{
+    if (b->fill_class == AccessClass::RWSMiss && !b->ifetch_filled)
+        reuse_tracker.rwsInvalidated(b->reuses);
+    b->valid = false;
+    b->state = CohState::Invalid;
+    invalidateL1(core, b->addr);
+}
+
+AccessResult
+PrivateL2::access(const MemAccess &acc, Tick at)
+{
+    CoreId c = acc.core;
+    Addr baddr = blockAlign(acc.addr, params.block_size);
+    Tick grant = ports[c]->acquire(at, params.occupancy);
+    Tick t = grant + params.latency;
+
+    AccessResult res;
+    Block *b = caches[c].find(baddr);
+
+    if (b) {
+        caches[c].touch(b);
+        ++b->reuses;
+        if (acc.op != MemOp::Store || isDirty(b->state) ||
+            b->state == CohState::Exclusive) {
+            // Read hit in any state, or write hit with ownership.
+            if (acc.op == MemOp::Store)
+                b->state = CohState::Modified;
+            record(AccessClass::Hit);
+            res.complete = t;
+            res.cls = AccessClass::Hit;
+            res.l1Owned = isPrivateState(b->state);
+            return res;
+        }
+        // Write hit on a Shared block: upgrade on the bus and
+        // invalidate the other copies (a coherence *transaction*, not a
+        // miss -- the data is already local).
+        cnsim_assert(b->state == CohState::Shared, "bad upgrade state");
+        Tick tb = bus.transaction(BusCmd::BusUpg, t);
+        n_upgrades.inc();
+        for (CoreId o = 0; o < params.num_cores; ++o) {
+            if (o == c)
+                continue;
+            if (Block *ob = caches[o].find(baddr))
+                invalidateCopy(o, ob);
+        }
+        b->state = CohState::Modified;
+        record(AccessClass::Hit);
+        res.complete = tb;
+        res.cls = AccessClass::Hit;
+        res.l1Owned = true;
+        return res;
+    }
+
+    // Miss: broadcast on the bus and snoop the other caches.
+    BusCmd cmd = acc.op == MemOp::Store ? BusCmd::BusRdX : BusCmd::BusRd;
+    Tick tb = bus.transaction(cmd, t);
+
+    bool any_dirty = false;
+    bool any_clean = false;
+    CoreId supplier = invalid_id;
+    for (CoreId o = 0; o < params.num_cores; ++o) {
+        if (o == c)
+            continue;
+        if (Block *ob = caches[o].find(baddr)) {
+            if (isDirty(ob->state)) {
+                any_dirty = true;
+                supplier = o;
+            } else {
+                any_clean = true;
+                if (supplier == invalid_id)
+                    supplier = o;
+            }
+        }
+    }
+
+    AccessClass cls = any_dirty ? AccessClass::RWSMiss
+                      : any_clean ? AccessClass::ROSMiss
+                      : AccessClass::CapacityMiss;
+
+    Tick data_at;
+    if (supplier != invalid_id) {
+        // Cache-to-cache transfer: the supplier's array is read after
+        // the snoop resolves.
+        n_cache_to_cache.inc();
+        Tick sg = ports[supplier]->acquire(tb, params.occupancy);
+        data_at = sg + params.latency;
+
+        for (CoreId o = 0; o < params.num_cores; ++o) {
+            if (o == c)
+                continue;
+            Block *ob = caches[o].find(baddr);
+            if (!ob)
+                continue;
+            if (cmd == BusCmd::BusRdX) {
+                invalidateCopy(o, ob);
+            } else {
+                if (ob->state == CohState::Modified) {
+                    // Illinois MESI: flush to memory, both sharers
+                    // continue in S.
+                    memory.writeback(tb);
+                    bus.postedTransaction(BusCmd::WrBack, tb);
+                    ob->state = CohState::Shared;
+                } else if (ob->state == CohState::Exclusive) {
+                    ob->state = CohState::Shared;
+                }
+                // A peer now reads this block; the old owner's L1 loses
+                // silent-store rights.
+                downgradeL1(o, baddr, false);
+            }
+        }
+    } else {
+        data_at = memory.read(tb);
+    }
+
+    // Insert into the requestor's cache (uncontrolled replication:
+    // a full local data copy is always made).
+    Block *v = caches[c].victim(baddr);
+    if (v->valid) {
+        if (v->fill_class == AccessClass::ROSMiss && !v->ifetch_filled)
+            reuse_tracker.rosReplaced(v->reuses);
+        if (v->state == CohState::Modified) {
+            memory.writeback(data_at);
+            bus.postedTransaction(BusCmd::WrBack, data_at);
+        }
+        invalidateL1(c, v->addr);
+        v->valid = false;
+    }
+    v->valid = true;
+    v->addr = baddr;
+    v->state = acc.op == MemOp::Store ? CohState::Modified
+               : (any_dirty || any_clean) ? CohState::Shared
+                                          : CohState::Exclusive;
+    v->fill_class = cls;
+    v->ifetch_filled = acc.op == MemOp::Ifetch;
+    v->reuses = 0;
+    caches[c].touch(v);
+
+    record(cls);
+    res.complete = data_at;
+    res.cls = cls;
+    res.l1Owned = acc.op == MemOp::Store;
+    return res;
+}
+
+void
+PrivateL2::noteL1Hit(CoreId core, Addr addr)
+{
+    // L1 hits are processor-level reuses of the resident L2 block;
+    // Figure 7's reuse counts include them.
+    if (Block *b = caches[core].find(addr))
+        ++b->reuses;
+}
+
+CohState
+PrivateL2::stateOf(CoreId core, Addr addr) const
+{
+    const Block *b = caches[core].find(addr);
+    return b ? b->state : CohState::Invalid;
+}
+
+void
+PrivateL2::checkInvariants() const
+{
+    // At most one dirty/exclusive copy of any block; S blocks may be
+    // replicated arbitrarily.
+    for (int c = 0; c < params.num_cores; ++c) {
+        for (const auto &b : caches[c].raw()) {
+            if (!b.valid)
+                continue;
+            cnsim_assert(isValid(b.state), "valid block in state I");
+            if (isDirty(b.state) || b.state == CohState::Exclusive) {
+                for (int o = 0; o < params.num_cores; ++o) {
+                    if (o == c)
+                        continue;
+                    const Block *ob = caches[o].find(b.addr);
+                    cnsim_assert(ob == nullptr,
+                                 "E/M block %llx replicated across caches",
+                                 static_cast<unsigned long long>(b.addr));
+                }
+            }
+        }
+    }
+}
+
+void
+PrivateL2::regStats(StatGroup &group)
+{
+    L2Org::regStats(group);
+    group.addCounter("l2.upgrades", &n_upgrades, "S->M bus upgrades");
+    group.addCounter("l2.cacheToCache", &n_cache_to_cache,
+                     "cache-to-cache transfers");
+    reuse_tracker.regStats(group);
+    for (auto &p : ports)
+        p->regStats(group);
+}
+
+void
+PrivateL2::resetStats()
+{
+    L2Org::resetStats();
+    n_upgrades.reset();
+    n_cache_to_cache.reset();
+    reuse_tracker.resetStats();
+    for (auto &p : ports)
+        p->reset();
+}
+
+} // namespace cnsim

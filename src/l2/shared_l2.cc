@@ -1,0 +1,136 @@
+#include "l2/shared_l2.hh"
+
+#include "common/logging.hh"
+
+namespace cnsim
+{
+
+SharedL2::SharedL2(const SharedL2Params &p, MainMemory &mem)
+    : L2Org("sharedL2"), params(p), memory(mem),
+      array(static_cast<unsigned>(p.capacity / (p.assoc * p.block_size)),
+            p.assoc, p.block_size),
+      port("l2Port", p.ports)
+{
+}
+
+Tick
+SharedL2::serviceTime(CoreId core, Addr addr, Tick grant) const
+{
+    (void)core;
+    (void)addr;
+    return grant + params.latency;
+}
+
+Tick
+SharedL2::acquirePort(CoreId core, Addr addr, Tick at)
+{
+    (void)core;
+    (void)addr;
+    return port.acquire(at, params.occupancy);
+}
+
+AccessResult
+SharedL2::access(const MemAccess &acc, Tick at)
+{
+    Addr baddr = blockAlign(acc.addr, params.block_size);
+    Tick grant = acquirePort(acc.core, baddr, at);
+    Tick done = serviceTime(acc.core, baddr, grant);
+
+    AccessResult res;
+    std::uint32_t me = 1u << acc.core;
+
+    if (auto *b = array.find(baddr)) {
+        array.touch(b);
+        if (acc.op == MemOp::Store) {
+            // Invalidate other cores' L1 copies through the in-L2
+            // directory; no bus transaction is needed.
+            for (CoreId c = 0; c < params.num_cores; ++c) {
+                if (c != acc.core && (b->l1_sharers & (1u << c)))
+                    invalidateL1(c, baddr);
+            }
+            b->l1_sharers = me;
+            b->l1_owner = acc.core;
+            b->dirty = true;
+            res.l1Owned = true;
+        } else {
+            if (b->l1_owner != invalid_id && b->l1_owner != acc.core) {
+                // The previous L1 owner loses silent-store rights; its
+                // dirty data is absorbed by the shared L2 copy.
+                downgradeL1(b->l1_owner, baddr, false);
+                b->dirty = true;
+                b->l1_owner = invalid_id;
+            }
+            b->l1_sharers |= me;
+            res.l1Owned = b->l1_owner == acc.core;
+        }
+        record(AccessClass::Hit);
+        res.complete = done;
+        res.cls = AccessClass::Hit;
+        return res;
+    }
+
+    // Shared caches see only capacity misses: every block has exactly
+    // one copy, so sharing never causes a miss.
+    Tick fill = memory.read(done);
+    Block *v = array.victim(baddr);
+    if (v->valid) {
+        for (CoreId c = 0; c < params.num_cores; ++c) {
+            if (v->l1_sharers & (1u << c))
+                invalidateL1(c, v->addr);
+        }
+        if (v->dirty || v->l1_owner != invalid_id)
+            memory.writeback(done);
+    }
+    v->valid = true;
+    v->addr = baddr;
+    v->dirty = acc.op == MemOp::Store;
+    v->l1_sharers = me;
+    v->l1_owner = acc.op == MemOp::Store ? acc.core : invalid_id;
+    array.touch(v);
+
+    record(AccessClass::CapacityMiss);
+    res.complete = fill;
+    res.cls = AccessClass::CapacityMiss;
+    res.l1Owned = acc.op == MemOp::Store;
+    return res;
+}
+
+std::uint64_t
+SharedL2::validBlocks() const
+{
+    std::uint64_t n = 0;
+    for (const auto &b : array.raw())
+        n += b.valid ? 1 : 0;
+    return n;
+}
+
+void
+SharedL2::checkInvariants() const
+{
+    for (const auto &b : array.raw()) {
+        if (!b.valid)
+            continue;
+        cnsim_assert(b.addr == blockAlign(b.addr, params.block_size),
+                     "unaligned block address");
+        if (b.l1_owner != invalid_id) {
+            cnsim_assert(b.l1_sharers & (1u << b.l1_owner),
+                         "L1 owner not in sharer set");
+        }
+    }
+}
+
+void
+SharedL2::regStats(StatGroup &group)
+{
+    L2Org::regStats(group);
+    port.regStats(group);
+}
+
+void
+SharedL2::resetStats()
+{
+    L2Org::resetStats();
+    port.reset();
+}
+
+} // namespace cnsim

@@ -1,0 +1,244 @@
+#include "l2/update_l2.hh"
+
+#include "common/logging.hh"
+
+namespace cnsim
+{
+
+UpdateL2::UpdateL2(const PrivateL2Params &p, SnoopBus &bus,
+                   MainMemory &mem)
+    : L2Org("updateL2"), params(p), bus(bus), memory(mem)
+{
+    unsigned sets = static_cast<unsigned>(
+        p.capacity_per_core / (p.assoc * p.block_size));
+    for (int c = 0; c < p.num_cores; ++c) {
+        caches.emplace_back(sets, p.assoc, p.block_size);
+        ports.emplace_back(
+            std::make_unique<Resource>(strfmt("l2Port%d", c), 1));
+    }
+}
+
+AccessResult
+UpdateL2::access(const MemAccess &acc, Tick at)
+{
+    CoreId c = acc.core;
+    Addr baddr = blockAlign(acc.addr, params.block_size);
+    Tick grant = ports[c]->acquire(at, params.occupancy);
+    Tick t = grant + params.latency;
+
+    AccessResult res;
+    Block *b = caches[c].find(baddr);
+
+    if (b) {
+        caches[c].touch(b);
+        if (acc.op != MemOp::Store) {
+            // Read hit: updates keep every copy current, so no state
+            // work is ever needed.
+            record(AccessClass::Hit);
+            res.complete = t;
+            res.cls = AccessClass::Hit;
+            res.l1Owned = isPrivateState(b->state);
+            res.l1WriteThrough = b->state == CohState::Shared;
+            return res;
+        }
+        if (b->state == CohState::Shared) {
+            // The update-protocol tax: every write to a shared block
+            // broadcasts the new data and patches the peer copies (and
+            // their L1s) in place.
+            Tick tb = bus.transaction(BusCmd::BusUpd, t);
+            n_updates.inc();
+            bool still_shared = false;
+            for (CoreId o = 0; o < params.num_cores; ++o) {
+                if (o == c)
+                    continue;
+                if (Block *ob = caches[o].find(baddr)) {
+                    still_shared = true;
+                    ob->owner = false;
+                    // Peer L1 copies now hold stale data; refreshing
+                    // them in place is modelled as an invalidation of
+                    // the L1 copy (next access refetches from the
+                    // updated L2 copy).
+                    invalidateL1(o, baddr);
+                }
+            }
+            if (still_shared) {
+                b->owner = true;
+                record(AccessClass::Hit);
+                res.complete = tb;
+                res.cls = AccessClass::Hit;
+                res.l1WriteThrough = true;
+                return res;
+            }
+            // Everyone else dropped their copy: collapse to Modified
+            // and stop paying for updates.
+            b->state = CohState::Modified;
+            b->owner = true;
+        } else {
+            b->state = CohState::Modified;
+            b->owner = true;
+        }
+        record(AccessClass::Hit);
+        res.complete = t;
+        res.cls = AccessClass::Hit;
+        res.l1Owned = true;
+        return res;
+    }
+
+    // Miss: fetch the block; with updates, peers keep their copies.
+    BusCmd cmd = acc.op == MemOp::Store ? BusCmd::BusRdX : BusCmd::BusRd;
+    Tick tb = bus.transaction(cmd, t);
+
+    bool any_dirty = false;
+    bool any_copy = false;
+    CoreId supplier = invalid_id;
+    for (CoreId o = 0; o < params.num_cores; ++o) {
+        if (o == c)
+            continue;
+        if (Block *ob = caches[o].find(baddr)) {
+            any_copy = true;
+            if (ob->owner || isDirty(ob->state))
+                any_dirty = true;
+            if (supplier == invalid_id || ob->owner)
+                supplier = o;
+        }
+    }
+
+    AccessClass cls = any_dirty ? AccessClass::RWSMiss
+                      : any_copy ? AccessClass::ROSMiss
+                      : AccessClass::CapacityMiss;
+
+    Tick data_at;
+    if (supplier != invalid_id) {
+        n_cache_to_cache.inc();
+        Tick sg = ports[supplier]->acquire(tb, params.occupancy);
+        data_at = sg + params.latency;
+    } else {
+        data_at = memory.read(tb);
+    }
+
+    // Insert locally; peers transition E/M -> Shared but keep copies.
+    Block *v = caches[c].victim(baddr);
+    if (v->valid) {
+        if (v->owner || v->state == CohState::Modified) {
+            memory.writeback(data_at);
+            bus.postedTransaction(BusCmd::WrBack, data_at);
+            // Ownership hand-off: some remaining sharer becomes owner
+            // is unnecessary -- the data just went to memory.
+        }
+        invalidateL1(c, v->addr);
+        v->valid = false;
+    }
+    bool shared_now = any_copy;
+    for (CoreId o = 0; o < params.num_cores && shared_now; ++o) {
+        if (o == c)
+            continue;
+        if (Block *ob = caches[o].find(baddr)) {
+            if (isPrivateState(ob->state)) {
+                ob->owner = ob->state == CohState::Modified;
+                ob->state = CohState::Shared;
+                downgradeL1(o, baddr, true);
+            }
+        }
+    }
+    v->valid = true;
+    v->addr = baddr;
+    v->state = shared_now ? CohState::Shared
+               : acc.op == MemOp::Store ? CohState::Modified
+                                        : CohState::Exclusive;
+    v->owner = false;
+    caches[c].touch(v);
+
+    if (acc.op == MemOp::Store) {
+        if (shared_now) {
+            // The write itself updates the peers; ownership (writeback
+            // responsibility) moves to the writer.
+            Tick tu = bus.transaction(BusCmd::BusUpd, data_at);
+            n_updates.inc();
+            for (CoreId o = 0; o < params.num_cores; ++o) {
+                if (o == c)
+                    continue;
+                if (Block *ob = caches[o].find(baddr)) {
+                    ob->owner = false;
+                    invalidateL1(o, baddr);
+                }
+            }
+            v->owner = true;
+            data_at = tu;
+            res.l1WriteThrough = true;
+        } else {
+            res.l1Owned = true;
+        }
+    } else {
+        res.l1Owned = v->state == CohState::Exclusive;
+        res.l1WriteThrough = v->state == CohState::Shared;
+    }
+
+    record(cls);
+    res.complete = data_at;
+    res.cls = cls;
+    return res;
+}
+
+CohState
+UpdateL2::stateOf(CoreId core, Addr addr) const
+{
+    const Block *b = caches[core].find(addr);
+    return b ? b->state : CohState::Invalid;
+}
+
+bool
+UpdateL2::ownerOf(CoreId core, Addr addr) const
+{
+    const Block *b = caches[core].find(addr);
+    return b && b->owner;
+}
+
+void
+UpdateL2::checkInvariants() const
+{
+    for (int c = 0; c < params.num_cores; ++c) {
+        for (const auto &b : caches[c].raw()) {
+            if (!b.valid)
+                continue;
+            cnsim_assert(isValid(b.state), "valid block in state I");
+            int copies = 0;
+            int owners = 0;
+            for (int o = 0; o < params.num_cores; ++o) {
+                const Block *ob = caches[o].find(b.addr);
+                copies += ob != nullptr;
+                owners += ob && ob->owner;
+            }
+            if (isPrivateState(b.state)) {
+                cnsim_assert(copies == 1,
+                             "E/M block %llx replicated under update",
+                             static_cast<unsigned long long>(b.addr));
+            }
+            cnsim_assert(owners <= 1, "block %llx has %d owners",
+                         static_cast<unsigned long long>(b.addr), owners);
+        }
+    }
+}
+
+void
+UpdateL2::regStats(StatGroup &group)
+{
+    L2Org::regStats(group);
+    group.addCounter("l2.updates", &n_updates,
+                     "BusUpd write-update broadcasts");
+    group.addCounter("l2.cacheToCache", &n_cache_to_cache,
+                     "cache-to-cache transfers");
+    for (auto &p : ports)
+        p->regStats(group);
+}
+
+void
+UpdateL2::resetStats()
+{
+    L2Org::resetStats();
+    n_updates.reset();
+    n_cache_to_cache.reset();
+    for (auto &p : ports)
+        p->reset();
+}
+
+} // namespace cnsim

@@ -1,0 +1,45 @@
+#include "mem/bus.hh"
+
+namespace cnsim
+{
+
+SnoopBus::SnoopBus(const BusParams &p)
+    : params(p), slot("busSlot", 1)
+{
+}
+
+Tick
+SnoopBus::transaction(BusCmd cmd, Tick at)
+{
+    counts[static_cast<int>(cmd)].inc();
+    Tick grant = slot.acquire(at, params.arbitration);
+    return grant + params.latency;
+}
+
+void
+SnoopBus::postedTransaction(BusCmd cmd, Tick at)
+{
+    counts[static_cast<int>(cmd)].inc();
+    slot.acquire(at, params.arbitration);
+}
+
+void
+SnoopBus::regStats(StatGroup &group)
+{
+    static const char *names[] = {"busRd", "busRdX", "busUpg", "busRepl",
+                                  "wrBack", "busUpd"};
+    for (int i = 0; i < num_bus_cmds; ++i)
+        group.addCounter(std::string("bus.") + names[i], &counts[i],
+                         "bus transactions");
+    slot.regStats(group);
+}
+
+void
+SnoopBus::resetStats()
+{
+    for (auto &c : counts)
+        c.reset();
+    slot.reset();
+}
+
+} // namespace cnsim

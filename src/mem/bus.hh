@@ -1,0 +1,82 @@
+/**
+ * @file
+ * On-chip pipelined split-transaction snooping bus.
+ *
+ * The paper models the bus latency as the time for a core to reach the
+ * farthest tag array (32 cycles at 70 nm / 5 GHz) and gives it separate
+ * address and pointer wires: CMP-NuRAPID's controlled replication
+ * returns a forward *pointer* rather than the data block on clean
+ * cache-to-cache transfers.
+ *
+ * Because the bus is pipelined, successive transactions overlap: the
+ * serializing stage is the address-phase slot (one new transaction per
+ * `arbitration` ticks); the end-to-end visibility latency of each
+ * transaction is `latency` ticks.
+ *
+ * Protocol *logic* (who responds, what state changes) lives in the L2
+ * organizations, which have the global view; the Bus provides timing
+ * and per-command accounting.
+ */
+
+#ifndef CNSIM_MEM_BUS_HH
+#define CNSIM_MEM_BUS_HH
+
+#include <array>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/packet.hh"
+#include "mem/resource.hh"
+
+namespace cnsim
+{
+
+/** Parameters for the snooping bus. */
+struct BusParams
+{
+    /** End-to-end transaction latency (request visible everywhere). */
+    Tick latency = 32;
+    /** Minimum spacing between successive address phases. */
+    Tick arbitration = 4;
+};
+
+/** Timing/accounting model of the snoopy bus. */
+class SnoopBus
+{
+  public:
+    explicit SnoopBus(const BusParams &p = BusParams{});
+
+    /**
+     * Place a transaction of kind @p cmd on the bus at tick @p at.
+     *
+     * @return the tick at which the transaction has been seen by every
+     *         snooper and any combined response (shared/dirty signals,
+     *         pointer return) is available at the requestor.
+     */
+    Tick transaction(BusCmd cmd, Tick at);
+
+    /**
+     * Place a transaction that does not stall the issuer (BusRepl,
+     * writeback address phases). Occupies the address slot only.
+     */
+    void postedTransaction(BusCmd cmd, Tick at);
+
+    void regStats(StatGroup &group);
+    void resetStats();
+
+    std::uint64_t count(BusCmd cmd) const
+    {
+        return counts[static_cast<int>(cmd)].value();
+    }
+
+    Tick latency() const { return params.latency; }
+
+  private:
+    BusParams params;
+    Resource slot;
+    std::array<Counter, num_bus_cmds> counts;
+};
+
+} // namespace cnsim
+
+#endif // CNSIM_MEM_BUS_HH

@@ -1,0 +1,42 @@
+#include "mem/crossbar.hh"
+
+#include "common/logging.hh"
+
+namespace cnsim
+{
+
+Crossbar::Crossbar(int num_dgroups, Tick traversal)
+    : traversal(traversal)
+{
+    cnsim_assert(num_dgroups > 0, "crossbar needs at least one d-group");
+    ports.reserve(num_dgroups);
+    for (int i = 0; i < num_dgroups; ++i)
+        ports.emplace_back(
+            std::make_unique<Resource>(strfmt("dgroupPort%d", i), 1));
+}
+
+Tick
+Crossbar::access(DGroupId dg, Tick at, Tick occupancy)
+{
+    cnsim_assert(dg >= 0 && dg < numDGroups(), "bad d-group id %d", dg);
+    n_accesses.inc();
+    return ports[dg]->acquire(at + traversal, occupancy);
+}
+
+void
+Crossbar::regStats(StatGroup &group)
+{
+    group.addCounter("xbar.accesses", &n_accesses, "crossbar traversals");
+    for (auto &p : ports)
+        p->regStats(group);
+}
+
+void
+Crossbar::resetStats()
+{
+    n_accesses.reset();
+    for (auto &p : ports)
+        p->reset();
+}
+
+} // namespace cnsim

@@ -1,0 +1,44 @@
+#include "mem/memory.hh"
+
+namespace cnsim
+{
+
+MainMemory::MainMemory(const MemoryParams &p)
+    : params(p), channels_res("memChannels", p.channels)
+{
+}
+
+Tick
+MainMemory::read(Tick at)
+{
+    n_reads.inc();
+    Tick grant = channels_res.acquire(at, params.occupancy);
+    // Data is on chip after the burst transfer plus the access latency.
+    return grant + params.occupancy + params.latency;
+}
+
+void
+MainMemory::writeback(Tick at)
+{
+    n_writebacks.inc();
+    channels_res.acquire(at, params.occupancy);
+}
+
+void
+MainMemory::regStats(StatGroup &group)
+{
+    group.addCounter("mem.reads", &n_reads, "main-memory fills");
+    group.addCounter("mem.writebacks", &n_writebacks,
+                     "main-memory writebacks");
+    channels_res.regStats(group);
+}
+
+void
+MainMemory::resetStats()
+{
+    n_reads.reset();
+    n_writebacks.reset();
+    channels_res.reset();
+}
+
+} // namespace cnsim

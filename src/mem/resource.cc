@@ -1,0 +1,55 @@
+#include "mem/resource.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cnsim
+{
+
+Resource::Resource(std::string name, unsigned ports)
+    : _name(std::move(name))
+{
+    cnsim_assert(ports >= 1, "resource '%s' needs at least one port",
+                 _name.c_str());
+    free_at.assign(ports, 0);
+}
+
+Tick
+Resource::acquire(Tick at, Tick occupancy)
+{
+    auto it = std::min_element(free_at.begin(), free_at.end());
+    Tick grant = std::max(at, *it);
+    *it = grant + occupancy;
+    n_grants.inc();
+    wait_ticks.inc(grant - at);
+    busy_ticks.inc(occupancy);
+    return grant;
+}
+
+Tick
+Resource::earliestGrant(Tick at) const
+{
+    return std::max(at, *std::min_element(free_at.begin(), free_at.end()));
+}
+
+void
+Resource::regStats(StatGroup &group)
+{
+    group.addCounter(_name + ".grants", &n_grants,
+                     "requests granted a port");
+    group.addCounter(_name + ".waitTicks", &wait_ticks,
+                     "total ticks spent waiting for a port");
+    group.addCounter(_name + ".busyTicks", &busy_ticks,
+                     "total ticks a port was held");
+}
+
+void
+Resource::reset()
+{
+    n_grants.reset();
+    wait_ticks.reset();
+    busy_ticks.reset();
+}
+
+} // namespace cnsim

@@ -1,0 +1,879 @@
+#include "nurapid/cmp_nurapid.hh"
+
+#include <algorithm>
+#include <cstdarg>
+
+#include "common/logging.hh"
+
+namespace cnsim
+{
+
+namespace
+{
+/** Sentinel pin value matching no block. */
+constexpr Addr no_pin = static_cast<Addr>(-1);
+} // namespace
+
+CmpNurapid::CmpNurapid(const NurapidParams &p, SnoopBus &bus,
+                       MainMemory &mem)
+    : L2Org("cmpNurapid"), params(p), bus(bus), memory(mem),
+      pref(p.num_cores, p.num_dgroups, p.dgroup_latencies),
+      xbar(p.num_dgroups),
+      data(p.num_dgroups,
+           static_cast<unsigned>(p.dgroup_capacity / p.block_size)),
+      rng(p.seed)
+{
+    cnsim_assert(p.num_dgroups >= p.num_cores,
+                 "need at least one d-group per core");
+    // Per-core data share of the total capacity, scaled by the tag
+    // factor (the paper doubles the number of sets, keeping assoc).
+    std::uint64_t per_core_blocks =
+        p.dgroup_capacity * p.num_dgroups / p.num_cores / p.block_size;
+    unsigned base_sets = static_cast<unsigned>(per_core_blocks / p.assoc);
+    unsigned sets = base_sets * p.tag_factor;
+    cnsim_assert(isPowerOf2(sets), "tag sets (%u) must be a power of two",
+                 sets);
+    for (int c = 0; c < p.num_cores; ++c) {
+        tags.emplace_back(
+            std::make_unique<NuTagArray>(c, sets, p.assoc, p.block_size));
+        tag_ports.emplace_back(
+            std::make_unique<Resource>(strfmt("tagPort%d", c), 1));
+    }
+    if (!p.enable_isc && p.replication == ReplicationPolicy::Never &&
+        p.enable_cr) {
+        warn("CR with replication=Never: shared blocks are never copied "
+             "close to readers");
+    }
+}
+
+std::string
+CmpNurapid::kind() const
+{
+    if (params.enable_cr && params.enable_isc)
+        return "nurapid";
+    if (params.enable_cr)
+        return "nurapid-cr";
+    if (params.enable_isc)
+        return "nurapid-isc";
+    return "nurapid-none";
+}
+
+void
+CmpNurapid::trace(const char *fmt, ...)
+{
+    if (!traceHook)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = vstrfmt(fmt, args);
+    va_end(args);
+    traceHook(s);
+}
+
+Tick
+CmpNurapid::accessDGroup(CoreId core, DGroupId dg, Tick at)
+{
+    Tick start = xbar.access(dg, at, params.dgroup_occupancy);
+    return start + pref.latency(core, dg);
+}
+
+CmpNurapid::SnoopResult
+CmpNurapid::snoop(CoreId requestor, Addr addr) const
+{
+    SnoopResult sr;
+    for (int o = 0; o < params.num_cores; ++o) {
+        if (o == requestor)
+            continue;
+        const TagEntry *te = tags[o]->find(addr);
+        if (!te)
+            continue;
+        if (isDirty(te->state)) {
+            // The dirty signal: an M or C copy exists. The dirty
+            // responder's pointer wins over any clean one.
+            sr.dirty = true;
+            sr.supplier = o;
+            sr.supplier_fwd = te->fwd;
+        } else {
+            sr.clean = true;
+            if (!sr.dirty) {
+                sr.supplier = o;
+                sr.supplier_fwd = te->fwd;
+            }
+        }
+    }
+    return sr;
+}
+
+std::vector<FwdPtr>
+CmpNurapid::framesOf(Addr addr) const
+{
+    std::vector<FwdPtr> out;
+    for (int c = 0; c < params.num_cores; ++c) {
+        const TagEntry *te = tags[c]->find(addr);
+        if (te && te->fwd.valid() &&
+            std::find(out.begin(), out.end(), te->fwd) == out.end()) {
+            out.push_back(te->fwd);
+        }
+    }
+    return out;
+}
+
+int
+CmpNurapid::framesHolding(Addr addr) const
+{
+    Addr baddr = blockAlign(addr, params.block_size);
+    int n = 0;
+    for (int g = 0; g < data.numDGroups(); ++g) {
+        for (const auto &f : data.dgroup(g))
+            n += (f.valid && f.addr == baddr) ? 1 : 0;
+    }
+    return n;
+}
+
+void
+CmpNurapid::evictSharedFrame(const FwdPtr &fwd, Tick at)
+{
+    Frame &f = data.at(fwd.dgroup, fwd.frame);
+    cnsim_assert(f.valid, "evicting an invalid shared frame");
+    Addr addr = f.addr;
+    const TagEntry &home = tags[f.rev.core]->at(f.rev.set, f.rev.way);
+    cnsim_assert(home.valid && home.addr == addr,
+                 "dangling reverse pointer on shared eviction");
+    if (home.state == CohState::Communication) {
+        memory.writeback(at);
+        bus.postedTransaction(BusCmd::WrBack, at);
+        n_writebacks.inc();
+    }
+    // BusRepl: every tag copy pointing at this frame drops its entry
+    // (sharers that hold their own replica keep it -- their forward
+    // pointer differs).
+    bus.postedTransaction(BusCmd::BusRepl, at);
+    n_bus_repl.inc();
+    trace("BusRepl %llx from dg%d frame %d",
+          static_cast<unsigned long long>(addr), fwd.dgroup, fwd.frame);
+    for (int c = 0; c < params.num_cores; ++c) {
+        TagEntry *te = tags[c]->find(addr);
+        if (te && te->fwd == fwd) {
+            cnsim_assert(!te->busy,
+                         "replacement invalidation against a busy tag: the "
+                         "inhibit queue should have deferred it");
+            te->valid = false;
+            te->state = CohState::Invalid;
+            invalidateL1(c, addr);
+        }
+    }
+    data.free(fwd.dgroup, fwd.frame);
+    n_shared_evictions.inc();
+}
+
+void
+CmpNurapid::evictPrivateBlock(TagEntry *e, CoreId core, Tick at)
+{
+    cnsim_assert(isPrivateState(e->state), "not a private block");
+    if (e->state == CohState::Modified) {
+        memory.writeback(at);
+        bus.postedTransaction(BusCmd::WrBack, at);
+        n_writebacks.inc();
+    }
+    data.free(e->fwd.dgroup, e->fwd.frame);
+    invalidateL1(core, e->addr);
+    e->valid = false;
+    e->state = CohState::Invalid;
+    n_private_evictions.inc();
+}
+
+int
+CmpNurapid::makeFrameAvailable(CoreId core, int start_rank, int stop_rank)
+{
+    const auto &order = pref.order(core);
+    DGroupId dg = order[start_rank];
+    if (data.hasFree(dg))
+        return data.allocate(dg);
+
+    // Random victim selection (LRU over thousands of frames would need
+    // O(n^2) hardware, Section 3.3.2), but biased away from shared
+    // frames: evicting them costs BusRepl invalidations at every
+    // sharer, and the paper explicitly "decreases the possibility of a
+    // shared block being replaced" (Section 3.1). Sample a few
+    // candidates and take the first private one.
+    int vidx = invalid_id;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        int cand = data.randomVictim(dg, rng, pinned_addr);
+        if (cand == invalid_id)
+            break;
+        if (vidx == invalid_id)
+            vidx = cand;
+        const Frame &cf = data.at(dg, cand);
+        const TagEntry &ct =
+            tags[cf.rev.core]->at(cf.rev.set, cf.rev.way);
+        if (isPrivateState(ct.state)) {
+            vidx = cand;
+            break;
+        }
+    }
+    cnsim_assert(vidx != invalid_id,
+                 "d-group %d has no eligible distance victim", dg);
+    Frame &f = data.at(dg, vidx);
+    TagEntry &rev = tags[f.rev.core]->at(f.rev.set, f.rev.way);
+    cnsim_assert(rev.valid && rev.addr == f.addr &&
+                     rev.fwd == (FwdPtr{dg, vidx}),
+                 "reverse pointer inconsistency in d-group %d", dg);
+
+    if (isSharedState(rev.state)) {
+        // Shared blocks are evicted, never demoted: a demoted shared
+        // copy would leave a dangling reverse pointer when a sharer
+        // re-replicates (paper Section 3.3.2).
+        evictSharedFrame(FwdPtr{dg, vidx}, op_tick);
+    } else if (start_rank >= stop_rank ||
+               start_rank + 1 >= pref.numDGroups()) {
+        // The demotion chain stops here; the victim leaves the cache.
+        evictPrivateBlock(&rev, f.rev.core, op_tick);
+        n_chain_stop_evictions.inc();
+    } else {
+        // Demote the victim one hop down the preference order.
+        int tgt = makeFrameAvailable(core, start_rank + 1, stop_rank);
+        DGroupId tdg = order[start_rank + 1];
+        Frame &nf = data.at(tdg, tgt);
+        nf.valid = true;
+        nf.addr = f.addr;
+        nf.rev = f.rev;
+        rev.fwd = FwdPtr{tdg, tgt};
+        data.free(dg, vidx);
+        n_demotions.inc();
+    }
+    return data.allocate(dg);
+}
+
+FwdPtr
+CmpNurapid::placeInClosest(CoreId core, int specific_stop_dg)
+{
+    int stop_rank;
+    if (specific_stop_dg != invalid_id) {
+        stop_rank = pref.rankOf(core, specific_stop_dg);
+    } else if (pref.numDGroups() > 1) {
+        // Non-specific distance replacement: stop at a random d-group
+        // to break the demotion cycle (paper Section 3.3.2).
+        stop_rank = static_cast<int>(
+            rng.range(1, static_cast<std::uint32_t>(pref.numDGroups() - 1)));
+    } else {
+        stop_rank = 0;
+    }
+    int idx = makeFrameAvailable(core, 0, stop_rank);
+    return FwdPtr{pref.closest(core), idx};
+}
+
+TagEntry *
+CmpNurapid::allocTagEntry(CoreId core, Addr addr, Tick at,
+                          DGroupId *freed_dg)
+{
+    *freed_dg = invalid_id;
+    TagEntry *v = tags[core]->replacementVictim(addr);
+    if (v->valid) {
+        if (isPrivateState(v->state)) {
+            *freed_dg = v->fwd.dgroup;
+            evictPrivateBlock(v, core, at);
+        } else {
+            const Frame &f = data.at(v->fwd.dgroup, v->fwd.frame);
+            if (f.rev == tags[core]->posOf(v)) {
+                // We are the home of this shared copy: the data leaves
+                // with us, and BusRepl tells the other sharers.
+                *freed_dg = v->fwd.dgroup;
+                evictSharedFrame(v->fwd, at);
+            } else {
+                // Only our tag copy goes; the data stays for the
+                // sharer that owns it.
+                invalidateL1(core, v->addr);
+                v->valid = false;
+                v->state = CohState::Invalid;
+            }
+        }
+    }
+    v->valid = true;
+    v->addr = blockAlign(addr, params.block_size);
+    v->state = CohState::Invalid;
+    v->fwd = FwdPtr{};
+    v->busy = false;
+    tags[core]->touch(v);
+    return v;
+}
+
+void
+CmpNurapid::maybePromote(CoreId core, TagEntry *e, Tick at)
+{
+    (void)at;
+    if (params.promotion == PromotionPolicy::None)
+        return;
+    if (!isPrivateState(e->state))
+        return;
+    DGroupId cur = e->fwd.dgroup;
+    if (cur == pref.closest(core))
+        return;
+    int cur_rank = pref.rankOf(core, cur);
+    int target_rank =
+        params.promotion == PromotionPolicy::Fastest ? 0 : cur_rank - 1;
+
+    Addr addr = e->addr;
+    TagPos pos = tags[core]->posOf(e);
+    // Free the old frame first so the demotion chain can terminate in
+    // the slot being vacated (specific-stop distance replacement).
+    data.free(e->fwd.dgroup, e->fwd.frame);
+    int idx = makeFrameAvailable(core, target_rank, cur_rank);
+    DGroupId tdg = pref.order(core)[target_rank];
+    Frame &nf = data.at(tdg, idx);
+    nf.valid = true;
+    nf.addr = addr;
+    nf.rev = pos;
+    e->fwd = FwdPtr{tdg, idx};
+    n_promotions.inc();
+    trace("promote %llx to dg%d", static_cast<unsigned long long>(addr),
+          tdg);
+}
+
+void
+CmpNurapid::repointAllSharers(Addr addr, const FwdPtr &fwd,
+                              CoreId except_l1, bool invalidate_l1)
+{
+    for (int c = 0; c < params.num_cores; ++c) {
+        TagEntry *te = tags[c]->find(addr);
+        if (!te)
+            continue;
+        te->state = CohState::Communication;
+        te->fwd = fwd;
+        if (c == except_l1) {
+            // The initiator's own L1 copy survives but becomes
+            // write-through (C blocks are write-through in L1).
+            downgradeL1(c, addr, true);
+        } else if (invalidate_l1) {
+            invalidateL1(c, addr);
+        } else {
+            downgradeL1(c, addr, true);
+        }
+    }
+}
+
+void
+CmpNurapid::freeOtherFrames(Addr addr, const FwdPtr &keep)
+{
+    for (const FwdPtr &f : framesOf(addr)) {
+        if (!(f == keep))
+            data.free(f.dgroup, f.frame);
+    }
+}
+
+AccessResult
+CmpNurapid::access(const MemAccess &acc, Tick at)
+{
+    CoreId c = acc.core;
+    Addr baddr = blockAlign(acc.addr, params.block_size);
+    bool store = acc.op == MemOp::Store;
+    pinned_addr = baddr;
+    op_tick = at;
+
+    Tick grant = tag_ports[c]->acquire(at, params.tag_occupancy);
+    Tick t = grant + params.tag_latency;
+
+    AccessResult res;
+    DGroupId my_closest = pref.closest(c);
+
+    if (TagEntry *e = tags[c]->find(baddr)) {
+        tags[c]->touch(e);
+        switch (e->state) {
+          case CohState::Exclusive:
+          case CohState::Modified: {
+            DGroupId dg = e->fwd.dgroup;
+            Tick td = accessDGroup(c, dg, t);
+            if (store)
+                e->state = CohState::Modified;
+            maybePromote(c, e, td);
+            record(AccessClass::Hit);
+            (dg == my_closest ? n_closest_hits : n_farther_hits).inc();
+            res.complete = td;
+            res.cls = AccessClass::Hit;
+            res.dgroup = dg;
+            res.closest = dg == my_closest;
+            res.l1Owned = true;
+            break;
+          }
+          case CohState::Shared: {
+            if (!store) {
+                DGroupId dg = e->fwd.dgroup;
+                bool remote = dg != my_closest;
+                if (remote)
+                    e->busy = true;  // inhibit BusRepl during the read
+                Tick td = accessDGroup(c, dg, t);
+                e->busy = false;
+                if (remote && params.enable_cr &&
+                    params.replication == ReplicationPolicy::OnSecondUse) {
+                    // Controlled replication, step 2: the block proved
+                    // its reuse, so replicate it into our closest
+                    // d-group (Figure 3c).
+                    FwdPtr old = e->fwd;
+                    bool was_home =
+                        data.at(old.dgroup, old.frame).rev ==
+                        tags[c]->posOf(e);
+                    FwdPtr nf = placeInClosest(c, invalid_id);
+                    Frame &f = data.at(nf.dgroup, nf.frame);
+                    f.valid = true;
+                    f.addr = baddr;
+                    f.rev = tags[c]->posOf(e);
+                    e->fwd = nf;
+                    n_replications.inc();
+                    if (was_home) {
+                        // We owned the old frame (the block demoted
+                        // while still private, then became shared).
+                        // Leaving it would dangle its reverse pointer
+                        // -- the Section-3.3.2 hazard -- so replace it,
+                        // letting BusRepl clean up other pointers.
+                        evictSharedFrame(old, op_tick);
+                    }
+                    trace("replicate %llx into dg%d",
+                          static_cast<unsigned long long>(baddr),
+                          nf.dgroup);
+                }
+                record(AccessClass::Hit);
+                (dg == my_closest ? n_closest_hits : n_farther_hits).inc();
+                res.complete = td;
+                res.cls = AccessClass::Hit;
+                res.dgroup = dg;
+                res.closest = dg == my_closest;
+            } else {
+                // Write to a clean shared block: BusUpg.
+                Tick tb = bus.transaction(BusCmd::BusUpg, t);
+                bool others = false;
+                for (int o = 0; o < params.num_cores && !others; ++o)
+                    others = o != c && tags[o]->find(baddr) != nullptr;
+
+                if (others && params.enable_isc) {
+                    // In-situ communication: one dirty copy (ours),
+                    // every sharer joins C pointing at it.
+                    FwdPtr keep = e->fwd;
+                    freeOtherFrames(baddr, keep);
+                    repointAllSharers(baddr, keep, c, true);
+                    Tick td = accessDGroup(c, keep.dgroup, tb);
+                    record(AccessClass::Hit);
+                    (keep.dgroup == my_closest ? n_closest_hits
+                                               : n_farther_hits)
+                        .inc();
+                    res.complete = td;
+                    res.cls = AccessClass::Hit;
+                    res.dgroup = keep.dgroup;
+                    res.closest = keep.dgroup == my_closest;
+                    res.l1WriteThrough = true;
+                    trace("BusUpg %llx -> C",
+                          static_cast<unsigned long long>(baddr));
+                } else {
+                    // MESI-style upgrade (no other sharers, or ISC
+                    // disabled): we become the sole M copy in our
+                    // closest d-group.
+                    std::vector<FwdPtr> old = framesOf(baddr);
+                    for (int o = 0; o < params.num_cores; ++o) {
+                        if (o == c)
+                            continue;
+                        if (TagEntry *te = tags[o]->find(baddr)) {
+                            te->valid = false;
+                            te->state = CohState::Invalid;
+                            invalidateL1(o, baddr);
+                        }
+                    }
+                    for (const FwdPtr &f : old)
+                        data.free(f.dgroup, f.frame);
+                    FwdPtr nf = placeInClosest(c, invalid_id);
+                    Frame &fr = data.at(nf.dgroup, nf.frame);
+                    fr.valid = true;
+                    fr.addr = baddr;
+                    fr.rev = tags[c]->posOf(e);
+                    e->fwd = nf;
+                    e->state = CohState::Modified;
+                    Tick td = accessDGroup(c, nf.dgroup, tb);
+                    record(AccessClass::Hit);
+                    (nf.dgroup == my_closest ? n_closest_hits
+                                             : n_farther_hits)
+                        .inc();
+                    res.complete = td;
+                    res.cls = AccessClass::Hit;
+                    res.dgroup = nf.dgroup;
+                    res.closest = nf.dgroup == my_closest;
+                    res.l1Owned = true;
+                }
+            }
+            break;
+          }
+          case CohState::Communication: {
+            cnsim_assert(params.enable_isc, "C state with ISC disabled");
+            DGroupId dg = e->fwd.dgroup;
+            Tick td;
+            if (store) {
+                // Every write to a C block broadcasts BusRdX so the
+                // other sharers drop stale L1 copies; the L2 state does
+                // not change (no exits from C).
+                Tick tb = bus.transaction(BusCmd::BusRdX, t);
+                n_c_writes.inc();
+                for (int o = 0; o < params.num_cores; ++o) {
+                    if (o != c && tags[o]->find(baddr))
+                        invalidateL1(o, baddr);
+                }
+                td = accessDGroup(c, dg, tb);
+            } else {
+                td = accessDGroup(c, dg, t);
+            }
+            record(AccessClass::Hit);
+            (dg == my_closest ? n_closest_hits : n_farther_hits).inc();
+            res.complete = td;
+            res.cls = AccessClass::Hit;
+            res.dgroup = dg;
+            res.closest = dg == my_closest;
+            res.l1WriteThrough = true;
+            break;
+          }
+          case CohState::Invalid:
+            panic("valid tag entry in state I");
+        }
+        pinned_addr = no_pin;
+        return res;
+    }
+
+    // ---- Tag miss: broadcast on the bus and snoop. ----
+    BusCmd cmd = store ? BusCmd::BusRdX : BusCmd::BusRd;
+    Tick tb = bus.transaction(cmd, t);
+    SnoopResult sr = snoop(c, baddr);
+    AccessClass cls = sr.dirty ? AccessClass::RWSMiss
+                      : sr.clean ? AccessClass::ROSMiss
+                      : AccessClass::CapacityMiss;
+
+    DGroupId freed_dg = invalid_id;
+    TagEntry *e = allocTagEntry(c, baddr, tb, &freed_dg);
+    TagPos my_pos = tags[c]->posOf(e);
+
+    if (!store) {
+        if (sr.dirty && params.enable_isc) {
+            // ISC join on a read miss: the reader gets a copy in its
+            // closest d-group, the previous dirty frame is freed, and
+            // every sharer (old owner included) enters C pointing at
+            // the new copy.
+            FwdPtr old = sr.supplier_fwd;
+            Tick tr = accessDGroup(c, old.dgroup, tb);
+            n_isc_joins.inc();
+            if (old.dgroup == my_closest) {
+                // Already as close as it gets: join in place.
+                e->state = CohState::Communication;
+                e->fwd = old;
+                repointAllSharers(baddr, old, c, false);
+            } else {
+                FwdPtr nf = placeInClosest(c, freed_dg);
+                Frame &fr = data.at(nf.dgroup, nf.frame);
+                fr.valid = true;
+                fr.addr = baddr;
+                fr.rev = my_pos;
+                e->state = CohState::Communication;
+                e->fwd = nf;
+                freeOtherFrames(baddr, nf);
+                repointAllSharers(baddr, nf, c, false);
+            }
+            res.complete = tr;
+            res.l1WriteThrough = true;
+            res.dgroup = e->fwd.dgroup;
+            res.closest = e->fwd.dgroup == my_closest;
+            trace("ISC read join %llx",
+                  static_cast<unsigned long long>(baddr));
+        } else if (sr.dirty) {
+            // ISC disabled: MESI flush. The owner writes back and
+            // drops to S, keeping its frame; we then treat the block
+            // as clean-shared below.
+            TagEntry *owner = tags[sr.supplier]->find(baddr);
+            cnsim_assert(owner && owner->state == CohState::Modified,
+                         "dirty snoop without an M owner (ISC off)");
+            memory.writeback(tb);
+            bus.postedTransaction(BusCmd::WrBack, tb);
+            n_writebacks.inc();
+            owner->state = CohState::Shared;
+            downgradeL1(sr.supplier, baddr, false);
+            Tick tr = accessDGroup(c, owner->fwd.dgroup, tb);
+            if (params.enable_cr &&
+                params.replication != ReplicationPolicy::OnFirstUse) {
+                e->state = CohState::Shared;
+                e->fwd = owner->fwd;
+                n_pointer_joins.inc();
+            } else {
+                FwdPtr nf = placeInClosest(c, freed_dg);
+                Frame &fr = data.at(nf.dgroup, nf.frame);
+                fr.valid = true;
+                fr.addr = baddr;
+                fr.rev = my_pos;
+                e->state = CohState::Shared;
+                e->fwd = nf;
+            }
+            res.complete = tr;
+            res.dgroup = e->fwd.dgroup;
+            res.closest = e->fwd.dgroup == my_closest;
+        } else if (sr.clean) {
+            // Clean copy on chip: controlled replication returns a
+            // pointer on the pointer wires instead of the data block;
+            // we make a tag copy but no data copy (Figure 3b).
+            for (int o = 0; o < params.num_cores; ++o) {
+                if (o == c)
+                    continue;
+                TagEntry *te = tags[o]->find(baddr);
+                if (te && te->state == CohState::Exclusive)
+                    te->state = CohState::Shared;
+            }
+            Tick tr = accessDGroup(c, sr.supplier_fwd.dgroup, tb);
+            if (params.enable_cr &&
+                params.replication != ReplicationPolicy::OnFirstUse) {
+                e->state = CohState::Shared;
+                e->fwd = sr.supplier_fwd;
+                n_pointer_joins.inc();
+                trace("CR pointer join %llx -> dg%d",
+                      static_cast<unsigned long long>(baddr),
+                      e->fwd.dgroup);
+            } else {
+                // Uncontrolled replication (private-cache behaviour).
+                FwdPtr nf = placeInClosest(c, freed_dg);
+                Frame &fr = data.at(nf.dgroup, nf.frame);
+                fr.valid = true;
+                fr.addr = baddr;
+                fr.rev = my_pos;
+                e->state = CohState::Shared;
+                e->fwd = nf;
+                n_replications.inc();
+            }
+            res.complete = tr;
+            res.dgroup = e->fwd.dgroup;
+            res.closest = e->fwd.dgroup == my_closest;
+        } else {
+            // Off-chip: fill from memory into our closest d-group, E.
+            Tick tm = memory.read(tb);
+            FwdPtr nf = placeInClosest(c, freed_dg);
+            Frame &fr = data.at(nf.dgroup, nf.frame);
+            fr.valid = true;
+            fr.addr = baddr;
+            fr.rev = my_pos;
+            e->state = CohState::Exclusive;
+            e->fwd = nf;
+            res.complete = tm;
+            res.dgroup = nf.dgroup;
+            res.closest = true;
+        }
+    } else {
+        if (sr.dirty && params.enable_isc) {
+            // ISC join on a write miss: the writer does *not* copy; it
+            // joins C pointing at the existing copy, which stays close
+            // to the reader(s) (Section 3.2).
+            FwdPtr keep = sr.supplier_fwd;
+            e->state = CohState::Communication;
+            e->fwd = keep;
+            repointAllSharers(baddr, keep, c, true);
+            Tick tw = accessDGroup(c, keep.dgroup, tb);
+            n_isc_joins.inc();
+            res.complete = tw;
+            res.l1WriteThrough = true;
+            res.dgroup = keep.dgroup;
+            res.closest = keep.dgroup == my_closest;
+            trace("ISC write join %llx",
+                  static_cast<unsigned long long>(baddr));
+        } else if (sr.dirty || sr.clean) {
+            // MESI write miss with on-chip copies: invalidate them all
+            // and take the block M into our closest d-group.
+            Tick tr = accessDGroup(c, sr.supplier_fwd.dgroup, tb);
+            if (sr.dirty) {
+                memory.writeback(tb);
+                bus.postedTransaction(BusCmd::WrBack, tb);
+                n_writebacks.inc();
+            }
+            std::vector<FwdPtr> old = framesOf(baddr);
+            for (int o = 0; o < params.num_cores; ++o) {
+                if (o == c)
+                    continue;
+                if (TagEntry *te = tags[o]->find(baddr)) {
+                    te->valid = false;
+                    te->state = CohState::Invalid;
+                    invalidateL1(o, baddr);
+                }
+            }
+            for (const FwdPtr &f : old)
+                data.free(f.dgroup, f.frame);
+            FwdPtr nf = placeInClosest(c, freed_dg);
+            Frame &fr = data.at(nf.dgroup, nf.frame);
+            fr.valid = true;
+            fr.addr = baddr;
+            fr.rev = my_pos;
+            e->state = CohState::Modified;
+            e->fwd = nf;
+            res.complete = tr;
+            res.l1Owned = true;
+            res.dgroup = nf.dgroup;
+            res.closest = true;
+        } else {
+            Tick tm = memory.read(tb);
+            FwdPtr nf = placeInClosest(c, freed_dg);
+            Frame &fr = data.at(nf.dgroup, nf.frame);
+            fr.valid = true;
+            fr.addr = baddr;
+            fr.rev = my_pos;
+            e->state = CohState::Modified;
+            e->fwd = nf;
+            res.complete = tm;
+            res.l1Owned = true;
+            res.dgroup = nf.dgroup;
+            res.closest = true;
+        }
+    }
+
+    record(cls);
+    res.cls = cls;
+    pinned_addr = no_pin;
+    return res;
+}
+
+CohState
+CmpNurapid::stateOf(CoreId core, Addr addr) const
+{
+    const TagEntry *e = tags[core]->find(addr);
+    return e ? e->state : CohState::Invalid;
+}
+
+FwdPtr
+CmpNurapid::fwdOf(CoreId core, Addr addr) const
+{
+    const TagEntry *e = tags[core]->find(addr);
+    return e ? e->fwd : FwdPtr{};
+}
+
+double
+CmpNurapid::closestHitFraction() const
+{
+    std::uint64_t tot = n_closest_hits.value() + n_farther_hits.value();
+    return tot ? static_cast<double>(n_closest_hits.value()) / tot : 0.0;
+}
+
+void
+CmpNurapid::checkInvariants() const
+{
+    // 1. Every valid tag's forward pointer names a valid frame holding
+    //    the same block.
+    for (int c = 0; c < params.num_cores; ++c) {
+        for (const auto &e : tags[c]->raw()) {
+            if (!e.valid)
+                continue;
+            cnsim_assert(isValid(e.state), "valid tag in state I");
+            cnsim_assert(e.fwd.valid(), "valid tag without forward ptr");
+            const Frame &f = data.at(e.fwd.dgroup, e.fwd.frame);
+            cnsim_assert(f.valid && f.addr == e.addr,
+                         "forward pointer of %llx dangles",
+                         static_cast<unsigned long long>(e.addr));
+        }
+    }
+    // 2. Every valid frame's reverse pointer names a valid tag of the
+    //    same block whose forward pointer points straight back.
+    for (int g = 0; g < data.numDGroups(); ++g) {
+        const auto &fr = data.dgroup(g);
+        for (int i = 0; i < static_cast<int>(fr.size()); ++i) {
+            const Frame &f = fr[i];
+            if (!f.valid)
+                continue;
+            cnsim_assert(f.rev.valid(), "frame without reverse pointer");
+            const TagEntry &te =
+                tags[f.rev.core]->at(f.rev.set, f.rev.way);
+            cnsim_assert(te.valid && te.addr == f.addr,
+                         "reverse pointer of dg%d frame %d dangles", g, i);
+            cnsim_assert(te.fwd == (FwdPtr{g, i}),
+                         "reverse/forward pointer mismatch dg%d frame %d",
+                         g, i);
+        }
+    }
+    // 3. State agreement per block: E/M blocks have exactly one tag
+    //    copy and one frame; dirty blocks have exactly one frame; a
+    //    block's tag copies are either all S or all C.
+    for (int c = 0; c < params.num_cores; ++c) {
+        for (const auto &e : tags[c]->raw()) {
+            if (!e.valid)
+                continue;
+            int tag_copies = 0;
+            int s_copies = 0;
+            int c_copies = 0;
+            for (int o = 0; o < params.num_cores; ++o) {
+                const TagEntry *te = tags[o]->find(e.addr);
+                if (!te)
+                    continue;
+                ++tag_copies;
+                s_copies += te->state == CohState::Shared;
+                c_copies += te->state == CohState::Communication;
+            }
+            if (isPrivateState(e.state)) {
+                cnsim_assert(tag_copies == 1,
+                             "E/M block %llx has %d tag copies",
+                             static_cast<unsigned long long>(e.addr),
+                             tag_copies);
+            } else {
+                cnsim_assert(s_copies + c_copies == tag_copies &&
+                                 (s_copies == 0 || c_copies == 0),
+                             "mixed S/C copies of %llx",
+                             static_cast<unsigned long long>(e.addr));
+            }
+            if (isDirty(e.state)) {
+                cnsim_assert(framesHolding(e.addr) == 1,
+                             "dirty block %llx has %d frames",
+                             static_cast<unsigned long long>(e.addr),
+                             framesHolding(e.addr));
+            }
+        }
+    }
+}
+
+void
+CmpNurapid::regStats(StatGroup &group)
+{
+    L2Org::regStats(group);
+    group.addCounter("l2.closestHits", &n_closest_hits,
+                     "hits serviced by the requestor's closest d-group");
+    group.addCounter("l2.fartherHits", &n_farther_hits,
+                     "hits serviced by a farther d-group");
+    group.addCounter("l2.demotions", &n_demotions,
+                     "distance-replacement demotions");
+    group.addCounter("l2.promotions", &n_promotions,
+                     "private-block promotions");
+    group.addCounter("l2.replications", &n_replications,
+                     "CR data replicas created");
+    group.addCounter("l2.pointerJoins", &n_pointer_joins,
+                     "CR pointer-only fills (no data copy)");
+    group.addCounter("l2.iscJoins", &n_isc_joins,
+                     "ISC C-state joins");
+    group.addCounter("l2.busRepl", &n_bus_repl,
+                     "BusRepl shared-data replacement notifications");
+    group.addCounter("l2.sharedEvictions", &n_shared_evictions,
+                     "shared data copies evicted");
+    group.addCounter("l2.writebacks", &n_writebacks,
+                     "dirty blocks written back");
+    group.addCounter("l2.cWrites", &n_c_writes,
+                     "writes to C-state blocks (BusRdX broadcasts)");
+    group.addCounter("l2.privateEvictions", &n_private_evictions,
+                     "private (E/M) blocks evicted from the cache");
+    group.addCounter("l2.chainStopEvictions", &n_chain_stop_evictions,
+                     "evictions forced by demotion-chain termination");
+    for (auto &p : tag_ports)
+        p->regStats(group);
+    xbar.regStats(group);
+}
+
+void
+CmpNurapid::resetStats()
+{
+    L2Org::resetStats();
+    n_closest_hits.reset();
+    n_farther_hits.reset();
+    n_demotions.reset();
+    n_promotions.reset();
+    n_replications.reset();
+    n_pointer_joins.reset();
+    n_isc_joins.reset();
+    n_bus_repl.reset();
+    n_shared_evictions.reset();
+    n_writebacks.reset();
+    n_c_writes.reset();
+    n_private_evictions.reset();
+    n_chain_stop_evictions.reset();
+    for (auto &p : tag_ports)
+        p->reset();
+    xbar.resetStats();
+}
+
+} // namespace cnsim

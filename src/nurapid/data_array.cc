@@ -1,0 +1,80 @@
+#include "nurapid/data_array.hh"
+
+#include "common/logging.hh"
+
+namespace cnsim
+{
+
+NuDataArray::NuDataArray(int num_dgroups, unsigned frames_per_dgroup)
+    : frames_per(frames_per_dgroup)
+{
+    cnsim_assert(num_dgroups >= 1 && frames_per_dgroup >= 1,
+                 "bad data array shape");
+    frames.resize(num_dgroups);
+    free_list.resize(num_dgroups);
+    for (int g = 0; g < num_dgroups; ++g) {
+        frames[g].assign(frames_per_dgroup, Frame{});
+        free_list[g].reserve(frames_per_dgroup);
+        // Populate the free list high-to-low so allocation order is
+        // low-to-high, which is convenient for tests.
+        for (int i = static_cast<int>(frames_per_dgroup) - 1; i >= 0; --i)
+            free_list[g].push_back(i);
+    }
+}
+
+int
+NuDataArray::allocate(DGroupId dg)
+{
+    auto &fl = free_list[dg];
+    if (fl.empty())
+        return invalid_id;
+    int idx = fl.back();
+    fl.pop_back();
+    cnsim_assert(!frames[dg][idx].valid, "free list held a valid frame");
+    return idx;
+}
+
+void
+NuDataArray::free(DGroupId dg, int idx)
+{
+    Frame &f = frames[dg][idx];
+    cnsim_assert(f.valid, "double free of frame %d in d-group %d", idx, dg);
+    f = Frame{};
+    free_list[dg].push_back(idx);
+}
+
+int
+NuDataArray::randomVictim(DGroupId dg, Rng &rng, Addr pinned_addr)
+{
+    const auto &v = frames[dg];
+    unsigned n = static_cast<unsigned>(v.size());
+    // The common case samples a valid, unpinned frame in a few tries
+    // (d-groups are nearly full whenever a victim is needed); fall back
+    // to a scan from a random start so we never loop unboundedly.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        unsigned i = rng.below(n);
+        if (v[i].valid && v[i].addr != pinned_addr)
+            return static_cast<int>(i);
+    }
+    unsigned start = rng.below(n);
+    for (unsigned k = 0; k < n; ++k) {
+        unsigned i = (start + k) % n;
+        if (v[i].valid && v[i].addr != pinned_addr)
+            return static_cast<int>(i);
+    }
+    return invalid_id;
+}
+
+void
+NuDataArray::flushAll()
+{
+    for (int g = 0; g < numDGroups(); ++g) {
+        for (auto &f : frames[g])
+            f = Frame{};
+        free_list[g].clear();
+        for (int i = static_cast<int>(frames_per) - 1; i >= 0; --i)
+            free_list[g].push_back(i);
+    }
+}
+
+} // namespace cnsim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * CMP-NuRAPID's shared data array, organized as distance groups.
+ *
+ * The data array is divided into large d-groups (2 MB each in the
+ * paper's 8 MB configuration), each with a single uniform access
+ * latency per core (Figure 1 / Table 1). Frames hold one cache block
+ * plus a *reverse pointer* back to the owning tag entry; the reverse
+ * pointer is what lets distance replacement (demotion) find and update
+ * the tag's forward pointer when a block moves.
+ *
+ * Victim selection within a d-group is random, as in the paper: LRU
+ * over the thousands of frames in a d-group would need O(n^2)
+ * hardware (Section 3.3.2).
+ */
+
+#ifndef CNSIM_NURAPID_DATA_ARRAY_HH
+#define CNSIM_NURAPID_DATA_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "nurapid/tag_array.hh"
+
+namespace cnsim
+{
+
+/** One frame of a data d-group. */
+struct Frame
+{
+    Addr addr = 0;
+    bool valid = false;
+    /** Reverse pointer to the tag entry that owns this copy. */
+    TagPos rev;
+};
+
+/** The shared data array: several d-groups of frames. */
+class NuDataArray
+{
+  public:
+    /**
+     * @param num_dgroups Number of d-groups.
+     * @param frames_per_dgroup Frames in each d-group.
+     */
+    NuDataArray(int num_dgroups, unsigned frames_per_dgroup);
+
+    /** @return frame index of a free frame in @p dg, or invalid_id. */
+    int allocate(DGroupId dg);
+
+    /** Free frame @p idx of @p dg. */
+    void free(DGroupId dg, int idx);
+
+    /**
+     * Pick a random valid frame of @p dg as a distance-replacement
+     * victim, skipping frames that hold @p pinned_addr (a block in the
+     * middle of the current transaction must not be displaced).
+     *
+     * @return frame index, or invalid_id if nothing is eligible.
+     */
+    int randomVictim(DGroupId dg, Rng &rng, Addr pinned_addr);
+
+    /** @return true if @p dg has at least one free frame. */
+    bool hasFree(DGroupId dg) const { return !free_list[dg].empty(); }
+
+    Frame &at(DGroupId dg, int idx) { return frames[dg][idx]; }
+    const Frame &at(DGroupId dg, int idx) const { return frames[dg][idx]; }
+
+    unsigned framesPerDGroup() const { return frames_per; }
+    int numDGroups() const { return static_cast<int>(frames.size()); }
+
+    /** Valid frames currently held in @p dg. */
+    unsigned occupancy(DGroupId dg) const
+    {
+        return frames_per - static_cast<unsigned>(free_list[dg].size());
+    }
+
+    /** All frames of a d-group, for invariant checks. */
+    const std::vector<Frame> &dgroup(DGroupId dg) const
+    {
+        return frames[dg];
+    }
+
+    void flushAll();
+
+  private:
+    unsigned frames_per;
+    std::vector<std::vector<Frame>> frames;
+    std::vector<std::vector<int>> free_list;
+};
+
+} // namespace cnsim
+
+#endif // CNSIM_NURAPID_DATA_ARRAY_HH

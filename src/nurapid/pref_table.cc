@@ -1,0 +1,59 @@
+#include "nurapid/pref_table.hh"
+
+#include "common/logging.hh"
+
+namespace cnsim
+{
+
+PrefTable::PrefTable(int num_cores, int num_dgroups,
+                     const DGroupLatencies &lat)
+    : n_dgroups(num_dgroups), lats(lat)
+{
+    cnsim_assert(num_cores >= 1 && num_dgroups >= 1, "bad PrefTable shape");
+    prefs.resize(num_cores);
+
+    if (num_cores == 4 && num_dgroups == 4) {
+        // Figure 1's staggered rankings, verbatim (d-groups a..d = 0..3).
+        static const DGroupId fig1[4][4] = {
+            {0, 1, 2, 3},  // P0
+            {1, 3, 0, 2},  // P1
+            {2, 0, 3, 1},  // P2
+            {3, 2, 1, 0},  // P3
+        };
+        for (int c = 0; c < 4; ++c)
+            prefs[c].assign(fig1[c], fig1[c] + 4);
+        return;
+    }
+
+    // General case: a rotated Latin-square ranking. Every core's rank-r
+    // choice is distinct from every other core's rank-r choice, which
+    // preserves the staggering property Figure 1 is after.
+    for (int c = 0; c < num_cores; ++c) {
+        prefs[c].resize(num_dgroups);
+        for (int r = 0; r < num_dgroups; ++r)
+            prefs[c][r] = (c + r) % num_dgroups;
+    }
+}
+
+int
+PrefTable::rankOf(CoreId core, DGroupId dg) const
+{
+    const auto &o = prefs[core];
+    for (int r = 0; r < static_cast<int>(o.size()); ++r) {
+        if (o[r] == dg)
+            return r;
+    }
+    panic("d-group %d not in core %d's preference order", dg, core);
+}
+
+Tick
+PrefTable::latency(CoreId core, DGroupId dg) const
+{
+    if (dg == closest(core))
+        return lats.closest;
+    if (dg == farthest(core))
+        return lats.farthest;
+    return lats.middle;
+}
+
+} // namespace cnsim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Per-core d-group preference rankings and access latencies.
+ *
+ * Each core ranks the data d-groups by preference for holding its
+ * frequently-accessed blocks (paper Figure 1). The closest and
+ * farthest d-groups are obvious first and last choices; ties at equal
+ * distance are *staggered* across cores so that two cores do not
+ * compete for the same second-choice d-group while other d-groups at
+ * the same distance sit idle. The ranking drives placement, promotion,
+ * and the demotion chains of capacity stealing.
+ *
+ * For the paper's 4-core / 4-d-group configuration we reproduce
+ * Figure 1's table exactly:
+ *
+ *     preference      P0  P1  P2  P3
+ *         1            a   b   c   d
+ *         2            b   d   a   c
+ *         3            c   a   d   b
+ *         4            d   c   b   a
+ *
+ * and Table 1's latencies as seen from each core: 6 cycles for the
+ * closest d-group, 20 for the two middle ones, 33 for the farthest.
+ */
+
+#ifndef CNSIM_NURAPID_PREF_TABLE_HH
+#define CNSIM_NURAPID_PREF_TABLE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cnsim
+{
+
+/** Latency knobs for the d-group distance model. */
+struct DGroupLatencies
+{
+    Tick closest = 6;
+    Tick middle = 20;
+    Tick farthest = 33;
+};
+
+/** Staggered per-core d-group preference rankings and latencies. */
+class PrefTable
+{
+  public:
+    /**
+     * @param num_cores Number of cores.
+     * @param num_dgroups Number of d-groups (>= num_cores preferred).
+     * @param lat Distance-latency calibration.
+     */
+    PrefTable(int num_cores, int num_dgroups,
+              const DGroupLatencies &lat = DGroupLatencies{});
+
+    /** D-group ranked @p rank (0 = most preferred) for @p core. */
+    DGroupId
+    ranked(CoreId core, int rank) const
+    {
+        return prefs[core][rank];
+    }
+
+    /** The full preference order for @p core, closest first. */
+    const std::vector<DGroupId> &order(CoreId core) const
+    {
+        return prefs[core];
+    }
+
+    /** The d-group closest to @p core (rank 0). */
+    DGroupId closest(CoreId core) const { return prefs[core][0]; }
+
+    /** The d-group farthest from @p core (last rank). */
+    DGroupId farthest(CoreId core) const { return prefs[core].back(); }
+
+    /** Position of @p dg in @p core's preference order. */
+    int rankOf(CoreId core, DGroupId dg) const;
+
+    /** Access latency of @p dg as seen from @p core (Table 1). */
+    Tick latency(CoreId core, DGroupId dg) const;
+
+    int numCores() const { return static_cast<int>(prefs.size()); }
+    int numDGroups() const { return n_dgroups; }
+
+  private:
+    int n_dgroups;
+    DGroupLatencies lats;
+    std::vector<std::vector<DGroupId>> prefs;
+};
+
+} // namespace cnsim
+
+#endif // CNSIM_NURAPID_PREF_TABLE_HH

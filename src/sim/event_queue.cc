@@ -1,0 +1,42 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace cnsim
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    cnsim_assert(when >= cur_tick,
+                 "scheduling into the past: %llu < %llu",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(cur_tick));
+    heap.push(Entry{when, next_seq++, std::move(cb)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because we pop immediately and never compare the moved entry.
+    Entry e = std::move(const_cast<Entry &>(heap.top()));
+    heap.pop();
+    cur_tick = e.when;
+    ++n_executed;
+    e.cb(cur_tick);
+    return true;
+}
+
+Tick
+EventQueue::run(Tick until)
+{
+    stop_requested = false;
+    while (!heap.empty() && heap.top().when <= until && !stop_requested)
+        step();
+    return cur_tick;
+}
+
+} // namespace cnsim

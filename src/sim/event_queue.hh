@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * cnsim uses a transaction-level timing model: components update their
+ * architectural state atomically at the moment a request is issued and
+ * compose the request's completion time from resource-occupancy delays
+ * (see mem/resource.hh). The event queue sequences the *initiators* --
+ * cores scheduling their next instruction, background writebacks, and
+ * any deferred actions -- in strict global tick order, which is what
+ * gives different cores' requests a deterministic interleaving.
+ */
+
+#ifndef CNSIM_SIM_EVENT_QUEUE_HH
+#define CNSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cnsim
+{
+
+/** A global, deterministic discrete-event queue. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void(Tick)>;
+
+    EventQueue() = default;
+
+    /**
+     * Schedule @p cb to run at tick @p when.
+     * Events at equal ticks run in scheduling order (FIFO), which keeps
+     * runs deterministic regardless of heap internals.
+     */
+    void schedule(Tick when, Callback cb);
+
+    /**
+     * Run events until the queue is empty or the current tick would
+     * exceed @p until.
+     *
+     * @return the tick of the last event executed.
+     */
+    Tick run(Tick until = max_tick);
+
+    /** Execute at most one pending event. @return false if none left. */
+    bool step();
+
+    /** @return the current simulated time. */
+    Tick now() const { return cur_tick; }
+
+    /** @return number of pending events. */
+    std::size_t pending() const { return heap.size(); }
+
+    /** @return total events executed since construction. */
+    std::uint64_t executed() const { return n_executed; }
+
+    /** Request that run() stop after the current event completes. */
+    void stop() { stop_requested = true; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    Tick cur_tick = 0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t n_executed = 0;
+    bool stop_requested = false;
+};
+
+} // namespace cnsim
+
+#endif // CNSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,158 @@
+#include "sim/runner.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/logging.hh"
+#include "core/core.hh"
+#include "l2/private_l2.hh"
+#include "sim/event_queue.hh"
+
+namespace cnsim
+{
+
+VariabilityResult
+Runner::runVariability(const SystemConfig &sys_cfg,
+                       const WorkloadSpec &workload,
+                       const RunConfig &run_cfg, int runs)
+{
+    cnsim_assert(runs >= 1, "need at least one run");
+    VariabilityResult v;
+    v.runs = runs;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < runs; ++i) {
+        RunConfig rc = run_cfg;
+        rc.seed = run_cfg.seed + static_cast<std::uint64_t>(i) * 9973;
+        RunResult r = run(sys_cfg, workload, rc);
+        sum += r.ipc;
+        sum_sq += r.ipc * r.ipc;
+        if (i == 0) {
+            v.min_ipc = v.max_ipc = r.ipc;
+        } else {
+            v.min_ipc = std::min(v.min_ipc, r.ipc);
+            v.max_ipc = std::max(v.max_ipc, r.ipc);
+        }
+    }
+    v.mean_ipc = sum / runs;
+    double var = sum_sq / runs - v.mean_ipc * v.mean_ipc;
+    v.stddev_ipc = var > 0 ? std::sqrt(var) : 0.0;
+    return v;
+}
+
+SystemConfig
+Runner::paperConfig(L2Kind kind)
+{
+    SystemConfig cfg;
+    cfg.num_cores = 4;
+    cfg.l2_kind = kind;
+    // 64 KB 2-way 64 B 3-cycle L1 I and D caches (Section 4.1).
+    cfg.l1d = L1Params{};
+    cfg.l1i = L1Params{};
+    // 8 MB L2 in each organization, Table 1 latencies.
+    cfg.shared = SharedL2Params{};
+    cfg.priv = PrivateL2Params{};
+    cfg.snuca = SnucaParams{};
+    cfg.nurapid = NurapidParams{};
+    cfg.ideal_latency = 10;
+    cfg.bus = BusParams{};
+    cfg.memory = MemoryParams{};
+    return cfg;
+}
+
+RunResult
+Runner::run(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
+            const RunConfig &run_cfg)
+{
+    cnsim_assert(static_cast<int>(workload.synth.threads.size()) ==
+                     sys_cfg.num_cores,
+                 "workload '%s' has %zu threads for %d cores",
+                 workload.name.c_str(), workload.synth.threads.size(),
+                 sys_cfg.num_cores);
+
+    System system(sys_cfg);
+    SynthWorkloadParams wp = workload.synth;
+    wp.seed = wp.seed * 31 + run_cfg.seed;
+    SynthWorkload synth(wp);
+    EventQueue eq;
+
+    std::vector<std::unique_ptr<Core>> cores;
+    for (int c = 0; c < sys_cfg.num_cores; ++c) {
+        cores.emplace_back(std::make_unique<Core>(
+            c, system, synth.source(c), sys_cfg.core_non_mem_cpi));
+        cores.back()->start(eq);
+    }
+
+    auto max_core_instr = [&]() {
+        std::uint64_t m = 0;
+        for (auto &core : cores)
+            m = std::max(m, core->epochInstructions());
+        return m;
+    };
+
+    // Warm-up phase.
+    while (max_core_instr() < run_cfg.warmup_instructions) {
+        if (!eq.pending())
+            panic("event queue drained during warm-up");
+        eq.run(eq.now() + run_cfg.quantum);
+    }
+
+    // Reset statistics and start the measurement epoch.
+    system.resetStats();
+    Tick epoch_start = eq.now();
+    for (auto &core : cores)
+        core->markEpoch(epoch_start);
+
+    while (max_core_instr() < run_cfg.measure_instructions) {
+        if (!eq.pending())
+            panic("event queue drained during measurement");
+        eq.run(eq.now() + run_cfg.quantum);
+    }
+    Tick end = eq.now();
+
+    system.checkInvariants();
+
+    RunResult r;
+    r.workload = workload.name;
+    r.l2_kind = system.l2().kind();
+    r.cycles = end - epoch_start;
+    for (auto &core : cores) {
+        r.instructions += core->epochInstructions();
+        r.core_ipc.push_back(core->ipc(end));
+    }
+    r.ipc = r.cycles ? static_cast<double>(r.instructions) / r.cycles : 0.0;
+
+    const L2Org &l2 = system.l2();
+    r.l2_accesses = l2.accesses();
+    r.frac_hit = l2.clsFraction(AccessClass::Hit);
+    r.frac_ros = l2.clsFraction(AccessClass::ROSMiss);
+    r.frac_rws = l2.clsFraction(AccessClass::RWSMiss);
+    r.frac_cap = l2.clsFraction(AccessClass::CapacityMiss);
+    r.miss_rate = l2.missFraction();
+
+    for (int cmd = 0; cmd < num_bus_cmds; ++cmd)
+        r.bus_transactions +=
+            system.bus().count(static_cast<BusCmd>(cmd));
+    r.mem_reads = system.memory().reads();
+    r.mem_writebacks = system.memory().writebacks();
+
+    if (const auto *nu = dynamic_cast<const CmpNurapid *>(&l2)) {
+        r.closest_hit_frac = nu->closestHitFraction();
+        r.closest_access_frac = r.frac_hit * r.closest_hit_frac;
+    }
+    if (const auto *pv = dynamic_cast<const PrivateL2 *>(&l2)) {
+        r.ros_reuse = pv->reuse().rosBuckets();
+        r.rws_reuse = pv->reuse().rwsBuckets();
+    }
+
+    if (run_cfg.collect_stats_dump) {
+        StatGroup g("system");
+        system.regStats(g);
+        for (auto &core : cores)
+            core->regStats(g);
+        r.stats_dump = g.dump();
+    }
+    return r;
+}
+
+} // namespace cnsim

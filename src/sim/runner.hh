@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The experiment runner: executes one workload on one system
+ * configuration and harvests every statistic the paper's figures need.
+ *
+ * Following the paper's methodology, a run warms the caches for a
+ * fixed instruction budget, resets all statistics, and then measures
+ * until the first core retires the measurement budget (the paper runs
+ * "until at least one core completes 1 billion instructions"; the
+ * budget here is scaled down and configurable). Optional random
+ * perturbation of memory timing across repeated runs reproduces the
+ * multithreaded-variability treatment of Alameldeen & Wood [1].
+ */
+
+#ifndef CNSIM_SIM_RUNNER_HH
+#define CNSIM_SIM_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/reuse_tracker.hh"
+#include "sim/system.hh"
+#include "trace/workloads.hh"
+
+namespace cnsim
+{
+
+/** Run-control parameters. */
+struct RunConfig
+{
+    /** Warm-up instructions per core before stats reset. */
+    std::uint64_t warmup_instructions = 3'000'000;
+    /** Measurement ends when the first core retires this many. */
+    std::uint64_t measure_instructions = 5'000'000;
+    /** Event-queue polling quantum (ticks between budget checks). */
+    Tick quantum = 20'000;
+    /** Seed for workload generation and tie-break perturbation. */
+    std::uint64_t seed = 1;
+    /** Collect the full statistics dump into RunResult::stats_dump. */
+    bool collect_stats_dump = false;
+};
+
+/** Everything measured by one run. */
+struct RunResult
+{
+    std::string workload;
+    std::string l2_kind;
+
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    /** Aggregate IPC across all cores over the measurement epoch. */
+    double ipc = 0.0;
+    std::vector<double> core_ipc;
+
+    std::uint64_t l2_accesses = 0;
+    double frac_hit = 0.0;
+    double frac_ros = 0.0;
+    double frac_rws = 0.0;
+    double frac_cap = 0.0;
+    double miss_rate = 0.0;
+
+    /** CMP-NuRAPID only: fraction of hits in the closest d-group. */
+    double closest_hit_frac = 0.0;
+    /** CMP-NuRAPID only: fraction of all accesses hitting closest. */
+    double closest_access_frac = 0.0;
+
+    /** Event counts for the energy model (bench/energy_comparison). */
+    std::uint64_t bus_transactions = 0;
+    std::uint64_t mem_reads = 0;
+    std::uint64_t mem_writebacks = 0;
+
+    /** Private caches only: Figure-7 reuse buckets. */
+    ReuseBuckets ros_reuse;
+    ReuseBuckets rws_reuse;
+
+    /** Full statistics text (when RunConfig::collect_stats_dump). */
+    std::string stats_dump;
+};
+
+/** Mean and spread of a metric across perturbed runs. */
+struct VariabilityResult
+{
+    double mean_ipc = 0.0;
+    double stddev_ipc = 0.0;
+    double min_ipc = 0.0;
+    double max_ipc = 0.0;
+    int runs = 0;
+};
+
+/** Runs workloads against system configurations. */
+class Runner
+{
+  public:
+    /** Execute @p workload on @p sys_cfg under @p run_cfg. */
+    static RunResult run(const SystemConfig &sys_cfg,
+                         const WorkloadSpec &workload,
+                         const RunConfig &run_cfg = RunConfig{});
+
+    /**
+     * Execute @p runs perturbed repetitions (distinct seeds inject
+     * random perturbations into memory-system timing via the workload
+     * interleaving) and report the IPC spread -- the multithreaded-
+     * variability treatment of Alameldeen & Wood [1] that the paper's
+     * methodology follows (Section 4.3).
+     */
+    static VariabilityResult runVariability(
+        const SystemConfig &sys_cfg, const WorkloadSpec &workload,
+        const RunConfig &run_cfg = RunConfig{}, int runs = 5);
+
+    /**
+     * Build the paper's Section-4 system configuration for @p kind
+     * (Table 1 latencies, 8 MB L2, 4 cores).
+     */
+    static SystemConfig paperConfig(L2Kind kind);
+};
+
+} // namespace cnsim
+
+#endif // CNSIM_SIM_RUNNER_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * System assembly: a 4-core CMP with L1s, a chosen L2 organization,
+ * the snooping bus, and main memory (the paper's Section 4 platform).
+ */
+
+#ifndef CNSIM_SIM_SYSTEM_HH
+#define CNSIM_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/l1_cache.hh"
+#include "common/stats.hh"
+#include "l2/l2_org.hh"
+#include "l2/private_l2.hh"
+#include "l2/shared_l2.hh"
+#include "l2/snuca_l2.hh"
+#include "mem/bus.hh"
+#include "mem/memory.hh"
+#include "nurapid/cmp_nurapid.hh"
+#include "trace/trace.hh"
+
+namespace cnsim
+{
+
+/** Which L2 organization to instantiate. */
+enum class L2Kind
+{
+    Shared,   //!< uniform-shared (base case)
+    Private,  //!< private caches + MESI snooping
+    Snuca,    //!< CMP-SNUCA non-uniform shared [6]
+    Ideal,    //!< shared capacity at private latency (upper bound)
+    Nurapid,  //!< CMP-NuRAPID (this paper)
+    Update,   //!< private caches + write-update protocol (Section 3.2)
+    Dnuca,    //!< CMP-DNUCA with block migration [6]
+};
+
+/** Human-readable name of an L2Kind. */
+const char *toString(L2Kind k);
+
+/** Full system configuration (defaults = the paper's Section 4). */
+struct SystemConfig
+{
+    int num_cores = 4;
+    L2Kind l2_kind = L2Kind::Nurapid;
+    /** Average cycles per non-memory instruction in the cores. */
+    double core_non_mem_cpi = 1.4;
+    /**
+     * Retire store *hits* through the store buffer: the L2/bus
+     * occupancy is charged, but the core continues after one cycle.
+     * Store misses (write-allocate fills) still stall the core.
+     */
+    bool store_buffering = true;
+    L1Params l1d;
+    L1Params l1i;
+    SharedL2Params shared;
+    PrivateL2Params priv;
+    SnucaParams snuca;
+    NurapidParams nurapid;
+    /** Private-cache latency used by the ideal configuration. */
+    Tick ideal_latency = 10;
+    BusParams bus;
+    MemoryParams memory;
+};
+
+/** A 4-core CMP with the selected on-chip cache hierarchy. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+
+    /**
+     * Execute one trace record's memory activity for @p core starting
+     * at @p at (after its gap instructions): the instruction fetch,
+     * then the data reference.
+     *
+     * @return the tick at which the core may proceed.
+     */
+    Tick access(CoreId core, const TraceRecord &rec, Tick at);
+
+    L2Org &l2() { return *l2_org; }
+    const L2Org &l2() const { return *l2_org; }
+    MainMemory &memory() { return *mem; }
+    SnoopBus &bus() { return *snoop_bus; }
+    L1Cache &l1d(CoreId c) { return *l1ds[c]; }
+    L1Cache &l1i(CoreId c) { return *l1is[c]; }
+    int numCores() const { return cfg.num_cores; }
+    const SystemConfig &config() const { return cfg; }
+
+    /** L2 block size of the active organization. */
+    unsigned l2BlockSize() const { return l2_block_size; }
+
+    void regStats(StatGroup &group);
+    void resetStats();
+
+    /** Run the active organization's invariant checks. */
+    void checkInvariants() const { l2_org->checkInvariants(); }
+
+  private:
+    SystemConfig cfg;
+    unsigned l2_block_size;
+    std::unique_ptr<MainMemory> mem;
+    std::unique_ptr<SnoopBus> snoop_bus;
+    std::unique_ptr<L2Org> l2_org;
+    std::vector<std::unique_ptr<L1Cache>> l1ds;
+    std::vector<std::unique_ptr<L1Cache>> l1is;
+};
+
+} // namespace cnsim
+
+#endif // CNSIM_SIM_SYSTEM_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Trace-record vocabulary for the trace-driven cores.
+ */
+
+#ifndef CNSIM_TRACE_TRACE_HH
+#define CNSIM_TRACE_TRACE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "mem/packet.hh"
+
+namespace cnsim
+{
+
+/**
+ * One unit of work for an in-order core: @p gap non-memory instructions
+ * (1 cycle each), an instruction fetch at @p iaddr, then one data
+ * reference.
+ */
+struct TraceRecord
+{
+    /** Non-memory instructions executed before this reference. */
+    std::uint32_t gap = 0;
+    /** Instruction-fetch address for this record's code. */
+    Addr iaddr = 0;
+    /** Data address referenced. */
+    Addr addr = 0;
+    /** Load or Store. */
+    MemOp op = MemOp::Load;
+};
+
+/** An infinite, per-core supplier of trace records. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next record. Sources never run dry. */
+    virtual TraceRecord next() = 0;
+};
+
+} // namespace cnsim
+
+#endif // CNSIM_TRACE_TRACE_HH

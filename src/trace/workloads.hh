@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Workload catalog: the paper's Tables 2 and 3 as synthetic models.
+ *
+ * Multithreaded (Table 3): three commercial workloads -- oltp
+ * (OSDL-DBT-2/TPC-C on PostgreSQL), apache (SURGE-driven static web
+ * serving), specjbb (Java middleware OLTP) -- and two SPLASH-2
+ * scientific codes, ocean and barnes. The paper orders them by
+ * decreasing sharing; the synthetic parameters reproduce the measured
+ * Figure-5 structure: oltp dominated by read-write sharing, apache and
+ * specjbb mixing ROS and RWS (including large shared instruction
+ * footprints), the scientific codes mostly private with small boundary
+ * exchange.
+ *
+ * Multiprogrammed (Table 2): MIX1-MIX4, each four SPEC CPU2000
+ * programs with per-benchmark working-set sizes taken from published
+ * SPEC2K memory characterizations -- the non-uniform capacity demand
+ * capacity stealing exploits.
+ */
+
+#ifndef CNSIM_TRACE_WORKLOADS_HH
+#define CNSIM_TRACE_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/synth.hh"
+
+namespace cnsim
+{
+
+/** A named workload specification. */
+struct WorkloadSpec
+{
+    std::string name;
+    /** True for the Table-3 multithreaded workloads. */
+    bool multithreaded = true;
+    /** True for the three commercial workloads (averaged in Fig. 5-10). */
+    bool commercial = false;
+    SynthWorkloadParams synth;
+};
+
+/** Catalog of every workload the paper evaluates. */
+namespace workloads
+{
+
+/** Look up any workload by name ("oltp", "mix1", ...). */
+WorkloadSpec byName(const std::string &name, int num_cores = 4);
+
+/** Table 3: oltp, apache, specjbb, ocean, barnes (sharing order). */
+std::vector<std::string> multithreadedNames();
+
+/** The three commercial workloads averaged in the paper's headline. */
+std::vector<std::string> commercialNames();
+
+/** Table 2: mix1..mix4. */
+std::vector<std::string> multiprogrammedNames();
+
+/**
+ * Per-benchmark single-program model for the SPEC2K-like applications
+ * composing the mixes (Table 2).
+ */
+SynthThreadParams specApp(const std::string &app);
+
+/** Names of the ten SPEC2K applications used by the mixes. */
+std::vector<std::string> specAppNames();
+
+} // namespace workloads
+
+} // namespace cnsim
+
+#endif // CNSIM_TRACE_WORKLOADS_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the CactiLite latency model: with the default 70 nm / 5 GHz
+ * calibration it must reproduce every row of the paper's Table 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cactilite/cactilite.hh"
+
+namespace cnsim
+{
+namespace
+{
+
+constexpr std::uint64_t MB = 1024ull * 1024;
+
+TEST(CactiLite, Table1SharedCache)
+{
+    CactiLite m;
+    CacheLatency l = m.sharedCache(8 * MB, 128);
+    EXPECT_EQ(l.tag, 26u);
+    EXPECT_EQ(l.data, 33u);
+    EXPECT_EQ(l.total, 59u);
+}
+
+TEST(CactiLite, Table1PrivateCache)
+{
+    CactiLite m;
+    CacheLatency l = m.privateCache(2 * MB, 128);
+    EXPECT_EQ(l.tag, 4u);
+    EXPECT_EQ(l.data, 6u);
+    EXPECT_EQ(l.total, 10u);
+}
+
+TEST(CactiLite, Table1NurapidTagWithExtraSpace)
+{
+    CactiLite m;
+    EXPECT_EQ(m.nurapidTagCycles(2 * MB, 128, 2), 5u);
+}
+
+TEST(CactiLite, Table1DGroupLatencies)
+{
+    CactiLite m;
+    DGroupLatencies d = m.dgroupLatencies(2 * MB);
+    EXPECT_EQ(d.closest, 6u);
+    EXPECT_EQ(d.middle, 20u);
+    EXPECT_EQ(d.farthest, 33u);
+}
+
+TEST(CactiLite, Table1Bus)
+{
+    CactiLite m;
+    EXPECT_EQ(m.busCycles(8 * MB), 32u);
+}
+
+TEST(CactiLite, LatencyGrowsWithCapacity)
+{
+    CactiLite m;
+    EXPECT_LT(m.dataArrayCycles(1 * MB), m.dataArrayCycles(4 * MB));
+    EXPECT_LT(m.dataArrayCycles(4 * MB), m.dataArrayCycles(16 * MB));
+    EXPECT_LE(m.tagArrayCycles(1024), m.tagArrayCycles(65536));
+}
+
+TEST(CactiLite, WireDelayLinearInDistance)
+{
+    CactiLite m;
+    Tick one = m.wireCycles(1.0);
+    EXPECT_EQ(m.wireCycles(2.0), 2 * one);
+    EXPECT_EQ(m.wireCycles(0.0), 0u);
+}
+
+TEST(CactiLite, SlowerClockMeansFewerCycles)
+{
+    TechParams tp;
+    tp.clock_ghz = 2.5;  // half the paper's 5 GHz
+    CactiLite slow(tp);
+    CactiLite fast;
+    EXPECT_LT(slow.sharedCache(8 * MB, 128).total,
+              fast.sharedCache(8 * MB, 128).total);
+}
+
+TEST(CactiLite, QuadrupledTagIsSlowerThanDoubled)
+{
+    // Section 2.2.2: the 4x tag option costs latency; 2x is the sweet
+    // spot. The model must reflect the ordering.
+    CactiLite m;
+    EXPECT_LE(m.nurapidTagCycles(2 * MB, 128, 2),
+              m.nurapidTagCycles(2 * MB, 128, 4));
+    EXPECT_LE(m.nurapidTagCycles(2 * MB, 128, 1),
+              m.nurapidTagCycles(2 * MB, 128, 2));
+}
+
+TEST(CactiLite, DGroupOrderingClosestMiddleFarthest)
+{
+    CactiLite m;
+    for (std::uint64_t cap : {1 * MB, 2 * MB, 4 * MB}) {
+        DGroupLatencies d = m.dgroupLatencies(cap);
+        EXPECT_LT(d.closest, d.middle);
+        EXPECT_LT(d.middle, d.farthest);
+    }
+}
+
+TEST(CactiLite, MacroAreaScalesWithCapacity)
+{
+    CactiLite m;
+    double side2 = m.macroSideMm(2 * MB);
+    double side8 = m.macroSideMm(8 * MB);
+    EXPECT_NEAR(side8 / side2, 2.0, 1e-9);  // 4x area -> 2x side
+}
+
+TEST(CactiLite, SharedTagDominatedByCentralWire)
+{
+    // The paper notes the shared tag latency is high "because of RC
+    // wire delay to reach the shared tag".
+    CactiLite m;
+    Tick array_only = m.tagArrayCycles(8 * MB / 128);
+    CacheLatency l = m.sharedCache(8 * MB, 128);
+    EXPECT_GT(l.tag, 2 * array_only);
+}
+
+} // namespace
+} // namespace cnsim

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Unit tests for common utilities: types, logging, RNG, stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace cnsim
+{
+namespace
+{
+
+TEST(Types, BlockAlign)
+{
+    EXPECT_EQ(blockAlign(0x1000, 128), 0x1000u);
+    EXPECT_EQ(blockAlign(0x1001, 128), 0x1000u);
+    EXPECT_EQ(blockAlign(0x107f, 128), 0x1000u);
+    EXPECT_EQ(blockAlign(0x1080, 128), 0x1080u);
+    EXPECT_EQ(blockAlign(0xffffffffffffffffULL, 64),
+              0xffffffffffffffc0ULL);
+}
+
+TEST(Types, PowerOf2)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(12));
+}
+
+TEST(Types, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+}
+
+TEST(Logging, StrFmt)
+{
+    EXPECT_EQ(strfmt("x=%d y=%s", 3, "abc"), "x=3 y=abc");
+    EXPECT_EQ(strfmt("%llu", 123456789012345ULL), "123456789012345");
+    EXPECT_EQ(strfmt("plain"), "plain");
+}
+
+TEST(Logging, QuietSuppresses)
+{
+    setQuiet(true);
+    EXPECT_TRUE(quiet());
+    // warn/inform must not crash while quiet.
+    warn("should be suppressed");
+    inform("should be suppressed");
+    setQuiet(false);
+    EXPECT_FALSE(quiet());
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng r(9);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(r.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        std::uint32_t v = r.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks)
+{
+    Rng r(19);
+    std::uint64_t low = 0, high = 0;
+    const std::uint32_t n = 1000;
+    for (int i = 0; i < 20000; ++i) {
+        std::uint32_t v = r.zipf(n, 0.8);
+        ASSERT_LT(v, n);
+        if (v < n / 10)
+            ++low;
+        if (v >= 9 * n / 10)
+            ++high;
+    }
+    // A skewed distribution puts far more mass on the lowest decile.
+    EXPECT_GT(low, 4 * high);
+}
+
+TEST(Rng, ZipfThetaZeroIsUniform)
+{
+    Rng r(23);
+    std::uint64_t low = 0;
+    for (int i = 0; i < 20000; ++i)
+        low += r.zipf(1000, 0.0) < 100;
+    EXPECT_NEAR(low / 20000.0, 0.1, 0.02);
+}
+
+TEST(Stats, CounterBasics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, ScalarBasics)
+{
+    Scalar s;
+    s.set(2.5);
+    s.add(0.5);
+    EXPECT_DOUBLE_EQ(s.value(), 3.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, DistributionBuckets)
+{
+    Distribution d;
+    d.init(0, 9, 1);
+    for (std::uint64_t v = 0; v < 10; ++v)
+        d.sample(v);
+    d.sample(100);  // overflow
+    EXPECT_EQ(d.samples(), 11u);
+    EXPECT_EQ(d.overflow(), 1u);
+    EXPECT_EQ(d.bucketCount(5), 1u);
+    EXPECT_EQ(d.rangeCount(2, 5), 4u);
+    EXPECT_NEAR(d.mean(), (45.0 + 100.0) / 11.0, 1e-9);
+    d.reset();
+    EXPECT_EQ(d.samples(), 0u);
+}
+
+TEST(Stats, DistributionWiderBuckets)
+{
+    Distribution d;
+    d.init(0, 99, 10);
+    d.sample(5);
+    d.sample(7);
+    d.sample(15);
+    EXPECT_EQ(d.bucketCount(0), 2u);
+    EXPECT_EQ(d.bucketCount(10), 1u);
+}
+
+TEST(Stats, GroupRegistrationAndLookup)
+{
+    StatGroup g("sys");
+    Counter c;
+    Scalar s;
+    Distribution d;
+    d.init(0, 3, 1);
+    g.addCounter("hits", &c, "hit count");
+    g.addScalar("ipc", &s);
+    g.addDistribution("reuse", &d);
+    c.inc(7);
+    s.set(1.25);
+    d.sample(2);
+    EXPECT_EQ(g.counter("hits").value(), 7u);
+    EXPECT_DOUBLE_EQ(g.scalar("ipc").value(), 1.25);
+    EXPECT_EQ(g.distribution("reuse").samples(), 1u);
+    EXPECT_TRUE(g.hasCounter("hits"));
+    EXPECT_FALSE(g.hasCounter("misses"));
+}
+
+TEST(Stats, GroupResetAll)
+{
+    StatGroup g("sys");
+    Counter c;
+    c.inc(3);
+    g.addCounter("c", &c);
+    g.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, DumpContainsNamesAndValues)
+{
+    StatGroup g("top");
+    Counter c;
+    c.inc(42);
+    g.addCounter("events", &c, "number of events");
+    std::string out = g.dump();
+    EXPECT_NE(out.find("top.events"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("number of events"), std::string::npos);
+}
+
+TEST(Stats, CsvDumpHasHeaderAndRows)
+{
+    StatGroup g("sys");
+    Counter c;
+    Scalar s;
+    Distribution d;
+    d.init(0, 3, 1);
+    c.inc(5);
+    s.set(1.5);
+    d.sample(2);
+    g.addCounter("hits", &c);
+    g.addScalar("ipc", &s);
+    g.addDistribution("reuse", &d);
+    std::string csv = g.dumpCsv();
+    EXPECT_EQ(csv.rfind("stat,value\n", 0), 0u);
+    EXPECT_NE(csv.find("sys.hits,5\n"), std::string::npos);
+    EXPECT_NE(csv.find("sys.ipc,1.500000\n"), std::string::npos);
+    EXPECT_NE(csv.find("sys.reuse.samples,1\n"), std::string::npos);
+    EXPECT_NE(csv.find("sys.reuse.mean,2.000000\n"), std::string::npos);
+}
+
+TEST(StatsDeathTest, MissingStatPanics)
+{
+    StatGroup g("sys");
+    EXPECT_DEATH(g.counter("nope"), "no counter");
+}
+
+} // namespace
+} // namespace cnsim

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Integration tests for Core + System: L1 filtering in front of each
+ * L2 organization, write-through C blocks, inclusion, and the
+ * event-driven execution loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "core/core.hh"
+#include "sim/runner.hh"
+#include "sim/system.hh"
+
+namespace cnsim
+{
+namespace
+{
+
+/** A scripted trace source for deterministic integration tests. */
+class ScriptSource : public TraceSource
+{
+  public:
+    void
+    push(Addr addr, MemOp op, std::uint32_t gap = 0, Addr iaddr = 0)
+    {
+        script.push_back(TraceRecord{gap, iaddr, addr, op});
+    }
+
+    TraceRecord
+    next() override
+    {
+        if (script.empty())
+            return TraceRecord{100, 0, idle_addr, MemOp::Load};
+        TraceRecord r = script.front();
+        script.pop_front();
+        return r;
+    }
+
+    bool exhausted() const { return script.empty(); }
+
+  private:
+    std::deque<TraceRecord> script;
+    Addr idle_addr = 0x7f000000;
+};
+
+SystemConfig
+paperSystem(L2Kind kind)
+{
+    return Runner::paperConfig(kind);
+}
+
+TEST(System, L1FiltersRepeatedLoads)
+{
+    System sys(paperSystem(L2Kind::Shared));
+    TraceRecord r{0, 0, 0x1000, MemOp::Load};
+    sys.access(0, r, 0);  // L1 miss -> L2
+    std::uint64_t l2_before = sys.l2().accesses();
+    sys.access(0, r, 10000);
+    sys.access(0, r, 20000);
+    EXPECT_EQ(sys.l2().accesses(), l2_before);  // pure L1 hits
+}
+
+TEST(System, L1HitLatencyIsThreeCycles)
+{
+    System sys(paperSystem(L2Kind::Shared));
+    TraceRecord r{0, 0, 0x1000, MemOp::Load};
+    sys.access(0, r, 0);
+    Tick done = sys.access(0, r, 10000);
+    EXPECT_EQ(done, 10003u);
+}
+
+TEST(System, StoresRequireOwnershipOnce)
+{
+    System sys(paperSystem(L2Kind::Private));
+    TraceRecord st{0, 0, 0x1000, MemOp::Store};
+    sys.access(0, st, 0);  // miss: L2 grants ownership
+    std::uint64_t l2_before = sys.l2().accesses();
+    Tick done = sys.access(0, st, 10000);
+    // Owned in L1: silent store, no L2 access.
+    EXPECT_EQ(sys.l2().accesses(), l2_before);
+    EXPECT_EQ(done, 10001u);
+}
+
+TEST(System, LoadsDoNotGrantStoreOwnership)
+{
+    System sys(paperSystem(L2Kind::Private));
+    TraceRecord ld{0, 0, 0x1000, MemOp::Load};
+    TraceRecord st{0, 0, 0x1000, MemOp::Store};
+    sys.access(0, ld, 0);
+    std::uint64_t l2_before = sys.l2().accesses();
+    sys.access(0, st, 10000);  // must go to L2 for ownership
+    EXPECT_EQ(sys.l2().accesses(), l2_before + 1);
+}
+
+TEST(System, CBlocksWriteThroughEveryStore)
+{
+    System sys(paperSystem(L2Kind::Nurapid));
+    // Core 0 writes, core 1 reads: the block enters C.
+    sys.access(0, {0, 0, 0x1000, MemOp::Store}, 0);
+    sys.access(1, {0, 0, 0x1000, MemOp::Load}, 10000);
+    // Every subsequent store by core 0 reaches the L2 (write-through).
+    std::uint64_t l2_before = sys.l2().accesses();
+    sys.access(0, {0, 0, 0x1000, MemOp::Store}, 20000);
+    sys.access(0, {0, 0, 0x1000, MemOp::Store}, 30000);
+    EXPECT_EQ(sys.l2().accesses(), l2_before + 2);
+}
+
+TEST(System, CoherenceInvalidatesRemoteL1)
+{
+    System sys(paperSystem(L2Kind::Private));
+    // Core 1 caches the block in its L1.
+    sys.access(1, {0, 0, 0x1000, MemOp::Load}, 0);
+    std::uint64_t l2_before = sys.l2().accesses();
+    sys.access(1, {0, 0, 0x1000, MemOp::Load}, 5000);
+    EXPECT_EQ(sys.l2().accesses(), l2_before);  // L1 hit
+    // Core 0 writes: core 1's L1 copy must be invalidated.
+    sys.access(0, {0, 0, 0x1000, MemOp::Store}, 10000);
+    sys.access(1, {0, 0, 0x1000, MemOp::Load}, 20000);
+    EXPECT_GT(sys.l2().accesses(), l2_before + 1);  // L1 refetch
+}
+
+TEST(System, IfetchMissesGoToL2)
+{
+    System sys(paperSystem(L2Kind::Shared));
+    TraceRecord r{0, 0x9000, 0x1000, MemOp::Load};
+    sys.access(0, r, 0);
+    // Both the ifetch and the load missed.
+    EXPECT_EQ(sys.l2().accesses(), 2u);
+    // Warm: neither misses now.
+    sys.access(0, r, 50000);
+    EXPECT_EQ(sys.l2().accesses(), 2u);
+}
+
+TEST(System, InclusionBackInvalidatesL1)
+{
+    // Tiny shared L2 (2 sets) forces evictions that must purge the L1.
+    SystemConfig cfg = paperSystem(L2Kind::Shared);
+    cfg.shared.capacity = 8192;  // 2 sets x 32 ways
+    System sys(cfg);
+    sys.access(0, {0, 0, 0x0, MemOp::Load}, 0);
+    // Evict block 0 by filling its set (stride = 2*128 = 256).
+    Tick t = 10000;
+    for (int i = 1; i <= 32; ++i) {
+        sys.access(0, {0, 0, static_cast<Addr>(i) * 256, MemOp::Load}, t);
+        t += 10000;
+    }
+    std::uint64_t l2_before = sys.l2().accesses();
+    sys.access(0, {0, 0, 0x0, MemOp::Load}, t + 10000);
+    // The L1 copy was back-invalidated with the L2 block: L2 access.
+    EXPECT_EQ(sys.l2().accesses(), l2_before + 1);
+}
+
+TEST(Core, ExecutesGapsAndCountsInstructions)
+{
+    System sys(paperSystem(L2Kind::Shared));
+    ScriptSource src;
+    for (int i = 0; i < 10; ++i)
+        src.push(0x1000 + i * 64, MemOp::Load, 4);
+    EventQueue eq;
+    Core core(0, sys, src);
+    core.start(eq);
+    // Run until the script drains (idle records have gap 100).
+    while (!src.exhausted())
+        eq.step();
+    EXPECT_GE(core.instructions(), 10u * 5u);
+}
+
+TEST(Core, IpcReflectsMemoryStalls)
+{
+    // Same instruction stream on ideal vs uniform-shared latency: the
+    // lower-latency cache must give higher IPC.
+    auto measure = [](L2Kind kind) {
+        System sys(Runner::paperConfig(kind));
+        ScriptSource src;
+        // Loads striding L1-resident? No: stride 128 over 512 KB, so
+        // every other access misses L1 and goes to L2.
+        for (int i = 0; i < 2000; ++i)
+            src.push(0x10000 + (i % 4096) * 128, MemOp::Load, 2);
+        EventQueue eq;
+        Core core(0, sys, src);
+        core.start(eq);
+        core.markEpoch(0);
+        while (!src.exhausted())
+            eq.step();
+        return core.ipc(eq.now());
+    };
+    double ideal = measure(L2Kind::Ideal);
+    double shared = measure(L2Kind::Shared);
+    EXPECT_GT(ideal, shared);
+}
+
+TEST(Core, EpochAccountingResets)
+{
+    System sys(paperSystem(L2Kind::Shared));
+    ScriptSource src;
+    for (int i = 0; i < 50; ++i)
+        src.push(0x1000, MemOp::Load, 1);
+    EventQueue eq;
+    Core core(0, sys, src);
+    core.start(eq);
+    for (int i = 0; i < 20; ++i)
+        eq.step();
+    std::uint64_t before = core.instructions();
+    EXPECT_GT(before, 0u);
+    core.markEpoch(eq.now());
+    EXPECT_EQ(core.epochInstructions(), 0u);
+}
+
+TEST(System, AllKindsConstructAndServe)
+{
+    for (L2Kind k : {L2Kind::Shared, L2Kind::Private, L2Kind::Snuca,
+                     L2Kind::Ideal, L2Kind::Nurapid}) {
+        System sys(paperSystem(k));
+        Tick done = sys.access(0, {0, 0x9000, 0x1000, MemOp::Load}, 0);
+        EXPECT_GT(done, 0u) << toString(k);
+        EXPECT_EQ(std::string(toString(k)).empty(), false);
+        sys.checkInvariants();
+    }
+}
+
+TEST(System, StatsRegisterForAllKinds)
+{
+    for (L2Kind k : {L2Kind::Shared, L2Kind::Private, L2Kind::Snuca,
+                     L2Kind::Ideal, L2Kind::Nurapid}) {
+        System sys(paperSystem(k));
+        StatGroup g("system");
+        sys.regStats(g);
+        sys.access(0, {0, 0, 0x1000, MemOp::Load}, 0);
+        EXPECT_EQ(g.counter("l2.accesses").value(), 1u);
+        sys.resetStats();
+        EXPECT_EQ(g.counter("l2.accesses").value(), 0u);
+    }
+}
+
+} // namespace
+} // namespace cnsim

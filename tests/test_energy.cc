@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the dynamic-energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cactilite/energy.hh"
+
+namespace cnsim
+{
+namespace
+{
+
+constexpr std::uint64_t MB = 1024ull * 1024;
+
+TEST(Energy, DataEnergyGrowsWithCapacity)
+{
+    EnergyModel e;
+    EXPECT_LT(e.dataAccessPj(1 * MB), e.dataAccessPj(4 * MB));
+    EXPECT_LT(e.dataAccessPj(4 * MB), e.dataAccessPj(16 * MB));
+}
+
+TEST(Energy, QuadrupledCapacityDoublesSqrtTerm)
+{
+    EnergyModel e;
+    EnergyParams p;
+    double slope_part_2mb = e.dataAccessPj(2 * MB) - p.data_base_pj;
+    double slope_part_8mb = e.dataAccessPj(8 * MB) - p.data_base_pj;
+    EXPECT_NEAR(slope_part_8mb / slope_part_2mb, 2.0, 1e-9);
+}
+
+TEST(Energy, TagProbeMuchCheaperThanData)
+{
+    EnergyModel e;
+    // An 8 MB data access vs its tag probe: sequential tag-data access
+    // exists because this ratio is large.
+    EXPECT_GT(e.dataAccessPj(8 * MB), 10 * e.tagProbePj(8 * MB / 128));
+}
+
+TEST(Energy, WireLinearInDistance)
+{
+    EnergyModel e;
+    EXPECT_DOUBLE_EQ(e.wirePj(2.0), 2 * e.wirePj(1.0));
+    EXPECT_DOUBLE_EQ(e.wirePj(0.0), 0.0);
+}
+
+TEST(Energy, DramDominatesSram)
+{
+    EnergyModel e;
+    EXPECT_GT(e.dramAccessPj(), 10 * e.dataAccessPj(8 * MB));
+}
+
+TEST(Energy, DGroupEnergyOrderedByDistance)
+{
+    EnergyModel e;
+    double closest = e.dgroupAccessPj(2 * MB, 0);
+    double middle = e.dgroupAccessPj(2 * MB, 1);
+    double middle2 = e.dgroupAccessPj(2 * MB, 2);
+    double farthest = e.dgroupAccessPj(2 * MB, 3);
+    EXPECT_LT(closest, middle);
+    EXPECT_DOUBLE_EQ(middle, middle2);
+    EXPECT_LT(middle, farthest);
+}
+
+TEST(Energy, ClosestDGroupBeatsMonolithicSharedArray)
+{
+    // The core of the energy argument: a 2 MB d-group next to the core
+    // costs far less than the 8 MB array plus its global routing.
+    EnergyModel e;
+    double nurapid_hit = e.tagProbePj(2 * MB / 128 * 2) +
+                         e.dgroupAccessPj(2 * MB, 0);
+    double shared_hit =
+        e.tagProbePj(8 * MB / 128) + e.dataAccessPj(8 * MB) +
+        e.wirePj(0.7746 * e.latencyModel().dieSideMm(8 * MB));
+    EXPECT_LT(nurapid_hit, shared_hit);
+}
+
+TEST(Energy, BusTransactionIncludesSnoopProbes)
+{
+    EnergyModel e;
+    double wire_only =
+        e.wirePj(e.latencyModel().tech().bus_span *
+                 e.latencyModel().dieSideMm(8 * MB) * std::sqrt(2.0));
+    EXPECT_GT(e.busTransactionPj(8 * MB), wire_only);
+}
+
+} // namespace
+} // namespace cnsim

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace cnsim
+{
+namespace
+{
+
+TEST(EventQueue, RunsInTickOrder)
+{
+    EventQueue eq;
+    std::vector<Tick> order;
+    eq.schedule(30, [&](Tick t) { order.push_back(t); });
+    eq.schedule(10, [&](Tick t) { order.push_back(t); });
+    eq.schedule(20, [&](Tick t) { order.push_back(t); });
+    eq.run();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 10u);
+    EXPECT_EQ(order[1], 20u);
+    EXPECT_EQ(order[2], 30u);
+}
+
+TEST(EventQueue, FifoAtEqualTicks)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i](Tick) { order.push_back(i); });
+    eq.run();
+    ASSERT_EQ(order.size(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NowAdvancesWithExecution)
+{
+    EventQueue eq;
+    eq.schedule(100, [&](Tick) { EXPECT_EQ(eq.now(), 100u); });
+    EXPECT_EQ(eq.now(), 0u);
+    eq.run();
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, EventsScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void(Tick)> chain = [&](Tick t) {
+        ++fired;
+        if (fired < 5)
+            eq.schedule(t + 10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&](Tick) { ++fired; });
+    eq.schedule(20, [&](Tick) { ++fired; });
+    eq.schedule(30, [&](Tick) { ++fired; });
+    eq.run(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, StepExecutesOne)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&](Tick) { ++fired; });
+    eq.schedule(2, [&](Tick) { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, StopHaltsRun)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&](Tick) {
+        ++fired;
+        eq.stop();
+    });
+    eq.schedule(2, [&](Tick) { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, ExecutedCountAccumulates)
+{
+    EventQueue eq;
+    for (Tick i = 0; i < 10; ++i)
+        eq.schedule(i, [](Tick) {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 10u);
+}
+
+TEST(EventQueueDeathTest, SchedulingIntoPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(50, [](Tick) {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(10, [](Tick) {}), "past");
+}
+
+} // namespace
+} // namespace cnsim

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for CMP-NuRAPID's tag and data arrays: forward/reverse
+ * pointers, category-prioritized tag replacement, and frame
+ * allocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "nurapid/data_array.hh"
+#include "nurapid/tag_array.hh"
+
+namespace cnsim
+{
+namespace
+{
+
+TEST(NuTagArray, FindAfterInstall)
+{
+    NuTagArray t(0, 4, 2, 128);
+    TagEntry *v = t.replacementVictim(0x1000);
+    v->valid = true;
+    v->addr = 0x1000;
+    v->state = CohState::Exclusive;
+    EXPECT_EQ(t.find(0x1000), v);
+    EXPECT_EQ(t.find(0x1040), v);  // same 128 B block
+    EXPECT_EQ(t.find(0x2000), nullptr);
+}
+
+TEST(NuTagArray, PosOfRoundTrips)
+{
+    NuTagArray t(2, 4, 2, 128);
+    TagEntry *v = t.replacementVictim(0x1080);
+    v->valid = true;
+    v->addr = 0x1080;
+    v->state = CohState::Shared;
+    TagPos pos = t.posOf(v);
+    EXPECT_EQ(pos.core, 2);
+    EXPECT_EQ(&t.at(pos.set, pos.way), v);
+}
+
+TEST(NuTagArray, VictimPrefersInvalid)
+{
+    NuTagArray t(0, 1, 4, 128);
+    for (int i = 0; i < 3; ++i) {
+        TagEntry *e = t.replacementVictim(0);
+        e->valid = true;
+        e->addr = static_cast<Addr>(i) * 128;
+        e->state = CohState::Shared;
+        t.touch(e);
+    }
+    TagEntry *v = t.replacementVictim(0x9000);
+    EXPECT_FALSE(v->valid);
+}
+
+TEST(NuTagArray, VictimPrefersPrivateOverShared)
+{
+    // Paper 3.3.2: replace invalid, then private, then shared --
+    // shared evictions cost BusRepl invalidations.
+    NuTagArray t(0, 1, 4, 128);
+    CohState states[] = {CohState::Shared, CohState::Modified,
+                         CohState::Communication, CohState::Exclusive};
+    for (int i = 0; i < 4; ++i) {
+        TagEntry *e = t.replacementVictim(0);
+        e->valid = true;
+        e->addr = static_cast<Addr>(i) * 128;
+        e->state = states[i];
+        t.touch(e);
+    }
+    TagEntry *v = t.replacementVictim(0x9000);
+    EXPECT_TRUE(isPrivateState(v->state));
+    // LRU within the private category: the M block (installed first).
+    EXPECT_EQ(v->state, CohState::Modified);
+}
+
+TEST(NuTagArray, VictimFallsBackToShared)
+{
+    NuTagArray t(0, 1, 2, 128);
+    for (int i = 0; i < 2; ++i) {
+        TagEntry *e = t.replacementVictim(0);
+        e->valid = true;
+        e->addr = static_cast<Addr>(i) * 128;
+        e->state = CohState::Communication;
+        t.touch(e);
+    }
+    TagEntry *v = t.replacementVictim(0x9000);
+    EXPECT_EQ(v->state, CohState::Communication);
+    EXPECT_EQ(v->addr, 0u);  // LRU of the two
+}
+
+TEST(NuTagArray, VictimSkipsBusyEntries)
+{
+    NuTagArray t(0, 1, 2, 128);
+    TagEntry *a = t.replacementVictim(0);
+    a->valid = true;
+    a->addr = 0;
+    a->state = CohState::Shared;
+    a->busy = true;  // read in progress: must not be displaced
+    t.touch(a);
+    TagEntry *b = t.replacementVictim(128);
+    b->valid = true;
+    b->addr = 128;
+    b->state = CohState::Shared;
+    t.touch(b);
+    TagEntry *v = t.replacementVictim(0x9000);
+    EXPECT_EQ(v, b);
+}
+
+TEST(NuDataArray, AllocateFreeCycle)
+{
+    NuDataArray d(2, 4);
+    int f = d.allocate(0);
+    ASSERT_NE(f, invalid_id);
+    d.at(0, f).valid = true;
+    d.at(0, f).addr = 0x1000;
+    EXPECT_EQ(d.occupancy(0), 1u);
+    d.free(0, f);
+    EXPECT_EQ(d.occupancy(0), 0u);
+    EXPECT_FALSE(d.at(0, f).valid);
+}
+
+TEST(NuDataArray, ExhaustionReturnsInvalid)
+{
+    NuDataArray d(1, 2);
+    int a = d.allocate(0);
+    int b = d.allocate(0);
+    d.at(0, a).valid = true;
+    d.at(0, b).valid = true;
+    EXPECT_FALSE(d.hasFree(0));
+    EXPECT_EQ(d.allocate(0), invalid_id);
+}
+
+TEST(NuDataArray, DGroupsAreIndependent)
+{
+    NuDataArray d(3, 1);
+    int f0 = d.allocate(0);
+    d.at(0, f0).valid = true;
+    EXPECT_FALSE(d.hasFree(0));
+    EXPECT_TRUE(d.hasFree(1));
+    EXPECT_TRUE(d.hasFree(2));
+}
+
+TEST(NuDataArray, RandomVictimSkipsPinned)
+{
+    NuDataArray d(1, 4);
+    Rng rng(5);
+    // Two valid frames: one pinned, one not.
+    int a = d.allocate(0);
+    int b = d.allocate(0);
+    d.at(0, a).valid = true;
+    d.at(0, a).addr = 0x100;
+    d.at(0, b).valid = true;
+    d.at(0, b).addr = 0x200;
+    for (int i = 0; i < 50; ++i) {
+        int v = d.randomVictim(0, rng, 0x100);
+        EXPECT_EQ(v, b);
+    }
+}
+
+TEST(NuDataArray, RandomVictimNoneEligible)
+{
+    NuDataArray d(1, 1);
+    Rng rng(5);
+    int a = d.allocate(0);
+    d.at(0, a).valid = true;
+    d.at(0, a).addr = 0x100;
+    EXPECT_EQ(d.randomVictim(0, rng, 0x100), invalid_id);
+}
+
+TEST(NuDataArray, RandomVictimFindsOnlyValid)
+{
+    NuDataArray d(1, 64);
+    Rng rng(5);
+    int a = d.allocate(0);
+    d.at(0, a).valid = true;
+    d.at(0, a).addr = 0x300;
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(d.randomVictim(0, rng, 0x999), a);
+}
+
+TEST(NuDataArrayDeathTest, DoubleFreePanics)
+{
+    NuDataArray d(1, 2);
+    int f = d.allocate(0);
+    d.at(0, f).valid = true;
+    d.free(0, f);
+    EXPECT_DEATH(d.free(0, f), "double free");
+}
+
+TEST(FwdPtr, EqualityAndValidity)
+{
+    FwdPtr a{1, 5}, b{1, 5}, c{2, 5};
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == c);
+    EXPECT_TRUE(a.valid());
+    EXPECT_FALSE(FwdPtr{}.valid());
+}
+
+} // namespace
+} // namespace cnsim

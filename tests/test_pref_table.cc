@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the d-group preference table (paper Figure 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nurapid/pref_table.hh"
+
+namespace cnsim
+{
+namespace
+{
+
+TEST(PrefTable, Figure1Rankings)
+{
+    PrefTable p(4, 4);
+    // Figure 1's table, d-groups a..d = 0..3.
+    const DGroupId expect[4][4] = {
+        {0, 1, 2, 3},
+        {1, 3, 0, 2},
+        {2, 0, 3, 1},
+        {3, 2, 1, 0},
+    };
+    for (CoreId c = 0; c < 4; ++c)
+        for (int r = 0; r < 4; ++r)
+            EXPECT_EQ(p.ranked(c, r), expect[c][r])
+                << "core " << c << " rank " << r;
+}
+
+TEST(PrefTable, ClosestAndFarthest)
+{
+    PrefTable p(4, 4);
+    EXPECT_EQ(p.closest(0), 0);
+    EXPECT_EQ(p.closest(1), 1);
+    EXPECT_EQ(p.closest(2), 2);
+    EXPECT_EQ(p.closest(3), 3);
+    EXPECT_EQ(p.farthest(0), 3);
+    EXPECT_EQ(p.farthest(1), 2);
+    EXPECT_EQ(p.farthest(2), 1);
+    EXPECT_EQ(p.farthest(3), 0);
+}
+
+TEST(PrefTable, StaggeredRanksAreLatinSquare)
+{
+    // No two cores share the same d-group at the same rank: that is
+    // exactly the anti-contention staggering of Section 2.2.1.
+    PrefTable p(4, 4);
+    for (int r = 0; r < 4; ++r) {
+        std::set<DGroupId> seen;
+        for (CoreId c = 0; c < 4; ++c)
+            seen.insert(p.ranked(c, r));
+        EXPECT_EQ(seen.size(), 4u) << "rank " << r;
+    }
+}
+
+TEST(PrefTable, EachCoreRanksEveryDGroupOnce)
+{
+    PrefTable p(4, 4);
+    for (CoreId c = 0; c < 4; ++c) {
+        std::set<DGroupId> seen(p.order(c).begin(), p.order(c).end());
+        EXPECT_EQ(seen.size(), 4u);
+    }
+}
+
+TEST(PrefTable, Table1Latencies)
+{
+    PrefTable p(4, 4);
+    // From P0's perspective: a=6, b=20, c=20, d=33 (Table 1).
+    EXPECT_EQ(p.latency(0, 0), 6u);
+    EXPECT_EQ(p.latency(0, 1), 20u);
+    EXPECT_EQ(p.latency(0, 2), 20u);
+    EXPECT_EQ(p.latency(0, 3), 33u);
+    // Symmetric for the other cores.
+    for (CoreId c = 0; c < 4; ++c) {
+        EXPECT_EQ(p.latency(c, p.closest(c)), 6u);
+        EXPECT_EQ(p.latency(c, p.farthest(c)), 33u);
+    }
+}
+
+TEST(PrefTable, RankOfInvertsRanked)
+{
+    PrefTable p(4, 4);
+    for (CoreId c = 0; c < 4; ++c)
+        for (int r = 0; r < 4; ++r)
+            EXPECT_EQ(p.rankOf(c, p.ranked(c, r)), r);
+}
+
+TEST(PrefTable, CustomLatencies)
+{
+    DGroupLatencies lat;
+    lat.closest = 4;
+    lat.middle = 15;
+    lat.farthest = 28;
+    PrefTable p(4, 4, lat);
+    EXPECT_EQ(p.latency(2, 2), 4u);
+    EXPECT_EQ(p.latency(2, 1), 28u);
+    EXPECT_EQ(p.latency(2, 0), 15u);
+}
+
+TEST(PrefTable, GeneralShapeIsLatinSquare)
+{
+    PrefTable p(8, 8);
+    for (int r = 0; r < 8; ++r) {
+        std::set<DGroupId> seen;
+        for (CoreId c = 0; c < 8; ++c)
+            seen.insert(p.ranked(c, r));
+        EXPECT_EQ(seen.size(), 8u);
+    }
+}
+
+} // namespace
+} // namespace cnsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the resource-occupancy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "mem/resource.hh"
+
+namespace cnsim
+{
+namespace
+{
+
+TEST(Resource, GrantsImmediatelyWhenFree)
+{
+    Resource r("r", 1);
+    EXPECT_EQ(r.acquire(100, 10), 100u);
+}
+
+TEST(Resource, SerializesOnOnePort)
+{
+    Resource r("r", 1);
+    EXPECT_EQ(r.acquire(0, 10), 0u);
+    // Arrives while busy: queued until the port frees.
+    EXPECT_EQ(r.acquire(5, 10), 10u);
+    EXPECT_EQ(r.acquire(5, 10), 20u);
+    // Arrives after the backlog drains: immediate.
+    EXPECT_EQ(r.acquire(100, 10), 100u);
+}
+
+TEST(Resource, MultiplePortsRunInParallel)
+{
+    Resource r("r", 2);
+    EXPECT_EQ(r.acquire(0, 10), 0u);
+    EXPECT_EQ(r.acquire(0, 10), 0u);   // second port
+    EXPECT_EQ(r.acquire(0, 10), 10u);  // both busy now
+}
+
+TEST(Resource, EarliestGrantDoesNotAcquire)
+{
+    Resource r("r", 1);
+    r.acquire(0, 50);
+    EXPECT_EQ(r.earliestGrant(10), 50u);
+    EXPECT_EQ(r.earliestGrant(10), 50u);  // unchanged: no side effect
+    EXPECT_EQ(r.acquire(10, 5), 50u);
+}
+
+TEST(Resource, ZeroOccupancyNeverBlocks)
+{
+    Resource r("r", 1);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(r.acquire(7, 0), 7u);
+}
+
+TEST(Resource, StatsCountWaits)
+{
+    Resource r("r", 1);
+    StatGroup g("sys");
+    r.regStats(g);
+    r.acquire(0, 10);
+    r.acquire(0, 10);  // waits 10
+    EXPECT_EQ(g.counter("r.grants").value(), 2u);
+    EXPECT_EQ(g.counter("r.waitTicks").value(), 10u);
+    EXPECT_EQ(g.counter("r.busyTicks").value(), 20u);
+    r.reset();
+    EXPECT_EQ(g.counter("r.grants").value(), 0u);
+}
+
+TEST(ResourceDeathTest, ZeroPortsPanics)
+{
+    EXPECT_DEATH(Resource("bad", 0), "at least one port");
+}
+
+} // namespace
+} // namespace cnsim

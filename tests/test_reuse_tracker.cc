@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the Figure-7 reuse tracker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/reuse_tracker.hh"
+#include "common/stats.hh"
+
+namespace cnsim
+{
+namespace
+{
+
+TEST(ReuseTracker, EmptyBucketsAreZero)
+{
+    ReuseTracker t;
+    ReuseBuckets b = t.rosBuckets();
+    EXPECT_EQ(b.samples, 0u);
+    EXPECT_DOUBLE_EQ(b.zero, 0.0);
+}
+
+TEST(ReuseTracker, BucketsMatchFigure7Boundaries)
+{
+    ReuseTracker t;
+    t.rosReplaced(0);
+    t.rosReplaced(1);
+    t.rosReplaced(2);
+    t.rosReplaced(5);
+    t.rosReplaced(6);
+    ReuseBuckets b = t.rosBuckets();
+    EXPECT_EQ(b.samples, 5u);
+    EXPECT_DOUBLE_EQ(b.zero, 0.2);
+    EXPECT_DOUBLE_EQ(b.one, 0.2);
+    EXPECT_DOUBLE_EQ(b.two_to_five, 0.4);
+    EXPECT_DOUBLE_EQ(b.more_than_five, 0.2);
+}
+
+TEST(ReuseTracker, RosAndRwsAreIndependent)
+{
+    ReuseTracker t;
+    t.rosReplaced(0);
+    t.rwsInvalidated(3);
+    EXPECT_EQ(t.rosBuckets().samples, 1u);
+    EXPECT_EQ(t.rwsBuckets().samples, 1u);
+    EXPECT_DOUBLE_EQ(t.rwsBuckets().two_to_five, 1.0);
+}
+
+TEST(ReuseTracker, LargeCountsLandInMoreThanFive)
+{
+    ReuseTracker t;
+    t.rwsInvalidated(100);  // far beyond the tracked range
+    t.rwsInvalidated(7);
+    ReuseBuckets b = t.rwsBuckets();
+    EXPECT_DOUBLE_EQ(b.more_than_five, 1.0);
+}
+
+TEST(ReuseTracker, BucketsSumToOne)
+{
+    ReuseTracker t;
+    for (std::uint64_t i = 0; i < 50; ++i)
+        t.rosReplaced(i % 9);
+    ReuseBuckets b = t.rosBuckets();
+    EXPECT_NEAR(b.zero + b.one + b.two_to_five + b.more_than_five, 1.0,
+                1e-12);
+}
+
+TEST(ReuseTracker, ResetClears)
+{
+    ReuseTracker t;
+    t.rosReplaced(2);
+    t.resetStats();
+    EXPECT_EQ(t.rosBuckets().samples, 0u);
+}
+
+TEST(ReuseTracker, RegStatsExposesDistributions)
+{
+    ReuseTracker t;
+    StatGroup g("sys");
+    t.regStats(g);
+    t.rosReplaced(1);
+    EXPECT_EQ(g.distribution("reuse.rosReplaced").samples(), 1u);
+}
+
+} // namespace
+} // namespace cnsim

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * End-to-end tests of the Runner: full workload simulations on every
+ * L2 organization, verifying the qualitative relationships the paper's
+ * evaluation rests on.
+ *
+ * These run scaled-down instruction budgets so the whole file stays
+ * fast; the bench/ binaries run the full-size versions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+
+namespace cnsim
+{
+namespace
+{
+
+RunConfig
+quickRun()
+{
+    // Scaled-down but past warm-up: at the calibrated reference rate
+    // (~1 data ref per 61 instructions for commercial models) this is
+    // roughly 50k L2-relevant references per core.
+    RunConfig rc;
+    rc.warmup_instructions = 2'000'000;
+    rc.measure_instructions = 3'000'000;
+    return rc;
+}
+
+RunResult
+quick(L2Kind kind, const std::string &workload)
+{
+    return Runner::run(Runner::paperConfig(kind),
+                       workloads::byName(workload), quickRun());
+}
+
+TEST(Runner, ProducesPlausibleIpc)
+{
+    RunResult r = quick(L2Kind::Shared, "oltp");
+    EXPECT_GT(r.ipc, 0.05);
+    EXPECT_LT(r.ipc, 4.0);
+    EXPECT_EQ(r.core_ipc.size(), 4u);
+    EXPECT_GT(r.instructions, 150'000u);
+    EXPECT_GT(r.l2_accesses, 0u);
+}
+
+TEST(Runner, FractionsSumToOne)
+{
+    for (L2Kind k : {L2Kind::Shared, L2Kind::Private, L2Kind::Nurapid}) {
+        RunResult r = quick(k, "apache");
+        EXPECT_NEAR(r.frac_hit + r.frac_ros + r.frac_rws + r.frac_cap,
+                    1.0, 1e-9)
+            << r.l2_kind;
+    }
+}
+
+TEST(Runner, SharedCacheSeesOnlyCapacityMisses)
+{
+    RunResult r = quick(L2Kind::Shared, "oltp");
+    EXPECT_DOUBLE_EQ(r.frac_ros, 0.0);
+    EXPECT_DOUBLE_EQ(r.frac_rws, 0.0);
+    // The quick budget is still partially cold; full steady state
+    // exceeds 90% (see bench/fig5_access_distribution).
+    EXPECT_GT(r.frac_hit, 0.7);
+}
+
+TEST(Runner, PrivateCachesSeeSharingMisses)
+{
+    RunResult r = quick(L2Kind::Private, "oltp");
+    // OLTP is RWS-dominated (paper Fig. 5).
+    EXPECT_GT(r.frac_rws, 0.01);
+    EXPECT_GT(r.frac_rws, r.frac_ros);
+    // Reuse tracking produced Figure-7 samples.
+    EXPECT_GT(r.rws_reuse.samples, 0u);
+}
+
+TEST(Runner, PrivateCapacityMissesExceedShared)
+{
+    // Uncontrolled replication + 2 MB per core must cost capacity.
+    RunResult shared = quick(L2Kind::Shared, "specjbb");
+    RunResult priv = quick(L2Kind::Private, "specjbb");
+    EXPECT_GE(priv.frac_cap, shared.frac_cap * 0.8);
+    EXPECT_GT(priv.miss_rate, shared.miss_rate);
+}
+
+TEST(Runner, IdealBeatsEverythingOnCommercial)
+{
+    RunResult ideal = quick(L2Kind::Ideal, "oltp");
+    RunResult shared = quick(L2Kind::Shared, "oltp");
+    RunResult priv = quick(L2Kind::Private, "oltp");
+    EXPECT_GT(ideal.ipc, shared.ipc);
+    EXPECT_GT(ideal.ipc, priv.ipc * 0.999);
+}
+
+TEST(Runner, NurapidBeatsSharedOnCommercial)
+{
+    RunResult nurapid = quick(L2Kind::Nurapid, "oltp");
+    RunResult shared = quick(L2Kind::Shared, "oltp");
+    EXPECT_GT(nurapid.ipc, shared.ipc);
+}
+
+TEST(Runner, NurapidReducesRwsMissesVsPrivate)
+{
+    RunResult nurapid = quick(L2Kind::Nurapid, "oltp");
+    RunResult priv = quick(L2Kind::Private, "oltp");
+    EXPECT_LT(nurapid.frac_rws, priv.frac_rws);
+}
+
+TEST(Runner, NurapidClosestDGroupDominatesHits)
+{
+    RunResult r = quick(L2Kind::Nurapid, "mix1");
+    // Paper Section 5.2.1: ~93% of hits land in the closest d-group.
+    EXPECT_GT(r.closest_hit_frac, 0.6);
+    EXPECT_LE(r.closest_hit_frac, 1.0);
+}
+
+TEST(Runner, MultiprogrammedPrivateBeatsShared)
+{
+    // No sharing: private's 10-cycle latency wins big (paper Fig. 12).
+    RunResult priv = quick(L2Kind::Private, "mix4");
+    RunResult shared = quick(L2Kind::Shared, "mix4");
+    EXPECT_GT(priv.ipc, shared.ipc);
+}
+
+TEST(Runner, DeterministicForFixedSeed)
+{
+    RunResult a = quick(L2Kind::Nurapid, "apache");
+    RunResult b = quick(L2Kind::Nurapid, "apache");
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.l2_accesses, b.l2_accesses);
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+}
+
+TEST(Runner, SeedPerturbationChangesTiming)
+{
+    RunConfig rc = quickRun();
+    RunConfig rc2 = quickRun();
+    rc2.seed = 99;
+    RunResult a = Runner::run(Runner::paperConfig(L2Kind::Private),
+                              workloads::byName("apache"), rc);
+    RunResult b = Runner::run(Runner::paperConfig(L2Kind::Private),
+                              workloads::byName("apache"), rc2);
+    EXPECT_NE(a.cycles, b.cycles);
+}
+
+TEST(Runner, VariabilityReportsSpread)
+{
+    RunConfig rc;
+    rc.warmup_instructions = 800'000;
+    rc.measure_instructions = 1'200'000;
+    VariabilityResult v = Runner::runVariability(
+        Runner::paperConfig(L2Kind::Private), workloads::byName("apache"),
+        rc, 3);
+    EXPECT_EQ(v.runs, 3);
+    EXPECT_GT(v.mean_ipc, 0.0);
+    EXPECT_LE(v.min_ipc, v.mean_ipc);
+    EXPECT_GE(v.max_ipc, v.mean_ipc);
+    // Perturbed seeds produce distinct timings...
+    EXPECT_GT(v.stddev_ipc, 0.0);
+    // ...but the metric is stable (paper runs multiple simulations for
+    // exactly this reason).
+    EXPECT_LT(v.stddev_ipc / v.mean_ipc, 0.1);
+}
+
+TEST(Runner, PaperConfigMatchesSection4)
+{
+    SystemConfig cfg = Runner::paperConfig(L2Kind::Nurapid);
+    EXPECT_EQ(cfg.num_cores, 4);
+    EXPECT_EQ(cfg.l1d.size, 64u * 1024);
+    EXPECT_EQ(cfg.l1d.assoc, 2u);
+    EXPECT_EQ(cfg.l1d.latency, 3u);
+    EXPECT_EQ(cfg.shared.capacity, 8ull * 1024 * 1024);
+    EXPECT_EQ(cfg.shared.assoc, 32u);
+    EXPECT_EQ(cfg.shared.latency, 59u);
+    EXPECT_EQ(cfg.priv.capacity_per_core, 2ull * 1024 * 1024);
+    EXPECT_EQ(cfg.priv.latency, 10u);
+    EXPECT_EQ(cfg.nurapid.tag_latency, 5u);
+    EXPECT_EQ(cfg.nurapid.dgroup_latencies.closest, 6u);
+    EXPECT_EQ(cfg.nurapid.dgroup_latencies.middle, 20u);
+    EXPECT_EQ(cfg.nurapid.dgroup_latencies.farthest, 33u);
+    EXPECT_EQ(cfg.bus.latency, 32u);
+    EXPECT_EQ(cfg.memory.latency, 300u);
+}
+
+} // namespace
+} // namespace cnsim

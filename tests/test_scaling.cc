@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for non-default platform scales: 8-core / 8-d-group
+ * CMP-NuRAPID, scaled capacities, and the store-buffering and
+ * reuse-notification plumbing added around the core model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mem/bus.hh"
+#include "mem/memory.hh"
+#include "nurapid/cmp_nurapid.hh"
+#include "sim/runner.hh"
+
+namespace cnsim
+{
+namespace
+{
+
+TEST(Scaling, EightCoreNurapidConstructsAndRuns)
+{
+    NurapidParams p;
+    p.num_cores = 8;
+    p.num_dgroups = 8;
+    p.dgroup_capacity = 16 * 128;
+    p.assoc = 8;
+    p.tag_factor = 2;
+    MainMemory mem;
+    SnoopBus bus;
+    CmpNurapid l2(p, bus, mem);
+    l2.setL1Hooks([](CoreId, Addr) {}, [](CoreId, Addr, bool) {});
+    Rng rng(3);
+    Tick t = 0;
+    for (int i = 0; i < 4000; ++i) {
+        MemAccess acc;
+        acc.core = static_cast<CoreId>(rng.below(8));
+        acc.addr = static_cast<Addr>(rng.below(96)) * 128;
+        acc.op = rng.chance(0.3) ? MemOp::Store : MemOp::Load;
+        l2.access(acc, t);
+        t += 50;
+    }
+    l2.checkInvariants();
+    EXPECT_GT(l2.accesses(), 0u);
+}
+
+TEST(Scaling, EightCorePlacementUsesOwnClosest)
+{
+    NurapidParams p;
+    p.num_cores = 8;
+    p.num_dgroups = 8;
+    p.dgroup_capacity = 16 * 128;
+    MainMemory mem;
+    SnoopBus bus;
+    CmpNurapid l2(p, bus, mem);
+    l2.setL1Hooks([](CoreId, Addr) {}, [](CoreId, Addr, bool) {});
+    for (CoreId c = 0; c < 8; ++c) {
+        Addr a = 0x10000ull * (c + 1);
+        l2.access({c, a, MemOp::Load}, static_cast<Tick>(c) * 100);
+        EXPECT_EQ(l2.fwdOf(c, a).dgroup, l2.prefTable().closest(c));
+    }
+    l2.checkInvariants();
+}
+
+TEST(Scaling, EightCoreSystemEndToEnd)
+{
+    SystemConfig cfg = Runner::paperConfig(L2Kind::Nurapid);
+    cfg.num_cores = 8;
+    cfg.nurapid.num_cores = 8;
+    cfg.nurapid.num_dgroups = 8;
+    WorkloadSpec w = workloads::byName("barnes", 8);
+    RunConfig rc;
+    rc.warmup_instructions = 400'000;
+    rc.measure_instructions = 600'000;
+    RunResult r = Runner::run(cfg, w, rc);
+    EXPECT_EQ(r.core_ipc.size(), 8u);
+    EXPECT_GT(r.ipc, 0.0);
+}
+
+TEST(Scaling, EightCoreMixWorkloadWrapsApps)
+{
+    // Table-2 mixes define four applications; at 8 cores each runs
+    // twice (round-robin).
+    WorkloadSpec w = workloads::byName("mix1", 8);
+    ASSERT_EQ(w.synth.threads.size(), 8u);
+    EXPECT_EQ(w.synth.threads[0].private_blocks,
+              w.synth.threads[4].private_blocks);
+}
+
+TEST(Scaling, SmallerCapacityRaisesMissRate)
+{
+    SystemConfig big = Runner::paperConfig(L2Kind::Shared);
+    SystemConfig small = Runner::paperConfig(L2Kind::Shared);
+    small.shared.capacity = 1ull * 1024 * 1024;
+    RunConfig rc;
+    rc.warmup_instructions = 2'000'000;
+    rc.measure_instructions = 2'000'000;
+    WorkloadSpec w = workloads::byName("specjbb");
+    RunResult r_big = Runner::run(big, w, rc);
+    RunResult r_small = Runner::run(small, w, rc);
+    EXPECT_GT(r_small.miss_rate, r_big.miss_rate);
+}
+
+TEST(StoreBuffering, HidesUpgradeLatency)
+{
+    // Identical stream with and without store buffering: buffered
+    // store hits must not be slower, and typically are faster on
+    // write-heavy sharing.
+    SystemConfig on = Runner::paperConfig(L2Kind::Nurapid);
+    SystemConfig off = Runner::paperConfig(L2Kind::Nurapid);
+    off.store_buffering = false;
+    RunConfig rc;
+    rc.warmup_instructions = 1'500'000;
+    rc.measure_instructions = 2'000'000;
+    WorkloadSpec w = workloads::byName("oltp");
+    RunResult r_on = Runner::run(on, w, rc);
+    RunResult r_off = Runner::run(off, w, rc);
+    EXPECT_GE(r_on.ipc, r_off.ipc);
+}
+
+TEST(StoreBuffering, MissesStillStall)
+{
+    // A store miss (write-allocate fill) is not hidden by the store
+    // buffer: IPC with buffering still reflects memory latency.
+    SystemConfig cfg = Runner::paperConfig(L2Kind::Shared);
+    cfg.memory.latency = 3000;  // exaggerate
+    SystemConfig fast = Runner::paperConfig(L2Kind::Shared);
+    RunConfig rc;
+    rc.warmup_instructions = 1'000'000;
+    rc.measure_instructions = 1'000'000;
+    WorkloadSpec w = workloads::byName("mix4");
+    RunResult slow_mem = Runner::run(cfg, w, rc);
+    RunResult fast_mem = Runner::run(fast, w, rc);
+    EXPECT_LT(slow_mem.ipc, fast_mem.ipc);
+}
+
+TEST(NonMemCpi, SlowsTheCores)
+{
+    SystemConfig lean = Runner::paperConfig(L2Kind::Ideal);
+    lean.core_non_mem_cpi = 1.0;
+    SystemConfig heavy = Runner::paperConfig(L2Kind::Ideal);
+    heavy.core_non_mem_cpi = 2.0;
+    RunConfig rc;
+    rc.warmup_instructions = 500'000;
+    rc.measure_instructions = 1'000'000;
+    WorkloadSpec w = workloads::byName("barnes");
+    RunResult fast = Runner::run(lean, w, rc);
+    RunResult slow = Runner::run(heavy, w, rc);
+    EXPECT_GT(fast.ipc, slow.ipc * 1.2);
+}
+
+} // namespace
+} // namespace cnsim

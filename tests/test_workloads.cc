@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the workload catalog (paper Tables 2 and 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/workloads.hh"
+
+namespace cnsim
+{
+namespace
+{
+
+TEST(Workloads, Table3NamesInSharingOrder)
+{
+    auto names = workloads::multithreadedNames();
+    ASSERT_EQ(names.size(), 5u);
+    EXPECT_EQ(names[0], "oltp");
+    EXPECT_EQ(names[1], "apache");
+    EXPECT_EQ(names[2], "specjbb");
+    EXPECT_EQ(names[3], "ocean");
+    EXPECT_EQ(names[4], "barnes");
+}
+
+TEST(Workloads, CommercialSubset)
+{
+    auto names = workloads::commercialNames();
+    ASSERT_EQ(names.size(), 3u);
+    for (const auto &n : names) {
+        WorkloadSpec w = workloads::byName(n);
+        EXPECT_TRUE(w.commercial);
+        EXPECT_TRUE(w.multithreaded);
+    }
+}
+
+TEST(Workloads, ScientificAreNotCommercial)
+{
+    EXPECT_FALSE(workloads::byName("ocean").commercial);
+    EXPECT_FALSE(workloads::byName("barnes").commercial);
+}
+
+TEST(Workloads, Table2Mixes)
+{
+    auto names = workloads::multiprogrammedNames();
+    ASSERT_EQ(names.size(), 4u);
+    for (const auto &n : names) {
+        WorkloadSpec w = workloads::byName(n);
+        EXPECT_FALSE(w.multithreaded);
+        EXPECT_FALSE(w.synth.shared_regions);
+        EXPECT_EQ(w.synth.threads.size(), 4u);
+        // No sharing in multiprogrammed workloads.
+        for (const auto &t : w.synth.threads) {
+            EXPECT_DOUBLE_EQ(t.frac_ros, 0.0);
+            EXPECT_DOUBLE_EQ(t.frac_rws, 0.0);
+        }
+    }
+}
+
+TEST(Workloads, SharingDecreasesFromOltpToBarnes)
+{
+    double prev = 1e9;
+    for (const auto &n : workloads::multithreadedNames()) {
+        WorkloadSpec w = workloads::byName(n);
+        double sharing =
+            w.synth.threads[0].frac_ros + w.synth.threads[0].frac_rws;
+        EXPECT_LE(sharing, prev) << n;
+        prev = sharing;
+    }
+}
+
+TEST(Workloads, OltpIsRwsDominated)
+{
+    WorkloadSpec w = workloads::byName("oltp");
+    EXPECT_GT(w.synth.threads[0].frac_rws, w.synth.threads[0].frac_ros);
+}
+
+TEST(Workloads, ApacheHasSubstantialRos)
+{
+    WorkloadSpec w = workloads::byName("apache");
+    EXPECT_GT(w.synth.threads[0].frac_ros, w.synth.threads[0].frac_rws);
+}
+
+TEST(Workloads, MixesHaveNonUniformFootprints)
+{
+    // Capacity stealing needs asymmetric demand: each mix must pair a
+    // large-footprint app with a small one.
+    for (const auto &n : workloads::multiprogrammedNames()) {
+        WorkloadSpec w = workloads::byName(n);
+        std::uint32_t lo = UINT32_MAX, hi = 0;
+        for (const auto &t : w.synth.threads) {
+            lo = std::min(lo, t.private_blocks);
+            hi = std::max(hi, t.private_blocks);
+        }
+        EXPECT_GE(hi, 2 * lo) << n;
+    }
+}
+
+TEST(Workloads, SpecAppsAllDefined)
+{
+    for (const auto &app : workloads::specAppNames()) {
+        SynthThreadParams t = workloads::specApp(app);
+        EXPECT_GT(t.private_blocks, 0u) << app;
+    }
+    // Footprint sanity: mcf and swim are the memory hogs.
+    EXPECT_GT(workloads::specApp("mcf").private_blocks,
+              workloads::specApp("mesa").private_blocks * 8);
+    EXPECT_GT(workloads::specApp("swim").private_blocks,
+              workloads::specApp("gzip").private_blocks * 4);
+}
+
+TEST(Workloads, MixCompositionMatchesTable2)
+{
+    // Table 2: MIX3 = apsi, mcf, gzip, mesa -- verify via footprints.
+    WorkloadSpec w = workloads::byName("mix3");
+    EXPECT_EQ(w.synth.threads[0].private_blocks,
+              workloads::specApp("apsi").private_blocks);
+    EXPECT_EQ(w.synth.threads[1].private_blocks,
+              workloads::specApp("mcf").private_blocks);
+    EXPECT_EQ(w.synth.threads[2].private_blocks,
+              workloads::specApp("gzip").private_blocks);
+    EXPECT_EQ(w.synth.threads[3].private_blocks,
+              workloads::specApp("mesa").private_blocks);
+}
+
+TEST(Workloads, MultithreadedShareRegions)
+{
+    for (const auto &n : workloads::multithreadedNames()) {
+        WorkloadSpec w = workloads::byName(n);
+        EXPECT_TRUE(w.synth.shared_regions) << n;
+        EXPECT_EQ(w.synth.threads.size(), 4u);
+    }
+}
+
+TEST(WorkloadsDeathTest, UnknownNamesAreFatal)
+{
+    EXPECT_DEATH(workloads::byName("nosuch"), "unknown workload");
+    EXPECT_DEATH(workloads::specApp("nosuchapp"), "unknown SPEC2K");
+}
+
+} // namespace
+} // namespace cnsim

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * cnsim command-line driver.
+ *
+ * Runs any workload from the paper's Tables 2/3 on any of the seven
+ * L2 organizations and reports the RunResult, optionally with the
+ * complete statistics dump. Examples:
+ *
+ *   cnsim --l2 nurapid --workload oltp
+ *   cnsim --l2 all --workload mix3 --measure 20000000
+ *   cnsim --l2 private --workload apache --stats
+ *   cnsim --list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "core/core.hh"
+#include "sim/event_queue.hh"
+#include "sim/runner.hh"
+#include "trace/trace_file.hh"
+
+using namespace cnsim;
+
+namespace
+{
+
+const std::vector<std::pair<std::string, L2Kind>> kinds = {
+    {"shared", L2Kind::Shared},   {"private", L2Kind::Private},
+    {"snuca", L2Kind::Snuca},     {"ideal", L2Kind::Ideal},
+    {"nurapid", L2Kind::Nurapid}, {"update", L2Kind::Update},
+    {"dnuca", L2Kind::Dnuca},
+};
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --l2 <kind>        shared|private|snuca|ideal|nurapid|update|"
+        "dnuca|all (default nurapid)\n"
+        "  --workload <name>  oltp|apache|specjbb|ocean|barnes|mix1..mix4"
+        "|mt|mp|all (default oltp)\n"
+        "  --warmup <N>       warm-up instructions per core\n"
+        "  --measure <N>      measured instructions per core\n"
+        "  --seed <N>         workload seed (default 1)\n"
+        "  --no-cr            disable controlled replication (nurapid)\n"
+        "  --no-isc           disable in-situ communication (nurapid)\n"
+        "  --promotion <p>    fastest|next-fastest|none (nurapid)\n"
+        "  --tag-factor <N>   nurapid tag-capacity multiple (1/2/4)\n"
+        "  --stats            dump the full statistics block per run\n"
+        "  --record <prefix>  record per-core traces to "
+        "<prefix>.core<N>.trc\n"
+        "  --replay <prefix>  drive the cores from recorded traces\n"
+        "  --list             list workloads and organizations\n",
+        argv0);
+}
+
+std::vector<L2Kind>
+parseKinds(const std::string &s)
+{
+    if (s == "all") {
+        std::vector<L2Kind> all;
+        for (const auto &kv : kinds)
+            all.push_back(kv.second);
+        return all;
+    }
+    for (const auto &kv : kinds) {
+        if (kv.first == s)
+            return {kv.second};
+    }
+    fatal("unknown L2 kind '%s'", s.c_str());
+}
+
+/**
+ * Drive one run with trace recording or replay. Bypasses the Runner so
+ * the cores can be fed RecordingSource/FileTraceSource wrappers; the
+ * printed metrics follow the same warm-up/measure discipline.
+ */
+RunResult
+runWithTraceIO(const SystemConfig &cfg, const WorkloadSpec &wl,
+               const RunConfig &rc, const std::string &record_prefix,
+               const std::string &replay_prefix)
+{
+    System system(cfg);
+    std::unique_ptr<SynthWorkload> synth;
+    if (replay_prefix.empty())
+        synth = std::make_unique<SynthWorkload>(wl.synth);
+
+    std::vector<std::unique_ptr<TraceFileWriter>> writers;
+    std::vector<std::unique_ptr<TraceSource>> sources;
+    for (int c = 0; c < cfg.num_cores; ++c) {
+        std::string path =
+            (record_prefix.empty() ? replay_prefix : record_prefix) +
+            ".core" + std::to_string(c) + ".trc";
+        if (!replay_prefix.empty()) {
+            sources.push_back(std::make_unique<FileTraceSource>(path));
+        } else if (!record_prefix.empty()) {
+            writers.push_back(std::make_unique<TraceFileWriter>(path));
+            sources.push_back(std::make_unique<RecordingSource>(
+                synth->source(c), *writers.back()));
+        }
+    }
+
+    EventQueue eq;
+    std::vector<std::unique_ptr<Core>> cores;
+    for (int c = 0; c < cfg.num_cores; ++c) {
+        cores.push_back(std::make_unique<Core>(
+            c, system, *sources[c], cfg.core_non_mem_cpi));
+        cores.back()->start(eq);
+    }
+    auto max_instr = [&]() {
+        std::uint64_t m = 0;
+        for (auto &core : cores)
+            m = std::max(m, core->epochInstructions());
+        return m;
+    };
+    while (max_instr() < rc.warmup_instructions)
+        eq.run(eq.now() + rc.quantum);
+    system.resetStats();
+    Tick epoch = eq.now();
+    for (auto &core : cores)
+        core->markEpoch(epoch);
+    while (max_instr() < rc.measure_instructions)
+        eq.run(eq.now() + rc.quantum);
+    system.checkInvariants();
+
+    RunResult r;
+    r.workload = wl.name;
+    r.l2_kind = system.l2().kind();
+    r.cycles = eq.now() - epoch;
+    for (auto &core : cores)
+        r.instructions += core->epochInstructions();
+    r.ipc = r.cycles ? static_cast<double>(r.instructions) / r.cycles
+                     : 0.0;
+    r.frac_hit = system.l2().clsFraction(AccessClass::Hit);
+    r.frac_ros = system.l2().clsFraction(AccessClass::ROSMiss);
+    r.frac_rws = system.l2().clsFraction(AccessClass::RWSMiss);
+    r.frac_cap = system.l2().clsFraction(AccessClass::CapacityMiss);
+    return r;
+}
+
+std::vector<std::string>
+parseWorkloads(const std::string &s)
+{
+    if (s == "mt")
+        return workloads::multithreadedNames();
+    if (s == "mp")
+        return workloads::multiprogrammedNames();
+    if (s == "all") {
+        auto v = workloads::multithreadedNames();
+        for (const auto &m : workloads::multiprogrammedNames())
+            v.push_back(m);
+        return v;
+    }
+    workloads::byName(s);  // validates (fatal on unknown)
+    return {s};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string l2_arg = "nurapid";
+    std::string wl_arg = "oltp";
+    RunConfig rc;
+    rc.warmup_instructions = 6'000'000;
+    rc.measure_instructions = 10'000'000;
+    bool want_stats = false;
+    bool no_cr = false;
+    bool no_isc = false;
+    std::string promotion = "fastest";
+    unsigned tag_factor = 2;
+    std::string record_prefix;
+    std::string replay_prefix;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", a.c_str());
+            return argv[++i];
+        };
+        if (a == "--l2") {
+            l2_arg = next();
+        } else if (a == "--workload") {
+            wl_arg = next();
+        } else if (a == "--warmup") {
+            rc.warmup_instructions = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--measure") {
+            rc.measure_instructions = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--seed") {
+            rc.seed = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--stats") {
+            want_stats = true;
+        } else if (a == "--no-cr") {
+            no_cr = true;
+        } else if (a == "--no-isc") {
+            no_isc = true;
+        } else if (a == "--promotion") {
+            promotion = next();
+        } else if (a == "--tag-factor") {
+            tag_factor =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        } else if (a == "--record") {
+            record_prefix = next();
+        } else if (a == "--replay") {
+            replay_prefix = next();
+        } else if (a == "--list") {
+            std::printf("workloads (Table 3): ");
+            for (const auto &w : workloads::multithreadedNames())
+                std::printf("%s ", w.c_str());
+            std::printf("\nworkloads (Table 2): ");
+            for (const auto &w : workloads::multiprogrammedNames())
+                std::printf("%s ", w.c_str());
+            std::printf("\nL2 organizations:    ");
+            for (const auto &kv : kinds)
+                std::printf("%s ", kv.first.c_str());
+            std::printf("\n");
+            return 0;
+        } else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            fatal("unknown option '%s'", a.c_str());
+        }
+    }
+
+    rc.collect_stats_dump = want_stats;
+
+    std::printf("%-8s %-10s %8s %8s %8s %8s %8s %9s\n", "l2",
+                "workload", "IPC", "hit%", "ros%", "rws%", "cap%",
+                "cycles");
+    for (L2Kind kind : parseKinds(l2_arg)) {
+        SystemConfig cfg = Runner::paperConfig(kind);
+        cfg.nurapid.enable_cr = !no_cr;
+        cfg.nurapid.enable_isc = !no_isc;
+        cfg.nurapid.tag_factor = tag_factor;
+        if (promotion == "next-fastest")
+            cfg.nurapid.promotion = PromotionPolicy::NextFastest;
+        else if (promotion == "none")
+            cfg.nurapid.promotion = PromotionPolicy::None;
+        else if (promotion != "fastest")
+            fatal("unknown promotion policy '%s'", promotion.c_str());
+
+        for (const auto &w : parseWorkloads(wl_arg)) {
+            RunResult r =
+                (record_prefix.empty() && replay_prefix.empty())
+                    ? Runner::run(cfg, workloads::byName(w), rc)
+                    : runWithTraceIO(cfg, workloads::byName(w), rc,
+                                     record_prefix, replay_prefix);
+            std::printf("%-8s %-10s %8.3f %7.1f%% %7.1f%% %7.1f%% "
+                        "%7.1f%% %9llu\n",
+                        r.l2_kind.c_str(), r.workload.c_str(), r.ipc,
+                        100 * r.frac_hit, 100 * r.frac_ros,
+                        100 * r.frac_rws, 100 * r.frac_cap,
+                        static_cast<unsigned long long>(r.cycles));
+            if (want_stats)
+                std::printf("%s\n", r.stats_dump.c_str());
+        }
+    }
+    return 0;
+}
