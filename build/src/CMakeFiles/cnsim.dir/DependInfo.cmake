@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/l1_cache.cc" "src/CMakeFiles/cnsim.dir/cache/l1_cache.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/cache/l1_cache.cc.o.d"
+  "/root/repo/src/cache/reuse_tracker.cc" "src/CMakeFiles/cnsim.dir/cache/reuse_tracker.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/cache/reuse_tracker.cc.o.d"
+  "/root/repo/src/cactilite/cactilite.cc" "src/CMakeFiles/cnsim.dir/cactilite/cactilite.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/cactilite/cactilite.cc.o.d"
+  "/root/repo/src/cactilite/energy.cc" "src/CMakeFiles/cnsim.dir/cactilite/energy.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/cactilite/energy.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/cnsim.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/cnsim.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/core.cc" "src/CMakeFiles/cnsim.dir/core/core.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/core/core.cc.o.d"
+  "/root/repo/src/l2/dnuca_l2.cc" "src/CMakeFiles/cnsim.dir/l2/dnuca_l2.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/l2/dnuca_l2.cc.o.d"
+  "/root/repo/src/l2/ideal_l2.cc" "src/CMakeFiles/cnsim.dir/l2/ideal_l2.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/l2/ideal_l2.cc.o.d"
+  "/root/repo/src/l2/private_l2.cc" "src/CMakeFiles/cnsim.dir/l2/private_l2.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/l2/private_l2.cc.o.d"
+  "/root/repo/src/l2/shared_l2.cc" "src/CMakeFiles/cnsim.dir/l2/shared_l2.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/l2/shared_l2.cc.o.d"
+  "/root/repo/src/l2/snuca_l2.cc" "src/CMakeFiles/cnsim.dir/l2/snuca_l2.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/l2/snuca_l2.cc.o.d"
+  "/root/repo/src/l2/update_l2.cc" "src/CMakeFiles/cnsim.dir/l2/update_l2.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/l2/update_l2.cc.o.d"
+  "/root/repo/src/mem/bus.cc" "src/CMakeFiles/cnsim.dir/mem/bus.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/mem/bus.cc.o.d"
+  "/root/repo/src/mem/crossbar.cc" "src/CMakeFiles/cnsim.dir/mem/crossbar.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/mem/crossbar.cc.o.d"
+  "/root/repo/src/mem/memory.cc" "src/CMakeFiles/cnsim.dir/mem/memory.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/mem/memory.cc.o.d"
+  "/root/repo/src/mem/resource.cc" "src/CMakeFiles/cnsim.dir/mem/resource.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/mem/resource.cc.o.d"
+  "/root/repo/src/nurapid/cmp_nurapid.cc" "src/CMakeFiles/cnsim.dir/nurapid/cmp_nurapid.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/nurapid/cmp_nurapid.cc.o.d"
+  "/root/repo/src/nurapid/data_array.cc" "src/CMakeFiles/cnsim.dir/nurapid/data_array.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/nurapid/data_array.cc.o.d"
+  "/root/repo/src/nurapid/pref_table.cc" "src/CMakeFiles/cnsim.dir/nurapid/pref_table.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/nurapid/pref_table.cc.o.d"
+  "/root/repo/src/nurapid/tag_array.cc" "src/CMakeFiles/cnsim.dir/nurapid/tag_array.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/nurapid/tag_array.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/cnsim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/CMakeFiles/cnsim.dir/sim/runner.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/sim/runner.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/cnsim.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/sim/system.cc.o.d"
+  "/root/repo/src/trace/synth.cc" "src/CMakeFiles/cnsim.dir/trace/synth.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/trace/synth.cc.o.d"
+  "/root/repo/src/trace/trace_file.cc" "src/CMakeFiles/cnsim.dir/trace/trace_file.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/trace/trace_file.cc.o.d"
+  "/root/repo/src/trace/workloads.cc" "src/CMakeFiles/cnsim.dir/trace/workloads.cc.o" "gcc" "src/CMakeFiles/cnsim.dir/trace/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
