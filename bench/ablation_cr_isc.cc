@@ -36,13 +36,23 @@ main()
                 "workload", "neither", "CR-only", "ISC-only", "CR+ISC");
     std::printf("------------------------------------------------------\n");
 
+    std::vector<benchutil::GridJob> grid;
+    for (const auto &w : workloads::multithreadedNames()) {
+        grid.push_back(benchutil::job(L2Kind::Shared, w));
+        grid.push_back(benchutil::job("none", nurapidVariant(false, false), w));
+        grid.push_back(benchutil::job("CR", nurapidVariant(true, false), w));
+        grid.push_back(benchutil::job("ISC", nurapidVariant(false, true), w));
+        grid.push_back(benchutil::job("CR+ISC", nurapidVariant(true, true), w));
+    }
+    benchutil::runAll(grid);
+
     std::vector<double> none_r, cr_r, isc_r, both_r;
     for (const auto &w : workloads::multithreadedNames()) {
         RunResult base = benchutil::run(L2Kind::Shared, w);
-        RunResult none = benchutil::run(nurapidVariant(false, false), w);
-        RunResult cr = benchutil::run(nurapidVariant(true, false), w);
-        RunResult isc = benchutil::run(nurapidVariant(false, true), w);
-        RunResult both = benchutil::run(nurapidVariant(true, true), w);
+        RunResult none = benchutil::run("none", nurapidVariant(false, false), w);
+        RunResult cr = benchutil::run("CR", nurapidVariant(true, false), w);
+        RunResult isc = benchutil::run("ISC", nurapidVariant(false, true), w);
+        RunResult both = benchutil::run("CR+ISC", nurapidVariant(true, true), w);
         std::printf("%-10s %8.3f %8.3f %8.3f %8.3f\n", w.c_str(),
                     none.ipc / base.ipc, cr.ipc / base.ipc,
                     isc.ipc / base.ipc, both.ipc / base.ipc);

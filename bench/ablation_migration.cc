@@ -54,6 +54,12 @@ main()
     benchutil::header("Ablation A6: Migration (CMP-DNUCA) vs Static (CMP-SNUCA)",
                       "[6]'s negative result, paper Sections 1 / 5.1.3");
 
+    auto names = workloads::multithreadedNames();
+    for (const auto &w : workloads::multiprogrammedNames())
+        names.push_back(w);
+    benchutil::runAll({L2Kind::Shared, L2Kind::Snuca, L2Kind::Dnuca},
+                      names);
+
     section(workloads::multithreadedNames(),
             "Multithreaded (sharing defeats migration):");
     section(workloads::multiprogrammedNames(),

@@ -37,14 +37,25 @@ main()
                 "next-fastest", "none", "(IPC relative to fastest)");
     std::printf("------------------------------------------------------\n");
 
+    std::vector<benchutil::GridJob> grid;
+    for (const auto &w : workloads::multiprogrammedNames()) {
+        grid.push_back(benchutil::job(
+            "fastest", withPromotion(PromotionPolicy::Fastest), w));
+        grid.push_back(benchutil::job(
+            "next-fastest", withPromotion(PromotionPolicy::NextFastest), w));
+        grid.push_back(benchutil::job(
+            "none", withPromotion(PromotionPolicy::None), w));
+    }
+    benchutil::runAll(grid);
+
     std::vector<double> nf_rel, none_rel;
     for (const auto &w : workloads::multiprogrammedNames()) {
         RunResult fast = benchutil::run(
-            withPromotion(PromotionPolicy::Fastest), w);
+            "fastest", withPromotion(PromotionPolicy::Fastest), w);
         RunResult next = benchutil::run(
-            withPromotion(PromotionPolicy::NextFastest), w);
+            "next-fastest", withPromotion(PromotionPolicy::NextFastest), w);
         RunResult none = benchutil::run(
-            withPromotion(PromotionPolicy::None), w);
+            "none", withPromotion(PromotionPolicy::None), w);
         std::printf("%-8s %10.3f %12.3f %10.3f\n", w.c_str(), 1.0,
                     next.ipc / fast.ipc, none.ipc / fast.ipc);
         nf_rel.push_back(next.ipc / fast.ipc);

@@ -37,14 +37,25 @@ main()
                 "workload", "never", "on-first", "on-second");
     std::printf("---------------------------------------------------------\n");
 
+    std::vector<benchutil::GridJob> grid;
+    for (const auto &w : workloads::multithreadedNames()) {
+        grid.push_back(benchutil::job(
+            "never", withReplication(ReplicationPolicy::Never), w));
+        grid.push_back(benchutil::job(
+            "on-first", withReplication(ReplicationPolicy::OnFirstUse), w));
+        grid.push_back(benchutil::job(
+            "on-second", withReplication(ReplicationPolicy::OnSecondUse), w));
+    }
+    benchutil::runAll(grid);
+
     std::vector<double> never_r, first_r;
     for (const auto &w : workloads::multithreadedNames()) {
-        RunResult never =
-            benchutil::run(withReplication(ReplicationPolicy::Never), w);
+        RunResult never = benchutil::run(
+            "never", withReplication(ReplicationPolicy::Never), w);
         RunResult first = benchutil::run(
-            withReplication(ReplicationPolicy::OnFirstUse), w);
+            "on-first", withReplication(ReplicationPolicy::OnFirstUse), w);
         RunResult second = benchutil::run(
-            withReplication(ReplicationPolicy::OnSecondUse), w);
+            "on-second", withReplication(ReplicationPolicy::OnSecondUse), w);
         std::printf("%-10s %8.3f %10.3f %11.3f   (%.1f / %.1f / %.1f)\n",
                     w.c_str(), never.ipc / second.ipc,
                     first.ipc / second.ipc, 1.0, 100 * never.frac_cap,

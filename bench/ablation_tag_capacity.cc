@@ -50,10 +50,18 @@ main()
     std::vector<std::string> names = workloads::commercialNames();
     for (const auto &w : workloads::multiprogrammedNames())
         names.push_back(w);
+
+    std::vector<benchutil::GridJob> grid;
+    for (const auto &w : names)
+        for (unsigned f : {1u, 2u, 4u})
+            grid.push_back(benchutil::job(strfmt("%ux", f),
+                                          withTagFactor(f), w));
+    benchutil::runAll(grid);
+
     for (const auto &w : names) {
-        RunResult x1 = benchutil::run(withTagFactor(1), w);
-        RunResult x2 = benchutil::run(withTagFactor(2), w);
-        RunResult x4 = benchutil::run(withTagFactor(4), w);
+        RunResult x1 = benchutil::run("1x", withTagFactor(1), w);
+        RunResult x2 = benchutil::run("2x", withTagFactor(2), w);
+        RunResult x4 = benchutil::run("4x", withTagFactor(4), w);
         std::printf("%-10s %8.3f %8.3f %8.3f\n", w.c_str(),
                     x1.ipc / x2.ipc, 1.0, x4.ipc / x2.ipc);
         r1.push_back(x1.ipc / x2.ipc);

@@ -32,6 +32,10 @@ main()
                 "nurapid", "(IPC vs uniform-shared; capMiss% in parens)");
     std::printf("--------------------------------------------------------------\n");
 
+    benchutil::runAll({L2Kind::Shared, L2Kind::Private, L2Kind::Update,
+                       L2Kind::Nurapid},
+                      workloads::multithreadedNames());
+
     std::vector<double> mesi_r, upd_r, nur_r;
     for (const auto &w : workloads::multithreadedNames()) {
         RunResult base = benchutil::run(L2Kind::Shared, w);

@@ -93,6 +93,10 @@ main()
                 "workload", "shared", "private", "nurapid", "ideal");
     std::printf("--------------------------------------------------------\n");
 
+    benchutil::runAll({L2Kind::Shared, L2Kind::Private, L2Kind::Nurapid,
+                       L2Kind::Ideal},
+                      workloads::multithreadedNames());
+
     std::vector<double> sh, pv, nu;
     for (const auto &w : workloads::multithreadedNames()) {
         RunResult rs = benchutil::run(L2Kind::Shared, w);

@@ -28,6 +28,10 @@ main()
                 "private", "ideal", "CMP-NuRAPID");
     std::printf("----------------------------------------------------------------\n");
 
+    benchutil::runAll({L2Kind::Shared, L2Kind::Snuca, L2Kind::Private,
+                       L2Kind::Ideal, L2Kind::Nurapid},
+                      workloads::multithreadedNames());
+
     std::vector<double> sn_rel, pv_rel, id_rel, nu_rel;
     for (const auto &w : workloads::multithreadedNames()) {
         RunResult base = benchutil::run(L2Kind::Shared, w);

@@ -30,6 +30,9 @@ main()
                 "miss", "closestHits");
     std::printf("----------------------------------------------------\n");
 
+    benchutil::runAll({L2Kind::Shared, L2Kind::Private, L2Kind::Nurapid},
+                      workloads::multiprogrammedNames());
+
     std::vector<double> sh_miss, pv_miss, nu_miss, nu_closest;
     for (const auto &w : workloads::multiprogrammedNames()) {
         RunResult sh = benchutil::run(L2Kind::Shared, w);

@@ -27,6 +27,10 @@ main()
                 "private", "CMP-NuRAPID");
     std::printf("----------------------------------------------------\n");
 
+    benchutil::runAll(
+        {L2Kind::Shared, L2Kind::Snuca, L2Kind::Private, L2Kind::Nurapid},
+        workloads::multiprogrammedNames());
+
     std::vector<double> sn_rel, pv_rel, nu_rel;
     for (const auto &w : workloads::multiprogrammedNames()) {
         RunResult base = benchutil::run(L2Kind::Shared, w);

@@ -30,6 +30,9 @@ main()
                 "hit", "rosMiss", "rwsMiss", "capMiss");
     std::printf("------------------------------------------------------------\n");
 
+    benchutil::runAll({L2Kind::Shared, L2Kind::Private},
+                      workloads::multithreadedNames());
+
     std::vector<double> sh_cap, pv_hit, pv_ros, pv_rws, pv_cap;
     for (const auto &w : workloads::multithreadedNames()) {
         RunResult sh = benchutil::run(L2Kind::Shared, w);

@@ -26,6 +26,10 @@ main()
                 "private", "ideal");
     std::printf("--------------------------------------------------\n");
 
+    benchutil::runAll(
+        {L2Kind::Shared, L2Kind::Snuca, L2Kind::Private, L2Kind::Ideal},
+        workloads::multithreadedNames());
+
     std::vector<double> snuca_rel, priv_rel, ideal_rel;
     for (const auto &w : workloads::multithreadedNames()) {
         RunResult base = benchutil::run(L2Kind::Shared, w);

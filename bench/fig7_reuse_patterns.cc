@@ -31,6 +31,8 @@ main()
                 "0", "1", "2-5", ">5", "0", "1", "2-5", ">5");
     std::printf("--------------------------------------------------------------------------\n");
 
+    benchutil::runAll({L2Kind::Private}, workloads::multithreadedNames());
+
     std::vector<double> ros0, ros2_5, rws2_5, rws_more;
     for (const auto &w : workloads::multithreadedNames()) {
         RunResult r = benchutil::run(L2Kind::Private, w);

@@ -39,13 +39,22 @@ main()
                 "hit", "rosMiss", "rwsMiss", "capMiss");
     std::printf("------------------------------------------------------------\n");
 
+    std::vector<benchutil::GridJob> grid;
+    for (const auto &w : workloads::multithreadedNames()) {
+        grid.push_back(benchutil::job(L2Kind::Shared, w));
+        grid.push_back(benchutil::job(L2Kind::Private, w));
+        grid.push_back(benchutil::job("CR", nurapidVariant(true, false), w));
+        grid.push_back(benchutil::job("ISC", nurapidVariant(false, true), w));
+    }
+    benchutil::runAll(grid);
+
     std::vector<double> cr_ros, cr_cap, isc_rws, pv_ros, pv_rws, pv_cap;
     for (const auto &w : workloads::multithreadedNames()) {
         RunResult rows[4] = {
             benchutil::run(L2Kind::Shared, w),
             benchutil::run(L2Kind::Private, w),
-            benchutil::run(nurapidVariant(true, false), w),
-            benchutil::run(nurapidVariant(false, true), w),
+            benchutil::run("CR", nurapidVariant(true, false), w),
+            benchutil::run("ISC", nurapidVariant(false, true), w),
         };
         const char *names[4] = {"shared", "private", "CR", "ISC"};
         for (int i = 0; i < 4; ++i) {

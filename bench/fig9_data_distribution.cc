@@ -41,10 +41,17 @@ main()
                 "closestHit", "fartherHit", "miss");
     std::printf("----------------------------------------------------------\n");
 
+    std::vector<benchutil::GridJob> grid;
+    for (const auto &w : workloads::multithreadedNames()) {
+        grid.push_back(benchutil::job("CR", nurapidVariant(true, false), w));
+        grid.push_back(benchutil::job("ISC", nurapidVariant(false, true), w));
+    }
+    benchutil::runAll(grid);
+
     std::vector<double> cr_closest, isc_closest;
     for (const auto &w : workloads::multithreadedNames()) {
-        RunResult cr = benchutil::run(nurapidVariant(true, false), w);
-        RunResult isc = benchutil::run(nurapidVariant(false, true), w);
+        RunResult cr = benchutil::run("CR", nurapidVariant(true, false), w);
+        RunResult isc = benchutil::run("ISC", nurapidVariant(false, true), w);
         const RunResult *rows[2] = {&cr, &isc};
         const char *names[2] = {"CR", "ISC"};
         for (int i = 0; i < 2; ++i) {

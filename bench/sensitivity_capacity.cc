@@ -55,6 +55,20 @@ main()
     benchutil::header("Sensitivity S1: Total L2 Capacity",
                       "extension of Section 4.2's single 8 MB point");
 
+    std::vector<benchutil::GridJob> grid;
+    for (std::uint64_t mb : {4ull, 8ull, 16ull}) {
+        for (const auto &w : workloads::commercialNames()) {
+            for (L2Kind k : {L2Kind::Shared, L2Kind::Private,
+                             L2Kind::Nurapid, L2Kind::Ideal}) {
+                grid.push_back(benchutil::job(
+                    strfmt("%lluMB/%s", (unsigned long long)mb,
+                           toString(k)),
+                    configFor(k, mb), w));
+            }
+        }
+    }
+    benchutil::runAll(grid);
+
     for (std::uint64_t mb : {4ull, 8ull, 16ull}) {
         CactiLite m;
         std::uint64_t per_core = mb * 1024 * 1024 / 4;
@@ -72,10 +86,16 @@ main()
                     "nurapid", "ideal");
         std::vector<double> pv, nu, id;
         for (const auto &w : workloads::commercialNames()) {
-            RunResult base = benchutil::run(configFor(L2Kind::Shared, mb), w);
-            RunResult p = benchutil::run(configFor(L2Kind::Private, mb), w);
-            RunResult n = benchutil::run(configFor(L2Kind::Nurapid, mb), w);
-            RunResult i = benchutil::run(configFor(L2Kind::Ideal, mb), w);
+            auto cell = [&](L2Kind k) {
+                return benchutil::run(
+                    strfmt("%lluMB/%s", (unsigned long long)mb,
+                           toString(k)),
+                    configFor(k, mb), w);
+            };
+            RunResult base = cell(L2Kind::Shared);
+            RunResult p = cell(L2Kind::Private);
+            RunResult n = cell(L2Kind::Nurapid);
+            RunResult i = cell(L2Kind::Ideal);
             std::printf("%-10s %10.3f %10.3f %10.3f\n", w.c_str(),
                         p.ipc / base.ipc, n.ipc / base.ipc,
                         i.ipc / base.ipc);

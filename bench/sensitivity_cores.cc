@@ -52,18 +52,22 @@ configFor(L2Kind kind, int cores)
 void
 row(const char *label, int cores)
 {
-    std::vector<double> pv, nu;
+    // Custom per-core-count workload specs, so this sweep drives the
+    // ParallelRunner directly instead of the bench_util grid cache.
+    ParallelRunner pool(benchutil::jobsFromEnv());
+    RunConfig rc = benchutil::runConfig();
     for (const auto &w : workloads::commercialNames()) {
         WorkloadSpec spec = workloads::byName(w, cores);
-        RunConfig rc = benchutil::runConfig();
-        RunResult base =
-            Runner::run(configFor(L2Kind::Shared, cores), spec, rc);
-        RunResult p =
-            Runner::run(configFor(L2Kind::Private, cores), spec, rc);
-        RunResult n =
-            Runner::run(configFor(L2Kind::Nurapid, cores), spec, rc);
-        pv.push_back(p.ipc / base.ipc);
-        nu.push_back(n.ipc / base.ipc);
+        pool.submit(configFor(L2Kind::Shared, cores), spec, rc);
+        pool.submit(configFor(L2Kind::Private, cores), spec, rc);
+        pool.submit(configFor(L2Kind::Nurapid, cores), spec, rc);
+    }
+    std::vector<RunResult> res = pool.run();
+
+    std::vector<double> pv, nu;
+    for (std::size_t i = 0; i < res.size(); i += 3) {
+        pv.push_back(res[i + 1].ipc / res[i].ipc);
+        nu.push_back(res[i + 2].ipc / res[i].ipc);
     }
     std::printf("%-28s %10.3f %10.3f\n", label, benchutil::geomean(pv),
                 benchutil::geomean(nu));

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cr_isc.dir/ablation_cr_isc.cc.o"
+  "CMakeFiles/ablation_cr_isc.dir/ablation_cr_isc.cc.o.d"
+  "ablation_cr_isc"
+  "ablation_cr_isc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cr_isc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_migration.dir/ablation_migration.cc.o"
+  "CMakeFiles/ablation_migration.dir/ablation_migration.cc.o.d"
+  "ablation_migration"
+  "ablation_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

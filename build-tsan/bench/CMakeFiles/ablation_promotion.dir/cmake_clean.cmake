@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_promotion.dir/ablation_promotion.cc.o"
+  "CMakeFiles/ablation_promotion.dir/ablation_promotion.cc.o.d"
+  "ablation_promotion"
+  "ablation_promotion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_promotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

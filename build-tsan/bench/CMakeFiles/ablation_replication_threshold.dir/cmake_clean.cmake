@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_replication_threshold.dir/ablation_replication_threshold.cc.o"
+  "CMakeFiles/ablation_replication_threshold.dir/ablation_replication_threshold.cc.o.d"
+  "ablation_replication_threshold"
+  "ablation_replication_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_replication_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tag_capacity.dir/ablation_tag_capacity.cc.o"
+  "CMakeFiles/ablation_tag_capacity.dir/ablation_tag_capacity.cc.o.d"
+  "ablation_tag_capacity"
+  "ablation_tag_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tag_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_update_vs_isc.dir/ablation_update_vs_isc.cc.o"
+  "CMakeFiles/ablation_update_vs_isc.dir/ablation_update_vs_isc.cc.o.d"
+  "ablation_update_vs_isc"
+  "ablation_update_vs_isc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_update_vs_isc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

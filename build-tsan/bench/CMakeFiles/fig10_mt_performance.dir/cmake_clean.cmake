@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mt_performance.dir/fig10_mt_performance.cc.o"
+  "CMakeFiles/fig10_mt_performance.dir/fig10_mt_performance.cc.o.d"
+  "fig10_mt_performance"
+  "fig10_mt_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mt_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_mp_access_distribution.dir/fig11_mp_access_distribution.cc.o"
+  "CMakeFiles/fig11_mp_access_distribution.dir/fig11_mp_access_distribution.cc.o.d"
+  "fig11_mp_access_distribution"
+  "fig11_mp_access_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_mp_access_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_mp_performance.dir/fig12_mp_performance.cc.o"
+  "CMakeFiles/fig12_mp_performance.dir/fig12_mp_performance.cc.o.d"
+  "fig12_mp_performance"
+  "fig12_mp_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_mp_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

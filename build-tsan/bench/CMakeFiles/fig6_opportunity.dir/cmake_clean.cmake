@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_opportunity.dir/fig6_opportunity.cc.o"
+  "CMakeFiles/fig6_opportunity.dir/fig6_opportunity.cc.o.d"
+  "fig6_opportunity"
+  "fig6_opportunity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_opportunity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

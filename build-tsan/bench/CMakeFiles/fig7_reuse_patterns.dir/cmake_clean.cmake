@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_reuse_patterns.dir/fig7_reuse_patterns.cc.o"
+  "CMakeFiles/fig7_reuse_patterns.dir/fig7_reuse_patterns.cc.o.d"
+  "fig7_reuse_patterns"
+  "fig7_reuse_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_reuse_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_tag_distribution.dir/fig8_tag_distribution.cc.o"
+  "CMakeFiles/fig8_tag_distribution.dir/fig8_tag_distribution.cc.o.d"
+  "fig8_tag_distribution"
+  "fig8_tag_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_tag_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

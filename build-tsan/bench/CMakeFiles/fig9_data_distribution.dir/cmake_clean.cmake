@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_data_distribution.dir/fig9_data_distribution.cc.o"
+  "CMakeFiles/fig9_data_distribution.dir/fig9_data_distribution.cc.o.d"
+  "fig9_data_distribution"
+  "fig9_data_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_data_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

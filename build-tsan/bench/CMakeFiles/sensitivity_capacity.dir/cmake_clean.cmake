@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_capacity.dir/sensitivity_capacity.cc.o"
+  "CMakeFiles/sensitivity_capacity.dir/sensitivity_capacity.cc.o.d"
+  "sensitivity_capacity"
+  "sensitivity_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_cores.dir/sensitivity_cores.cc.o"
+  "CMakeFiles/sensitivity_cores.dir/sensitivity_cores.cc.o.d"
+  "sensitivity_cores"
+  "sensitivity_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_latencies.dir/table1_latencies.cc.o"
+  "CMakeFiles/table1_latencies.dir/table1_latencies.cc.o.d"
+  "table1_latencies"
+  "table1_latencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_latencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_stealing.dir/capacity_stealing.cc.o"
+  "CMakeFiles/capacity_stealing.dir/capacity_stealing.cc.o.d"
+  "capacity_stealing"
+  "capacity_stealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_stealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cactilite.cc" "tests/CMakeFiles/cnsim_tests.dir/test_cactilite.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_cactilite.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/cnsim_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_core_system.cc" "tests/CMakeFiles/cnsim_tests.dir/test_core_system.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_core_system.cc.o.d"
+  "/root/repo/tests/test_dnuca_l2.cc" "tests/CMakeFiles/cnsim_tests.dir/test_dnuca_l2.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_dnuca_l2.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/cnsim_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/cnsim_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_geometry_sweep.cc" "tests/CMakeFiles/cnsim_tests.dir/test_geometry_sweep.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_geometry_sweep.cc.o.d"
+  "/root/repo/tests/test_l1_cache.cc" "tests/CMakeFiles/cnsim_tests.dir/test_l1_cache.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_l1_cache.cc.o.d"
+  "/root/repo/tests/test_l2_differential.cc" "tests/CMakeFiles/cnsim_tests.dir/test_l2_differential.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_l2_differential.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/cnsim_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_mesic_matrix.cc" "tests/CMakeFiles/cnsim_tests.dir/test_mesic_matrix.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_mesic_matrix.cc.o.d"
+  "/root/repo/tests/test_nurapid_arrays.cc" "tests/CMakeFiles/cnsim_tests.dir/test_nurapid_arrays.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_nurapid_arrays.cc.o.d"
+  "/root/repo/tests/test_nurapid_cr.cc" "tests/CMakeFiles/cnsim_tests.dir/test_nurapid_cr.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_nurapid_cr.cc.o.d"
+  "/root/repo/tests/test_nurapid_cs.cc" "tests/CMakeFiles/cnsim_tests.dir/test_nurapid_cs.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_nurapid_cs.cc.o.d"
+  "/root/repo/tests/test_nurapid_invariants.cc" "tests/CMakeFiles/cnsim_tests.dir/test_nurapid_invariants.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_nurapid_invariants.cc.o.d"
+  "/root/repo/tests/test_nurapid_isc.cc" "tests/CMakeFiles/cnsim_tests.dir/test_nurapid_isc.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_nurapid_isc.cc.o.d"
+  "/root/repo/tests/test_nurapid_timing.cc" "tests/CMakeFiles/cnsim_tests.dir/test_nurapid_timing.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_nurapid_timing.cc.o.d"
+  "/root/repo/tests/test_parallel_runner.cc" "tests/CMakeFiles/cnsim_tests.dir/test_parallel_runner.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_parallel_runner.cc.o.d"
+  "/root/repo/tests/test_pref_table.cc" "tests/CMakeFiles/cnsim_tests.dir/test_pref_table.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_pref_table.cc.o.d"
+  "/root/repo/tests/test_private_l2.cc" "tests/CMakeFiles/cnsim_tests.dir/test_private_l2.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_private_l2.cc.o.d"
+  "/root/repo/tests/test_resource.cc" "tests/CMakeFiles/cnsim_tests.dir/test_resource.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_resource.cc.o.d"
+  "/root/repo/tests/test_reuse_tracker.cc" "tests/CMakeFiles/cnsim_tests.dir/test_reuse_tracker.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_reuse_tracker.cc.o.d"
+  "/root/repo/tests/test_runner.cc" "tests/CMakeFiles/cnsim_tests.dir/test_runner.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_runner.cc.o.d"
+  "/root/repo/tests/test_scaling.cc" "tests/CMakeFiles/cnsim_tests.dir/test_scaling.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_scaling.cc.o.d"
+  "/root/repo/tests/test_shared_l2.cc" "tests/CMakeFiles/cnsim_tests.dir/test_shared_l2.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_shared_l2.cc.o.d"
+  "/root/repo/tests/test_snuca_l2.cc" "tests/CMakeFiles/cnsim_tests.dir/test_snuca_l2.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_snuca_l2.cc.o.d"
+  "/root/repo/tests/test_synth.cc" "tests/CMakeFiles/cnsim_tests.dir/test_synth.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_synth.cc.o.d"
+  "/root/repo/tests/test_trace_file.cc" "tests/CMakeFiles/cnsim_tests.dir/test_trace_file.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_trace_file.cc.o.d"
+  "/root/repo/tests/test_update_l2.cc" "tests/CMakeFiles/cnsim_tests.dir/test_update_l2.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_update_l2.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/cnsim_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/cnsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

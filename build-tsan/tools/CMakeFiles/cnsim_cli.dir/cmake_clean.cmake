@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnsim_cli.dir/cnsim_main.cc.o"
+  "CMakeFiles/cnsim_cli.dir/cnsim_main.cc.o.d"
+  "cnsim"
+  "cnsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

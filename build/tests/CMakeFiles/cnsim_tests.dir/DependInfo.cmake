@@ -25,6 +25,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_nurapid_invariants.cc" "tests/CMakeFiles/cnsim_tests.dir/test_nurapid_invariants.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_nurapid_invariants.cc.o.d"
   "/root/repo/tests/test_nurapid_isc.cc" "tests/CMakeFiles/cnsim_tests.dir/test_nurapid_isc.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_nurapid_isc.cc.o.d"
   "/root/repo/tests/test_nurapid_timing.cc" "tests/CMakeFiles/cnsim_tests.dir/test_nurapid_timing.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_nurapid_timing.cc.o.d"
+  "/root/repo/tests/test_parallel_runner.cc" "tests/CMakeFiles/cnsim_tests.dir/test_parallel_runner.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_parallel_runner.cc.o.d"
   "/root/repo/tests/test_pref_table.cc" "tests/CMakeFiles/cnsim_tests.dir/test_pref_table.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_pref_table.cc.o.d"
   "/root/repo/tests/test_private_l2.cc" "tests/CMakeFiles/cnsim_tests.dir/test_private_l2.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_private_l2.cc.o.d"
   "/root/repo/tests/test_resource.cc" "tests/CMakeFiles/cnsim_tests.dir/test_resource.cc.o" "gcc" "tests/CMakeFiles/cnsim_tests.dir/test_resource.cc.o.d"

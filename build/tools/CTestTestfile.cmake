@@ -10,7 +10,9 @@ add_test(cli.help "/root/repo/build/tools/cnsim" "--help")
 set_tests_properties(cli.help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli.shortRun "/root/repo/build/tools/cnsim" "--l2" "shared" "--workload" "barnes" "--warmup" "200000" "--measure" "300000")
 set_tests_properties(cli.shortRun PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.parallelGrid "/root/repo/build/tools/cnsim" "--l2" "all" "--workload" "barnes" "--warmup" "200000" "--measure" "300000" "--jobs" "4")
+set_tests_properties(cli.parallelGrid PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli.record "/root/repo/build/tools/cnsim" "--l2" "nurapid" "--workload" "barnes" "--warmup" "200000" "--measure" "300000" "--record" "/root/repo/build/tools/cli_trace")
-set_tests_properties(cli.record PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli.record PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli.replay "/root/repo/build/tools/cnsim" "--l2" "nurapid" "--workload" "barnes" "--warmup" "200000" "--measure" "300000" "--replay" "/root/repo/build/tools/cli_trace")
-set_tests_properties(cli.replay PROPERTIES  DEPENDS "cli.record" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli.replay PROPERTIES  DEPENDS "cli.record" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -9,7 +10,12 @@ namespace cnsim
 
 namespace
 {
-bool quiet_flag = false;
+// The quiet flag is the simulator's only global mutable state; parallel
+// experiment workers (sim/parallel_runner.cc) read it concurrently, so
+// it must be atomic. Each message below is emitted as one fprintf call,
+// which stdio serializes per stream, so concurrent workers never
+// interleave partial lines.
+std::atomic<bool> quiet_flag{false};
 } // namespace
 
 std::string
@@ -61,7 +67,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (quiet_flag)
+    if (quiet_flag.load(std::memory_order_relaxed))
         return;
     std::va_list args;
     va_start(args, fmt);
@@ -73,7 +79,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (quiet_flag)
+    if (quiet_flag.load(std::memory_order_relaxed))
         return;
     std::va_list args;
     va_start(args, fmt);
@@ -85,13 +91,13 @@ inform(const char *fmt, ...)
 void
 setQuiet(bool quiet)
 {
-    quiet_flag = quiet;
+    quiet_flag.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 quiet()
 {
-    return quiet_flag;
+    return quiet_flag.load(std::memory_order_relaxed);
 }
 
 } // namespace cnsim

@@ -10,6 +10,10 @@
  * inform() -- normal operating status.
  *
  * All functions take a printf-style format string.
+ *
+ * Thread-safety: every function here may be called from parallel
+ * experiment workers. The quiet flag is atomic, and each message is
+ * emitted as a single stdio call, so lines never interleave.
  */
 
 #ifndef CNSIM_COMMON_LOGGING_HH

@@ -14,6 +14,7 @@
 #ifndef CNSIM_COMMON_RNG_HH
 #define CNSIM_COMMON_RNG_HH
 
+#include <cmath>
 #include <cstdint>
 
 namespace cnsim
@@ -113,11 +114,11 @@ Rng::zipf(std::uint32_t n, double theta)
     double x;
     if (one_minus > 1e-9) {
         double max_cdf = 1.0;  // normalized
-        x = __builtin_pow(u * max_cdf, 1.0 / one_minus);
+        x = std::pow(u * max_cdf, 1.0 / one_minus);
         x *= n;
     } else {
         // theta == 1: logarithmic
-        x = __builtin_exp(u * __builtin_log(static_cast<double>(n) + 1.0)) - 1.0;
+        x = std::exp(u * std::log(static_cast<double>(n) + 1.0)) - 1.0;
     }
     auto r = static_cast<std::uint32_t>(x);
     return r >= n ? n - 1 : r;

@@ -84,6 +84,8 @@ StatGroup::dumpCsv() const
            << "\n";
         os << _name << "." << kv.first << ".mean,"
            << strfmt("%.6f", d.mean()) << "\n";
+        os << _name << "." << kv.first << ".underflow," << d.underflow()
+           << "\n";
         os << _name << "." << kv.first << ".overflow," << d.overflow()
            << "\n";
     }
@@ -110,9 +112,11 @@ StatGroup::dump() const
     }
     for (const auto &kv : dists) {
         const Distribution &d = *kv.second.first;
-        os << strfmt("%-48s samples=%llu mean=%.3f overflow=%llu",
+        os << strfmt("%-48s samples=%llu mean=%.3f underflow=%llu "
+                     "overflow=%llu",
                      (_name + "." + kv.first).c_str(),
                      static_cast<unsigned long long>(d.samples()), d.mean(),
+                     static_cast<unsigned long long>(d.underflow()),
                      static_cast<unsigned long long>(d.overflow()));
         if (!kv.second.second.empty())
             os << "  # " << kv.second.second;

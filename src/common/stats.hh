@@ -16,6 +16,8 @@
 #ifndef CNSIM_COMMON_STATS_HH
 #define CNSIM_COMMON_STATS_HH
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -62,7 +64,8 @@ class Scalar
 
 /**
  * Bucketed counts over [min, max] with one bucket per @p bucket_size
- * values, plus an overflow bucket for samples above max.
+ * values, plus underflow/overflow buckets for samples outside the
+ * configured range.
  */
 class Distribution
 {
@@ -78,6 +81,7 @@ class Distribution
         _max = max;
         _bucket = bucket_size;
         buckets.assign((max - min) / bucket_size + 1, 0);
+        _underflow = 0;
         _overflow = 0;
         _samples = 0;
         _sum = 0;
@@ -89,15 +93,16 @@ class Distribution
     {
         ++_samples;
         _sum += v;
-        if (v > _max) {
+        if (v < _min)
+            ++_underflow;
+        else if (v > _max)
             ++_overflow;
-        } else {
-            std::uint64_t b = v < _min ? 0 : (v - _min) / _bucket;
-            ++buckets[b];
-        }
+        else
+            ++buckets[(v - _min) / _bucket];
     }
 
     std::uint64_t samples() const { return _samples; }
+    std::uint64_t underflow() const { return _underflow; }
     std::uint64_t overflow() const { return _overflow; }
     double mean() const
     {
@@ -112,13 +117,22 @@ class Distribution
         return buckets[(v - _min) / _bucket];
     }
 
-    /** @return total samples in the inclusive value range [lo, hi]. */
+    /**
+     * @return total samples in the inclusive value range [lo, hi],
+     * clamped to the configured [min, max]; underflow/overflow samples
+     * are never included.
+     */
     std::uint64_t
     rangeCount(std::uint64_t lo, std::uint64_t hi) const
     {
+        lo = std::max(lo, _min);
+        hi = std::min(hi, _max);
+        if (lo > hi)
+            return 0;
         std::uint64_t total = 0;
-        for (std::uint64_t v = lo; v <= hi; v += _bucket)
-            total += bucketCount(v);
+        for (std::uint64_t b = (lo - _min) / _bucket;
+             b <= (hi - _min) / _bucket; ++b)
+            total += buckets[b];
         return total;
     }
 
@@ -127,6 +141,7 @@ class Distribution
     {
         for (auto &b : buckets)
             b = 0;
+        _underflow = 0;
         _overflow = 0;
         _samples = 0;
         _sum = 0;
@@ -137,9 +152,72 @@ class Distribution
     std::uint64_t _max = 0;
     std::uint64_t _bucket = 1;
     std::vector<std::uint64_t> buckets;
+    std::uint64_t _underflow = 0;
     std::uint64_t _overflow = 0;
     std::uint64_t _samples = 0;
     std::uint64_t _sum = 0;
+};
+
+/**
+ * Numerically stable running mean/variance over a stream of doubles
+ * (Welford's online algorithm). The textbook sum_sq/n - mean^2 form
+ * cancels catastrophically for tightly clustered values -- exactly the
+ * regime of perturbed-IPC variability runs -- and can even go
+ * negative; Welford's update cannot.
+ */
+class RunningStats
+{
+  public:
+    RunningStats() = default;
+
+    /** Accumulate one observation. */
+    void
+    push(double x)
+    {
+        ++_n;
+        if (_n == 1) {
+            _min = _max = x;
+        } else {
+            _min = std::min(_min, x);
+            _max = std::max(_max, x);
+        }
+        double delta = x - _mean;
+        _mean += delta / _n;
+        _m2 += delta * (x - _mean);
+    }
+
+    std::uint64_t count() const { return _n; }
+    double mean() const { return _mean; }
+    double min() const { return _min; }
+    double max() const { return _max; }
+
+    /** Sample (n-1) variance; 0 for fewer than two observations. */
+    double
+    sampleVariance() const
+    {
+        return _n > 1 ? std::max(_m2, 0.0) / static_cast<double>(_n - 1)
+                      : 0.0;
+    }
+
+    /** Sample standard deviation. */
+    double stddev() const { return std::sqrt(sampleVariance()); }
+
+    void
+    reset()
+    {
+        _n = 0;
+        _mean = 0.0;
+        _m2 = 0.0;
+        _min = 0.0;
+        _max = 0.0;
+    }
+
+  private:
+    std::uint64_t _n = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
 };
 
 /**

@@ -1,0 +1,108 @@
+#include "sim/parallel_runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace cnsim
+{
+
+ParallelRunner::ParallelRunner(unsigned workers)
+    : num_workers(workers ? workers : defaultWorkers())
+{
+}
+
+unsigned
+ParallelRunner::defaultWorkers()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::size_t
+ParallelRunner::submit(ParallelJob job)
+{
+    jobs.push_back(std::move(job));
+    return jobs.size() - 1;
+}
+
+std::size_t
+ParallelRunner::submit(const SystemConfig &sys_cfg,
+                       const WorkloadSpec &workload,
+                       const RunConfig &run_cfg)
+{
+    return submit(ParallelJob{sys_cfg, workload, run_cfg});
+}
+
+std::vector<RunResult>
+ParallelRunner::run()
+{
+    std::vector<ParallelJob> batch;
+    batch.swap(jobs);
+    const std::size_t total = batch.size();
+    std::vector<RunResult> results(total);
+    if (total == 0)
+        return results;
+
+    // Workers claim jobs by atomic index and write results into the
+    // submission-order slot; no result ever depends on which worker or
+    // in what order a job ran.
+    std::atomic<std::size_t> next{0};
+    std::size_t completed = 0;
+    std::mutex done_mutex;
+
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= total)
+                return;
+            auto start = std::chrono::steady_clock::now();
+            results[i] = Runner::run(batch[i].sys_cfg, batch[i].workload,
+                                     batch[i].run_cfg);
+            std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - start;
+            std::lock_guard<std::mutex> lock(done_mutex);
+            ++completed;
+            if (progress) {
+                JobReport rep;
+                rep.index = i;
+                rep.completed = completed;
+                rep.total = total;
+                rep.seconds = elapsed.count();
+                rep.job = &batch[i];
+                rep.result = &results[i];
+                progress(rep);
+            }
+        }
+    };
+
+    unsigned n = num_workers;
+    if (static_cast<std::size_t>(n) > total)
+        n = static_cast<unsigned>(total);
+    if (n <= 1) {
+        worker();
+        return results;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (unsigned t = 0; t < n; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+    return results;
+}
+
+std::vector<RunResult>
+ParallelRunner::runAll(std::vector<ParallelJob> batch, unsigned workers,
+                       ProgressFn fn)
+{
+    ParallelRunner pr(workers);
+    pr.onProgress(std::move(fn));
+    for (auto &job : batch)
+        pr.submit(std::move(job));
+    return pr.run();
+}
+
+} // namespace cnsim

@@ -5,9 +5,11 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "core/core.hh"
 #include "l2/private_l2.hh"
 #include "sim/event_queue.hh"
+#include "sim/parallel_runner.hh"
 
 namespace cnsim
 {
@@ -15,28 +17,32 @@ namespace cnsim
 VariabilityResult
 Runner::runVariability(const SystemConfig &sys_cfg,
                        const WorkloadSpec &workload,
-                       const RunConfig &run_cfg, int runs)
+                       const RunConfig &run_cfg, int runs, unsigned jobs)
 {
     cnsim_assert(runs >= 1, "need at least one run");
-    VariabilityResult v;
-    v.runs = runs;
-    double sum = 0.0, sum_sq = 0.0;
+
+    // The perturbed repetitions are independent, so fan them out; the
+    // seeding scheme is the historical serial one, and results come
+    // back in submission order, so the statistics below are identical
+    // for any worker count.
+    ParallelRunner pool(jobs);
     for (int i = 0; i < runs; ++i) {
         RunConfig rc = run_cfg;
         rc.seed = run_cfg.seed + static_cast<std::uint64_t>(i) * 9973;
-        RunResult r = run(sys_cfg, workload, rc);
-        sum += r.ipc;
-        sum_sq += r.ipc * r.ipc;
-        if (i == 0) {
-            v.min_ipc = v.max_ipc = r.ipc;
-        } else {
-            v.min_ipc = std::min(v.min_ipc, r.ipc);
-            v.max_ipc = std::max(v.max_ipc, r.ipc);
-        }
+        pool.submit(sys_cfg, workload, rc);
     }
-    v.mean_ipc = sum / runs;
-    double var = sum_sq / runs - v.mean_ipc * v.mean_ipc;
-    v.stddev_ipc = var > 0 ? std::sqrt(var) : 0.0;
+    std::vector<RunResult> results = pool.run();
+
+    RunningStats ipc;
+    for (const RunResult &r : results)
+        ipc.push(r.ipc);
+
+    VariabilityResult v;
+    v.runs = runs;
+    v.mean_ipc = ipc.mean();
+    v.stddev_ipc = ipc.stddev();
+    v.min_ipc = ipc.min();
+    v.max_ipc = ipc.max();
     return v;
 }
 

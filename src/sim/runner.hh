@@ -103,10 +103,18 @@ class Runner
      * interleaving) and report the IPC spread -- the multithreaded-
      * variability treatment of Alameldeen & Wood [1] that the paper's
      * methodology follows (Section 4.3).
+     *
+     * The repetitions are independent and fan out over @p jobs worker
+     * threads (0 = hardware concurrency); the per-repetition seeds and
+     * the reported statistics are identical for every @p jobs value.
+     * The spread uses Welford's online algorithm with the sample (n-1)
+     * variance, which is numerically stable for the tightly clustered
+     * IPCs perturbation produces.
      */
     static VariabilityResult runVariability(
         const SystemConfig &sys_cfg, const WorkloadSpec &workload,
-        const RunConfig &run_cfg = RunConfig{}, int runs = 5);
+        const RunConfig &run_cfg = RunConfig{}, int runs = 5,
+        unsigned jobs = 0);
 
     /**
      * Build the paper's Section-4 system configuration for @p kind

@@ -207,6 +207,116 @@ TEST(Stats, DistributionWiderBuckets)
     EXPECT_EQ(d.bucketCount(10), 1u);
 }
 
+TEST(Stats, DistributionUnderflowCountedSeparately)
+{
+    // Regression: samples below min used to be folded into bucket 0,
+    // silently inflating the lowest bucket.
+    Distribution d;
+    d.init(10, 19, 1);
+    d.sample(3);   // underflow
+    d.sample(10);  // bucket 0
+    d.sample(25);  // overflow
+    EXPECT_EQ(d.samples(), 3u);
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 1u);
+    EXPECT_EQ(d.bucketCount(10), 1u);
+    EXPECT_EQ(d.rangeCount(10, 19), 1u);
+    d.reset();
+    EXPECT_EQ(d.underflow(), 0u);
+    EXPECT_EQ(d.overflow(), 0u);
+}
+
+TEST(Stats, DistributionRangeCountClampsToConfiguredRange)
+{
+    // Regression: lo/hi outside [min, max] used to trip the
+    // bucketCount assert instead of clamping.
+    Distribution d;
+    d.init(10, 19, 2);
+    for (std::uint64_t v = 10; v <= 19; ++v)
+        d.sample(v);
+    EXPECT_EQ(d.rangeCount(0, 100), 10u);
+    EXPECT_EQ(d.rangeCount(0, 11), 2u);
+    EXPECT_EQ(d.rangeCount(18, 100), 2u);
+    EXPECT_EQ(d.rangeCount(0, 5), 0u);    // entirely below
+    EXPECT_EQ(d.rangeCount(30, 40), 0u);  // entirely above
+    EXPECT_EQ(d.rangeCount(15, 12), 0u);  // empty range
+}
+
+TEST(Stats, DistributionRangeCountCoversPartialTrailingBucket)
+{
+    // Regression: stepping by bucket_size from lo used to skip the
+    // bucket containing hi when (hi - lo) was not a bucket multiple.
+    Distribution d;
+    d.init(0, 99, 10);
+    d.sample(14);
+    EXPECT_EQ(d.rangeCount(5, 14), 1u);
+}
+
+TEST(Stats, RunningStatsMatchesTwoPass)
+{
+    RunningStats rs;
+    const double xs[] = {1.5, 2.0, 0.5, 4.0, 3.0};
+    double sum = 0.0;
+    for (double x : xs) {
+        rs.push(x);
+        sum += x;
+    }
+    const std::size_t n = sizeof(xs) / sizeof(xs[0]);
+    double mean = sum / n;
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= n - 1;
+    EXPECT_EQ(rs.count(), n);
+    EXPECT_DOUBLE_EQ(rs.mean(), mean);
+    EXPECT_NEAR(rs.sampleVariance(), var, 1e-15);
+    EXPECT_DOUBLE_EQ(rs.min(), 0.5);
+    EXPECT_DOUBLE_EQ(rs.max(), 4.0);
+}
+
+TEST(Stats, RunningStatsSurvivesCatastrophicCancellation)
+{
+    // Regression for the old sum_sq/n - mean^2 stddev: for tightly
+    // clustered values around a large mean the two terms cancel to
+    // noise and the variance could go negative. Welford must return
+    // (a) a non-negative variance and (b) the right value.
+    RunningStats rs;
+    const double base = 1e8;
+    const double xs[] = {base + 0.1, base + 0.2, base + 0.3};
+    double naive_sum = 0.0, naive_sum_sq = 0.0;
+    for (double x : xs) {
+        rs.push(x);
+        naive_sum += x;
+        naive_sum_sq += x * x;
+    }
+    double naive_mean = naive_sum / 3;
+    double naive_var = naive_sum_sq / 3 - naive_mean * naive_mean;
+    // The naive population variance should be ~0.00667 but is
+    // dominated by cancellation error at this magnitude.
+    EXPECT_GT(std::abs(naive_var - 0.02 / 3), 1e-4);
+    // Welford is limited only by the inputs' own rounding at 1e8
+    // magnitude (~1.5e-8 spacing), not by cancellation.
+    EXPECT_NEAR(rs.sampleVariance(), 0.01, 1e-8);
+    EXPECT_NEAR(rs.stddev(), 0.1, 1e-7);
+    EXPECT_GE(rs.sampleVariance(), 0.0);
+}
+
+TEST(Stats, RunningStatsDegenerateCases)
+{
+    RunningStats rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.sampleVariance(), 0.0);
+    rs.push(2.5);
+    // A single observation has no sample variance.
+    EXPECT_DOUBLE_EQ(rs.sampleVariance(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(rs.min(), 2.5);
+    EXPECT_DOUBLE_EQ(rs.max(), 2.5);
+    rs.reset();
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+}
+
 TEST(Stats, GroupRegistrationAndLookup)
 {
     StatGroup g("sys");

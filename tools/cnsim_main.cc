@@ -9,7 +9,13 @@
  *   cnsim --l2 nurapid --workload oltp
  *   cnsim --l2 all --workload mix3 --measure 20000000
  *   cnsim --l2 private --workload apache --stats
+ *   cnsim --l2 all --workload all --jobs 8
  *   cnsim --list
+ *
+ * Grid sweeps (--l2 all / --workload all) fan the independent runs out
+ * over --jobs worker threads (default: hardware concurrency). Results
+ * are printed in grid order and are byte-identical for every --jobs
+ * value; per-job progress and elapsed time go to stderr.
  */
 
 #include <cstdio>
@@ -23,6 +29,7 @@
 #include "common/logging.hh"
 #include "core/core.hh"
 #include "sim/event_queue.hh"
+#include "sim/parallel_runner.hh"
 #include "sim/runner.hh"
 #include "trace/trace_file.hh"
 
@@ -50,6 +57,9 @@ usage(const char *argv0)
         "  --warmup <N>       warm-up instructions per core\n"
         "  --measure <N>      measured instructions per core\n"
         "  --seed <N>         workload seed (default 1)\n"
+        "  --jobs <N>         worker threads for grid sweeps (default: "
+        "hardware\n"
+        "                     concurrency; results identical for any N)\n"
         "  --no-cr            disable controlled replication (nurapid)\n"
         "  --no-isc           disable in-situ communication (nurapid)\n"
         "  --promotion <p>    fastest|next-fastest|none (nurapid)\n"
@@ -173,6 +183,7 @@ main(int argc, char **argv)
     RunConfig rc;
     rc.warmup_instructions = 6'000'000;
     rc.measure_instructions = 10'000'000;
+    unsigned jobs = ParallelRunner::defaultWorkers();
     bool want_stats = false;
     bool no_cr = false;
     bool no_isc = false;
@@ -198,6 +209,12 @@ main(int argc, char **argv)
             rc.measure_instructions = std::strtoull(next(), nullptr, 10);
         } else if (a == "--seed") {
             rc.seed = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--jobs") {
+            const char *v = next();
+            char *end = nullptr;
+            jobs = static_cast<unsigned>(std::strtoul(v, &end, 10));
+            if (end == v || *end != '\0' || jobs == 0)
+                fatal("--jobs needs a positive integer, got '%s'", v);
         } else if (a == "--stats") {
             want_stats = true;
         } else if (a == "--no-cr") {
@@ -236,9 +253,11 @@ main(int argc, char **argv)
 
     rc.collect_stats_dump = want_stats;
 
-    std::printf("%-8s %-10s %8s %8s %8s %8s %8s %9s\n", "l2",
-                "workload", "IPC", "hit%", "ros%", "rws%", "cap%",
-                "cycles");
+    const bool trace_io = !record_prefix.empty() || !replay_prefix.empty();
+
+    // Build the (L2 kind x workload) grid in print order.
+    ParallelRunner pool(jobs);
+    std::vector<RunResult> results;
     for (L2Kind kind : parseKinds(l2_arg)) {
         SystemConfig cfg = Runner::paperConfig(kind);
         cfg.nurapid.enable_cr = !no_cr;
@@ -252,20 +271,39 @@ main(int argc, char **argv)
             fatal("unknown promotion policy '%s'", promotion.c_str());
 
         for (const auto &w : parseWorkloads(wl_arg)) {
-            RunResult r =
-                (record_prefix.empty() && replay_prefix.empty())
-                    ? Runner::run(cfg, workloads::byName(w), rc)
-                    : runWithTraceIO(cfg, workloads::byName(w), rc,
-                                     record_prefix, replay_prefix);
-            std::printf("%-8s %-10s %8.3f %7.1f%% %7.1f%% %7.1f%% "
-                        "%7.1f%% %9llu\n",
-                        r.l2_kind.c_str(), r.workload.c_str(), r.ipc,
-                        100 * r.frac_hit, 100 * r.frac_ros,
-                        100 * r.frac_rws, 100 * r.frac_cap,
-                        static_cast<unsigned long long>(r.cycles));
-            if (want_stats)
-                std::printf("%s\n", r.stats_dump.c_str());
+            if (trace_io) {
+                // Trace record/replay shares files between runs, so it
+                // stays serial and bypasses the pool.
+                results.push_back(runWithTraceIO(cfg, workloads::byName(w),
+                                                 rc, record_prefix,
+                                                 replay_prefix));
+            } else {
+                pool.submit(cfg, workloads::byName(w), rc);
+            }
         }
+    }
+
+    if (!trace_io) {
+        pool.onProgress([](const JobReport &rep) {
+            inform("[%zu/%zu] %s/%s: %.1fs", rep.completed, rep.total,
+                   rep.result->l2_kind.c_str(),
+                   rep.result->workload.c_str(), rep.seconds);
+        });
+        results = pool.run();
+    }
+
+    std::printf("%-8s %-10s %8s %8s %8s %8s %8s %9s\n", "l2",
+                "workload", "IPC", "hit%", "ros%", "rws%", "cap%",
+                "cycles");
+    for (const RunResult &r : results) {
+        std::printf("%-8s %-10s %8.3f %7.1f%% %7.1f%% %7.1f%% "
+                    "%7.1f%% %9llu\n",
+                    r.l2_kind.c_str(), r.workload.c_str(), r.ipc,
+                    100 * r.frac_hit, 100 * r.frac_ros,
+                    100 * r.frac_rws, 100 * r.frac_cap,
+                    static_cast<unsigned long long>(r.cycles));
+        if (want_stats)
+            std::printf("%s\n", r.stats_dump.c_str());
     }
     return 0;
 }
