@@ -16,6 +16,7 @@
 #include "mem/bus.hh"
 #include "mem/memory.hh"
 #include "nurapid/cmp_nurapid.hh"
+#include "obs/trace_sink.hh"
 #include "sim/event_queue.hh"
 #include "trace/workloads.hh"
 
@@ -133,6 +134,62 @@ BM_NurapidInvariantCheck(benchmark::State &state)
         l2.checkInvariants();
 }
 BENCHMARK(BM_NurapidInvariantCheck);
+
+/**
+ * The observability overhead budget (DESIGN.md 3d): tag lookups with a
+ * null sink vs. an attached-but-inactive sink vs. a recording sink.
+ * The disabled hot path must stay within a few percent of the null
+ * baseline -- compare BM_NurapidAccess to BM_NurapidAccessTracingOff.
+ */
+void
+BM_NurapidAccessTracingOff(benchmark::State &state)
+{
+    MainMemory mem;
+    SnoopBus bus;
+    CmpNurapid l2(NurapidParams{}, bus, mem);
+    l2.setL1Hooks([](CoreId, Addr) {}, [](CoreId, Addr, bool) {});
+    // An inactive sink: attached, but neither armed nor listened to,
+    // so every emit helper falls through the active() test.
+    obs::TraceSink sink;
+    l2.setTraceSink(&sink);
+    Rng rng(4);  // same stream as BM_NurapidAccess
+    Tick t = 0;
+    for (auto _ : state) {
+        MemAccess acc{static_cast<CoreId>(rng.below(4)),
+                      static_cast<Addr>(rng.below(16384)) * 128,
+                      rng.chance(0.3) ? MemOp::Store : MemOp::Load};
+        benchmark::DoNotOptimize(l2.access(acc, t));
+        t += 100;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NurapidAccessTracingOff);
+
+void
+BM_NurapidAccessTracingOn(benchmark::State &state)
+{
+    MainMemory mem;
+    SnoopBus bus;
+    CmpNurapid l2(NurapidParams{}, bus, mem);
+    l2.setL1Hooks([](CoreId, Addr) {}, [](CoreId, Addr, bool) {});
+    obs::ObsParams op;
+    op.trace = true;
+    op.max_events = 1'000'000;
+    obs::TraceSink sink(op);
+    sink.armRecording();
+    l2.setTraceSink(&sink);
+    Rng rng(4);
+    Tick t = 0;
+    for (auto _ : state) {
+        MemAccess acc{static_cast<CoreId>(rng.below(4)),
+                      static_cast<Addr>(rng.below(16384)) * 128,
+                      rng.chance(0.3) ? MemOp::Store : MemOp::Load};
+        benchmark::DoNotOptimize(l2.access(acc, t));
+        t += 100;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NurapidAccessTracingOn);
 
 void
 BM_SynthTraceGeneration(benchmark::State &state)

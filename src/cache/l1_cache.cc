@@ -1,6 +1,7 @@
 #include "cache/l1_cache.hh"
 
 #include "common/logging.hh"
+#include "obs/trace_sink.hh"
 
 namespace cnsim
 {
@@ -102,16 +103,19 @@ L1Cache::fill(Addr addr, bool owned, bool write_through)
 bool
 L1Cache::invalidateL2Block(Addr l2_block_addr, unsigned l2_block_size)
 {
-    bool any = false;
+    std::uint64_t removed = 0;
     for (Addr a = l2_block_addr; a < l2_block_addr + l2_block_size;
          a += params.block_size) {
         if (Block *b = findBlock(a)) {
             b->valid = false;
-            any = true;
+            ++removed;
             n_invalidations.inc();
         }
     }
-    return any;
+    if (removed && sink)
+        sink->backInval(sink->approxNow(), track, core_id, l2_block_addr,
+                        removed);
+    return removed != 0;
 }
 
 void
@@ -144,6 +148,14 @@ L1Cache::resetStats()
     n_hits.reset();
     n_misses.reset();
     n_invalidations.reset();
+}
+
+void
+L1Cache::attachSink(obs::TraceSink *s, CoreId core)
+{
+    sink = s;
+    core_id = core;
+    track = s ? s->registerComponent("l1." + _name) : -1;
 }
 
 void

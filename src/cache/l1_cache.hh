@@ -27,6 +27,11 @@
 namespace cnsim
 {
 
+namespace obs
+{
+class TraceSink;
+} // namespace obs
+
 /** Parameters for an L1 cache. */
 struct L1Params
 {
@@ -98,6 +103,14 @@ class L1Cache
     /** Drop all contents (used between runs). */
     void flushAll();
 
+    /**
+     * Emit an L1BackInval event into @p s whenever a back-invalidation
+     * actually removes blocks; @p core tags the events with the owning
+     * core. Back-invalidations arrive through untimed hooks, so the
+     * events carry the sink's last-seen tick.
+     */
+    void attachSink(obs::TraceSink *s, CoreId core);
+
   private:
     struct Block
     {
@@ -120,6 +133,10 @@ class L1Cache
     Counter n_hits;
     Counter n_misses;
     Counter n_invalidations;
+
+    obs::TraceSink *sink = nullptr;
+    int track = -1;
+    CoreId core_id = invalid_id;
 };
 
 } // namespace cnsim

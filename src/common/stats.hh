@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -249,6 +250,26 @@ class StatGroup
     bool hasCounter(const std::string &n) const
     {
         return counters.count(n) != 0;
+    }
+
+    /** Visit every registered counter in name order. */
+    void
+    forEachCounter(
+        const std::function<void(const std::string &, const Counter *)>
+            &fn) const
+    {
+        for (const auto &kv : counters)
+            fn(kv.first, kv.second.first);
+    }
+
+    /** Visit every registered scalar in name order. */
+    void
+    forEachScalar(
+        const std::function<void(const std::string &, const Scalar *)>
+            &fn) const
+    {
+        for (const auto &kv : scalars)
+            fn(kv.first, kv.second.first);
     }
 
     /** Reset every registered statistic (end of warm-up). */

@@ -1,5 +1,6 @@
 #include "core/core.hh"
 
+#include "obs/trace_sink.hh"
 #include "sim/system.hh"
 
 namespace cnsim
@@ -28,6 +29,8 @@ Core::step(EventQueue &eq, Tick now)
     n_instr.inc(rec.gap + 1);
     n_data_refs.inc();
     Tick done = system.access(_id, rec, issue);
+    if (sink && done > issue && done - issue >= stall_threshold)
+        sink->coreStall(issue, track, _id, rec.addr, done - issue);
     if (done <= now)
         done = now + 1;
     eq.schedule(done, [this, &eq](Tick t) { step(eq, t); });
@@ -45,6 +48,18 @@ Core::ipc(Tick now) const
 {
     Tick dt = now - epoch_start;
     return dt ? static_cast<double>(epochInstructions()) / dt : 0.0;
+}
+
+void
+Core::attachSink(obs::TraceSink *s)
+{
+    sink = s;
+    if (!s) {
+        track = -1;
+        return;
+    }
+    track = s->registerComponent(strfmt("core%d", _id));
+    stall_threshold = s->stallThreshold();
 }
 
 void

@@ -24,6 +24,10 @@ namespace cnsim
 {
 
 class System;
+namespace obs
+{
+class TraceSink;
+} // namespace obs
 
 /** A single trace-driven in-order core. */
 class Core
@@ -65,6 +69,9 @@ class Core
 
     void regStats(StatGroup &group);
 
+    /** Attach @p s as this core's stall-event sink (null detaches). */
+    void attachSink(obs::TraceSink *s);
+
   private:
     void step(EventQueue &eq, Tick now);
 
@@ -72,6 +79,9 @@ class Core
     System &system;
     TraceSource &source;
     double non_mem_cpi;
+    obs::TraceSink *sink = nullptr;
+    int track = -1;
+    Tick stall_threshold = 0;
 
     Counter n_instr;
     Counter n_data_refs;

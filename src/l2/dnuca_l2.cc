@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/trace_sink.hh"
 
 namespace cnsim
 {
@@ -86,19 +87,30 @@ DnucaL2::access(const MemAccess &acc, Tick at)
         Tick done = grant + bankLatency(acc.core, bank);
         if (acc.op == MemOp::Store) {
             for (CoreId c = 0; c < params.num_cores; ++c) {
-                if (c != acc.core && (b->l1_sharers & (1u << c)))
+                if (c != acc.core && (b->l1_sharers & (1u << c))) {
+                    emitDir(done, c, baddr, dirState(*b, c),
+                            CohState::Invalid, obs::TransCause::BusRdX);
                     invalidateL1(c, baddr);
+                }
             }
+            emitDir(done, acc.core, baddr, dirState(*b, acc.core),
+                    CohState::Modified, obs::TransCause::PrWr);
             b->l1_sharers = me;
             b->l1_owner = acc.core;
             b->dirty = true;
             res.l1Owned = true;
         } else {
             if (b->l1_owner != invalid_id && b->l1_owner != acc.core) {
+                emitDir(done, b->l1_owner, baddr, CohState::Modified,
+                        CohState::Shared, obs::TransCause::BusRd);
                 downgradeL1(b->l1_owner, baddr, false);
                 b->dirty = true;
                 b->l1_owner = invalid_id;
             }
+            // An owner re-reading its own block keeps it Modified.
+            if (b->l1_owner != acc.core)
+                emitDir(done, acc.core, baddr, dirState(*b, acc.core),
+                        CohState::Shared, obs::TransCause::PrRd);
             b->l1_sharers |= me;
             res.l1Owned = b->l1_owner == acc.core;
         }
@@ -122,12 +134,18 @@ DnucaL2::access(const MemAccess &acc, Tick at)
     Block *v = array.victim(baddr);
     if (v->valid) {
         for (CoreId c = 0; c < params.num_cores; ++c) {
-            if (v->l1_sharers & (1u << c))
+            if (v->l1_sharers & (1u << c)) {
+                emitDir(done, c, v->addr, dirState(*v, c),
+                        CohState::Invalid, obs::TransCause::Replacement);
                 invalidateL1(c, v->addr);
+            }
         }
         if (v->dirty || v->l1_owner != invalid_id)
             memory.writeback(done);
     }
+    emitDir(fill, acc.core, baddr, CohState::Invalid,
+            acc.op == MemOp::Store ? CohState::Modified : CohState::Shared,
+            obs::TransCause::Fill);
     v->valid = true;
     v->addr = baddr;
     v->dirty = acc.op == MemOp::Store;
@@ -160,6 +178,56 @@ DnucaL2::checkInvariants() const
         cnsim_assert(b.bank < nparams.banks, "block in bank %u of %u",
                      static_cast<unsigned>(b.bank), nparams.banks);
     }
+}
+
+CohState
+DnucaL2::dirState(const Block &b, CoreId c)
+{
+    if (b.l1_owner == c)
+        return CohState::Modified;
+    if (b.l1_sharers & (1u << c))
+        return CohState::Shared;
+    return CohState::Invalid;
+}
+
+void
+DnucaL2::emitDir(Tick t, CoreId core, Addr addr, CohState olds,
+                 CohState news, obs::TransCause cause)
+{
+    if (sink && olds != news)
+        sink->transition(t, core_tracks[core], core, addr, olds, news,
+                         cause);
+}
+
+void
+DnucaL2::checkBlockInvariants(Addr addr) const
+{
+    Addr baddr = blockAlign(addr, params.block_size);
+    const Block *b = array.find(baddr);
+    if (!b)
+        return;
+    cnsim_assert(b->addr == baddr, "misaligned block %llx",
+                 static_cast<unsigned long long>(b->addr));
+    cnsim_assert(b->bank < nparams.banks, "block in bank %u of %u",
+                 static_cast<unsigned>(b->bank), nparams.banks);
+    cnsim_assert(b->l1_owner == invalid_id ||
+                     (b->l1_sharers & (1u << b->l1_owner)),
+                 "L1 owner %d not in sharer set of block %llx",
+                 b->l1_owner, static_cast<unsigned long long>(baddr));
+}
+
+void
+DnucaL2::setTraceSink(obs::TraceSink *s)
+{
+    L2Org::setTraceSink(s);
+    core_tracks.clear();
+    if (!s)
+        return;
+    for (int c = 0; c < params.num_cores; ++c)
+        core_tracks.push_back(
+            s->registerComponent(strfmt("l2.dnuca.core%d", c)));
+    for (std::size_t b = 0; b < bank_ports.size(); ++b)
+        bank_ports[b]->attachSink(s, strfmt("l2.dnuca.bank%zu", b));
 }
 
 void

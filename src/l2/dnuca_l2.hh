@@ -25,12 +25,14 @@
 #include <memory>
 #include <vector>
 
+#include "cache/coh_state.hh"
 #include "cache/set_assoc.hh"
 #include "l2/l2_org.hh"
 #include "l2/shared_l2.hh"
 #include "l2/snuca_l2.hh"
 #include "mem/memory.hh"
 #include "mem/resource.hh"
+#include "obs/event.hh"
 
 namespace cnsim
 {
@@ -47,6 +49,8 @@ class DnucaL2 : public L2Org
     void regStats(StatGroup &group) override;
     void resetStats() override;
     void checkInvariants() const override;
+    void checkBlockInvariants(Addr addr) const override;
+    void setTraceSink(obs::TraceSink *s) override;
 
     /** Current bank of @p addr, or invalid_id if not cached (tests). */
     int bankOf(Addr addr) const;
@@ -79,12 +83,20 @@ class DnucaL2 : public L2Org
     /** One-hop migration of @p b toward @p core. */
     void migrateToward(Block *b, CoreId core);
 
+    /** Directory view of @p b as MESI from @p c's perspective. */
+    static CohState dirState(const Block &b, CoreId c);
+
+    /** Emit a directory transition on @p core's track (if it moved). */
+    void emitDir(Tick t, CoreId core, Addr addr, CohState olds,
+                 CohState news, obs::TransCause cause);
+
     SharedL2Params params;
     SnucaParams nparams;
     unsigned side;
     MainMemory &memory;
     SetAssocArray<Block> array;
     std::vector<std::unique_ptr<Resource>> bank_ports;
+    std::vector<int> core_tracks;
 
     Counter n_migrations;
 };

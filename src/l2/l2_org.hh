@@ -22,6 +22,11 @@
 namespace cnsim
 {
 
+namespace obs
+{
+class TraceSink;
+} // namespace obs
+
 /** Base class for L2 cache organizations. */
 class L2Org
 {
@@ -64,6 +69,21 @@ class L2Org
 
     /** Verify internal invariants; panics on violation. */
     virtual void checkInvariants() const {}
+
+    /**
+     * Verify the structural invariants involving one block (the
+     * per-block slice of checkInvariants); called by the protocol
+     * auditor at inter-access safe points. The default checks nothing.
+     */
+    virtual void checkBlockInvariants(Addr addr) const { (void)addr; }
+
+    /**
+     * Attach the observability sink; organizations override to
+     * register their component tracks (and forward to inner caches and
+     * resources) and then emit typed events on every state change.
+     * Pass null to detach.
+     */
+    virtual void setTraceSink(obs::TraceSink *s) { sink = s; }
 
     /**
      * Notification that @p core's L1 serviced a data access to @p addr
@@ -153,6 +173,9 @@ class L2Org
     }
 
     std::string _name;
+
+    /** Observability sink; null (and dormant) unless enabled. */
+    obs::TraceSink *sink = nullptr;
 
   private:
     Counter n_accesses;

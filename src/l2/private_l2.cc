@@ -1,6 +1,7 @@
 #include "l2/private_l2.hh"
 
 #include "common/logging.hh"
+#include "obs/trace_sink.hh"
 
 namespace cnsim
 {
@@ -19,10 +20,21 @@ PrivateL2::PrivateL2(const PrivateL2Params &p, SnoopBus &bus,
 }
 
 void
-PrivateL2::invalidateCopy(CoreId core, Block *b)
+PrivateL2::emitTrans(Tick t, CoreId core, Addr addr, CohState olds,
+                     CohState news, obs::TransCause cause)
+{
+    if (sink && olds != news)
+        sink->transition(t, core_tracks[core], core, addr, olds, news,
+                         cause);
+}
+
+void
+PrivateL2::invalidateCopy(CoreId core, Block *b, obs::TransCause cause,
+                          Tick t)
 {
     if (b->fill_class == AccessClass::RWSMiss && !b->ifetch_filled)
         reuse_tracker.rwsInvalidated(b->reuses);
+    emitTrans(t, core, b->addr, b->state, CohState::Invalid, cause);
     b->valid = false;
     b->state = CohState::Invalid;
     invalidateL1(core, b->addr);
@@ -45,8 +57,11 @@ PrivateL2::access(const MemAccess &acc, Tick at)
         if (acc.op != MemOp::Store || isDirty(b->state) ||
             b->state == CohState::Exclusive) {
             // Read hit in any state, or write hit with ownership.
-            if (acc.op == MemOp::Store)
+            if (acc.op == MemOp::Store) {
+                emitTrans(t, c, baddr, b->state, CohState::Modified,
+                          obs::TransCause::PrWr);
                 b->state = CohState::Modified;
+            }
             record(AccessClass::Hit);
             res.complete = t;
             res.cls = AccessClass::Hit;
@@ -63,8 +78,10 @@ PrivateL2::access(const MemAccess &acc, Tick at)
             if (o == c)
                 continue;
             if (Block *ob = caches[o].find(baddr))
-                invalidateCopy(o, ob);
+                invalidateCopy(o, ob, obs::TransCause::BusUpg, tb);
         }
+        emitTrans(tb, c, baddr, b->state, CohState::Modified,
+                  obs::TransCause::PrWr);
         b->state = CohState::Modified;
         record(AccessClass::Hit);
         res.complete = tb;
@@ -114,15 +131,19 @@ PrivateL2::access(const MemAccess &acc, Tick at)
             if (!ob)
                 continue;
             if (cmd == BusCmd::BusRdX) {
-                invalidateCopy(o, ob);
+                invalidateCopy(o, ob, obs::TransCause::BusRdX, tb);
             } else {
                 if (ob->state == CohState::Modified) {
                     // Illinois MESI: flush to memory, both sharers
                     // continue in S.
                     memory.writeback(tb);
                     bus.postedTransaction(BusCmd::WrBack, tb);
+                    emitTrans(tb, o, baddr, ob->state, CohState::Shared,
+                              obs::TransCause::BusRd);
                     ob->state = CohState::Shared;
                 } else if (ob->state == CohState::Exclusive) {
+                    emitTrans(tb, o, baddr, ob->state, CohState::Shared,
+                              obs::TransCause::BusRd);
                     ob->state = CohState::Shared;
                 }
                 // A peer now reads this block; the old owner's L1 loses
@@ -144,14 +165,20 @@ PrivateL2::access(const MemAccess &acc, Tick at)
             memory.writeback(data_at);
             bus.postedTransaction(BusCmd::WrBack, data_at);
         }
+        emitTrans(data_at, c, v->addr, v->state, CohState::Invalid,
+                  obs::TransCause::Replacement);
         invalidateL1(c, v->addr);
         v->valid = false;
     }
+    CohState fill_state = acc.op == MemOp::Store ? CohState::Modified
+                          : (any_dirty || any_clean)
+                              ? CohState::Shared
+                              : CohState::Exclusive;
+    emitTrans(data_at, c, baddr, CohState::Invalid, fill_state,
+              obs::TransCause::Fill);
     v->valid = true;
     v->addr = baddr;
-    v->state = acc.op == MemOp::Store ? CohState::Modified
-               : (any_dirty || any_clean) ? CohState::Shared
-                                          : CohState::Exclusive;
+    v->state = fill_state;
     v->fill_class = cls;
     v->ifetch_filled = acc.op == MemOp::Ifetch;
     v->reuses = 0;
@@ -201,6 +228,37 @@ PrivateL2::checkInvariants() const
                 }
             }
         }
+    }
+}
+
+void
+PrivateL2::checkBlockInvariants(Addr addr) const
+{
+    Addr baddr = blockAlign(addr, params.block_size);
+    int valid = 0, priv = 0;
+    for (int c = 0; c < params.num_cores; ++c) {
+        if (const Block *b = caches[c].find(baddr)) {
+            cnsim_assert(isValid(b->state), "valid block in state I");
+            ++valid;
+            priv += isPrivateState(b->state) ? 1 : 0;
+        }
+    }
+    cnsim_assert(priv == 0 || valid == 1,
+                 "E/M block %llx replicated across caches",
+                 static_cast<unsigned long long>(baddr));
+}
+
+void
+PrivateL2::setTraceSink(obs::TraceSink *s)
+{
+    L2Org::setTraceSink(s);
+    core_tracks.clear();
+    if (!s)
+        return;
+    for (int c = 0; c < params.num_cores; ++c) {
+        core_tracks.push_back(
+            s->registerComponent(strfmt("l2.private.core%d", c)));
+        ports[c]->attachSink(s, strfmt("l2.private.core%d.port", c));
     }
 }
 

@@ -29,6 +29,7 @@
 #include "mem/bus.hh"
 #include "mem/memory.hh"
 #include "mem/resource.hh"
+#include "obs/event.hh"
 
 namespace cnsim
 {
@@ -57,6 +58,8 @@ class PrivateL2 : public L2Org
     void regStats(StatGroup &group) override;
     void resetStats() override;
     void checkInvariants() const override;
+    void checkBlockInvariants(Addr addr) const override;
+    void setTraceSink(obs::TraceSink *s) override;
     void noteL1Hit(CoreId core, Addr addr) override;
 
     /** Reuse statistics for Figure 7. */
@@ -84,13 +87,19 @@ class PrivateL2 : public L2Org
     };
 
     /** Invalidate @p core's copy, sampling reuse stats. */
-    void invalidateCopy(CoreId core, Block *b);
+    void invalidateCopy(CoreId core, Block *b, obs::TransCause cause,
+                        Tick t);
+
+    /** Emit a MESI transition on @p core's track. */
+    void emitTrans(Tick t, CoreId core, Addr addr, CohState olds,
+                   CohState news, obs::TransCause cause);
 
     PrivateL2Params params;
     SnoopBus &bus;
     MainMemory &memory;
     std::vector<SetAssocArray<Block>> caches;
     std::vector<std::unique_ptr<Resource>> ports;
+    std::vector<int> core_tracks;
     ReuseTracker reuse_tracker;
 
     Counter n_upgrades;

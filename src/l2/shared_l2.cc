@@ -1,6 +1,7 @@
 #include "l2/shared_l2.hh"
 
 #include "common/logging.hh"
+#include "obs/trace_sink.hh"
 
 namespace cnsim
 {
@@ -29,6 +30,27 @@ SharedL2::acquirePort(CoreId core, Addr addr, Tick at)
     return port.acquire(at, params.occupancy);
 }
 
+void
+SharedL2::setTraceSink(obs::TraceSink *s)
+{
+    L2Org::setTraceSink(s);
+    core_tracks.clear();
+    if (!s)
+        return;
+    for (CoreId c = 0; c < params.num_cores; ++c)
+        core_tracks.push_back(
+            s->registerComponent(strfmt("l2.%s.core%d", kind().c_str(), c)));
+    port.attachSink(s, strfmt("l2.%s.port", kind().c_str()));
+}
+
+void
+SharedL2::emitDir(Tick t, CoreId c, Addr addr, CohState olds,
+                  CohState news, obs::TransCause cause)
+{
+    if (olds != news)
+        sink->transition(t, core_tracks[c], c, addr, olds, news, cause);
+}
+
 AccessResult
 SharedL2::access(const MemAccess &acc, Tick at)
 {
@@ -45,9 +67,17 @@ SharedL2::access(const MemAccess &acc, Tick at)
             // Invalidate other cores' L1 copies through the in-L2
             // directory; no bus transaction is needed.
             for (CoreId c = 0; c < params.num_cores; ++c) {
-                if (c != acc.core && (b->l1_sharers & (1u << c)))
+                if (c != acc.core && (b->l1_sharers & (1u << c))) {
+                    if (sink)
+                        emitDir(done, c, baddr, dirState(*b, c),
+                                CohState::Invalid,
+                                obs::TransCause::BusRdX);
                     invalidateL1(c, baddr);
+                }
             }
+            if (sink)
+                emitDir(done, acc.core, baddr, dirState(*b, acc.core),
+                        CohState::Modified, obs::TransCause::PrWr);
             b->l1_sharers = me;
             b->l1_owner = acc.core;
             b->dirty = true;
@@ -56,10 +86,18 @@ SharedL2::access(const MemAccess &acc, Tick at)
             if (b->l1_owner != invalid_id && b->l1_owner != acc.core) {
                 // The previous L1 owner loses silent-store rights; its
                 // dirty data is absorbed by the shared L2 copy.
+                if (sink)
+                    emitDir(done, b->l1_owner, baddr,
+                            CohState::Modified, CohState::Shared,
+                            obs::TransCause::BusRd);
                 downgradeL1(b->l1_owner, baddr, false);
                 b->dirty = true;
                 b->l1_owner = invalid_id;
             }
+            // An owner re-reading its own block keeps it Modified.
+            if (sink && b->l1_owner != acc.core)
+                emitDir(done, acc.core, baddr, dirState(*b, acc.core),
+                        CohState::Shared, obs::TransCause::PrRd);
             b->l1_sharers |= me;
             res.l1Owned = b->l1_owner == acc.core;
         }
@@ -75,12 +113,22 @@ SharedL2::access(const MemAccess &acc, Tick at)
     Block *v = array.victim(baddr);
     if (v->valid) {
         for (CoreId c = 0; c < params.num_cores; ++c) {
-            if (v->l1_sharers & (1u << c))
+            if (v->l1_sharers & (1u << c)) {
+                if (sink)
+                    emitDir(done, c, v->addr, dirState(*v, c),
+                            CohState::Invalid,
+                            obs::TransCause::Replacement);
                 invalidateL1(c, v->addr);
+            }
         }
         if (v->dirty || v->l1_owner != invalid_id)
             memory.writeback(done);
     }
+    if (sink)
+        emitDir(fill, acc.core, baddr, CohState::Invalid,
+                acc.op == MemOp::Store ? CohState::Modified
+                                       : CohState::Shared,
+                obs::TransCause::Fill);
     v->valid = true;
     v->addr = baddr;
     v->dirty = acc.op == MemOp::Store;
@@ -116,6 +164,21 @@ SharedL2::checkInvariants() const
             cnsim_assert(b.l1_sharers & (1u << b.l1_owner),
                          "L1 owner not in sharer set");
         }
+    }
+}
+
+void
+SharedL2::checkBlockInvariants(Addr addr) const
+{
+    const Block *b = array.find(blockAlign(addr, params.block_size));
+    if (!b)
+        return;
+    cnsim_assert(b->addr == blockAlign(b->addr, params.block_size),
+                 "unaligned block address");
+    if (b->l1_owner != invalid_id) {
+        cnsim_assert(b->l1_sharers & (1u << b->l1_owner),
+                     "L1 owner of 0x%llx not in sharer set",
+                     static_cast<unsigned long long>(b->addr));
     }
 }
 

@@ -19,11 +19,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
+#include "cache/coh_state.hh"
 #include "cache/set_assoc.hh"
 #include "l2/l2_org.hh"
 #include "mem/memory.hh"
 #include "mem/resource.hh"
+#include "obs/event.hh"
 
 namespace cnsim
 {
@@ -53,6 +56,14 @@ class SharedL2 : public L2Org
     void regStats(StatGroup &group) override;
     void resetStats() override;
     void checkInvariants() const override;
+    void checkBlockInvariants(Addr addr) const override;
+
+    /**
+     * Register one track per core and start emitting per-core
+     * directory transitions (the in-L2 directory maps onto I/S/M
+     * per-core states: owner = M, sharer = S) plus port grants.
+     */
+    void setTraceSink(obs::TraceSink *s) override;
 
     /** @return the number of valid blocks currently cached. */
     std::uint64_t validBlocks() const;
@@ -85,9 +96,24 @@ class SharedL2 : public L2Org
         CoreId l1_owner = invalid_id;
     };
 
+    /** Directory view of @p c's copy: owner = M, sharer = S, else I. */
+    static CohState
+    dirState(const Block &b, CoreId c)
+    {
+        if (b.l1_owner == c)
+            return CohState::Modified;
+        return (b.l1_sharers & (1u << c)) ? CohState::Shared
+                                          : CohState::Invalid;
+    }
+
+    /** Emit a directory transition for @p c if the state changed. */
+    void emitDir(Tick t, CoreId c, Addr addr, CohState olds,
+                 CohState news, obs::TransCause cause);
+
     MainMemory &memory;
     SetAssocArray<Block> array;
     Resource port;
+    std::vector<int> core_tracks;
 };
 
 } // namespace cnsim

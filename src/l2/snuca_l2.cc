@@ -106,4 +106,19 @@ SnucaL2::checkInvariants() const
     inner->checkInvariants();
 }
 
+void
+SnucaL2::checkBlockInvariants(Addr addr) const
+{
+    inner->checkBlockInvariants(addr);
+}
+
+void
+SnucaL2::setTraceSink(obs::TraceSink *s)
+{
+    L2Org::setTraceSink(s);
+    inner->setTraceSink(s);
+    for (std::size_t b = 0; b < bank_ports.size(); ++b)
+        bank_ports[b]->attachSink(s, strfmt("l2.snuca.bank%zu", b));
+}
+
 } // namespace cnsim

@@ -59,6 +59,8 @@ class SnucaL2 : public L2Org
     void regStats(StatGroup &group) override;
     void resetStats() override;
     void checkInvariants() const override;
+    void checkBlockInvariants(Addr addr) const override;
+    void setTraceSink(obs::TraceSink *s) override;
 
     /** Bank index for a block address. */
     unsigned bankOf(Addr block_addr) const;
@@ -78,6 +80,9 @@ class SnucaL2 : public L2Org
     {
       public:
         Inner(const SharedL2Params &p, MainMemory &mem, SnucaL2 &outer);
+
+        /** Name the inner directory tracks after the outer org. */
+        std::string kind() const override { return "snuca"; }
 
       protected:
         Tick serviceTime(CoreId core, Addr addr, Tick grant) const override;

@@ -1,6 +1,7 @@
 #include "l2/update_l2.hh"
 
 #include "common/logging.hh"
+#include "obs/trace_sink.hh"
 
 namespace cnsim
 {
@@ -62,6 +63,9 @@ UpdateL2::access(const MemAccess &acc, Tick at)
                 }
             }
             if (still_shared) {
+                emitTrans(tb, c, baddr, CohState::Shared,
+                          CohState::Shared, obs::TransCause::PrWr,
+                          obs::trans_flag_broadcast);
                 b->owner = true;
                 record(AccessClass::Hit);
                 res.complete = tb;
@@ -71,9 +75,13 @@ UpdateL2::access(const MemAccess &acc, Tick at)
             }
             // Everyone else dropped their copy: collapse to Modified
             // and stop paying for updates.
+            emitTrans(tb, c, baddr, b->state, CohState::Modified,
+                      obs::TransCause::PrWr);
             b->state = CohState::Modified;
             b->owner = true;
         } else {
+            emitTrans(t, c, baddr, b->state, CohState::Modified,
+                      obs::TransCause::PrWr);
             b->state = CohState::Modified;
             b->owner = true;
         }
@@ -125,6 +133,8 @@ UpdateL2::access(const MemAccess &acc, Tick at)
             // Ownership hand-off: some remaining sharer becomes owner
             // is unnecessary -- the data just went to memory.
         }
+        emitTrans(data_at, c, v->addr, v->state, CohState::Invalid,
+                  obs::TransCause::Replacement);
         invalidateL1(c, v->addr);
         v->valid = false;
     }
@@ -134,17 +144,23 @@ UpdateL2::access(const MemAccess &acc, Tick at)
             continue;
         if (Block *ob = caches[o].find(baddr)) {
             if (isPrivateState(ob->state)) {
+                emitTrans(data_at, o, baddr, ob->state, CohState::Shared,
+                          cmd == BusCmd::BusRdX ? obs::TransCause::BusRdX
+                                                : obs::TransCause::BusRd);
                 ob->owner = ob->state == CohState::Modified;
                 ob->state = CohState::Shared;
                 downgradeL1(o, baddr, true);
             }
         }
     }
+    CohState fill_state = shared_now ? CohState::Shared
+                          : acc.op == MemOp::Store ? CohState::Modified
+                                                   : CohState::Exclusive;
+    emitTrans(data_at, c, baddr, CohState::Invalid, fill_state,
+              obs::TransCause::Fill);
     v->valid = true;
     v->addr = baddr;
-    v->state = shared_now ? CohState::Shared
-               : acc.op == MemOp::Store ? CohState::Modified
-                                        : CohState::Exclusive;
+    v->state = fill_state;
     v->owner = false;
     caches[c].touch(v);
 
@@ -154,6 +170,8 @@ UpdateL2::access(const MemAccess &acc, Tick at)
             // responsibility) moves to the writer.
             Tick tu = bus.transaction(BusCmd::BusUpd, data_at);
             n_updates.inc();
+            emitTrans(tu, c, baddr, CohState::Shared, CohState::Shared,
+                      obs::TransCause::PrWr, obs::trans_flag_broadcast);
             for (CoreId o = 0; o < params.num_cores; ++o) {
                 if (o == c)
                     continue;
@@ -216,6 +234,52 @@ UpdateL2::checkInvariants() const
             cnsim_assert(owners <= 1, "block %llx has %d owners",
                          static_cast<unsigned long long>(b.addr), owners);
         }
+    }
+}
+
+void
+UpdateL2::emitTrans(Tick t, CoreId core, Addr addr, CohState olds,
+                    CohState news, obs::TransCause cause,
+                    std::uint64_t flags)
+{
+    // Unlike MESI, the update protocol has meaningful same-state events
+    // (a broadcast write leaves every copy Shared), so emit those too.
+    if (sink && (olds != news || flags))
+        sink->transition(t, core_tracks[core], core, addr, olds, news,
+                         cause, flags);
+}
+
+void
+UpdateL2::checkBlockInvariants(Addr addr) const
+{
+    Addr baddr = blockAlign(addr, params.block_size);
+    int copies = 0, owners = 0, priv = 0;
+    for (int o = 0; o < params.num_cores; ++o) {
+        if (const Block *ob = caches[o].find(baddr)) {
+            cnsim_assert(isValid(ob->state), "valid block in state I");
+            ++copies;
+            owners += ob->owner ? 1 : 0;
+            priv += isPrivateState(ob->state) ? 1 : 0;
+        }
+    }
+    cnsim_assert(priv == 0 || copies == 1,
+                 "E/M block %llx replicated under update",
+                 static_cast<unsigned long long>(baddr));
+    cnsim_assert(owners <= 1, "block %llx has %d owners",
+                 static_cast<unsigned long long>(baddr), owners);
+}
+
+void
+UpdateL2::setTraceSink(obs::TraceSink *s)
+{
+    L2Org::setTraceSink(s);
+    core_tracks.clear();
+    if (!s)
+        return;
+    for (int c = 0; c < params.num_cores; ++c) {
+        core_tracks.push_back(
+            s->registerComponent(strfmt("l2.update.core%d", c)));
+        ports[c]->attachSink(s, strfmt("l2.update.core%d.port", c));
     }
 }
 

@@ -56,6 +56,8 @@ class UpdateL2 : public L2Org
     void regStats(StatGroup &group) override;
     void resetStats() override;
     void checkInvariants() const override;
+    void checkBlockInvariants(Addr addr) const override;
+    void setTraceSink(obs::TraceSink *s) override;
 
     /** Dragon-ish state of @p addr in @p core's cache (tests). */
     CohState stateOf(CoreId core, Addr addr) const;
@@ -77,11 +79,17 @@ class UpdateL2 : public L2Org
         std::uint64_t lru = 0;
     };
 
+    /** Emit a write-update protocol transition on @p core's track. */
+    void emitTrans(Tick t, CoreId core, Addr addr, CohState olds,
+                   CohState news, obs::TransCause cause,
+                   std::uint64_t flags = 0);
+
     PrivateL2Params params;
     SnoopBus &bus;
     MainMemory &memory;
     std::vector<SetAssocArray<Block>> caches;
     std::vector<std::unique_ptr<Resource>> ports;
+    std::vector<int> core_tracks;
 
     Counter n_updates;
     Counter n_cache_to_cache;

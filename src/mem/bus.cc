@@ -1,5 +1,7 @@
 #include "mem/bus.hh"
 
+#include "obs/trace_sink.hh"
+
 namespace cnsim
 {
 
@@ -13,6 +15,8 @@ SnoopBus::transaction(BusCmd cmd, Tick at)
 {
     counts[static_cast<int>(cmd)].inc();
     Tick grant = slot.acquire(at, params.arbitration);
+    if (sink)
+        sink->busTx(grant, track, cmd, params.latency);
     return grant + params.latency;
 }
 
@@ -20,7 +24,17 @@ void
 SnoopBus::postedTransaction(BusCmd cmd, Tick at)
 {
     counts[static_cast<int>(cmd)].inc();
-    slot.acquire(at, params.arbitration);
+    Tick grant = slot.acquire(at, params.arbitration);
+    if (sink)
+        sink->busTx(grant, track, cmd, params.latency);
+}
+
+void
+SnoopBus::attachSink(obs::TraceSink *s)
+{
+    sink = s;
+    track = s ? s->registerComponent("mem.bus") : -1;
+    slot.attachSink(s, "mem.bus.slot");
 }
 
 void

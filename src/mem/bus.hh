@@ -64,6 +64,9 @@ class SnoopBus
     void regStats(StatGroup &group);
     void resetStats();
 
+    /** Emit BusTx (and address-slot Resource) events into @p s. */
+    void attachSink(obs::TraceSink *s);
+
     std::uint64_t count(BusCmd cmd) const
     {
         return counts[static_cast<int>(cmd)].value();
@@ -75,6 +78,8 @@ class SnoopBus
     BusParams params;
     Resource slot;
     std::array<Counter, num_bus_cmds> counts;
+    obs::TraceSink *sink = nullptr;
+    int track = -1;
 };
 
 } // namespace cnsim

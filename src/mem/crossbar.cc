@@ -32,6 +32,13 @@ Crossbar::regStats(StatGroup &group)
 }
 
 void
+Crossbar::attachSink(obs::TraceSink *s)
+{
+    for (std::size_t i = 0; i < ports.size(); ++i)
+        ports[i]->attachSink(s, strfmt("l2.xbar.dg%zu", i));
+}
+
+void
 Crossbar::resetStats()
 {
     n_accesses.reset();

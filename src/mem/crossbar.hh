@@ -49,6 +49,9 @@ class Crossbar
     void regStats(StatGroup &group);
     void resetStats();
 
+    /** Emit per-d-group port-grant Resource events into @p s. */
+    void attachSink(obs::TraceSink *s);
+
     int numDGroups() const { return static_cast<int>(ports.size()); }
 
   private:

@@ -49,6 +49,9 @@ class MainMemory
     void regStats(StatGroup &group);
     void resetStats();
 
+    /** Emit channel-grant Resource events into @p s. */
+    void attachSink(obs::TraceSink *s) { channels_res.attachSink(s, "mem.dram"); }
+
     std::uint64_t reads() const { return n_reads.value(); }
     std::uint64_t writebacks() const { return n_writebacks.value(); }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/trace_sink.hh"
 
 namespace cnsim
 {
@@ -24,6 +25,8 @@ Resource::acquire(Tick at, Tick occupancy)
     n_grants.inc();
     wait_ticks.inc(grant - at);
     busy_ticks.inc(occupancy);
+    if (sink)
+        sink->resourceAcquire(grant, track, grant - at, occupancy);
     return grant;
 }
 
@@ -42,6 +45,14 @@ Resource::regStats(StatGroup &group)
                      "total ticks spent waiting for a port");
     group.addCounter(_name + ".busyTicks", &busy_ticks,
                      "total ticks a port was held");
+}
+
+void
+Resource::attachSink(obs::TraceSink *s, const std::string &path)
+{
+    sink = s;
+    track = s ? s->registerComponent(path.empty() ? "res." + _name : path)
+              : -1;
 }
 
 void

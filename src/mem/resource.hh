@@ -27,6 +27,11 @@
 namespace cnsim
 {
 
+namespace obs
+{
+class TraceSink;
+} // namespace obs
+
 /** A contended hardware structure with one or more identical ports. */
 class Resource
 {
@@ -55,6 +60,12 @@ class Resource
     /** Forget all occupancy (new measurement phase). */
     void reset();
 
+    /**
+     * Emit a Resource trace event per grant into @p s under the track
+     * @p path (defaults to "res.<name>").
+     */
+    void attachSink(obs::TraceSink *s, const std::string &path = "");
+
     const std::string &name() const { return _name; }
     std::uint64_t grants() const { return n_grants.value(); }
     std::uint64_t totalWait() const { return wait_ticks.value(); }
@@ -65,6 +76,8 @@ class Resource
     Counter n_grants;
     Counter wait_ticks;
     Counter busy_ticks;
+    obs::TraceSink *sink = nullptr;
+    int track = -1;
 };
 
 } // namespace cnsim

@@ -4,6 +4,7 @@
 #include <cstdarg>
 
 #include "common/logging.hh"
+#include "obs/trace_sink.hh"
 
 namespace cnsim
 {
@@ -68,6 +69,24 @@ CmpNurapid::trace(const char *fmt, ...)
     std::string s = vstrfmt(fmt, args);
     va_end(args);
     traceHook(s);
+}
+
+void
+CmpNurapid::emitTrans(Tick t, CoreId core, Addr addr, CohState olds,
+                      CohState news, obs::TransCause cause,
+                      std::uint64_t flags)
+{
+    if (sink && (olds != news || flags))
+        sink->transition(t, core_tracks[core], core, addr, olds, news,
+                         cause, flags);
+}
+
+void
+CmpNurapid::emitDGroup(Tick t, CoreId core, Addr addr, obs::DGroupOp op,
+                       DGroupId dg, bool closest)
+{
+    if (sink)
+        sink->dgroupOp(t, dg_tracks[dg], core, addr, op, dg, closest);
 }
 
 Tick
@@ -154,6 +173,12 @@ CmpNurapid::evictSharedFrame(const FwdPtr &fwd, Tick at)
     for (int c = 0; c < params.num_cores; ++c) {
         TagEntry *te = tags[c]->find(addr);
         if (te && te->fwd == fwd) {
+            // Emit before asserting so an auditing run dies with the
+            // block's event history instead of a bare assert.
+            emitTrans(at, c, addr, te->state, CohState::Invalid,
+                      obs::TransCause::BusRepl,
+                      te->busy ? std::uint64_t{obs::trans_flag_busy}
+                               : std::uint64_t{0});
             cnsim_assert(!te->busy,
                          "replacement invalidation against a busy tag: the "
                          "inhibit queue should have deferred it");
@@ -162,6 +187,7 @@ CmpNurapid::evictSharedFrame(const FwdPtr &fwd, Tick at)
             invalidateL1(c, addr);
         }
     }
+    emitDGroup(at, f.rev.core, addr, obs::DGroupOp::Eviction, fwd.dgroup);
     data.free(fwd.dgroup, fwd.frame);
     n_shared_evictions.inc();
 }
@@ -175,6 +201,9 @@ CmpNurapid::evictPrivateBlock(TagEntry *e, CoreId core, Tick at)
         bus.postedTransaction(BusCmd::WrBack, at);
         n_writebacks.inc();
     }
+    emitTrans(at, core, e->addr, e->state, CohState::Invalid,
+              obs::TransCause::Replacement);
+    emitDGroup(at, core, e->addr, obs::DGroupOp::Eviction, e->fwd.dgroup);
     data.free(e->fwd.dgroup, e->fwd.frame);
     invalidateL1(core, e->addr);
     e->valid = false;
@@ -238,6 +267,8 @@ CmpNurapid::makeFrameAvailable(CoreId core, int start_rank, int stop_rank)
         nf.addr = f.addr;
         nf.rev = f.rev;
         rev.fwd = FwdPtr{tdg, tgt};
+        emitDGroup(op_tick, f.rev.core, nf.addr, obs::DGroupOp::Demotion,
+                   tdg);
         data.free(dg, vidx);
         n_demotions.inc();
     }
@@ -282,6 +313,8 @@ CmpNurapid::allocTagEntry(CoreId core, Addr addr, Tick at,
             } else {
                 // Only our tag copy goes; the data stays for the
                 // sharer that owns it.
+                emitTrans(at, core, v->addr, v->state, CohState::Invalid,
+                          obs::TransCause::Replacement);
                 invalidateL1(core, v->addr);
                 v->valid = false;
                 v->state = CohState::Invalid;
@@ -300,7 +333,6 @@ CmpNurapid::allocTagEntry(CoreId core, Addr addr, Tick at,
 void
 CmpNurapid::maybePromote(CoreId core, TagEntry *e, Tick at)
 {
-    (void)at;
     if (params.promotion == PromotionPolicy::None)
         return;
     if (!isPrivateState(e->state))
@@ -324,6 +356,8 @@ CmpNurapid::maybePromote(CoreId core, TagEntry *e, Tick at)
     nf.addr = addr;
     nf.rev = pos;
     e->fwd = FwdPtr{tdg, idx};
+    emitDGroup(at, core, addr, obs::DGroupOp::Promotion, tdg,
+               tdg == pref.closest(core));
     n_promotions.inc();
     trace("promote %llx to dg%d", static_cast<unsigned long long>(addr),
           tdg);
@@ -331,12 +365,14 @@ CmpNurapid::maybePromote(CoreId core, TagEntry *e, Tick at)
 
 void
 CmpNurapid::repointAllSharers(Addr addr, const FwdPtr &fwd,
-                              CoreId except_l1, bool invalidate_l1)
+                              CoreId except_l1, bool invalidate_l1,
+                              obs::TransCause cause, Tick t)
 {
-    for (int c = 0; c < params.num_cores; ++c) {
+    auto repoint = [&](int c) {
         TagEntry *te = tags[c]->find(addr);
         if (!te)
-            continue;
+            return;
+        emitTrans(t, c, addr, te->state, CohState::Communication, cause);
         te->state = CohState::Communication;
         te->fwd = fwd;
         if (c == except_l1) {
@@ -348,7 +384,14 @@ CmpNurapid::repointAllSharers(Addr addr, const FwdPtr &fwd,
         } else {
             downgradeL1(c, addr, true);
         }
-    }
+    };
+    // Existing sharers (the old owner included) move to C first and
+    // the initiator joins last, so an auditor watching the transition
+    // stream never sees a joined C copy coexist with a private one.
+    for (int c = 0; c < params.num_cores; ++c)
+        if (c != except_l1)
+            repoint(c);
+    repoint(except_l1);
 }
 
 void
@@ -382,8 +425,13 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
           case CohState::Modified: {
             DGroupId dg = e->fwd.dgroup;
             Tick td = accessDGroup(c, dg, t);
-            if (store)
+            if (store) {
+                emitTrans(td, c, baddr, e->state, CohState::Modified,
+                          obs::TransCause::PrWr);
                 e->state = CohState::Modified;
+            }
+            emitDGroup(td, c, baddr, obs::DGroupOp::Hit, dg,
+                       dg == my_closest);
             maybePromote(c, e, td);
             record(AccessClass::Hit);
             (dg == my_closest ? n_closest_hits : n_farther_hits).inc();
@@ -417,6 +465,8 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
                     f.addr = baddr;
                     f.rev = tags[c]->posOf(e);
                     e->fwd = nf;
+                    emitDGroup(td, c, baddr, obs::DGroupOp::Replication,
+                               nf.dgroup, true);
                     n_replications.inc();
                     if (was_home) {
                         // We owned the old frame (the block demoted
@@ -430,6 +480,8 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
                           static_cast<unsigned long long>(baddr),
                           nf.dgroup);
                 }
+                emitDGroup(td, c, baddr, obs::DGroupOp::Hit, dg,
+                           dg == my_closest);
                 record(AccessClass::Hit);
                 (dg == my_closest ? n_closest_hits : n_farther_hits).inc();
                 res.complete = td;
@@ -448,8 +500,11 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
                     // every sharer joins C pointing at it.
                     FwdPtr keep = e->fwd;
                     freeOtherFrames(baddr, keep);
-                    repointAllSharers(baddr, keep, c, true);
+                    repointAllSharers(baddr, keep, c, true,
+                                      obs::TransCause::BusUpg, tb);
                     Tick td = accessDGroup(c, keep.dgroup, tb);
+                    emitDGroup(td, c, baddr, obs::DGroupOp::Hit,
+                               keep.dgroup, keep.dgroup == my_closest);
                     record(AccessClass::Hit);
                     (keep.dgroup == my_closest ? n_closest_hits
                                                : n_farther_hits)
@@ -470,6 +525,9 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
                         if (o == c)
                             continue;
                         if (TagEntry *te = tags[o]->find(baddr)) {
+                            emitTrans(tb, o, baddr, te->state,
+                                      CohState::Invalid,
+                                      obs::TransCause::BusUpg);
                             te->valid = false;
                             te->state = CohState::Invalid;
                             invalidateL1(o, baddr);
@@ -483,8 +541,12 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
                     fr.addr = baddr;
                     fr.rev = tags[c]->posOf(e);
                     e->fwd = nf;
+                    emitTrans(tb, c, baddr, e->state, CohState::Modified,
+                              obs::TransCause::PrWr);
                     e->state = CohState::Modified;
                     Tick td = accessDGroup(c, nf.dgroup, tb);
+                    emitDGroup(td, c, baddr, obs::DGroupOp::Hit, nf.dgroup,
+                               nf.dgroup == my_closest);
                     record(AccessClass::Hit);
                     (nf.dgroup == my_closest ? n_closest_hits
                                              : n_farther_hits)
@@ -508,6 +570,9 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
                 // not change (no exits from C).
                 Tick tb = bus.transaction(BusCmd::BusRdX, t);
                 n_c_writes.inc();
+                emitTrans(tb, c, baddr, CohState::Communication,
+                          CohState::Communication, obs::TransCause::PrWr,
+                          obs::trans_flag_broadcast);
                 for (int o = 0; o < params.num_cores; ++o) {
                     if (o != c && tags[o]->find(baddr))
                         invalidateL1(o, baddr);
@@ -516,6 +581,8 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
             } else {
                 td = accessDGroup(c, dg, t);
             }
+            emitDGroup(td, c, baddr, obs::DGroupOp::Hit, dg,
+                       dg == my_closest);
             record(AccessClass::Hit);
             (dg == my_closest ? n_closest_hits : n_farther_hits).inc();
             res.complete = td;
@@ -554,20 +621,24 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
             Tick tr = accessDGroup(c, old.dgroup, tb);
             n_isc_joins.inc();
             if (old.dgroup == my_closest) {
-                // Already as close as it gets: join in place.
-                e->state = CohState::Communication;
-                e->fwd = old;
-                repointAllSharers(baddr, old, c, false);
+                // Already as close as it gets: join in place. The
+                // repoint moves our fresh Invalid tag (and every
+                // sharer) to C, so no state pre-assignment here.
+                repointAllSharers(baddr, old, c, false,
+                                  obs::TransCause::BusRd, tr);
+                emitDGroup(tr, c, baddr, obs::DGroupOp::PointerJoin,
+                           old.dgroup, true);
             } else {
                 FwdPtr nf = placeInClosest(c, freed_dg);
                 Frame &fr = data.at(nf.dgroup, nf.frame);
                 fr.valid = true;
                 fr.addr = baddr;
                 fr.rev = my_pos;
-                e->state = CohState::Communication;
-                e->fwd = nf;
                 freeOtherFrames(baddr, nf);
-                repointAllSharers(baddr, nf, c, false);
+                repointAllSharers(baddr, nf, c, false,
+                                  obs::TransCause::BusRd, tr);
+                emitDGroup(tr, c, baddr, obs::DGroupOp::Replication,
+                           nf.dgroup, true);
             }
             res.complete = tr;
             res.l1WriteThrough = true;
@@ -585,6 +656,8 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
             memory.writeback(tb);
             bus.postedTransaction(BusCmd::WrBack, tb);
             n_writebacks.inc();
+            emitTrans(tb, sr.supplier, baddr, owner->state,
+                      CohState::Shared, obs::TransCause::BusRd);
             owner->state = CohState::Shared;
             downgradeL1(sr.supplier, baddr, false);
             Tick tr = accessDGroup(c, owner->fwd.dgroup, tb);
@@ -592,6 +665,8 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
                 params.replication != ReplicationPolicy::OnFirstUse) {
                 e->state = CohState::Shared;
                 e->fwd = owner->fwd;
+                emitDGroup(tr, c, baddr, obs::DGroupOp::PointerJoin,
+                           e->fwd.dgroup, e->fwd.dgroup == my_closest);
                 n_pointer_joins.inc();
             } else {
                 FwdPtr nf = placeInClosest(c, freed_dg);
@@ -601,7 +676,11 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
                 fr.rev = my_pos;
                 e->state = CohState::Shared;
                 e->fwd = nf;
+                emitDGroup(tr, c, baddr, obs::DGroupOp::Replication,
+                           nf.dgroup, true);
             }
+            emitTrans(tr, c, baddr, CohState::Invalid, CohState::Shared,
+                      obs::TransCause::Fill);
             res.complete = tr;
             res.dgroup = e->fwd.dgroup;
             res.closest = e->fwd.dgroup == my_closest;
@@ -613,14 +692,19 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
                 if (o == c)
                     continue;
                 TagEntry *te = tags[o]->find(baddr);
-                if (te && te->state == CohState::Exclusive)
+                if (te && te->state == CohState::Exclusive) {
+                    emitTrans(tb, o, baddr, CohState::Exclusive,
+                              CohState::Shared, obs::TransCause::BusRd);
                     te->state = CohState::Shared;
+                }
             }
             Tick tr = accessDGroup(c, sr.supplier_fwd.dgroup, tb);
             if (params.enable_cr &&
                 params.replication != ReplicationPolicy::OnFirstUse) {
                 e->state = CohState::Shared;
                 e->fwd = sr.supplier_fwd;
+                emitDGroup(tr, c, baddr, obs::DGroupOp::PointerJoin,
+                           e->fwd.dgroup, e->fwd.dgroup == my_closest);
                 n_pointer_joins.inc();
                 trace("CR pointer join %llx -> dg%d",
                       static_cast<unsigned long long>(baddr),
@@ -634,8 +718,12 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
                 fr.rev = my_pos;
                 e->state = CohState::Shared;
                 e->fwd = nf;
+                emitDGroup(tr, c, baddr, obs::DGroupOp::Replication,
+                           nf.dgroup, true);
                 n_replications.inc();
             }
+            emitTrans(tr, c, baddr, CohState::Invalid, CohState::Shared,
+                      obs::TransCause::Fill);
             res.complete = tr;
             res.dgroup = e->fwd.dgroup;
             res.closest = e->fwd.dgroup == my_closest;
@@ -649,6 +737,8 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
             fr.rev = my_pos;
             e->state = CohState::Exclusive;
             e->fwd = nf;
+            emitTrans(tm, c, baddr, CohState::Invalid,
+                      CohState::Exclusive, obs::TransCause::Fill);
             res.complete = tm;
             res.dgroup = nf.dgroup;
             res.closest = true;
@@ -659,10 +749,11 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
             // joins C pointing at the existing copy, which stays close
             // to the reader(s) (Section 3.2).
             FwdPtr keep = sr.supplier_fwd;
-            e->state = CohState::Communication;
-            e->fwd = keep;
-            repointAllSharers(baddr, keep, c, true);
+            repointAllSharers(baddr, keep, c, true,
+                              obs::TransCause::BusRdX, tb);
             Tick tw = accessDGroup(c, keep.dgroup, tb);
+            emitDGroup(tw, c, baddr, obs::DGroupOp::PointerJoin,
+                       keep.dgroup, keep.dgroup == my_closest);
             n_isc_joins.inc();
             res.complete = tw;
             res.l1WriteThrough = true;
@@ -684,6 +775,8 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
                 if (o == c)
                     continue;
                 if (TagEntry *te = tags[o]->find(baddr)) {
+                    emitTrans(tb, o, baddr, te->state, CohState::Invalid,
+                              obs::TransCause::BusRdX);
                     te->valid = false;
                     te->state = CohState::Invalid;
                     invalidateL1(o, baddr);
@@ -698,6 +791,8 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
             fr.rev = my_pos;
             e->state = CohState::Modified;
             e->fwd = nf;
+            emitTrans(tr, c, baddr, CohState::Invalid, CohState::Modified,
+                      obs::TransCause::Fill);
             res.complete = tr;
             res.l1Owned = true;
             res.dgroup = nf.dgroup;
@@ -711,6 +806,8 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
             fr.rev = my_pos;
             e->state = CohState::Modified;
             e->fwd = nf;
+            emitTrans(tm, c, baddr, CohState::Invalid, CohState::Modified,
+                      obs::TransCause::Fill);
             res.complete = tm;
             res.l1Owned = true;
             res.dgroup = nf.dgroup;
@@ -817,6 +914,81 @@ CmpNurapid::checkInvariants() const
             }
         }
     }
+}
+
+void
+CmpNurapid::checkBlockInvariants(Addr addr) const
+{
+    // The per-block slice of checkInvariants(), cheap enough to run
+    // after every access under --audit: pointer agreement and MESIC
+    // state rules for one block.
+    Addr baddr = blockAlign(addr, params.block_size);
+    int tag_copies = 0;
+    int s_copies = 0;
+    int c_copies = 0;
+    int priv_copies = 0;
+    bool dirty = false;
+    for (int c = 0; c < params.num_cores; ++c) {
+        const TagEntry *te = tags[c]->find(baddr);
+        if (!te)
+            continue;
+        ++tag_copies;
+        cnsim_assert(isValid(te->state), "valid tag of %llx in state I",
+                     static_cast<unsigned long long>(baddr));
+        cnsim_assert(te->fwd.valid(), "valid tag of %llx without fwd ptr",
+                     static_cast<unsigned long long>(baddr));
+        const Frame &f = data.at(te->fwd.dgroup, te->fwd.frame);
+        cnsim_assert(f.valid && f.addr == baddr,
+                     "forward pointer of %llx dangles",
+                     static_cast<unsigned long long>(baddr));
+        const TagEntry &home = tags[f.rev.core]->at(f.rev.set, f.rev.way);
+        cnsim_assert(home.valid && home.addr == baddr &&
+                         home.fwd == te->fwd,
+                     "reverse pointer of %llx disagrees with its frame",
+                     static_cast<unsigned long long>(baddr));
+        s_copies += te->state == CohState::Shared;
+        c_copies += te->state == CohState::Communication;
+        priv_copies += isPrivateState(te->state) ? 1 : 0;
+        dirty = dirty || isDirty(te->state);
+    }
+    if (tag_copies == 0)
+        return;
+    if (priv_copies > 0) {
+        cnsim_assert(tag_copies == 1, "E/M block %llx has %d tag copies",
+                     static_cast<unsigned long long>(baddr), tag_copies);
+    } else {
+        cnsim_assert(s_copies + c_copies == tag_copies &&
+                         (s_copies == 0 || c_copies == 0),
+                     "mixed S/C copies of %llx",
+                     static_cast<unsigned long long>(baddr));
+    }
+    if (dirty) {
+        cnsim_assert(framesHolding(baddr) == 1,
+                     "dirty block %llx has %d frames",
+                     static_cast<unsigned long long>(baddr),
+                     framesHolding(baddr));
+    }
+}
+
+void
+CmpNurapid::setTraceSink(obs::TraceSink *s)
+{
+    L2Org::setTraceSink(s);
+    core_tracks.clear();
+    dg_tracks.clear();
+    if (!s)
+        return;
+    std::string k = kind();
+    for (int c = 0; c < params.num_cores; ++c) {
+        core_tracks.push_back(
+            s->registerComponent(strfmt("l2.%s.core%d.tag", k.c_str(), c)));
+        tag_ports[c]->attachSink(
+            s, strfmt("l2.%s.core%d.tagPort", k.c_str(), c));
+    }
+    for (int g = 0; g < params.num_dgroups; ++g)
+        dg_tracks.push_back(
+            s->registerComponent(strfmt("l2.%s.dg%d", k.c_str(), g)));
+    xbar.attachSink(s);
 }
 
 void

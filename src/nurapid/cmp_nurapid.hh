@@ -51,6 +51,7 @@
 #include "nurapid/data_array.hh"
 #include "nurapid/pref_table.hh"
 #include "nurapid/tag_array.hh"
+#include "obs/event.hh"
 
 namespace cnsim
 {
@@ -109,6 +110,8 @@ class CmpNurapid : public L2Org
     void regStats(StatGroup &group) override;
     void resetStats() override;
     void checkInvariants() const override;
+    void checkBlockInvariants(Addr addr) const override;
+    void setTraceSink(obs::TraceSink *s) override;
 
     /** Coherence state of @p addr in @p core's tag array (tests). */
     CohState stateOf(CoreId core, Addr addr) const;
@@ -207,9 +210,13 @@ class CmpNurapid : public L2Org
     /** Apply promotion policy to a private block on a tag hit. */
     void maybePromote(CoreId core, TagEntry *e, Tick at);
 
-    /** Move all tag copies of @p addr to state C pointing at @p fwd. */
+    /**
+     * Move all tag copies of @p addr to state C pointing at @p fwd,
+     * emitting a MESIC transition per copy (@p cause, at tick @p t).
+     */
     void repointAllSharers(Addr addr, const FwdPtr &fwd, CoreId except_l1,
-                           bool invalidate_l1);
+                           bool invalidate_l1, obs::TransCause cause,
+                           Tick t);
 
     /** Free every frame holding @p addr except @p keep. */
     void freeOtherFrames(Addr addr, const FwdPtr &keep);
@@ -219,6 +226,15 @@ class CmpNurapid : public L2Org
 
     void trace(const char *fmt, ...) __attribute__((format(printf, 2, 3)));
 
+    /** Emit a MESIC transition on @p core's tag track. */
+    void emitTrans(Tick t, CoreId core, Addr addr, CohState olds,
+                   CohState news, obs::TransCause cause,
+                   std::uint64_t flags = 0);
+
+    /** Emit a d-group placement event on @p dg's track. */
+    void emitDGroup(Tick t, CoreId core, Addr addr, obs::DGroupOp op,
+                    DGroupId dg, bool closest = false);
+
     NurapidParams params;
     SnoopBus &bus;
     MainMemory &memory;
@@ -227,6 +243,8 @@ class CmpNurapid : public L2Org
     NuDataArray data;
     std::vector<std::unique_ptr<NuTagArray>> tags;
     std::vector<std::unique_ptr<Resource>> tag_ports;
+    std::vector<int> core_tracks;
+    std::vector<int> dg_tracks;
     Rng rng;
     /** Block address pinned against displacement during one access. */
     Addr pinned_addr = static_cast<Addr>(-1);

@@ -1,0 +1,217 @@
+#include "obs/auditor.hh"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "common/logging.hh"
+#include "obs/trace_sink.hh"
+
+namespace cnsim
+{
+namespace obs
+{
+
+ProtocolAuditor::ProtocolAuditor(AuditProtocol proto, int num_cores,
+                                 std::size_t history_depth)
+    : proto(proto), ncores(num_cores), depth(history_depth)
+{
+    cnsim_assert(num_cores > 0, "auditor needs at least one core");
+    cnsim_assert(history_depth > 0, "auditor needs a non-empty history");
+}
+
+ProtocolAuditor::BlockAudit &
+ProtocolAuditor::blockFor(Addr addr)
+{
+    auto it = blocks.find(addr);
+    if (it == blocks.end()) {
+        BlockAudit ba;
+        ba.st.assign(ncores, CohState::Invalid);
+        ba.hist.reserve(depth);
+        it = blocks.emplace(addr, std::move(ba)).first;
+    }
+    return it->second;
+}
+
+void
+ProtocolAuditor::remember(BlockAudit &ba, const TraceEvent &ev)
+{
+    if (ba.hist.size() < depth) {
+        ba.hist.push_back(ev);
+    } else {
+        ba.hist[ba.next] = ev;
+        ba.next = (ba.next + 1) % depth;
+    }
+    ++ba.seen;
+}
+
+void
+ProtocolAuditor::onEvent(const TraceEvent &ev)
+{
+    switch (ev.kind) {
+      case EventKind::Transition:
+        auditTransition(ev);
+        break;
+      case EventKind::DGroup:
+      case EventKind::L1BackInval:
+        // Structural (pointer) state may have moved; remember the
+        // event for post-mortems and queue the block for the deferred
+        // per-block check.
+        remember(blockFor(ev.addr), ev);
+        touched.push_back(ev.addr);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+ProtocolAuditor::auditTransition(const TraceEvent &ev)
+{
+    ++n_transitions;
+    BlockAudit &ba = blockFor(ev.addr);
+    remember(ba, ev);
+    touched.push_back(ev.addr);
+
+    const auto olds = static_cast<CohState>(ev.a);
+    const auto news = static_cast<CohState>(ev.b);
+    const auto cause = static_cast<TransCause>(ev.c);
+
+    if (ev.core < 0 || ev.core >= ncores)
+        violation(ev.addr, ba,
+                  strfmt("transition for out-of-range core %d", ev.core));
+
+    // The emitted old state must agree with the audited one; a mismatch
+    // means either an illegal transition or a missed emission upstream.
+    CohState tracked = ba.st[ev.core];
+    if (tracked != olds)
+        violation(ev.addr, ba,
+                  strfmt("core%d emitted old state %c but audited state "
+                         "is %c",
+                         ev.core, stateChar(olds), stateChar(tracked)));
+
+    // The Communication state only exists under MESIC.
+    if (proto != AuditProtocol::Mesic &&
+        (olds == CohState::Communication ||
+         news == CohState::Communication))
+        violation(ev.addr, ba,
+                  strfmt("C state under %s protocol", toString(proto)));
+
+    // No-exit-from-C: a C copy leaves C only by being invalidated on a
+    // replacement (BusRepl from a remote eviction, or a local victim).
+    if (olds == CohState::Communication &&
+        news != CohState::Communication) {
+        bool legal = news == CohState::Invalid &&
+                     (cause == TransCause::BusRepl ||
+                      cause == TransCause::Replacement);
+        if (!legal)
+            violation(ev.addr, ba,
+                      strfmt("illegal C exit on core%d: C>%c cause=%s",
+                             ev.core, stateChar(news), toString(cause)));
+    }
+
+    // The busy bit pins a tag against invalidation while a shared read
+    // is in flight (DESIGN.md 2: BusRepl vs. in-flight reads).
+    if ((ev.arg & trans_flag_busy) && news == CohState::Invalid)
+        violation(ev.addr, ba,
+                  strfmt("core%d busy tag invalidated (cause=%s)",
+                         ev.core, toString(cause)));
+
+    // Write-through-for-C: every processor write that stays in C must
+    // have been broadcast (the paper's C writes are all BusRdX).
+    if (proto == AuditProtocol::Mesic && cause == TransCause::PrWr &&
+        olds == CohState::Communication &&
+        news == CohState::Communication &&
+        !(ev.arg & trans_flag_broadcast))
+        violation(ev.addr, ba,
+                  strfmt("core%d C write without bus broadcast",
+                         ev.core));
+
+    ba.st[ev.core] = news;
+
+    // Exclusivity: an E or M copy must be the only valid copy, and at
+    // most one M copy may exist, under every protocol reading.
+    int valid = 0, m = 0, priv = 0;
+    for (CohState s : ba.st) {
+        valid += isValid(s) ? 1 : 0;
+        m += s == CohState::Modified ? 1 : 0;
+        priv += isPrivateState(s) ? 1 : 0;
+    }
+    if (m > 1)
+        violation(ev.addr, ba,
+                  strfmt("%d M copies after core%d %c>%c", m, ev.core,
+                         stateChar(olds), stateChar(news)));
+    if (priv > 0 && valid > 1)
+        violation(ev.addr, ba,
+                  strfmt("E/M copy coexists with %d other valid copies "
+                         "after core%d %c>%c",
+                         valid - 1, ev.core, stateChar(olds),
+                         stateChar(news)));
+}
+
+void
+ProtocolAuditor::runDeferredChecks()
+{
+    if (touched.empty())
+        return;
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()),
+                  touched.end());
+    if (blockCheck) {
+        for (Addr a : touched)
+            blockCheck(a);
+    }
+    touched.clear();
+}
+
+CohState
+ProtocolAuditor::stateOf(CoreId core, Addr addr) const
+{
+    auto it = blocks.find(addr);
+    if (it == blocks.end() || core < 0 ||
+        core >= static_cast<CoreId>(it->second.st.size()))
+        return CohState::Invalid;
+    return it->second.st[core];
+}
+
+std::string
+ProtocolAuditor::historyOf(const BlockAudit &ba) const
+{
+    // The ring is chronological starting at `next` once it has wrapped.
+    std::string s;
+    std::size_t n = ba.hist.size();
+    std::size_t start = n < depth ? 0 : ba.next;
+    if (ba.seen > n)
+        s += strfmt("  (... %" PRIu64 " earlier events dropped)\n",
+                    ba.seen - n);
+    static const std::vector<std::string> no_comps;
+    for (std::size_t i = 0; i < n; ++i) {
+        const TraceEvent &ev = ba.hist[(start + i) % n];
+        s += "  " + formatEvent(ev, no_comps) + "\n";
+    }
+    return s;
+}
+
+std::string
+ProtocolAuditor::historyDump(Addr addr) const
+{
+    auto it = blocks.find(addr);
+    return it == blocks.end() ? std::string() : historyOf(it->second);
+}
+
+void
+ProtocolAuditor::violation(Addr addr, const BlockAudit &ba,
+                           const std::string &msg) const
+{
+    std::string states;
+    for (int c = 0; c < ncores; ++c)
+        states += strfmt("%s core%d=%c", c ? "," : "", c,
+                         stateChar(ba.st[c]));
+    panic("%s audit violation for block 0x%" PRIx64 ": %s\n"
+          "  audited states:%s\n"
+          "  last %zu events for this block:\n%s",
+          toString(proto), static_cast<std::uint64_t>(addr), msg.c_str(),
+          states.c_str(), ba.hist.size(), historyOf(ba).c_str());
+}
+
+} // namespace obs
+} // namespace cnsim

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Online coherence-protocol invariant auditor.
+ *
+ * The auditor subscribes to the TraceSink's transition stream and
+ * mirrors, per block, the coherence state every core's copy should be
+ * in. On each transition it checks the documented protocol reading
+ * (DESIGN.md 2):
+ *
+ *  - emitted old state agrees with the audited state (catches both
+ *    protocol bugs and missed/incorrect instrumentation);
+ *  - single-M / exclusivity: an E or M copy is the only valid copy;
+ *  - no-exit-from-C except invalidation by replacement (BusRepl or a
+ *    local tag/frame victim) -- MESIC only;
+ *  - C never appears under a non-MESIC protocol;
+ *  - no invalidation of a busy tag (the busy bit guards an in-flight
+ *    shared read against BusRepl);
+ *  - write-through-for-C: a processor write that keeps a block in C
+ *    must carry the bus-broadcast flag (every C write is a BusRdX).
+ *
+ * Structural invariants that are only consistent *between* accesses --
+ * forward/reverse pointer agreement in CMP-NuRAPID's tag/frame arrays
+ * -- cannot be checked mid-transition, so the auditor accumulates the
+ * blocks touched since the last safe point and System::access drains
+ * them through runDeferredChecks(), which calls the owning L2
+ * organization's per-block invariant hook.
+ *
+ * A violation panic()s with the last N events recorded for the block,
+ * giving the same post-mortem a debugger watchpoint session would.
+ */
+
+#ifndef CNSIM_OBS_AUDITOR_HH
+#define CNSIM_OBS_AUDITOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/coh_state.hh"
+#include "common/types.hh"
+#include "obs/event.hh"
+
+namespace cnsim
+{
+namespace obs
+{
+
+/** Which protocol reading the auditor enforces. */
+enum class AuditProtocol
+{
+    Mesi,         //!< private-L2 MESI snooping
+    Mesic,        //!< CMP-NuRAPID MESI + Communication state
+    WriteUpdate,  //!< Dragon-style write-update baseline
+    Directory,    //!< shared-L2 per-core I/S/M directory view
+};
+
+/** Human-readable name for an AuditProtocol. */
+inline const char *
+toString(AuditProtocol p)
+{
+    switch (p) {
+      case AuditProtocol::Mesi: return "MESI";
+      case AuditProtocol::Mesic: return "MESIC";
+      case AuditProtocol::WriteUpdate: return "write-update";
+      case AuditProtocol::Directory: return "directory";
+    }
+    return "?";
+}
+
+/** Online checker of per-block coherence invariants. */
+class ProtocolAuditor
+{
+  public:
+    /**
+     * @param proto Protocol reading to enforce.
+     * @param num_cores Cores (per-block state copies) to track.
+     * @param history_depth Events of per-block history kept for the
+     *        violation report.
+     */
+    ProtocolAuditor(AuditProtocol proto, int num_cores,
+                    std::size_t history_depth = 16);
+
+    /** TraceSink listener entry point. */
+    void onEvent(const TraceEvent &ev);
+
+    /**
+     * Run the owning L2 organization's per-block structural checks on
+     * every block touched since the last call. Called by
+     * System::access between accesses (the atomic-transaction safe
+     * point); tests driving an L2Org directly must call it themselves.
+     */
+    void runDeferredChecks();
+
+    /** Per-block structural hook (wired to L2Org::checkBlockInvariants). */
+    std::function<void(Addr)> blockCheck;
+
+    /** @return transitions audited so far. */
+    std::uint64_t transitions() const { return n_transitions; }
+
+    /** @return distinct blocks seen so far. */
+    std::size_t blocksTracked() const { return blocks.size(); }
+
+    /** @return the audited state of @p core's copy of @p addr. */
+    CohState stateOf(CoreId core, Addr addr) const;
+
+    /** @return the formatted event history of @p addr (for tests). */
+    std::string historyDump(Addr addr) const;
+
+  private:
+    struct BlockAudit
+    {
+        /** Audited per-core states. */
+        std::vector<CohState> st;
+        /** Ring buffer of the last events touching this block. */
+        std::vector<TraceEvent> hist;
+        /** Next ring slot to overwrite. */
+        std::size_t next = 0;
+        /** Total events ever recorded into the ring. */
+        std::uint64_t seen = 0;
+    };
+
+    BlockAudit &blockFor(Addr addr);
+    void remember(BlockAudit &ba, const TraceEvent &ev);
+    void auditTransition(const TraceEvent &ev);
+    [[noreturn]] void violation(Addr addr, const BlockAudit &ba,
+                                const std::string &msg) const;
+    std::string historyOf(const BlockAudit &ba) const;
+
+    AuditProtocol proto;
+    int ncores;
+    std::size_t depth;
+    std::unordered_map<Addr, BlockAudit> blocks;
+    std::vector<Addr> touched;
+    std::uint64_t n_transitions = 0;
+};
+
+} // namespace obs
+} // namespace cnsim
+
+#endif // CNSIM_OBS_AUDITOR_HH

@@ -1,0 +1,465 @@
+#include "obs/trace_sink.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace cnsim
+{
+namespace obs
+{
+
+namespace
+{
+
+// Little-endian field-by-field serialization: the in-memory struct has
+// padding, and a raw fwrite of it would not be portable or stable.
+
+void
+put64(std::FILE *f, std::uint64_t v)
+{
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<unsigned char>(v >> (8 * i));
+    std::fwrite(b, 1, 8, f);
+}
+
+void
+put32(std::FILE *f, std::uint32_t v)
+{
+    unsigned char b[4];
+    for (int i = 0; i < 4; ++i)
+        b[i] = static_cast<unsigned char>(v >> (8 * i));
+    std::fwrite(b, 1, 4, f);
+}
+
+void
+put16(std::FILE *f, std::uint16_t v)
+{
+    unsigned char b[2] = {static_cast<unsigned char>(v),
+                          static_cast<unsigned char>(v >> 8)};
+    std::fwrite(b, 1, 2, f);
+}
+
+bool
+get64(std::FILE *f, std::uint64_t &v)
+{
+    unsigned char b[8];
+    if (std::fread(b, 1, 8, f) != 8)
+        return false;
+    v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | b[i];
+    return true;
+}
+
+bool
+get32(std::FILE *f, std::uint32_t &v)
+{
+    unsigned char b[4];
+    if (std::fread(b, 1, 4, f) != 4)
+        return false;
+    v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | b[i];
+    return true;
+}
+
+bool
+get16(std::FILE *f, std::uint16_t &v)
+{
+    unsigned char b[2];
+    if (std::fread(b, 1, 2, f) != 2)
+        return false;
+    v = static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+    return true;
+}
+
+constexpr char binary_magic[8] = {'C', 'N', 'T', 'R', 'C', '0', '0', '1'};
+
+/** Short label for one event, used as the Chrome event name. */
+std::string
+eventName(const TraceEvent &ev)
+{
+    switch (ev.kind) {
+      case EventKind::BusTx:
+        return toString(static_cast<BusCmd>(ev.a));
+      case EventKind::Transition:
+        return strfmt("%c>%c", stateChar(static_cast<CohState>(ev.a)),
+                      stateChar(static_cast<CohState>(ev.b)));
+      case EventKind::DGroup:
+        return toString(static_cast<DGroupOp>(ev.a));
+      case EventKind::L1BackInval:
+        return "backInval";
+      case EventKind::Resource:
+        return "grant";
+      case EventKind::CoreStall:
+        return "stall";
+    }
+    return "?";
+}
+
+} // namespace
+
+TraceSink::TraceSink(const ObsParams &p)
+    : params(p), store_enabled(p.trace)
+{
+    if (store_enabled)
+        store.reserve(4096);
+}
+
+int
+TraceSink::registerComponent(const std::string &path)
+{
+    for (std::size_t i = 0; i < comps.size(); ++i) {
+        if (comps[i] == path)
+            return static_cast<int>(i);
+    }
+    comps.push_back(path);
+    return static_cast<int>(comps.size() - 1);
+}
+
+void
+TraceSink::record(const TraceEvent &ev)
+{
+    last_tick = ev.tick;
+    if (listener)
+        listener(ev);
+    if (!armed)
+        return;
+    if (store.size() >= params.max_events) {
+        if (n_dropped == 0)
+            warn("trace sink full (%zu events); dropping further events",
+                 store.size());
+        ++n_dropped;
+        return;
+    }
+    store.push_back(ev);
+    ++kind_counts[static_cast<int>(ev.kind)];
+}
+
+void
+TraceSink::exportChromeJson(const std::string &path) const
+{
+    writeChromeJson(path, store, comps);
+}
+
+void
+TraceSink::exportBinary(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open trace output '%s'", path.c_str());
+    std::fwrite(binary_magic, 1, sizeof(binary_magic), f);
+    put32(f, static_cast<std::uint32_t>(comps.size()));
+    for (const auto &c : comps) {
+        put32(f, static_cast<std::uint32_t>(c.size()));
+        std::fwrite(c.data(), 1, c.size(), f);
+    }
+    put64(f, static_cast<std::uint64_t>(store.size()));
+    for (const TraceEvent &ev : store) {
+        put64(f, static_cast<std::uint64_t>(ev.tick));
+        put64(f, static_cast<std::uint64_t>(ev.addr));
+        put64(f, ev.arg);
+        put32(f, ev.dur);
+        put16(f, static_cast<std::uint16_t>(ev.component));
+        put16(f, static_cast<std::uint16_t>(ev.core));
+        unsigned char tail[4] = {static_cast<unsigned char>(ev.kind),
+                                 ev.a, ev.b, ev.c};
+        std::fwrite(tail, 1, 4, f);
+    }
+    std::fclose(f);
+}
+
+void
+TraceSink::exportTo(const std::string &path, TraceFormat format) const
+{
+    if (format == TraceFormat::Binary)
+        exportBinary(path);
+    else
+        exportChromeJson(path);
+}
+
+bool
+TraceSink::readBinary(const std::string &path, std::vector<TraceEvent> &out,
+                      std::vector<std::string> &components,
+                      std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return fail("cannot open '" + path + "'");
+    char magic[8];
+    if (std::fread(magic, 1, 8, f) != 8 ||
+        std::memcmp(magic, binary_magic, 8) != 0) {
+        std::fclose(f);
+        return fail("'" + path + "' is not a cnsim binary trace");
+    }
+    std::uint32_t ncomps = 0;
+    if (!get32(f, ncomps) || ncomps > 65536) {
+        std::fclose(f);
+        return fail("corrupt component table");
+    }
+    components.clear();
+    for (std::uint32_t i = 0; i < ncomps; ++i) {
+        std::uint32_t len = 0;
+        if (!get32(f, len) || len > 4096) {
+            std::fclose(f);
+            return fail("corrupt component name");
+        }
+        std::string name(len, '\0');
+        if (len && std::fread(name.data(), 1, len, f) != len) {
+            std::fclose(f);
+            return fail("truncated component name");
+        }
+        components.push_back(std::move(name));
+    }
+    std::uint64_t count = 0;
+    if (!get64(f, count)) {
+        std::fclose(f);
+        return fail("truncated event count");
+    }
+    out.clear();
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TraceEvent ev;
+        std::uint64_t tick, addr;
+        std::uint16_t comp, core;
+        unsigned char tail[4];
+        if (!get64(f, tick) || !get64(f, addr) || !get64(f, ev.arg) ||
+            !get32(f, ev.dur) || !get16(f, comp) || !get16(f, core) ||
+            std::fread(tail, 1, 4, f) != 4) {
+            std::fclose(f);
+            return fail(strfmt("truncated event %" PRIu64 " of %" PRIu64,
+                               i, count));
+        }
+        ev.tick = static_cast<Tick>(tick);
+        ev.addr = static_cast<Addr>(addr);
+        ev.component = static_cast<std::int16_t>(comp);
+        ev.core = static_cast<std::int16_t>(core);
+        ev.kind = static_cast<EventKind>(tail[0]);
+        ev.a = tail[1];
+        ev.b = tail[2];
+        ev.c = tail[3];
+        out.push_back(ev);
+    }
+    std::fclose(f);
+    return true;
+}
+
+void
+writeChromeJson(const std::string &path,
+                const std::vector<TraceEvent> &events,
+                const std::vector<std::string> &components)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open trace output '%s'", path.c_str());
+    std::fputs("{\"traceEvents\":[\n", f);
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            std::fputs(",\n", f);
+        first = false;
+    };
+    for (std::size_t i = 0; i < components.size(); ++i) {
+        sep();
+        std::fprintf(f,
+                     "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                     "\"tid\":%zu,\"args\":{\"name\":\"%s\"}}",
+                     i, components[i].c_str());
+    }
+    for (const TraceEvent &ev : events) {
+        sep();
+        std::string name = eventName(ev);
+        int tid = ev.component >= 0 ? ev.component : 0;
+        if (ev.dur > 0) {
+            std::fprintf(f,
+                         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                         "\"ts\":%" PRIu64 ",\"dur\":%u,\"pid\":0,"
+                         "\"tid\":%d",
+                         name.c_str(), toString(ev.kind),
+                         static_cast<std::uint64_t>(ev.tick), ev.dur, tid);
+        } else {
+            std::fprintf(f,
+                         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\","
+                         "\"s\":\"t\",\"ts\":%" PRIu64 ",\"pid\":0,"
+                         "\"tid\":%d",
+                         name.c_str(), toString(ev.kind),
+                         static_cast<std::uint64_t>(ev.tick), tid);
+        }
+        std::fprintf(f, ",\"args\":{\"core\":%d", ev.core);
+        if (ev.addr)
+            std::fprintf(f, ",\"addr\":\"0x%" PRIx64 "\"",
+                         static_cast<std::uint64_t>(ev.addr));
+        switch (ev.kind) {
+          case EventKind::Transition:
+            std::fprintf(f, ",\"cause\":\"%s\"",
+                         toString(static_cast<TransCause>(ev.c)));
+            if (ev.arg & trans_flag_busy)
+                std::fputs(",\"busy\":1", f);
+            if (ev.arg & trans_flag_broadcast)
+                std::fputs(",\"broadcast\":1", f);
+            break;
+          case EventKind::DGroup:
+            std::fprintf(f, ",\"dgroup\":%" PRIu64 ",\"closest\":%d",
+                         ev.arg, ev.b ? 1 : 0);
+            break;
+          case EventKind::Resource:
+            std::fprintf(f, ",\"waitTicks\":%" PRIu64, ev.arg);
+            break;
+          case EventKind::L1BackInval:
+            std::fprintf(f, ",\"l1Blocks\":%" PRIu64, ev.arg);
+            break;
+          default:
+            break;
+        }
+        std::fputs("}}", f);
+    }
+    std::fputs("\n]}\n", f);
+    std::fclose(f);
+}
+
+std::string
+formatEvent(const TraceEvent &ev, const std::vector<std::string> &components)
+{
+    std::string comp = "?";
+    if (ev.component >= 0 &&
+        static_cast<std::size_t>(ev.component) < components.size())
+        comp = components[ev.component];
+    std::string s = strfmt("[%10" PRIu64 "] %-26s",
+                           static_cast<std::uint64_t>(ev.tick),
+                           comp.c_str());
+    switch (ev.kind) {
+      case EventKind::BusTx:
+        s += strfmt("busTx %s dur=%u", toString(static_cast<BusCmd>(ev.a)),
+                    ev.dur);
+        break;
+      case EventKind::Transition:
+        s += strfmt("core%d 0x%" PRIx64 " %c>%c cause=%s%s%s", ev.core,
+                    static_cast<std::uint64_t>(ev.addr),
+                    stateChar(static_cast<CohState>(ev.a)),
+                    stateChar(static_cast<CohState>(ev.b)),
+                    toString(static_cast<TransCause>(ev.c)),
+                    (ev.arg & trans_flag_busy) ? " busy" : "",
+                    (ev.arg & trans_flag_broadcast) ? " bcast" : "");
+        break;
+      case EventKind::DGroup:
+        s += strfmt("core%d 0x%" PRIx64 " dg%" PRIu64 " %s%s", ev.core,
+                    static_cast<std::uint64_t>(ev.addr), ev.arg,
+                    toString(static_cast<DGroupOp>(ev.a)),
+                    ev.b ? " closest" : "");
+        break;
+      case EventKind::L1BackInval:
+        s += strfmt("core%d 0x%" PRIx64 " backInval blocks=%" PRIu64,
+                    ev.core, static_cast<std::uint64_t>(ev.addr), ev.arg);
+        break;
+      case EventKind::Resource:
+        s += strfmt("grant wait=%" PRIu64 " occ=%u", ev.arg, ev.dur);
+        break;
+      case EventKind::CoreStall:
+        s += strfmt("core%d 0x%" PRIx64 " stall dur=%u", ev.core,
+                    static_cast<std::uint64_t>(ev.addr), ev.dur);
+        break;
+    }
+    return s;
+}
+
+std::string
+summarize(const std::vector<TraceEvent> &events,
+          const std::vector<std::string> &components)
+{
+    std::uint64_t by_kind[num_event_kinds] = {};
+    std::map<int, std::uint64_t> by_comp;
+    std::uint64_t by_cause[num_trans_causes] = {};
+    std::uint64_t by_cmd[num_bus_cmds] = {};
+    std::uint64_t by_dgop[num_dgroup_ops] = {};
+    Tick lo = 0, hi = 0;
+    bool have_tick = false;
+    for (const TraceEvent &ev : events) {
+        int k = static_cast<int>(ev.kind);
+        if (k >= 0 && k < num_event_kinds)
+            ++by_kind[k];
+        ++by_comp[ev.component];
+        if (ev.kind == EventKind::Transition &&
+            ev.c < num_trans_causes)
+            ++by_cause[ev.c];
+        if (ev.kind == EventKind::BusTx && ev.a < num_bus_cmds)
+            ++by_cmd[ev.a];
+        if (ev.kind == EventKind::DGroup && ev.a < num_dgroup_ops)
+            ++by_dgop[ev.a];
+        if (!have_tick) {
+            lo = hi = ev.tick;
+            have_tick = true;
+        } else {
+            lo = std::min(lo, ev.tick);
+            hi = std::max(hi, ev.tick);
+        }
+    }
+    std::string s = strfmt("%zu events", events.size());
+    if (have_tick)
+        s += strfmt(", ticks [%" PRIu64 ", %" PRIu64 "]",
+                    static_cast<std::uint64_t>(lo),
+                    static_cast<std::uint64_t>(hi));
+    s += "\n\nby kind:\n";
+    for (int k = 0; k < num_event_kinds; ++k) {
+        if (by_kind[k])
+            s += strfmt("  %-12s %10" PRIu64 "\n",
+                        toString(static_cast<EventKind>(k)), by_kind[k]);
+    }
+    s += "\nby component:\n";
+    for (const auto &kv : by_comp) {
+        std::string name = "?";
+        if (kv.first >= 0 &&
+            static_cast<std::size_t>(kv.first) < components.size())
+            name = components[kv.first];
+        s += strfmt("  %-26s %10" PRIu64 "\n", name.c_str(), kv.second);
+    }
+    bool any_cause = false;
+    for (int c = 0; c < num_trans_causes; ++c)
+        any_cause = any_cause || by_cause[c];
+    if (any_cause) {
+        s += "\ntransitions by cause:\n";
+        for (int c = 0; c < num_trans_causes; ++c) {
+            if (by_cause[c])
+                s += strfmt("  %-12s %10" PRIu64 "\n",
+                            toString(static_cast<TransCause>(c)),
+                            by_cause[c]);
+        }
+    }
+    bool any_cmd = false;
+    for (int c = 0; c < num_bus_cmds; ++c)
+        any_cmd = any_cmd || by_cmd[c];
+    if (any_cmd) {
+        s += "\nbus transactions:\n";
+        for (int c = 0; c < num_bus_cmds; ++c) {
+            if (by_cmd[c])
+                s += strfmt("  %-12s %10" PRIu64 "\n",
+                            toString(static_cast<BusCmd>(c)), by_cmd[c]);
+        }
+    }
+    bool any_dg = false;
+    for (int c = 0; c < num_dgroup_ops; ++c)
+        any_dg = any_dg || by_dgop[c];
+    if (any_dg) {
+        s += "\nd-group operations:\n";
+        for (int c = 0; c < num_dgroup_ops; ++c) {
+            if (by_dgop[c])
+                s += strfmt("  %-12s %10" PRIu64 "\n",
+                            toString(static_cast<DGroupOp>(c)),
+                            by_dgop[c]);
+        }
+    }
+    return s;
+}
+
+} // namespace obs
+} // namespace cnsim

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Per-run structured event recorder.
+ *
+ * Components hold a `TraceSink *` that is null unless observability is
+ * enabled for the run, so the disabled hot path is a single
+ * branch-predictable pointer test. When enabled, typed emit helpers
+ * build a TraceEvent and hand it to record(), which forwards it to an
+ * optional listener (the protocol auditor) and stores it once
+ * recording is armed (at the measurement epoch, so stored event counts
+ * line up with post-reset statistics counters).
+ *
+ * The sink is owned by one System and never shared: the ParallelRunner
+ * determinism contract holds because no process-global state is
+ * involved and no event carries wall-clock data.
+ *
+ * Exporters: Chrome `trace_event` JSON (one track per registered
+ * component; loadable in chrome://tracing or Perfetto) and a compact
+ * binary format readable by tools/cntrace and readBinary().
+ */
+
+#ifndef CNSIM_OBS_TRACE_SINK_HH
+#define CNSIM_OBS_TRACE_SINK_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cache/coh_state.hh"
+#include "common/types.hh"
+#include "mem/packet.hh"
+#include "obs/event.hh"
+
+namespace cnsim
+{
+namespace obs
+{
+
+/** Trace export formats selectable from the CLI. */
+enum class TraceFormat
+{
+    ChromeJson,  //!< chrome://tracing / Perfetto JSON
+    Binary,      //!< compact binary, inspect with tools/cntrace
+};
+
+/** Per-System observability configuration. */
+struct ObsParams
+{
+    /** Record events for export (armed at the measurement epoch). */
+    bool trace = false;
+    /** Attach the online protocol auditor to the transition stream. */
+    bool audit = false;
+    /** Ticks between metrics snapshots; 0 disables the registry. */
+    Tick metrics_interval = 0;
+    /** Stop storing (but keep listening) past this many events. */
+    std::size_t max_events = 4'000'000;
+    /** Minimum stall, in ticks, for a core to emit a CoreStall event. */
+    Tick core_stall_threshold = 8;
+};
+
+/** A per-run recorder of typed simulator events. */
+class TraceSink
+{
+  public:
+    explicit TraceSink(const ObsParams &p = ObsParams{});
+
+    /**
+     * Register a component track by dotted path (e.g.
+     * "l2.nurapid.core0.tag"); repeated registration of the same path
+     * returns the same id. Track ids index components().
+     */
+    int registerComponent(const std::string &path);
+
+    /** @return registered component paths, indexed by track id. */
+    const std::vector<std::string> &components() const { return comps; }
+
+    /** @return true if record() currently does any work. */
+    bool active() const { return armed || listener != nullptr; }
+
+    /** Start storing events (called at the measurement epoch). */
+    void armRecording() { armed = store_enabled; }
+
+    /** Stop storing events; the listener keeps seeing them. */
+    void disarmRecording() { armed = false; }
+
+    /** @return true if events are currently being stored. */
+    bool recording() const { return armed; }
+
+    /** Subscribe @p fn to every emitted event (auditor hook). */
+    void setListener(std::function<void(const TraceEvent &)> fn)
+    {
+        listener = std::move(fn);
+    }
+
+    /** Dispatch one event to the listener and the store. */
+    void record(const TraceEvent &ev);
+
+    /** Last tick seen by record(); for emitters outside the timed path. */
+    Tick approxNow() const { return last_tick; }
+
+    // Typed emit helpers -- all no-ops when the sink is inactive.
+
+    /** A coherence transition on @p core's copy of block @p addr. */
+    void
+    transition(Tick t, int comp, CoreId core, Addr addr, CohState olds,
+               CohState news, TransCause cause, std::uint64_t flags = 0)
+    {
+        if (!active())
+            return;
+        TraceEvent ev;
+        ev.tick = t;
+        ev.addr = addr;
+        ev.arg = flags;
+        ev.component = static_cast<std::int16_t>(comp);
+        ev.core = static_cast<std::int16_t>(core);
+        ev.kind = EventKind::Transition;
+        ev.a = static_cast<std::uint8_t>(olds);
+        ev.b = static_cast<std::uint8_t>(news);
+        ev.c = static_cast<std::uint8_t>(cause);
+        record(ev);
+    }
+
+    /** A bus transaction spanning @p dur ticks from @p t. */
+    void
+    busTx(Tick t, int comp, BusCmd cmd, Tick dur)
+    {
+        if (!active())
+            return;
+        TraceEvent ev;
+        ev.tick = t;
+        ev.dur = static_cast<std::uint32_t>(dur);
+        ev.component = static_cast<std::int16_t>(comp);
+        ev.kind = EventKind::BusTx;
+        ev.a = static_cast<std::uint8_t>(cmd);
+        record(ev);
+    }
+
+    /** D-group activity for block @p addr; @p closest flags proximity. */
+    void
+    dgroupOp(Tick t, int comp, CoreId core, Addr addr, DGroupOp op,
+             DGroupId dg, bool closest = false)
+    {
+        if (!active())
+            return;
+        TraceEvent ev;
+        ev.tick = t;
+        ev.addr = addr;
+        ev.arg = static_cast<std::uint64_t>(dg);
+        ev.component = static_cast<std::int16_t>(comp);
+        ev.core = static_cast<std::int16_t>(core);
+        ev.kind = EventKind::DGroup;
+        ev.a = static_cast<std::uint8_t>(op);
+        ev.b = closest ? 1 : 0;
+        record(ev);
+    }
+
+    /** An L1 back-invalidation of @p blocks L1 blocks under @p addr. */
+    void
+    backInval(Tick t, int comp, CoreId core, Addr addr,
+              std::uint64_t blocks)
+    {
+        if (!active())
+            return;
+        TraceEvent ev;
+        ev.tick = t;
+        ev.addr = addr;
+        ev.arg = blocks;
+        ev.component = static_cast<std::int16_t>(comp);
+        ev.core = static_cast<std::int16_t>(core);
+        ev.kind = EventKind::L1BackInval;
+        record(ev);
+    }
+
+    /** A port grant after @p wait ticks, held for @p occupancy. */
+    void
+    resourceAcquire(Tick t, int comp, Tick wait, Tick occupancy)
+    {
+        if (!active())
+            return;
+        TraceEvent ev;
+        ev.tick = t;
+        ev.arg = static_cast<std::uint64_t>(wait);
+        ev.dur = static_cast<std::uint32_t>(occupancy);
+        ev.component = static_cast<std::int16_t>(comp);
+        ev.kind = EventKind::Resource;
+        record(ev);
+    }
+
+    /** A core memory stall of @p dur ticks on block @p addr. */
+    void
+    coreStall(Tick t, int comp, CoreId core, Addr addr, Tick dur)
+    {
+        if (!active())
+            return;
+        TraceEvent ev;
+        ev.tick = t;
+        ev.addr = addr;
+        ev.dur = static_cast<std::uint32_t>(dur);
+        ev.component = static_cast<std::int16_t>(comp);
+        ev.core = static_cast<std::int16_t>(core);
+        ev.kind = EventKind::CoreStall;
+        record(ev);
+    }
+
+    /** Minimum stall, in ticks, for cores to emit CoreStall events. */
+    Tick stallThreshold() const { return params.core_stall_threshold; }
+
+    /** @return all stored events, in emission order. */
+    const std::vector<TraceEvent> &events() const { return store; }
+
+    /** @return events dropped after the max_events cap was hit. */
+    std::uint64_t dropped() const { return n_dropped; }
+
+    /** @return stored-event count for one kind. */
+    std::uint64_t
+    storedCount(EventKind k) const
+    {
+        return kind_counts[static_cast<int>(k)];
+    }
+
+    /** Write the stored events as Chrome trace_event JSON. */
+    void exportChromeJson(const std::string &path) const;
+
+    /** Write the stored events in the compact binary format. */
+    void exportBinary(const std::string &path) const;
+
+    /** Write the stored events in @p format to @p path. */
+    void exportTo(const std::string &path, TraceFormat format) const;
+
+    /**
+     * Read a binary trace written by exportBinary().
+     *
+     * @return true on success; on failure @p error (if non-null)
+     *         receives a description.
+     */
+    static bool readBinary(const std::string &path,
+                           std::vector<TraceEvent> &out,
+                           std::vector<std::string> &components,
+                           std::string *error = nullptr);
+
+  private:
+    ObsParams params;
+    std::vector<std::string> comps;
+    std::vector<TraceEvent> store;
+    std::function<void(const TraceEvent &)> listener;
+    std::uint64_t kind_counts[num_event_kinds] = {};
+    std::uint64_t n_dropped = 0;
+    Tick last_tick = 0;
+    bool store_enabled = false;
+    bool armed = false;
+};
+
+/**
+ * Write @p events as Chrome trace_event JSON with one track per entry
+ * of @p components. Shared by TraceSink and tools/cntrace.
+ */
+void writeChromeJson(const std::string &path,
+                     const std::vector<TraceEvent> &events,
+                     const std::vector<std::string> &components);
+
+/**
+ * Render a per-kind / per-component / per-cause summary of @p events,
+ * as printed by `cntrace summary`.
+ */
+std::string summarize(const std::vector<TraceEvent> &events,
+                      const std::vector<std::string> &components);
+
+/** Render one event as a single human-readable line. */
+std::string formatEvent(const TraceEvent &ev,
+                        const std::vector<std::string> &components);
+
+} // namespace obs
+} // namespace cnsim
+
+#endif // CNSIM_OBS_TRACE_SINK_HH

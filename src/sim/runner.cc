@@ -76,17 +76,29 @@ Runner::run(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
                  workload.name.c_str(), workload.synth.threads.size(),
                  sys_cfg.num_cores);
 
-    System system(sys_cfg);
+    // A trace-out path implies event recording for this run.
+    SystemConfig sc = sys_cfg;
+    if (!run_cfg.trace_out.empty())
+        sc.obs.trace = true;
+
+    System system(sc);
     SynthWorkloadParams wp = workload.synth;
     wp.seed = wp.seed * 31 + run_cfg.seed;
     SynthWorkload synth(wp);
     EventQueue eq;
 
     std::vector<std::unique_ptr<Core>> cores;
-    for (int c = 0; c < sys_cfg.num_cores; ++c) {
+    for (int c = 0; c < sc.num_cores; ++c) {
         cores.emplace_back(std::make_unique<Core>(
-            c, system, synth.source(c), sys_cfg.core_non_mem_cpi));
+            c, system, synth.source(c), sc.core_non_mem_cpi));
+        cores.back()->attachSink(system.traceSink());
         cores.back()->start(eq);
+    }
+    if (system.metrics()) {
+        StatGroup cg("cores");
+        for (auto &core : cores)
+            core->regStats(cg);
+        system.metrics()->importStatGroup(cg);
     }
 
     auto max_core_instr = [&]() {
@@ -101,18 +113,23 @@ Runner::run(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
         if (!eq.pending())
             panic("event queue drained during warm-up");
         eq.run(eq.now() + run_cfg.quantum);
+        system.obsTick(eq.now());
     }
 
-    // Reset statistics and start the measurement epoch.
+    // Reset statistics and start the measurement epoch (this also arms
+    // trace recording).
     system.resetStats();
     Tick epoch_start = eq.now();
     for (auto &core : cores)
         core->markEpoch(epoch_start);
+    if (system.metrics())
+        system.metrics()->snapshot(epoch_start);
 
     while (max_core_instr() < run_cfg.measure_instructions) {
         if (!eq.pending())
             panic("event queue drained during measurement");
         eq.run(eq.now() + run_cfg.quantum);
+        system.obsTick(eq.now());
     }
     Tick end = eq.now();
 
@@ -151,13 +168,28 @@ Runner::run(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
         r.rws_reuse = pv->reuse().rwsBuckets();
     }
 
-    if (run_cfg.collect_stats_dump) {
+    if (run_cfg.collect_stats_dump || run_cfg.collect_stats_csv) {
         StatGroup g("system");
         system.regStats(g);
         for (auto &core : cores)
             core->regStats(g);
-        r.stats_dump = g.dump();
+        if (run_cfg.collect_stats_dump)
+            r.stats_dump = g.dump();
+        if (run_cfg.collect_stats_csv)
+            r.stats_csv = g.dumpCsv();
     }
+
+    if (system.metrics()) {
+        system.metrics()->snapshot(end);
+        r.metrics_csv = system.metrics()->csv();
+    }
+    if (obs::TraceSink *sink = system.traceSink()) {
+        r.trace_events = sink->events().size();
+        if (!run_cfg.trace_out.empty())
+            sink->exportTo(run_cfg.trace_out, run_cfg.trace_format);
+    }
+    if (system.auditor())
+        r.audited_transitions = system.auditor()->transitions();
     return r;
 }
 

@@ -39,6 +39,13 @@ struct RunConfig
     std::uint64_t seed = 1;
     /** Collect the full statistics dump into RunResult::stats_dump. */
     bool collect_stats_dump = false;
+    /** Collect the statistics CSV into RunResult::stats_csv. */
+    bool collect_stats_csv = false;
+    /** Export the recorded event trace here ("" = no trace). Setting
+     *  this implies SystemConfig::obs.trace for the run. */
+    std::string trace_out;
+    /** Export format for trace_out. */
+    obs::TraceFormat trace_format = obs::TraceFormat::ChromeJson;
 };
 
 /** Everything measured by one run. */
@@ -76,6 +83,18 @@ struct RunResult
 
     /** Full statistics text (when RunConfig::collect_stats_dump). */
     std::string stats_dump;
+
+    /** Statistics CSV (when RunConfig::collect_stats_csv). */
+    std::string stats_csv;
+
+    /** Metrics time-series CSV (when obs.metrics_interval > 0). */
+    std::string metrics_csv;
+
+    /** Events stored by the trace sink over the measurement epoch. */
+    std::uint64_t trace_events = 0;
+
+    /** Transitions checked by the auditor (when obs.audit). */
+    std::uint64_t audited_transitions = 0;
 };
 
 /** Mean and spread of a metric across perturbed runs. */

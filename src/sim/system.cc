@@ -78,10 +78,80 @@ System::System(const SystemConfig &c) : cfg(c)
         [this](CoreId core, Addr baddr, bool wt) {
             l1ds[core]->downgradeL2Block(baddr, l2_block_size, wt);
         });
+
+    // Observability: one sink per System, never shared, so parallel
+    // runs stay deterministic and traced runs stay reproducible.
+    if (cfg.obs.trace || cfg.obs.audit) {
+        sink_ = std::make_unique<obs::TraceSink>(cfg.obs);
+        snoop_bus->attachSink(sink_.get());
+        mem->attachSink(sink_.get());
+        l2_org->setTraceSink(sink_.get());
+        for (int i = 0; i < cfg.num_cores; ++i) {
+            l1ds[i]->attachSink(sink_.get(), i);
+            l1is[i]->attachSink(sink_.get(), i);
+        }
+        if (cfg.obs.audit) {
+            auditor_ = std::make_unique<obs::ProtocolAuditor>(
+                auditProtocolFor(cfg.l2_kind), cfg.num_cores);
+            auditor_->blockCheck = [this](Addr a) {
+                l2_org->checkBlockInvariants(a);
+            };
+            sink_->setListener([au = auditor_.get()](
+                                   const obs::TraceEvent &ev) {
+                au->onEvent(ev);
+            });
+        }
+    }
+    if (cfg.obs.metrics_interval > 0) {
+        metrics_ = std::make_unique<obs::MetricsRegistry>();
+        metrics_->setInterval(cfg.obs.metrics_interval);
+        StatGroup g("system");
+        regStats(g);
+        metrics_->importStatGroup(g);
+        if (auto *nu = dynamic_cast<CmpNurapid *>(l2_org.get())) {
+            for (int dg = 0; dg < cfg.nurapid.num_dgroups; ++dg) {
+                metrics_->addGauge(
+                    strfmt("l2.dgroup%d.occupancy", dg), [nu, dg]() {
+                        return static_cast<double>(nu->dgroupOccupancy(dg));
+                    });
+            }
+        }
+    }
+}
+
+obs::AuditProtocol
+System::auditProtocolFor(L2Kind kind)
+{
+    switch (kind) {
+      case L2Kind::Nurapid:
+        return obs::AuditProtocol::Mesic;
+      case L2Kind::Private:
+        return obs::AuditProtocol::Mesi;
+      case L2Kind::Update:
+        return obs::AuditProtocol::WriteUpdate;
+      case L2Kind::Shared:
+      case L2Kind::Snuca:
+      case L2Kind::Ideal:
+      case L2Kind::Dnuca:
+        return obs::AuditProtocol::Directory;
+    }
+    return obs::AuditProtocol::Directory;
 }
 
 Tick
 System::access(CoreId core, const TraceRecord &rec, Tick at)
+{
+    Tick done = accessImpl(core, rec, at);
+    // Each trace record's activity is one atomic transaction; pointer
+    // structures are consistent again here, so drain the auditor's
+    // deferred per-block structural checks.
+    if (auditor_)
+        auditor_->runDeferredChecks();
+    return done;
+}
+
+Tick
+System::accessImpl(CoreId core, const TraceRecord &rec, Tick at)
 {
     Tick t = at;
 
@@ -148,6 +218,8 @@ System::resetStats()
         l1->resetStats();
     for (auto &l1 : l1is)
         l1->resetStats();
+    if (sink_)
+        sink_->armRecording();
 }
 
 } // namespace cnsim

@@ -20,6 +20,9 @@
 #include "mem/bus.hh"
 #include "mem/memory.hh"
 #include "nurapid/cmp_nurapid.hh"
+#include "obs/auditor.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_sink.hh"
 #include "trace/trace.hh"
 
 namespace cnsim
@@ -63,6 +66,8 @@ struct SystemConfig
     Tick ideal_latency = 10;
     BusParams bus;
     MemoryParams memory;
+    /** Observability: event tracing, metrics, protocol auditing. */
+    obs::ObsParams obs;
 };
 
 /** A 4-core CMP with the selected on-chip cache hierarchy. */
@@ -93,12 +98,41 @@ class System
     unsigned l2BlockSize() const { return l2_block_size; }
 
     void regStats(StatGroup &group);
+
+    /**
+     * Reset all statistics and arm the trace sink: from here on, every
+     * event is stored, so stored event counts line up with the
+     * post-reset statistics counters.
+     */
     void resetStats();
 
     /** Run the active organization's invariant checks. */
     void checkInvariants() const { l2_org->checkInvariants(); }
 
+    /** The per-run trace sink, or null when observability is off. */
+    obs::TraceSink *traceSink() { return sink_.get(); }
+
+    /** The online protocol auditor, or null unless auditing. */
+    obs::ProtocolAuditor *auditor() { return auditor_.get(); }
+
+    /** The metrics registry, or null unless an interval is set. */
+    obs::MetricsRegistry *metrics() { return metrics_.get(); }
+
+    /** Periodic observability work (metrics snapshots); cheap no-op
+     *  when the registry is off. Called from the run loop. */
+    void
+    obsTick(Tick now)
+    {
+        if (metrics_)
+            metrics_->tick(now);
+    }
+
   private:
+    Tick accessImpl(CoreId core, const TraceRecord &rec, Tick at);
+
+    /** Map an L2Kind to the protocol family its auditor checks. */
+    static obs::AuditProtocol auditProtocolFor(L2Kind kind);
+
     SystemConfig cfg;
     unsigned l2_block_size;
     std::unique_ptr<MainMemory> mem;
@@ -106,6 +140,9 @@ class System
     std::unique_ptr<L2Org> l2_org;
     std::vector<std::unique_ptr<L1Cache>> l1ds;
     std::vector<std::unique_ptr<L1Cache>> l1is;
+    std::unique_ptr<obs::TraceSink> sink_;
+    std::unique_ptr<obs::ProtocolAuditor> auditor_;
+    std::unique_ptr<obs::MetricsRegistry> metrics_;
 };
 
 } // namespace cnsim

@@ -17,11 +17,34 @@
 #include "mem/bus.hh"
 #include "mem/memory.hh"
 #include "nurapid/cmp_nurapid.hh"
+#include "obs/auditor.hh"
+#include "obs/trace_sink.hh"
 
 namespace cnsim
 {
 namespace
 {
+
+/**
+ * Attach a MESIC ProtocolAuditor to @p l2 so every matrix sequence is
+ * also checked online, exactly as `cnsim --audit` would.
+ */
+struct AuditHarness
+{
+    obs::TraceSink sink;
+    obs::ProtocolAuditor auditor{obs::AuditProtocol::Mesic, 4};
+
+    explicit AuditHarness(CmpNurapid &l2)
+    {
+        auditor.blockCheck = [&l2](Addr a) {
+            l2.checkBlockInvariants(a);
+        };
+        sink.setListener([this](const obs::TraceEvent &ev) {
+            auditor.onEvent(ev);
+        });
+        l2.setTraceSink(&sink);
+    }
+};
 
 struct Step
 {
@@ -63,6 +86,7 @@ TEST_P(MesicMatrix, SequenceReachesExpectedStates)
     SnoopBus bus;
     CmpNurapid l2(tinyNurapid(), bus, mem);
     l2.setL1Hooks([](CoreId, Addr) {}, [](CoreId, Addr, bool) {});
+    AuditHarness audit(l2);
 
     const Addr x = 0x1000;
     Tick t = 0;
@@ -70,8 +94,14 @@ TEST_P(MesicMatrix, SequenceReachesExpectedStates)
         l2.access({s.core, x,
                    s.op == 'W' ? MemOp::Store : MemOp::Load},
                   t);
+        audit.auditor.runDeferredChecks();
         t += 1000;
     }
+    EXPECT_GT(audit.auditor.transitions(), 0u);
+    // The audited mirror must agree with the arrays' actual states.
+    for (CoreId core = 0; core < 4; ++core)
+        EXPECT_EQ(audit.auditor.stateOf(core, x), l2.stateOf(core, x))
+            << c.name << " core " << core;
     std::string got;
     for (CoreId core = 0; core < 4; ++core)
         got += stateChar(l2.stateOf(core, x));
@@ -135,6 +165,7 @@ TEST(MesicMatrix, DirtyBlockAlwaysSingleFrame)
     SnoopBus bus;
     CmpNurapid l2(tinyNurapid(), bus, mem);
     l2.setL1Hooks([](CoreId, Addr) {}, [](CoreId, Addr, bool) {});
+    AuditHarness audit(l2);
     Rng rng(123);
     const Addr x = 0x2000;
     Tick t = 0;
@@ -143,6 +174,7 @@ TEST(MesicMatrix, DirtyBlockAlwaysSingleFrame)
         CoreId c = static_cast<CoreId>(rng.below(4));
         bool w = rng.chance(0.4);
         l2.access({c, x, w ? MemOp::Store : MemOp::Load}, t);
+        audit.auditor.runDeferredChecks();
         t += 500;
         dirty = dirty || w;
         if (dirty) {

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Integration tests for the observability subsystem through the
+ * Runner: the auditor passes on real workloads for every L2
+ * organization, observability never perturbs simulated timing, traces
+ * are deterministic across ParallelRunner worker counts, and a binary
+ * trace round-trips through the cntrace reader with event counts that
+ * agree with the run's statistics counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/event.hh"
+#include "obs/trace_sink.hh"
+#include "sim/parallel_runner.hh"
+#include "sim/runner.hh"
+
+namespace cnsim
+{
+namespace
+{
+
+std::string
+tmpPath(const std::string &tag)
+{
+    return std::string(::testing::TempDir()) + "cnsim_obsint_" + tag;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+RunConfig
+shortRun()
+{
+    RunConfig rc;
+    rc.warmup_instructions = 80'000;
+    rc.measure_instructions = 120'000;
+    return rc;
+}
+
+/** Every timing-visible field of a RunResult, for bit-identity checks. */
+void
+expectIdenticalTiming(const RunResult &a, const RunResult &b,
+                      const std::string &what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.ipc, b.ipc) << what;
+    EXPECT_EQ(a.l2_accesses, b.l2_accesses) << what;
+    EXPECT_EQ(a.frac_hit, b.frac_hit) << what;
+    EXPECT_EQ(a.frac_ros, b.frac_ros) << what;
+    EXPECT_EQ(a.frac_rws, b.frac_rws) << what;
+    EXPECT_EQ(a.frac_cap, b.frac_cap) << what;
+    EXPECT_EQ(a.miss_rate, b.miss_rate) << what;
+    EXPECT_EQ(a.bus_transactions, b.bus_transactions) << what;
+    EXPECT_EQ(a.mem_reads, b.mem_reads) << what;
+    EXPECT_EQ(a.mem_writebacks, b.mem_writebacks) << what;
+    ASSERT_EQ(a.core_ipc.size(), b.core_ipc.size()) << what;
+    for (std::size_t i = 0; i < a.core_ipc.size(); ++i)
+        EXPECT_EQ(a.core_ipc[i], b.core_ipc[i]) << what;
+}
+
+TEST(ObsIntegration, AuditorPassesOnEveryOrgAndMtWorkload)
+{
+    const L2Kind all[] = {L2Kind::Shared, L2Kind::Private, L2Kind::Snuca,
+                          L2Kind::Ideal,  L2Kind::Nurapid, L2Kind::Update,
+                          L2Kind::Dnuca};
+    for (L2Kind kind : all) {
+        SystemConfig cfg = Runner::paperConfig(kind);
+        cfg.obs.audit = true;
+        for (const auto &wl : workloads::multithreadedNames()) {
+            RunResult r =
+                Runner::run(cfg, workloads::byName(wl), shortRun());
+            EXPECT_GT(r.audited_transitions, 0u)
+                << toString(kind) << "/" << wl;
+        }
+    }
+}
+
+TEST(ObsIntegration, ObservabilityDoesNotPerturbTiming)
+{
+    // The acceptance bar for the whole subsystem: a fully instrumented
+    // run (trace + audit + metrics) must report simulated results
+    // bit-identical to a plain run of the same configuration.
+    for (L2Kind kind : {L2Kind::Nurapid, L2Kind::Private}) {
+        SystemConfig cfg = Runner::paperConfig(kind);
+        WorkloadSpec wl = workloads::byName("oltp");
+        RunResult plain = Runner::run(cfg, wl, shortRun());
+
+        SystemConfig obs_cfg = cfg;
+        obs_cfg.obs.audit = true;
+        obs_cfg.obs.metrics_interval = 50'000;
+        RunConfig rc = shortRun();
+        rc.trace_out = tmpPath(std::string("perturb_") + toString(kind) +
+                               ".bin");
+        rc.trace_format = obs::TraceFormat::Binary;
+        RunResult traced = Runner::run(obs_cfg, wl, rc);
+
+        expectIdenticalTiming(plain, traced, toString(kind));
+        EXPECT_GT(traced.trace_events, 0u);
+        EXPECT_GT(traced.audited_transitions, 0u);
+        EXPECT_FALSE(traced.metrics_csv.empty());
+        std::remove(rc.trace_out.c_str());
+    }
+}
+
+TEST(ObsIntegration, RepeatedRunsAreBitIdentical)
+{
+    // Tracing disabled: two identical runs must agree exactly (the
+    // pre-existing determinism contract the subsystem must not break).
+    SystemConfig cfg = Runner::paperConfig(L2Kind::Nurapid);
+    WorkloadSpec wl = workloads::byName("apache");
+    RunResult a = Runner::run(cfg, wl, shortRun());
+    RunResult b = Runner::run(cfg, wl, shortRun());
+    expectIdenticalTiming(a, b, "repeat");
+}
+
+TEST(ObsIntegration, TracesIdenticalAcrossWorkerCounts)
+{
+    // Two-cell grid traced under jobs=1 and jobs=2: the exported
+    // binary traces must be byte-identical (per-System sinks, no
+    // process-global state).
+    const std::string wls[] = {"oltp", "ocean"};
+    std::vector<std::string> files[2];
+    for (int jobs = 1; jobs <= 2; ++jobs) {
+        ParallelRunner pool(jobs);
+        for (const auto &wl : wls) {
+            SystemConfig cfg = Runner::paperConfig(L2Kind::Nurapid);
+            cfg.obs.audit = true;
+            RunConfig rc = shortRun();
+            rc.trace_out = tmpPath("det_j" + std::to_string(jobs) + "_" +
+                                   wl + ".bin");
+            rc.trace_format = obs::TraceFormat::Binary;
+            files[jobs - 1].push_back(rc.trace_out);
+            pool.submit(cfg, workloads::byName(wl), rc);
+        }
+        std::vector<RunResult> results = pool.run();
+        ASSERT_EQ(results.size(), 2u);
+        for (const RunResult &r : results)
+            EXPECT_GT(r.trace_events, 0u);
+    }
+    for (std::size_t i = 0; i < files[0].size(); ++i) {
+        std::string a = slurp(files[0][i]);
+        std::string b = slurp(files[1][i]);
+        ASSERT_FALSE(a.empty());
+        EXPECT_EQ(a, b) << wls[i];
+        std::remove(files[0][i].c_str());
+        std::remove(files[1][i].c_str());
+    }
+}
+
+TEST(ObsIntegration, BinaryTraceRoundTripMatchesCounters)
+{
+    SystemConfig cfg = Runner::paperConfig(L2Kind::Nurapid);
+    cfg.obs.metrics_interval = 50'000;
+    RunConfig rc = shortRun();
+    rc.trace_out = tmpPath("roundtrip.bin");
+    rc.trace_format = obs::TraceFormat::Binary;
+    RunResult r = Runner::run(cfg, workloads::byName("oltp"), rc);
+
+    std::vector<obs::TraceEvent> events;
+    std::vector<std::string> comps;
+    std::string err;
+    ASSERT_TRUE(
+        obs::TraceSink::readBinary(rc.trace_out, events, comps, &err))
+        << err;
+
+    // Every stored event made it to disk and back.
+    EXPECT_EQ(events.size(), r.trace_events);
+    EXPECT_FALSE(comps.empty());
+
+    // Events were stored only over the measurement epoch, so the busTx
+    // count must equal the run's bus-transaction statistic: one event
+    // and one counter increment per transaction.
+    std::uint64_t bus_events = 0;
+    for (const obs::TraceEvent &ev : events)
+        bus_events += ev.kind == obs::EventKind::BusTx ? 1 : 0;
+    EXPECT_EQ(bus_events, r.bus_transactions);
+    std::remove(rc.trace_out.c_str());
+}
+
+TEST(ObsIntegration, ChromeJsonExportIsWellFormed)
+{
+    SystemConfig cfg = Runner::paperConfig(L2Kind::Nurapid);
+    cfg.obs.audit = true;
+    RunConfig rc = shortRun();
+    rc.trace_out = tmpPath("chrome.json");
+    RunResult r = Runner::run(cfg, workloads::byName("oltp"), rc);
+    EXPECT_GT(r.trace_events, 0u);
+
+    std::string json = slurp(rc.trace_out);
+    ASSERT_FALSE(json.empty());
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("mem.bus"), std::string::npos);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+    std::remove(rc.trace_out.c_str());
+}
+
+} // namespace
+} // namespace cnsim

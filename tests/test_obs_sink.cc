@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for the obs::TraceSink event recorder: activation and
+ * arming semantics, per-kind accounting, the event cap, and the two
+ * export formats (Chrome JSON and the binary format round-tripped
+ * through readBinary).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/event.hh"
+#include "obs/trace_sink.hh"
+
+namespace cnsim
+{
+namespace
+{
+
+std::string
+tmpPath(const std::string &tag)
+{
+    return std::string(::testing::TempDir()) + "cnsim_obs_" + tag;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+obs::ObsParams
+tracingOn()
+{
+    obs::ObsParams p;
+    p.trace = true;
+    return p;
+}
+
+TEST(TraceSink, DisabledSinkIsInert)
+{
+    obs::TraceSink sink;  // neither tracing nor a listener
+    EXPECT_FALSE(sink.active());
+    sink.transition(10, 0, 0, 0x40, CohState::Invalid,
+                    CohState::Modified, obs::TransCause::PrWr);
+    sink.busTx(20, 0, BusCmd::BusRd, 8);
+    EXPECT_TRUE(sink.events().empty());
+    sink.armRecording();  // tracing off: arming must not enable storage
+    sink.busTx(30, 0, BusCmd::BusRd, 8);
+    EXPECT_TRUE(sink.events().empty());
+    EXPECT_FALSE(sink.recording());
+}
+
+TEST(TraceSink, ArmingGatesStorageButNotTheListener)
+{
+    obs::TraceSink sink(tracingOn());
+    int listened = 0;
+    sink.setListener([&](const obs::TraceEvent &) { ++listened; });
+
+    // Pre-arm (warm-up): listener sees events, store does not.
+    sink.busTx(5, 0, BusCmd::BusRd, 8);
+    EXPECT_EQ(listened, 1);
+    EXPECT_TRUE(sink.events().empty());
+
+    sink.armRecording();
+    EXPECT_TRUE(sink.recording());
+    sink.busTx(15, 0, BusCmd::BusRdX, 8);
+    EXPECT_EQ(listened, 2);
+    ASSERT_EQ(sink.events().size(), 1u);
+    EXPECT_EQ(sink.events()[0].tick, 15u);
+
+    sink.disarmRecording();
+    sink.busTx(25, 0, BusCmd::BusRd, 8);
+    EXPECT_EQ(listened, 3);
+    EXPECT_EQ(sink.events().size(), 1u);
+}
+
+TEST(TraceSink, RegisterComponentDeduplicates)
+{
+    obs::TraceSink sink(tracingOn());
+    int a = sink.registerComponent("l2.core0");
+    int b = sink.registerComponent("mem.bus");
+    int a2 = sink.registerComponent("l2.core0");
+    EXPECT_EQ(a, a2);
+    EXPECT_NE(a, b);
+    ASSERT_EQ(sink.components().size(), 2u);
+    EXPECT_EQ(sink.components()[a], "l2.core0");
+}
+
+TEST(TraceSink, PerKindCountsAndApproxNow)
+{
+    obs::TraceSink sink(tracingOn());
+    sink.armRecording();
+    int c = sink.registerComponent("x");
+    sink.busTx(10, c, BusCmd::BusRd, 8);
+    sink.transition(20, c, 1, 0x80, CohState::Invalid,
+                    CohState::Exclusive, obs::TransCause::Fill);
+    sink.transition(30, c, 1, 0x80, CohState::Exclusive,
+                    CohState::Modified, obs::TransCause::PrWr);
+    sink.dgroupOp(40, c, 1, 0x80, obs::DGroupOp::Hit, 2, true);
+    sink.backInval(50, c, 0, 0x80, 2);
+    sink.resourceAcquire(60, c, 4, 8);
+    sink.coreStall(70, c, 3, 0x80, 100);
+
+    EXPECT_EQ(sink.storedCount(obs::EventKind::BusTx), 1u);
+    EXPECT_EQ(sink.storedCount(obs::EventKind::Transition), 2u);
+    EXPECT_EQ(sink.storedCount(obs::EventKind::DGroup), 1u);
+    EXPECT_EQ(sink.storedCount(obs::EventKind::L1BackInval), 1u);
+    EXPECT_EQ(sink.storedCount(obs::EventKind::Resource), 1u);
+    EXPECT_EQ(sink.storedCount(obs::EventKind::CoreStall), 1u);
+    EXPECT_EQ(sink.events().size(), 7u);
+    EXPECT_EQ(sink.approxNow(), 70u);
+}
+
+TEST(TraceSink, EventCapDropsButCounts)
+{
+    obs::ObsParams p = tracingOn();
+    p.max_events = 4;
+    obs::TraceSink sink(p);
+    sink.armRecording();
+    for (int i = 0; i < 10; ++i)
+        sink.busTx(i, 0, BusCmd::BusRd, 8);
+    EXPECT_EQ(sink.events().size(), 4u);
+    EXPECT_EQ(sink.dropped(), 6u);
+}
+
+TEST(TraceSink, BinaryRoundTripPreservesEverything)
+{
+    obs::TraceSink sink(tracingOn());
+    sink.armRecording();
+    int bus = sink.registerComponent("mem.bus");
+    int core = sink.registerComponent("l2.core1");
+    sink.busTx(10, bus, BusCmd::BusUpg, 8);
+    sink.transition(22, core, 1, 0xabc0, CohState::Shared,
+                    CohState::Communication, obs::TransCause::BusUpg,
+                    obs::trans_flag_broadcast);
+    sink.dgroupOp(33, core, 1, 0xabc0, obs::DGroupOp::Replication, 3,
+                  true);
+    sink.coreStall(44, core, 1, 0xabc0, 77);
+
+    const std::string path = tmpPath("roundtrip.bin");
+    sink.exportBinary(path);
+
+    std::vector<obs::TraceEvent> events;
+    std::vector<std::string> comps;
+    std::string err;
+    ASSERT_TRUE(obs::TraceSink::readBinary(path, events, comps, &err))
+        << err;
+    ASSERT_EQ(comps.size(), 2u);
+    EXPECT_EQ(comps[bus], "mem.bus");
+    EXPECT_EQ(comps[core], "l2.core1");
+    ASSERT_EQ(events.size(), sink.events().size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const obs::TraceEvent &a = sink.events()[i];
+        const obs::TraceEvent &b = events[i];
+        EXPECT_EQ(a.tick, b.tick);
+        EXPECT_EQ(a.addr, b.addr);
+        EXPECT_EQ(a.arg, b.arg);
+        EXPECT_EQ(a.dur, b.dur);
+        EXPECT_EQ(a.component, b.component);
+        EXPECT_EQ(a.core, b.core);
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.a, b.a);
+        EXPECT_EQ(a.b, b.b);
+        EXPECT_EQ(a.c, b.c);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceSink, ReadBinaryRejectsGarbage)
+{
+    const std::string path = tmpPath("garbage.bin");
+    {
+        std::ofstream out(path);
+        out << "this is not a trace";
+    }
+    std::vector<obs::TraceEvent> events;
+    std::vector<std::string> comps;
+    std::string err;
+    EXPECT_FALSE(obs::TraceSink::readBinary(path, events, comps, &err));
+    EXPECT_FALSE(err.empty());
+    std::remove(path.c_str());
+}
+
+TEST(TraceSink, ChromeJsonMentionsTracksAndEvents)
+{
+    obs::TraceSink sink(tracingOn());
+    sink.armRecording();
+    int bus = sink.registerComponent("mem.bus");
+    sink.busTx(10, bus, BusCmd::BusRd, 8);
+    sink.transition(20, bus, 0, 0x40, CohState::Invalid,
+                    CohState::Exclusive, obs::TransCause::Fill);
+
+    const std::string path = tmpPath("trace.json");
+    sink.exportChromeJson(path);
+    std::string json = slurp(path);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("mem.bus"), std::string::npos);
+    EXPECT_NE(json.find("BusRd"), std::string::npos);
+    // Balanced braces is a cheap structural sanity check.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    std::remove(path.c_str());
+}
+
+TEST(TraceSink, SummaryAndFormatAreHumanReadable)
+{
+    obs::TraceSink sink(tracingOn());
+    sink.armRecording();
+    int c = sink.registerComponent("l2.nurapid.core0.tag");
+    sink.transition(10, c, 0, 0x1000, CohState::Invalid,
+                    CohState::Modified, obs::TransCause::PrWr);
+    std::string line = obs::formatEvent(sink.events()[0],
+                                        sink.components());
+    EXPECT_NE(line.find("l2.nurapid.core0.tag"), std::string::npos);
+    EXPECT_NE(line.find("PrWr"), std::string::npos);
+
+    std::string sum = obs::summarize(sink.events(), sink.components());
+    EXPECT_NE(sum.find("transition"), std::string::npos);
+}
+
+} // namespace
+} // namespace cnsim

@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -65,11 +66,49 @@ usage(const char *argv0)
         "  --promotion <p>    fastest|next-fastest|none (nurapid)\n"
         "  --tag-factor <N>   nurapid tag-capacity multiple (1/2/4)\n"
         "  --stats            dump the full statistics block per run\n"
+        "  --stats-csv <file> write per-run statistics as CSV "
+        "(l2,workload,name,value)\n"
+        "  --trace-out <file> record the measurement epoch's events and "
+        "export them\n"
+        "                     here (grid sweeps insert <l2>-<workload> "
+        "before the\n"
+        "                     extension)\n"
+        "  --trace-format <f> json (Chrome trace_event) | bin (compact, "
+        "for cntrace)\n"
+        "  --metrics-interval <N>  snapshot the metrics registry every N "
+        "ticks\n"
+        "  --metrics-out <file>    write the metrics time series CSV "
+        "here\n"
+        "  --audit            run the online coherence-protocol auditor\n"
         "  --record <prefix>  record per-core traces to "
         "<prefix>.core<N>.trc\n"
         "  --replay <prefix>  drive the cores from recorded traces\n"
         "  --list             list workloads and organizations\n",
         argv0);
+}
+
+/**
+ * Insert @p tag before @p path's extension ("t.json" + "nurapid-oltp"
+ * -> "t.nurapid-oltp.json") so grid sweeps write one file per run.
+ */
+std::string
+tagPath(const std::string &path, const std::string &tag)
+{
+    auto dot = path.rfind('.');
+    auto slash = path.rfind('/');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + "." + tag;
+    return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    out << text;
 }
 
 std::vector<L2Kind>
@@ -98,7 +137,10 @@ runWithTraceIO(const SystemConfig &cfg, const WorkloadSpec &wl,
                const RunConfig &rc, const std::string &record_prefix,
                const std::string &replay_prefix)
 {
-    System system(cfg);
+    SystemConfig sc = cfg;
+    if (!rc.trace_out.empty())
+        sc.obs.trace = true;
+    System system(sc);
     std::unique_ptr<SynthWorkload> synth;
     if (replay_prefix.empty())
         synth = std::make_unique<SynthWorkload>(wl.synth);
@@ -123,6 +165,7 @@ runWithTraceIO(const SystemConfig &cfg, const WorkloadSpec &wl,
     for (int c = 0; c < cfg.num_cores; ++c) {
         cores.push_back(std::make_unique<Core>(
             c, system, *sources[c], cfg.core_non_mem_cpi));
+        cores.back()->attachSink(system.traceSink());
         cores.back()->start(eq);
     }
     auto max_instr = [&]() {
@@ -131,14 +174,18 @@ runWithTraceIO(const SystemConfig &cfg, const WorkloadSpec &wl,
             m = std::max(m, core->epochInstructions());
         return m;
     };
-    while (max_instr() < rc.warmup_instructions)
+    while (max_instr() < rc.warmup_instructions) {
         eq.run(eq.now() + rc.quantum);
+        system.obsTick(eq.now());
+    }
     system.resetStats();
     Tick epoch = eq.now();
     for (auto &core : cores)
         core->markEpoch(epoch);
-    while (max_instr() < rc.measure_instructions)
+    while (max_instr() < rc.measure_instructions) {
         eq.run(eq.now() + rc.quantum);
+        system.obsTick(eq.now());
+    }
     system.checkInvariants();
 
     RunResult r;
@@ -153,6 +200,28 @@ runWithTraceIO(const SystemConfig &cfg, const WorkloadSpec &wl,
     r.frac_ros = system.l2().clsFraction(AccessClass::ROSMiss);
     r.frac_rws = system.l2().clsFraction(AccessClass::RWSMiss);
     r.frac_cap = system.l2().clsFraction(AccessClass::CapacityMiss);
+
+    if (rc.collect_stats_dump || rc.collect_stats_csv) {
+        StatGroup g("system");
+        system.regStats(g);
+        for (auto &core : cores)
+            core->regStats(g);
+        if (rc.collect_stats_dump)
+            r.stats_dump = g.dump();
+        if (rc.collect_stats_csv)
+            r.stats_csv = g.dumpCsv();
+    }
+    if (system.metrics()) {
+        system.metrics()->snapshot(eq.now());
+        r.metrics_csv = system.metrics()->csv();
+    }
+    if (obs::TraceSink *sink = system.traceSink()) {
+        r.trace_events = sink->events().size();
+        if (!rc.trace_out.empty())
+            sink->exportTo(rc.trace_out, rc.trace_format);
+    }
+    if (system.auditor())
+        r.audited_transitions = system.auditor()->transitions();
     return r;
 }
 
@@ -191,6 +260,12 @@ main(int argc, char **argv)
     unsigned tag_factor = 2;
     std::string record_prefix;
     std::string replay_prefix;
+    std::string stats_csv_path;
+    std::string trace_out;
+    std::string metrics_out;
+    obs::TraceFormat trace_format = obs::TraceFormat::ChromeJson;
+    std::uint64_t metrics_interval = 0;
+    bool audit = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -217,6 +292,25 @@ main(int argc, char **argv)
                 fatal("--jobs needs a positive integer, got '%s'", v);
         } else if (a == "--stats") {
             want_stats = true;
+        } else if (a == "--stats-csv") {
+            stats_csv_path = next();
+        } else if (a == "--trace-out") {
+            trace_out = next();
+        } else if (a == "--trace-format") {
+            std::string f = next();
+            if (f == "json")
+                trace_format = obs::TraceFormat::ChromeJson;
+            else if (f == "bin")
+                trace_format = obs::TraceFormat::Binary;
+            else
+                fatal("--trace-format must be json or bin, got '%s'",
+                      f.c_str());
+        } else if (a == "--metrics-interval") {
+            metrics_interval = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--metrics-out") {
+            metrics_out = next();
+        } else if (a == "--audit") {
+            audit = true;
         } else if (a == "--no-cr") {
             no_cr = true;
         } else if (a == "--no-isc") {
@@ -252,13 +346,22 @@ main(int argc, char **argv)
     }
 
     rc.collect_stats_dump = want_stats;
+    rc.collect_stats_csv = !stats_csv_path.empty();
+    rc.trace_format = trace_format;
+    // A metrics file without an explicit interval gets a usable default.
+    if (!metrics_out.empty() && metrics_interval == 0)
+        metrics_interval = 100'000;
 
     const bool trace_io = !record_prefix.empty() || !replay_prefix.empty();
 
     // Build the (L2 kind x workload) grid in print order.
+    const std::vector<L2Kind> kind_list = parseKinds(l2_arg);
+    const std::vector<std::string> wl_list = parseWorkloads(wl_arg);
+    const bool multi = kind_list.size() * wl_list.size() > 1;
+
     ParallelRunner pool(jobs);
     std::vector<RunResult> results;
-    for (L2Kind kind : parseKinds(l2_arg)) {
+    for (L2Kind kind : kind_list) {
         SystemConfig cfg = Runner::paperConfig(kind);
         cfg.nurapid.enable_cr = !no_cr;
         cfg.nurapid.enable_isc = !no_isc;
@@ -269,16 +372,25 @@ main(int argc, char **argv)
             cfg.nurapid.promotion = PromotionPolicy::None;
         else if (promotion != "fastest")
             fatal("unknown promotion policy '%s'", promotion.c_str());
+        cfg.obs.audit = audit;
+        cfg.obs.metrics_interval = metrics_interval;
 
-        for (const auto &w : parseWorkloads(wl_arg)) {
+        for (const auto &w : wl_list) {
+            RunConfig run = rc;
+            // Grid sweeps write one trace per run, tagged by cell.
+            if (!trace_out.empty())
+                run.trace_out =
+                    multi ? tagPath(trace_out, std::string(toString(kind)) +
+                                                   "-" + w)
+                          : trace_out;
             if (trace_io) {
                 // Trace record/replay shares files between runs, so it
                 // stays serial and bypasses the pool.
                 results.push_back(runWithTraceIO(cfg, workloads::byName(w),
-                                                 rc, record_prefix,
+                                                 run, record_prefix,
                                                  replay_prefix));
             } else {
-                pool.submit(cfg, workloads::byName(w), rc);
+                pool.submit(cfg, workloads::byName(w), run);
             }
         }
     }
@@ -304,6 +416,37 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(r.cycles));
         if (want_stats)
             std::printf("%s\n", r.stats_dump.c_str());
+        if (audit || !trace_out.empty())
+            inform("%s/%s: %llu trace events, %llu audited transitions",
+                   r.l2_kind.c_str(), r.workload.c_str(),
+                   static_cast<unsigned long long>(r.trace_events),
+                   static_cast<unsigned long long>(
+                       r.audited_transitions));
+    }
+
+    if (!stats_csv_path.empty()) {
+        // Merge the per-run CSVs into one file keyed by grid cell.
+        std::string csv = "l2,workload,name,value\n";
+        for (const RunResult &r : results) {
+            std::size_t pos = r.stats_csv.find('\n');  // skip header
+            pos = pos == std::string::npos ? r.stats_csv.size() : pos + 1;
+            while (pos < r.stats_csv.size()) {
+                std::size_t end = r.stats_csv.find('\n', pos);
+                if (end == std::string::npos)
+                    end = r.stats_csv.size();
+                csv += r.l2_kind + "," + r.workload + "," +
+                       r.stats_csv.substr(pos, end - pos) + "\n";
+                pos = end + 1;
+            }
+        }
+        writeTextFile(stats_csv_path, csv);
+    }
+    if (!metrics_out.empty()) {
+        for (const RunResult &r : results)
+            writeTextFile(multi ? tagPath(metrics_out,
+                                          r.l2_kind + "-" + r.workload)
+                                : metrics_out,
+                          r.metrics_csv);
     }
     return 0;
 }

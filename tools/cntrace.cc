@@ -1,0 +1,167 @@
+/**
+ * @file
+ * cntrace: inspector for cnsim binary event traces.
+ *
+ * Reads a trace written with `cnsim --trace-out t.bin --trace-format
+ * bin` and either summarizes it, dumps (filtered) events as text, or
+ * converts it to Chrome trace_event JSON:
+ *
+ *   cntrace summary t.bin
+ *   cntrace dump t.bin --kind transition --core 2 --limit 50
+ *   cntrace dump t.bin --addr 0x1f40 --component l2.nurapid
+ *   cntrace json t.bin out.json
+ *
+ * Filters intersect; --component matches any track whose registered
+ * path contains the given substring.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "obs/event.hh"
+#include "obs/trace_sink.hh"
+
+using namespace cnsim;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s <command> <trace.bin> [options]\n"
+        "commands:\n"
+        "  summary <trace.bin>             per-kind/component/cause "
+        "breakdown\n"
+        "  dump <trace.bin> [filters]      print events, one per line\n"
+        "  json <trace.bin> <out.json>     convert to Chrome "
+        "trace_event JSON\n"
+        "dump filters:\n"
+        "  --kind <k>        busTx|transition|dgroup|l1BackInval|"
+        "resource|coreStall\n"
+        "  --core <N>        events initiated by/affecting core N\n"
+        "  --addr <A>        events for block address A (hex ok)\n"
+        "  --component <s>   track path contains substring s\n"
+        "  --limit <N>       stop after N matching events\n",
+        argv0);
+}
+
+bool
+parseKind(const std::string &s, obs::EventKind &out)
+{
+    for (int k = 0; k < obs::num_event_kinds; ++k) {
+        auto kind = static_cast<obs::EventKind>(k);
+        if (s == obs::toString(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                      std::strcmp(argv[1], "-h") == 0)) {
+        usage(argv[0]);
+        return 0;
+    }
+    if (argc < 3) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    const std::string cmd = argv[1];
+    const std::string path = argv[2];
+
+    std::vector<obs::TraceEvent> events;
+    std::vector<std::string> components;
+    std::string error;
+    if (!obs::TraceSink::readBinary(path, events, components, &error))
+        fatal("%s: %s", path.c_str(), error.c_str());
+
+    if (cmd == "summary") {
+        std::printf("%s", obs::summarize(events, components).c_str());
+        return 0;
+    }
+
+    if (cmd == "json") {
+        if (argc < 4)
+            fatal("json needs an output path");
+        obs::writeChromeJson(argv[3], events, components);
+        inform("%zu events -> %s", events.size(), argv[3]);
+        return 0;
+    }
+
+    if (cmd != "dump") {
+        usage(argv[0]);
+        fatal("unknown command '%s'", cmd.c_str());
+    }
+
+    bool have_kind = false;
+    obs::EventKind kind = obs::EventKind::BusTx;
+    int core = -1;
+    bool have_addr = false;
+    Addr addr = 0;
+    std::string comp_substr;
+    std::uint64_t limit = ~std::uint64_t{0};
+
+    for (int i = 3; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", a.c_str());
+            return argv[++i];
+        };
+        if (a == "--kind") {
+            if (!parseKind(next(), kind))
+                fatal("unknown event kind '%s'", argv[i]);
+            have_kind = true;
+        } else if (a == "--core") {
+            core = static_cast<int>(std::strtol(next(), nullptr, 10));
+        } else if (a == "--addr") {
+            addr = std::strtoull(next(), nullptr, 0);
+            have_addr = true;
+        } else if (a == "--component") {
+            comp_substr = next();
+        } else if (a == "--limit") {
+            limit = std::strtoull(next(), nullptr, 10);
+        } else {
+            usage(argv[0]);
+            fatal("unknown option '%s'", a.c_str());
+        }
+    }
+
+    std::uint64_t shown = 0;
+    for (const obs::TraceEvent &ev : events) {
+        if (shown >= limit)
+            break;
+        if (have_kind && ev.kind != kind)
+            continue;
+        if (core >= 0 && ev.core != core)
+            continue;
+        if (have_addr && ev.addr != addr)
+            continue;
+        if (!comp_substr.empty()) {
+            if (ev.component < 0 ||
+                ev.component >= static_cast<int>(components.size()))
+                continue;
+            if (components[ev.component].find(comp_substr) ==
+                std::string::npos)
+                continue;
+        }
+        std::printf("%s\n", obs::formatEvent(ev, components).c_str());
+        ++shown;
+    }
+    std::fprintf(stderr, "%llu of %zu events shown\n",
+                 static_cast<unsigned long long>(shown), events.size());
+    return 0;
+}
