@@ -14,13 +14,15 @@ L1Cache::L1Cache(std::string name, const L1Params &p)
                  "L1 geometry must be powers of two");
     num_sets = params.size / (params.assoc * params.block_size);
     cnsim_assert(num_sets >= 1, "L1 too small");
+    block_shift = floorLog2(params.block_size);
+    set_mask = num_sets - 1;
     blocks.assign(static_cast<std::size_t>(num_sets) * params.assoc, Block{});
 }
 
 unsigned
 L1Cache::setIndex(Addr addr) const
 {
-    return static_cast<unsigned>((addr / params.block_size) % num_sets);
+    return static_cast<unsigned>((addr >> block_shift) & set_mask);
 }
 
 L1Cache::Block *

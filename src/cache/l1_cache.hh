@@ -127,6 +127,8 @@ class L1Cache
     std::string _name;
     L1Params params;
     unsigned num_sets;
+    unsigned block_shift;
+    Addr set_mask;
     std::vector<Block> blocks;
     std::uint64_t lru_clock = 0;
 

@@ -4,7 +4,10 @@
  *
  * Shared by the conventional L2 organizations and by CMP-NuRAPID's
  * private tag arrays. The block type is supplied by the user and must
- * expose `valid`, `addr` (block-aligned), and `lru` members.
+ * expose `valid` and `addr` (block-aligned) members; LRU state lives
+ * in a packed side array here, not in the block. Tag/valid state must
+ * be changed only through setTag()/invalidate()/flushAll(), which keep
+ * the packed probe mirrors coherent.
  */
 
 #ifndef CNSIM_CACHE_SET_ASSOC_HH
@@ -30,22 +33,26 @@ class SetAssocArray
      * @param block_size Bytes per block (power of two), for indexing.
      */
     SetAssocArray(unsigned num_sets, unsigned assoc, unsigned block_size)
-        : _num_sets(num_sets), _assoc(assoc), _block_size(block_size)
+        : _num_sets(num_sets), _assoc(assoc), _block_size(block_size),
+          _block_shift(floorLog2(block_size)), _set_mask(num_sets - 1)
     {
         cnsim_assert(isPowerOf2(num_sets) && isPowerOf2(block_size),
                      "set-assoc geometry must be powers of two");
         blocks.assign(static_cast<std::size_t>(num_sets) * assoc, BlockT{});
+        way_tags.assign(blocks.size(), 0);
+        way_lru.assign(blocks.size(), 0);
     }
 
     unsigned numSets() const { return _num_sets; }
     unsigned assoc() const { return _assoc; }
     unsigned blockSize() const { return _block_size; }
 
-    /** @return the set index for @p addr. */
+    /** @return the set index for @p addr (shift/mask; geometry is
+     *  asserted power-of-two at construction). */
     unsigned
     setIndex(Addr addr) const
     {
-        return static_cast<unsigned>((addr / _block_size) % _num_sets);
+        return static_cast<unsigned>((addr >> _block_shift) & _set_mask);
     }
 
     /** @return pointer to the first way of @p addr's set. */
@@ -65,11 +72,16 @@ class SetAssocArray
     BlockT *
     find(Addr addr)
     {
-        Addr tag = blockAlign(addr, _block_size);
-        BlockT *s = set(addr);
+        // Probe the packed tag mirror: one cache line covers a whole
+        // set, where scanning the (much larger) blocks would touch one
+        // line per way. Valid tags are stored as addr|1, so 0 can never
+        // match (block addresses have the low bit clear).
+        Addr key = blockAlign(addr, _block_size) | 1;
+        std::size_t base =
+            static_cast<std::size_t>(setIndex(addr)) * _assoc;
         for (unsigned w = 0; w < _assoc; ++w) {
-            if (s[w].valid && s[w].addr == tag)
-                return &s[w];
+            if (way_tags[base + w] == key)
+                return &blocks[base + w];
         }
         return nullptr;
     }
@@ -81,7 +93,33 @@ class SetAssocArray
     }
 
     /** Mark @p b most-recently-used. */
-    void touch(BlockT *b) { b->lru = ++lru_clock; }
+    void
+    touch(BlockT *b)
+    {
+        way_lru[static_cast<std::size_t>(b - blocks.data())] =
+            ++lru_clock;
+    }
+
+    /**
+     * Validate @p b and tag it with block-aligned @p addr, keeping the
+     * packed tag mirror used by find() in sync. All fills must go
+     * through here (not raw `valid`/`addr` writes).
+     */
+    void
+    setTag(BlockT *b, Addr addr)
+    {
+        b->valid = true;
+        b->addr = addr;
+        way_tags[static_cast<std::size_t>(b - blocks.data())] = addr | 1;
+    }
+
+    /** Invalidate @p b (mirror-aware replacement for `valid = false`). */
+    void
+    invalidate(BlockT *b)
+    {
+        b->valid = false;
+        way_tags[static_cast<std::size_t>(b - blocks.data())] = 0;
+    }
 
     /**
      * @return the way to fill for a new block in @p addr's set: an
@@ -91,15 +129,22 @@ class SetAssocArray
     BlockT *
     victim(Addr addr)
     {
-        BlockT *s = set(addr);
-        BlockT *v = &s[0];
+        // Scan the packed mirrors, not the blocks: a 32-way set is a
+        // handful of cache lines here vs. one line per way there. The
+        // scan order and strict-less comparison reproduce the original
+        // per-block loop exactly (first invalid way, else the first
+        // way holding the minimum LRU stamp).
+        std::size_t base =
+            static_cast<std::size_t>(setIndex(addr)) * _assoc;
+        std::size_t best = base;
         for (unsigned w = 0; w < _assoc; ++w) {
-            if (!s[w].valid)
-                return &s[w];
-            if (s[w].lru < v->lru)
-                v = &s[w];
+            std::size_t i = base + w;
+            if (way_tags[i] == 0)
+                return &blocks[i];
+            if (way_lru[i] < way_lru[best])
+                best = i;
         }
-        return v;
+        return &blocks[best];
     }
 
     /** Iterate over all blocks (for invariant checks and flushes). */
@@ -112,6 +157,8 @@ class SetAssocArray
     {
         for (auto &b : blocks)
             b = BlockT{};
+        way_tags.assign(blocks.size(), 0);
+        way_lru.assign(blocks.size(), 0);
         lru_clock = 0;
     }
 
@@ -119,7 +166,14 @@ class SetAssocArray
     unsigned _num_sets;
     unsigned _assoc;
     unsigned _block_size;
+    unsigned _block_shift;
+    Addr _set_mask;
     std::vector<BlockT> blocks;
+    /** Per-way packed tag: addr|1 when valid, 0 when invalid. Kept in
+     *  sync with the blocks by setTag()/invalidate()/flushAll(). */
+    std::vector<Addr> way_tags;
+    /** Per-way LRU stamps, packed for the victim() scan. */
+    std::vector<std::uint64_t> way_lru;
     std::uint64_t lru_clock = 0;
 };
 

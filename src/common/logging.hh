@@ -71,6 +71,15 @@ bool quiet();
         }                                                                   \
     } while (0)
 
+/**
+ * Mark a code path the author has proven dead (typically after an
+ * exhaustive switch over an enum). Panics loudly if ever reached --
+ * e.g. when a new enum value is added without extending the switch --
+ * instead of silently returning a masking fallback value.
+ */
+#define cnsim_unreachable(what)                                             \
+    ::cnsim::panic("unreachable %s at %s:%d", (what), __FILE__, __LINE__)
+
 } // namespace cnsim
 
 #endif // CNSIM_COMMON_LOGGING_HH

@@ -9,14 +9,14 @@ void
 StatGroup::addCounter(const std::string &n, Counter *c, std::string desc)
 {
     cnsim_assert(c != nullptr, "null counter '%s'", n.c_str());
-    counters[n] = {c, std::move(desc)};
+    counters.set(n, c, std::move(desc));
 }
 
 void
 StatGroup::addScalar(const std::string &n, Scalar *s, std::string desc)
 {
     cnsim_assert(s != nullptr, "null scalar '%s'", n.c_str());
-    scalars[n] = {s, std::move(desc)};
+    scalars.set(n, s, std::move(desc));
 }
 
 void
@@ -24,45 +24,45 @@ StatGroup::addDistribution(const std::string &n, Distribution *d,
                            std::string desc)
 {
     cnsim_assert(d != nullptr, "null distribution '%s'", n.c_str());
-    dists[n] = {d, std::move(desc)};
+    dists.set(n, d, std::move(desc));
 }
 
 const Counter &
 StatGroup::counter(const std::string &n) const
 {
-    auto it = counters.find(n);
-    if (it == counters.end())
+    const auto *e = counters.find(n);
+    if (!e)
         panic("no counter '%s' in group '%s'", n.c_str(), _name.c_str());
-    return *it->second.first;
+    return *e->stat;
 }
 
 const Scalar &
 StatGroup::scalar(const std::string &n) const
 {
-    auto it = scalars.find(n);
-    if (it == scalars.end())
+    const auto *e = scalars.find(n);
+    if (!e)
         panic("no scalar '%s' in group '%s'", n.c_str(), _name.c_str());
-    return *it->second.first;
+    return *e->stat;
 }
 
 const Distribution &
 StatGroup::distribution(const std::string &n) const
 {
-    auto it = dists.find(n);
-    if (it == dists.end())
+    const auto *e = dists.find(n);
+    if (!e)
         panic("no distribution '%s' in group '%s'", n.c_str(), _name.c_str());
-    return *it->second.first;
+    return *e->stat;
 }
 
 void
 StatGroup::resetAll()
 {
-    for (auto &kv : counters)
-        kv.second.first->reset();
-    for (auto &kv : scalars)
-        kv.second.first->reset();
-    for (auto &kv : dists)
-        kv.second.first->reset();
+    for (auto &e : counters.v)
+        e.stat->reset();
+    for (auto &e : scalars.v)
+        e.stat->reset();
+    for (auto &e : dists.v)
+        e.stat->reset();
 }
 
 std::string
@@ -70,23 +70,22 @@ StatGroup::dumpCsv() const
 {
     std::ostringstream os;
     os << "stat,value\n";
-    for (const auto &kv : counters) {
-        os << _name << "." << kv.first << ","
-           << kv.second.first->value() << "\n";
+    for (const auto &e : counters.v) {
+        os << _name << "." << e.name << "," << e.stat->value() << "\n";
     }
-    for (const auto &kv : scalars) {
-        os << _name << "." << kv.first << ","
-           << strfmt("%.6f", kv.second.first->value()) << "\n";
+    for (const auto &e : scalars.v) {
+        os << _name << "." << e.name << ","
+           << strfmt("%.6f", e.stat->value()) << "\n";
     }
-    for (const auto &kv : dists) {
-        const Distribution &d = *kv.second.first;
-        os << _name << "." << kv.first << ".samples," << d.samples()
+    for (const auto &e : dists.v) {
+        const Distribution &d = *e.stat;
+        os << _name << "." << e.name << ".samples," << d.samples()
            << "\n";
-        os << _name << "." << kv.first << ".mean,"
+        os << _name << "." << e.name << ".mean,"
            << strfmt("%.6f", d.mean()) << "\n";
-        os << _name << "." << kv.first << ".underflow," << d.underflow()
+        os << _name << "." << e.name << ".underflow," << d.underflow()
            << "\n";
-        os << _name << "." << kv.first << ".overflow," << d.overflow()
+        os << _name << "." << e.name << ".overflow," << d.overflow()
            << "\n";
     }
     return os.str();
@@ -96,30 +95,30 @@ std::string
 StatGroup::dump() const
 {
     std::ostringstream os;
-    for (const auto &kv : counters) {
-        os << strfmt("%-48s %20llu", (_name + "." + kv.first).c_str(),
-                     static_cast<unsigned long long>(kv.second.first->value()));
-        if (!kv.second.second.empty())
-            os << "  # " << kv.second.second;
+    for (const auto &e : counters.v) {
+        os << strfmt("%-48s %20llu", (_name + "." + e.name).c_str(),
+                     static_cast<unsigned long long>(e.stat->value()));
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
         os << "\n";
     }
-    for (const auto &kv : scalars) {
-        os << strfmt("%-48s %20.6f", (_name + "." + kv.first).c_str(),
-                     kv.second.first->value());
-        if (!kv.second.second.empty())
-            os << "  # " << kv.second.second;
+    for (const auto &e : scalars.v) {
+        os << strfmt("%-48s %20.6f", (_name + "." + e.name).c_str(),
+                     e.stat->value());
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
         os << "\n";
     }
-    for (const auto &kv : dists) {
-        const Distribution &d = *kv.second.first;
+    for (const auto &e : dists.v) {
+        const Distribution &d = *e.stat;
         os << strfmt("%-48s samples=%llu mean=%.3f underflow=%llu "
                      "overflow=%llu",
-                     (_name + "." + kv.first).c_str(),
+                     (_name + "." + e.name).c_str(),
                      static_cast<unsigned long long>(d.samples()), d.mean(),
                      static_cast<unsigned long long>(d.underflow()),
                      static_cast<unsigned long long>(d.overflow()));
-        if (!kv.second.second.empty())
-            os << "  # " << kv.second.second;
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
         os << "\n";
     }
     return os.str();

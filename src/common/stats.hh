@@ -20,7 +20,6 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -249,7 +248,7 @@ class StatGroup
     /** @return true if a counter with this name exists. */
     bool hasCounter(const std::string &n) const
     {
-        return counters.count(n) != 0;
+        return counters.find(n) != nullptr;
     }
 
     /** Visit every registered counter in name order. */
@@ -258,8 +257,8 @@ class StatGroup
         const std::function<void(const std::string &, const Counter *)>
             &fn) const
     {
-        for (const auto &kv : counters)
-            fn(kv.first, kv.second.first);
+        for (const auto &e : counters.v)
+            fn(e.name, e.stat);
     }
 
     /** Visit every registered scalar in name order. */
@@ -268,8 +267,8 @@ class StatGroup
         const std::function<void(const std::string &, const Scalar *)>
             &fn) const
     {
-        for (const auto &kv : scalars)
-            fn(kv.first, kv.second.first);
+        for (const auto &e : scalars.v)
+            fn(e.name, e.stat);
     }
 
     /** Reset every registered statistic (end of warm-up). */
@@ -288,15 +287,57 @@ class StatGroup
     const std::string &name() const { return _name; }
 
   private:
-    struct Named
+    /**
+     * Name-sorted flat vector of registered stats. Registration is
+     * cold; name lookups binary-search; iteration stays in name order
+     * so dumps are deterministic -- all without the per-node
+     * allocations and pointer chasing of std::map.
+     */
+    template <typename T>
+    struct NamedTable
     {
-        std::string desc;
+        struct Entry
+        {
+            std::string name;
+            T *stat;
+            std::string desc;
+        };
+        std::vector<Entry> v;
+
+        void
+        set(const std::string &n, T *s, std::string desc)
+        {
+            auto it = lowerBound(n);
+            if (it != v.end() && it->name == n) {
+                it->stat = s;
+                it->desc = std::move(desc);
+            } else {
+                v.insert(it, Entry{n, s, std::move(desc)});
+            }
+        }
+
+        const Entry *
+        find(const std::string &n) const
+        {
+            auto it = const_cast<NamedTable *>(this)->lowerBound(n);
+            return it != v.end() && it->name == n ? &*it : nullptr;
+        }
+
+        typename std::vector<Entry>::iterator
+        lowerBound(const std::string &n)
+        {
+            return std::lower_bound(
+                v.begin(), v.end(), n,
+                [](const Entry &e, const std::string &key) {
+                    return e.name < key;
+                });
+        }
     };
 
     std::string _name;
-    std::map<std::string, std::pair<Counter *, std::string>> counters;
-    std::map<std::string, std::pair<Scalar *, std::string>> scalars;
-    std::map<std::string, std::pair<Distribution *, std::string>> dists;
+    NamedTable<Counter> counters;
+    NamedTable<Scalar> scalars;
+    NamedTable<Distribution> dists;
 };
 
 } // namespace cnsim

@@ -146,8 +146,7 @@ DnucaL2::access(const MemAccess &acc, Tick at)
     emitDir(fill, acc.core, baddr, CohState::Invalid,
             acc.op == MemOp::Store ? CohState::Modified : CohState::Shared,
             obs::TransCause::Fill);
-    v->valid = true;
-    v->addr = baddr;
+    array.setTag(v, baddr);
     v->dirty = acc.op == MemOp::Store;
     v->bank = static_cast<std::uint16_t>(bank);
     v->l1_sharers = me;

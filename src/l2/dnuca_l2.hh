@@ -69,7 +69,6 @@ class DnucaL2 : public L2Org
         Addr addr = 0;
         bool valid = false;
         bool dirty = false;
-        std::uint64_t lru = 0;
         /** Bank currently holding the block (migrates). */
         std::uint16_t bank = 0;
         std::uint32_t l1_sharers = 0;

@@ -98,6 +98,14 @@ class L2Org
         (void)addr;
     }
 
+    /**
+     * @return true if this organization overrides noteL1Hit. L1 hits
+     * are the most common outcome of every access, so System skips the
+     * virtual call entirely for the (default) organizations that
+     * ignore the notification.
+     */
+    bool wantsL1HitNotes() const { return wants_l1_hit_notes; }
+
     /** Total recorded L2 accesses. */
     std::uint64_t accesses() const { return n_accesses.value(); }
 
@@ -176,6 +184,9 @@ class L2Org
 
     /** Observability sink; null (and dormant) unless enabled. */
     obs::TraceSink *sink = nullptr;
+
+    /** Set by organizations that override noteL1Hit. */
+    bool wants_l1_hit_notes = false;
 
   private:
     Counter n_accesses;

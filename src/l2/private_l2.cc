@@ -10,6 +10,7 @@ PrivateL2::PrivateL2(const PrivateL2Params &p, SnoopBus &bus,
                      MainMemory &mem)
     : L2Org("privateL2"), params(p), bus(bus), memory(mem)
 {
+    wants_l1_hit_notes = true;
     unsigned sets = static_cast<unsigned>(
         p.capacity_per_core / (p.assoc * p.block_size));
     for (int c = 0; c < p.num_cores; ++c) {
@@ -35,7 +36,7 @@ PrivateL2::invalidateCopy(CoreId core, Block *b, obs::TransCause cause,
     if (b->fill_class == AccessClass::RWSMiss && !b->ifetch_filled)
         reuse_tracker.rwsInvalidated(b->reuses);
     emitTrans(t, core, b->addr, b->state, CohState::Invalid, cause);
-    b->valid = false;
+    caches[core].invalidate(b);
     b->state = CohState::Invalid;
     invalidateL1(core, b->addr);
 }
@@ -168,7 +169,7 @@ PrivateL2::access(const MemAccess &acc, Tick at)
         emitTrans(data_at, c, v->addr, v->state, CohState::Invalid,
                   obs::TransCause::Replacement);
         invalidateL1(c, v->addr);
-        v->valid = false;
+        caches[c].invalidate(v);
     }
     CohState fill_state = acc.op == MemOp::Store ? CohState::Modified
                           : (any_dirty || any_clean)
@@ -176,8 +177,7 @@ PrivateL2::access(const MemAccess &acc, Tick at)
                               : CohState::Exclusive;
     emitTrans(data_at, c, baddr, CohState::Invalid, fill_state,
               obs::TransCause::Fill);
-    v->valid = true;
-    v->addr = baddr;
+    caches[c].setTag(v, baddr);
     v->state = fill_state;
     v->fill_class = cls;
     v->ifetch_filled = acc.op == MemOp::Ifetch;

@@ -76,7 +76,6 @@ class PrivateL2 : public L2Org
         Addr addr = 0;
         bool valid = false;
         CohState state = CohState::Invalid;
-        std::uint64_t lru = 0;
         /** How this block was filled (for Figure 7 accounting). */
         AccessClass fill_class = AccessClass::Hit;
         /** Filled by an instruction fetch (excluded from Figure 7:

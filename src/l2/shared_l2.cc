@@ -129,8 +129,7 @@ SharedL2::access(const MemAccess &acc, Tick at)
                 acc.op == MemOp::Store ? CohState::Modified
                                        : CohState::Shared,
                 obs::TransCause::Fill);
-    v->valid = true;
-    v->addr = baddr;
+    array.setTag(v, baddr);
     v->dirty = acc.op == MemOp::Store;
     v->l1_sharers = me;
     v->l1_owner = acc.op == MemOp::Store ? acc.core : invalid_id;

@@ -89,7 +89,6 @@ class SharedL2 : public L2Org
         Addr addr = 0;
         bool valid = false;
         bool dirty = false;
-        std::uint64_t lru = 0;
         /** Bitmask of cores that may hold L1 copies. */
         std::uint32_t l1_sharers = 0;
         /** Core whose L1 holds store ownership, or invalid_id. */

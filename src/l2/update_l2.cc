@@ -136,7 +136,7 @@ UpdateL2::access(const MemAccess &acc, Tick at)
         emitTrans(data_at, c, v->addr, v->state, CohState::Invalid,
                   obs::TransCause::Replacement);
         invalidateL1(c, v->addr);
-        v->valid = false;
+        caches[c].invalidate(v);
     }
     bool shared_now = any_copy;
     for (CoreId o = 0; o < params.num_cores && shared_now; ++o) {
@@ -158,8 +158,7 @@ UpdateL2::access(const MemAccess &acc, Tick at)
                                                    : CohState::Exclusive;
     emitTrans(data_at, c, baddr, CohState::Invalid, fill_state,
               obs::TransCause::Fill);
-    v->valid = true;
-    v->addr = baddr;
+    caches[c].setTag(v, baddr);
     v->state = fill_state;
     v->owner = false;
     caches[c].touch(v);

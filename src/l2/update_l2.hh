@@ -76,7 +76,6 @@ class UpdateL2 : public L2Org
         CohState state = CohState::Invalid;
         /** This copy is responsible for the eventual writeback. */
         bool owner = false;
-        std::uint64_t lru = 0;
     };
 
     /** Emit a write-update protocol transition on @p core's track. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdarg>
 
+#include "common/flat_map.hh"
 #include "common/logging.hh"
 #include "obs/trace_sink.hh"
 
@@ -879,41 +880,58 @@ CmpNurapid::checkInvariants() const
     }
     // 3. State agreement per block: E/M blocks have exactly one tag
     //    copy and one frame; dirty blocks have exactly one frame; a
-    //    block's tag copies are either all S or all C.
+    //    block's tag copies are either all S or all C. Aggregated in
+    //    one linear pass over tags and frames -- the per-entry
+    //    cross-product (N tags x M frames) dominated whole runs.
+    struct BlockAgg
+    {
+        int tag_copies = 0;
+        int s_copies = 0;
+        int c_copies = 0;
+        int priv_copies = 0;
+        int frames = 0;
+        bool dirty = false;
+    };
+    FlatMap<Addr, BlockAgg> agg;
     for (int c = 0; c < params.num_cores; ++c) {
         for (const auto &e : tags[c]->raw()) {
             if (!e.valid)
                 continue;
-            int tag_copies = 0;
-            int s_copies = 0;
-            int c_copies = 0;
-            for (int o = 0; o < params.num_cores; ++o) {
-                const TagEntry *te = tags[o]->find(e.addr);
-                if (!te)
-                    continue;
-                ++tag_copies;
-                s_copies += te->state == CohState::Shared;
-                c_copies += te->state == CohState::Communication;
-            }
-            if (isPrivateState(e.state)) {
-                cnsim_assert(tag_copies == 1,
-                             "E/M block %llx has %d tag copies",
-                             static_cast<unsigned long long>(e.addr),
-                             tag_copies);
-            } else {
-                cnsim_assert(s_copies + c_copies == tag_copies &&
-                                 (s_copies == 0 || c_copies == 0),
-                             "mixed S/C copies of %llx",
-                             static_cast<unsigned long long>(e.addr));
-            }
-            if (isDirty(e.state)) {
-                cnsim_assert(framesHolding(e.addr) == 1,
-                             "dirty block %llx has %d frames",
-                             static_cast<unsigned long long>(e.addr),
-                             framesHolding(e.addr));
-            }
+            BlockAgg &a = agg[e.addr];
+            ++a.tag_copies;
+            a.s_copies += e.state == CohState::Shared;
+            a.c_copies += e.state == CohState::Communication;
+            a.priv_copies += isPrivateState(e.state);
+            a.dirty |= isDirty(e.state);
         }
     }
+    for (int g = 0; g < data.numDGroups(); ++g) {
+        for (const Frame &f : data.dgroup(g)) {
+            if (!f.valid)
+                continue;
+            if (BlockAgg *a = agg.find(f.addr))
+                ++a->frames;
+        }
+    }
+    agg.forEach([](Addr addr, const BlockAgg &a) {
+        if (a.priv_copies) {
+            cnsim_assert(a.tag_copies == 1,
+                         "E/M block %llx has %d tag copies",
+                         static_cast<unsigned long long>(addr),
+                         a.tag_copies);
+        } else {
+            cnsim_assert(a.s_copies + a.c_copies == a.tag_copies &&
+                             (a.s_copies == 0 || a.c_copies == 0),
+                         "mixed S/C copies of %llx",
+                         static_cast<unsigned long long>(addr));
+        }
+        if (a.dirty) {
+            cnsim_assert(a.frames == 1,
+                         "dirty block %llx has %d frames",
+                         static_cast<unsigned long long>(addr),
+                         a.frames);
+        }
+    });
 }
 
 void

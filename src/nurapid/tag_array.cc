@@ -8,7 +8,8 @@ namespace cnsim
 NuTagArray::NuTagArray(CoreId core, unsigned num_sets, unsigned assoc,
                        unsigned block_size)
     : _core(core), _num_sets(num_sets), _assoc(assoc),
-      _block_size(block_size)
+      _block_size(block_size), _block_shift(floorLog2(block_size)),
+      _set_mask(num_sets - 1)
 {
     cnsim_assert(isPowerOf2(num_sets) && isPowerOf2(block_size),
                  "tag array geometry must be powers of two");
@@ -18,7 +19,7 @@ NuTagArray::NuTagArray(CoreId core, unsigned num_sets, unsigned assoc,
 unsigned
 NuTagArray::setIndex(Addr addr) const
 {
-    return static_cast<unsigned>((addr / _block_size) % _num_sets);
+    return static_cast<unsigned>((addr >> _block_shift) & _set_mask);
 }
 
 TagEntry *

@@ -127,6 +127,8 @@ class NuTagArray
     unsigned _num_sets;
     unsigned _assoc;
     unsigned _block_size;
+    unsigned _block_shift;
+    Addr _set_mask;
     std::vector<TagEntry> entries;
     std::uint64_t lru_clock = 0;
 };

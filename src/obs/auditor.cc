@@ -22,14 +22,12 @@ ProtocolAuditor::ProtocolAuditor(AuditProtocol proto, int num_cores,
 ProtocolAuditor::BlockAudit &
 ProtocolAuditor::blockFor(Addr addr)
 {
-    auto it = blocks.find(addr);
-    if (it == blocks.end()) {
-        BlockAudit ba;
-        ba.st.assign(ncores, CohState::Invalid);
-        ba.hist.reserve(depth);
-        it = blocks.emplace(addr, std::move(ba)).first;
-    }
-    return it->second;
+    if (BlockAudit *ba = blocks.find(addr))
+        return *ba;
+    BlockAudit &ba = blocks[addr];
+    ba.st.assign(ncores, CohState::Invalid);
+    ba.hist.reserve(depth);
+    return ba;
 }
 
 void
@@ -166,11 +164,10 @@ ProtocolAuditor::runDeferredChecks()
 CohState
 ProtocolAuditor::stateOf(CoreId core, Addr addr) const
 {
-    auto it = blocks.find(addr);
-    if (it == blocks.end() || core < 0 ||
-        core >= static_cast<CoreId>(it->second.st.size()))
+    const BlockAudit *ba = blocks.find(addr);
+    if (!ba || core < 0 || core >= static_cast<CoreId>(ba->st.size()))
         return CohState::Invalid;
-    return it->second.st[core];
+    return ba->st[core];
 }
 
 std::string
@@ -194,8 +191,8 @@ ProtocolAuditor::historyOf(const BlockAudit &ba) const
 std::string
 ProtocolAuditor::historyDump(Addr addr) const
 {
-    auto it = blocks.find(addr);
-    return it == blocks.end() ? std::string() : historyOf(it->second);
+    const BlockAudit *ba = blocks.find(addr);
+    return ba ? historyOf(*ba) : std::string();
 }
 
 void

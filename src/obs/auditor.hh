@@ -35,10 +35,11 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/coh_state.hh"
+#include "common/flat_map.hh"
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "obs/event.hh"
 
@@ -66,7 +67,7 @@ toString(AuditProtocol p)
       case AuditProtocol::WriteUpdate: return "write-update";
       case AuditProtocol::Directory: return "directory";
     }
-    return "?";
+    cnsim_unreachable("AuditProtocol");
 }
 
 /** Online checker of per-block coherence invariants. */
@@ -131,7 +132,9 @@ class ProtocolAuditor
     AuditProtocol proto;
     int ncores;
     std::size_t depth;
-    std::unordered_map<Addr, BlockAudit> blocks;
+    /** Audited state per block; open-addressing -- this is consulted
+     *  on every audited transition. */
+    FlatMap<Addr, BlockAudit> blocks;
     std::vector<Addr> touched;
     std::uint64_t n_transitions = 0;
 };

@@ -1,32 +1,171 @@
 #include "sim/event_queue.hh"
 
-#include "common/logging.hh"
+#include <algorithm>
 
 namespace cnsim
 {
 
-void
-EventQueue::schedule(Tick when, Callback cb)
+EventQueue::EventQueue() = default;
+
+EventQueue::~EventQueue()
 {
-    cnsim_assert(when >= cur_tick,
-                 "scheduling into the past: %llu < %llu",
-                 static_cast<unsigned long long>(when),
-                 static_cast<unsigned long long>(cur_tick));
-    heap.push(Entry{when, next_seq++, std::move(cb)});
+    destroyPending();
+}
+
+EventQueue::Event *
+EventQueue::allocEvent()
+{
+    if (!free_list) {
+        chunks.push_back(std::make_unique<Event[]>(chunk_events));
+        Event *chunk = chunks.back().get();
+        // Thread the fresh chunk onto the freelist in address order.
+        for (std::size_t i = 0; i < chunk_events; ++i)
+            chunk[i].next = i + 1 < chunk_events ? &chunk[i + 1] : nullptr;
+        free_list = chunk;
+    }
+    Event *e = free_list;
+    free_list = e->next;
+    return e;
+}
+
+void
+EventQueue::releaseEvent(Event *e)
+{
+    if (e->destroy)
+        e->destroy(e);
+    e->next = free_list;
+    free_list = e;
+}
+
+void
+EventQueue::spillNearToFar()
+{
+    for (Bucket &b : buckets) {
+        for (Event *e = b.head; e;) {
+            Event *n = e->next;
+            far.push_back(e);
+            std::push_heap(far.begin(), far.end(), FarGreater{});
+            e = n;
+        }
+        b.head = b.tail = nullptr;
+    }
+    std::fill(occupied.begin(), occupied.end(), 0);
+    near_count = 0;
+}
+
+void
+EventQueue::insert(Event *e)
+{
+    // migrateFar may have repositioned the window past cur_tick while a
+    // run(until) budget expired before the far event; a later schedule
+    // can then legitimately target a tick below wheel_base. Rebase the
+    // (rare) window: spill near events back to the overflow heap and
+    // restart the window at the new event.
+    if (e->when < wheel_base) {
+        spillNearToFar();
+        wheel_base = e->when;
+        scan_tick = e->when;
+    }
+    // Overflow-safe near-window test: when >= wheel_base holds after
+    // the rebase above, so the subtraction cannot wrap.
+    if (e->when - wheel_base < num_buckets) {
+        std::size_t idx = e->when & bucket_mask;
+        Bucket &b = buckets[idx];
+        if (b.tail)
+            b.tail->next = e;
+        else
+            b.head = e;
+        b.tail = e;
+        occupied[idx >> 6] |= 1ULL << (idx & 63);
+        ++near_count;
+        // The scan may already have walked past this tick while hunting
+        // inside a previous run(until) budget; rewind so the new event
+        // is not skipped. (Never rewinds before cur_tick: schedule()
+        // asserts when >= cur_tick.)
+        if (e->when < scan_tick)
+            scan_tick = e->when;
+    } else {
+        far.push_back(e);
+        std::push_heap(far.begin(), far.end(), FarGreater{});
+    }
+}
+
+bool
+EventQueue::migrateFar()
+{
+    if (far.empty())
+        return false;
+    // Reposition the window at the earliest far event, then drain the
+    // heap in (when, seq) order: same-tick events append to their
+    // bucket in seq order, preserving the global FIFO tie-order.
+    wheel_base = far.front()->when;
+    scan_tick = wheel_base;
+    while (!far.empty() && far.front()->when - wheel_base < num_buckets) {
+        std::pop_heap(far.begin(), far.end(), FarGreater{});
+        Event *e = far.back();
+        far.pop_back();
+        e->next = nullptr;
+        std::size_t idx = e->when & bucket_mask;
+        Bucket &b = buckets[idx];
+        if (b.tail)
+            b.tail->next = e;
+        else
+            b.head = e;
+        b.tail = e;
+        occupied[idx >> 6] |= 1ULL << (idx & 63);
+        ++near_count;
+    }
+    return true;
+}
+
+EventQueue::Event *
+EventQueue::popNext(Tick until)
+{
+    if (near_count == 0 && !migrateFar())
+        return nullptr;
+    // Cyclic find-first-set from scan_tick's bucket. The window spans
+    // exactly one wheel revolution, so the first occupied bucket at or
+    // after scan_tick (mod wheel size) holds the minimum pending tick.
+    std::size_t start = scan_tick & bucket_mask;
+    std::size_t word = start >> 6;
+    std::uint64_t w = occupied[word] & (~0ULL << (start & 63));
+    std::size_t dist_words = 0;
+    while (!w) {
+        ++dist_words;
+        cnsim_assert(dist_words <= occupied.size(),
+                     "calendar wheel bitmap lost %zu events", near_count);
+        word = word + 1 < occupied.size() ? word + 1 : 0;
+        w = occupied[word];
+    }
+    std::size_t idx =
+        (word << 6) + static_cast<std::size_t>(__builtin_ctzll(w));
+    Tick t = scan_tick + ((idx - start) & bucket_mask);
+    // Advancing scan_tick beyond `until` is safe: insert() rewinds it
+    // for any later schedule at an earlier tick.
+    scan_tick = t;
+    if (t > until)
+        return nullptr;
+    Bucket &b = buckets[idx];
+    Event *e = b.head;
+    b.head = e->next;
+    if (!b.head) {
+        b.tail = nullptr;
+        occupied[idx >> 6] &= ~(1ULL << (idx & 63));
+    }
+    --near_count;
+    return e;
 }
 
 bool
 EventQueue::step()
 {
-    if (heap.empty())
+    Event *e = popNext(max_tick);
+    if (!e)
         return false;
-    // priority_queue::top() is const; move out via const_cast, which is
-    // safe because we pop immediately and never compare the moved entry.
-    Entry e = std::move(const_cast<Entry &>(heap.top()));
-    heap.pop();
-    cur_tick = e.when;
+    cur_tick = e->when;
     ++n_executed;
-    e.cb(cur_tick);
+    e->invoke(e, cur_tick);
+    releaseEvent(e);
     return true;
 }
 
@@ -34,9 +173,36 @@ Tick
 EventQueue::run(Tick until)
 {
     stop_requested = false;
-    while (!heap.empty() && heap.top().when <= until && !stop_requested)
-        step();
+    while (!stop_requested) {
+        Event *e = popNext(until);
+        if (!e)
+            break;
+        cur_tick = e->when;
+        ++n_executed;
+        e->invoke(e, cur_tick);
+        releaseEvent(e);
+    }
     return cur_tick;
+}
+
+void
+EventQueue::destroyPending()
+{
+    for (Bucket &b : buckets) {
+        for (Event *e = b.head; e;) {
+            Event *n = e->next;
+            if (e->destroy)
+                e->destroy(e);
+            e = n;
+        }
+        b.head = b.tail = nullptr;
+    }
+    std::fill(occupied.begin(), occupied.end(), 0);
+    near_count = 0;
+    for (Event *e : far)
+        if (e->destroy)
+            e->destroy(e);
+    far.clear();
 }
 
 } // namespace cnsim

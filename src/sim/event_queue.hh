@@ -9,16 +9,31 @@
  * cores scheduling their next instruction, background writebacks, and
  * any deferred actions -- in strict global tick order, which is what
  * gives different cores' requests a deterministic interleaving.
+ *
+ * Engine design (see DESIGN.md section 3e): events are fixed-size,
+ * arena-allocated records with a small inline buffer for the callable
+ * (no std::function, no per-event heap allocation on the hot path) and
+ * are sequenced by a two-level calendar queue -- a power-of-two wheel
+ * of per-tick FIFO buckets for the near window plus a (when, seq)
+ * min-heap for far-future events. Appending to a bucket tail and
+ * draining the overflow heap in (when, seq) order preserve the global
+ * (tick, seq) FIFO tie-order exactly, so every figure and ablation
+ * output is byte-identical to the original binary-heap engine.
  */
 
 #ifndef CNSIM_SIM_EVENT_QUEUE_HH
 #define CNSIM_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace cnsim
@@ -28,20 +43,41 @@ namespace cnsim
 class EventQueue
 {
   public:
+    /** Convenience alias; any callable void(Tick) can be scheduled. */
     using Callback = std::function<void(Tick)>;
 
-    EventQueue() = default;
+    EventQueue();
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
 
     /**
-     * Schedule @p cb to run at tick @p when.
+     * Schedule callable @p f to run at tick @p when.
      * Events at equal ticks run in scheduling order (FIFO), which keeps
-     * runs deterministic regardless of heap internals.
+     * runs deterministic regardless of queue internals. The callable is
+     * stored inline in the event record when it fits (typical lambda
+     * captures do); larger callables fall back to a heap box.
      */
-    void schedule(Tick when, Callback cb);
+    template <typename F>
+    void
+    schedule(Tick when, F &&f)
+    {
+        cnsim_assert(when >= cur_tick,
+                     "scheduling into the past: %llu < %llu",
+                     static_cast<unsigned long long>(when),
+                     static_cast<unsigned long long>(cur_tick));
+        Event *e = allocEvent();
+        e->when = when;
+        e->seq = next_seq++;
+        e->next = nullptr;
+        emplaceCallable(e, std::forward<F>(f));
+        insert(e);
+    }
 
     /**
-     * Run events until the queue is empty or the current tick would
-     * exceed @p until.
+     * Run events until the queue is empty or the next event's tick
+     * would exceed @p until.
      *
      * @return the tick of the last event executed.
      */
@@ -54,7 +90,7 @@ class EventQueue
     Tick now() const { return cur_tick; }
 
     /** @return number of pending events. */
-    std::size_t pending() const { return heap.size(); }
+    std::size_t pending() const { return near_count + far.size(); }
 
     /** @return total events executed since construction. */
     std::uint64_t executed() const { return n_executed; }
@@ -62,21 +98,147 @@ class EventQueue
     /** Request that run() stop after the current event completes. */
     void stop() { stop_requested = true; }
 
+    /**
+     * @return total event records owned by the arena (free + in use).
+     * Exposed so tests can assert the arena is reused, not regrown,
+     * across repeated schedule/run cycles.
+     */
+    std::size_t arenaCapacity() const { return chunks.size() * chunk_events; }
+
   private:
-    struct Entry
+    /** Inline storage for the scheduled callable, sized for the lambdas
+     *  the simulator actually schedules (core step captures and copies
+     *  of std::function chains both fit). */
+    static constexpr std::size_t inline_bytes = 48;
+
+    /** Wheel width in ticks; power of two. 4096 comfortably covers the
+     *  longest single-request completion delay, so in steady state
+     *  every event lands in the near window. */
+    static constexpr std::size_t num_buckets = 4096;
+    static constexpr Tick bucket_mask = num_buckets - 1;
+
+    /** Events per arena chunk. */
+    static constexpr std::size_t chunk_events = 1024;
+
+    struct Event
     {
         Tick when;
         std::uint64_t seq;
-        Callback cb;
+        Event *next; //!< bucket FIFO / freelist link
+        void (*invoke)(Event *, Tick);
+        void (*destroy)(Event *); //!< null for trivially destructible
+        alignas(std::max_align_t) unsigned char storage[inline_bytes];
+    };
 
+    /** Per-tick FIFO of same-tick events in schedule (seq) order. */
+    struct Bucket
+    {
+        Event *head = nullptr;
+        Event *tail = nullptr;
+    };
+
+    template <typename Fn>
+    static void
+    invokeInline(Event *e, Tick t)
+    {
+        (*std::launder(reinterpret_cast<Fn *>(e->storage)))(t);
+    }
+
+    template <typename Fn>
+    static void
+    destroyInline(Event *e)
+    {
+        std::launder(reinterpret_cast<Fn *>(e->storage))->~Fn();
+    }
+
+    template <typename Fn>
+    static void
+    invokeBoxed(Event *e, Tick t)
+    {
+        (**std::launder(reinterpret_cast<Fn **>(e->storage)))(t);
+    }
+
+    template <typename Fn>
+    static void
+    destroyBoxed(Event *e)
+    {
+        delete *std::launder(reinterpret_cast<Fn **>(e->storage));
+    }
+
+    template <typename F>
+    static void
+    emplaceCallable(Event *e, F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_v<Fn &, Tick>,
+                      "event callable must accept a Tick");
+        if constexpr (sizeof(Fn) <= inline_bytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(e->storage))
+                Fn(std::forward<F>(f));
+            e->invoke = &invokeInline<Fn>;
+            e->destroy = std::is_trivially_destructible_v<Fn>
+                             ? nullptr
+                             : &destroyInline<Fn>;
+        } else {
+            ::new (static_cast<void *>(e->storage))
+                Fn *(new Fn(std::forward<F>(f)));
+            e->invoke = &invokeBoxed<Fn>;
+            e->destroy = &destroyBoxed<Fn>;
+        }
+    }
+
+    /** Heap order for the far-future overflow: min (when, seq) on top. */
+    struct FarGreater
+    {
         bool
-        operator>(const Entry &o) const
+        operator()(const Event *a, const Event *b) const
         {
-            return when != o.when ? when > o.when : seq > o.seq;
+            return a->when != b->when ? a->when > b->when : a->seq > b->seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    Event *allocEvent();
+    void releaseEvent(Event *e);
+    void insert(Event *e);
+    /** Pour every near-window event back into the overflow heap (used
+     *  when a schedule targets a tick below the repositioned window). */
+    void spillNearToFar();
+
+    /**
+     * Detach and return the next event in (when, seq) order whose tick
+     * is <= @p until, or null. Advances the bucket scan; does not touch
+     * cur_tick.
+     */
+    Event *popNext(Tick until);
+
+    /**
+     * Reposition the (empty) near window at the earliest far-future
+     * event and migrate everything inside the new window into buckets.
+     * @return false if there are no events at all.
+     */
+    bool migrateFar();
+
+    void destroyPending();
+
+    std::vector<Bucket> buckets{num_buckets};
+    /** One bit per bucket: set iff the bucket is non-empty. popNext
+     *  finds the next pending tick with a cyclic find-first-set scan
+     *  instead of probing empty buckets one tick at a time. */
+    std::vector<std::uint64_t> occupied =
+        std::vector<std::uint64_t>(num_buckets / 64, 0);
+    /** Far-future overflow, binary-heap ordered by FarGreater. */
+    std::vector<Event *> far;
+    /** First tick of the near window [wheel_base, wheel_base+W). */
+    Tick wheel_base = 0;
+    /** Next tick the bucket scan will look at; no pending near event
+     *  is earlier than this. */
+    Tick scan_tick = 0;
+    std::size_t near_count = 0;
+
+    std::vector<std::unique_ptr<Event[]>> chunks;
+    Event *free_list = nullptr;
+
     Tick cur_tick = 0;
     std::uint64_t next_seq = 0;
     std::uint64_t n_executed = 0;

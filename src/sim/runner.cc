@@ -139,6 +139,7 @@ Runner::run(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
     r.workload = workload.name;
     r.l2_kind = system.l2().kind();
     r.cycles = end - epoch_start;
+    r.events_executed = eq.executed();
     for (auto &core : cores) {
         r.instructions += core->epochInstructions();
         r.core_ipc.push_back(core->ipc(end));

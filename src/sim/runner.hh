@@ -56,6 +56,10 @@ struct RunResult
 
     std::uint64_t instructions = 0;
     std::uint64_t cycles = 0;
+    /** Events executed by the kernel over the whole run (1 per trace
+     *  record per core, plus startup) -- the perf-gate "accesses"
+     *  denominator. */
+    std::uint64_t events_executed = 0;
     /** Aggregate IPC across all cores over the measurement epoch. */
     double ipc = 0.0;
     std::vector<double> core_ipc;

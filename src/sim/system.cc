@@ -20,7 +20,7 @@ toString(L2Kind k)
       case L2Kind::Update: return "update";
       case L2Kind::Dnuca: return "dnuca";
     }
-    return "?";
+    cnsim_unreachable("L2Kind");
 }
 
 System::System(const SystemConfig &c) : cfg(c)
@@ -62,6 +62,8 @@ System::System(const SystemConfig &c) : cfg(c)
             std::make_unique<DnucaL2>(cfg.shared, cfg.snuca, *mem);
         break;
     }
+
+    l2_notes_l1 = l2_org->wantsL1HitNotes();
 
     for (int i = 0; i < cfg.num_cores; ++i) {
         l1ds.emplace_back(
@@ -135,7 +137,7 @@ System::auditProtocolFor(L2Kind kind)
       case L2Kind::Dnuca:
         return obs::AuditProtocol::Directory;
     }
-    return obs::AuditProtocol::Directory;
+    cnsim_unreachable("L2Kind");
 }
 
 Tick
@@ -169,7 +171,8 @@ System::accessImpl(CoreId core, const TraceRecord &rec, Tick at)
 
     if (rec.op == MemOp::Load) {
         if (l1ds[core]->loadHit(rec.addr)) {
-            l2_org->noteL1Hit(core, rec.addr);
+            if (l2_notes_l1)
+                l2_org->noteL1Hit(core, rec.addr);
             return t + l1ds[core]->latency();
         }
         MemAccess acc{core, rec.addr, MemOp::Load};
@@ -181,7 +184,8 @@ System::accessImpl(CoreId core, const TraceRecord &rec, Tick at)
     // Store.
     L1StoreCheck sc = l1ds[core]->storeCheck(rec.addr);
     if (sc == L1StoreCheck::Hit) {
-        l2_org->noteL1Hit(core, rec.addr);
+        if (l2_notes_l1)
+            l2_org->noteL1Hit(core, rec.addr);
         return t + 1;  // retires into the store buffer
     }
     MemAccess acc{core, rec.addr, MemOp::Store};

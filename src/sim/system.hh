@@ -135,6 +135,8 @@ class System
 
     SystemConfig cfg;
     unsigned l2_block_size;
+    /** Cached l2_org->wantsL1HitNotes(): checked on every L1 hit. */
+    bool l2_notes_l1 = false;
     std::unique_ptr<MainMemory> mem;
     std::unique_ptr<SnoopBus> snoop_bus;
     std::unique_ptr<L2Org> l2_org;

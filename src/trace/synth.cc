@@ -53,7 +53,11 @@ class SynthWorkload::ThreadSource : public TraceSource
     ThreadSource(SynthWorkload &wl, int thread,
                  const SynthThreadParams &p, std::uint64_t seed)
         : wl(wl), thread(thread), p(p),
-          rng(seed, 0x9e3779b97f4a7c15ULL + thread)
+          rng(seed, 0x9e3779b97f4a7c15ULL + thread),
+          gap_bound(static_cast<std::uint32_t>(2.0 * p.mean_gap + 0.5)),
+          code_base(codeBaseFor(thread, wl.params.shared_regions)),
+          priv_base(privateBase(thread, wl.params.shared_regions)),
+          stream_base(streamBase(thread))
     {
     }
 
@@ -63,8 +67,7 @@ class SynthWorkload::ThreadSource : public TraceSource
         TraceRecord r;
         // Geometric-ish gap with mean mean_gap: uniform over
         // [0, 2*mean] keeps the mean with bounded variance.
-        r.gap = rng.range(
-            0, static_cast<std::uint32_t>(2.0 * p.mean_gap + 0.5));
+        r.gap = rng.range(0, gap_bound);
         r.iaddr = nextIfetch();
 
         double u = rng.uniform();
@@ -97,8 +100,7 @@ class SynthWorkload::ThreadSource : public TraceSource
             code_run = rng.range(2, 8);
         }
         --code_run;
-        Addr base = codeBaseFor(thread, wl.params.shared_regions);
-        return base + static_cast<Addr>(code_block) * l2_block +
+        return code_base + static_cast<Addr>(code_block) * l2_block +
                rng.below(l2_block / 64) * 64;
     }
 
@@ -113,8 +115,7 @@ class SynthWorkload::ThreadSource : public TraceSource
         } else {
             blk = rng.zipf(p.private_blocks, p.private_theta);
         }
-        r.addr = privateBase(thread, wl.params.shared_regions) +
-                 static_cast<Addr>(blk) * l2_block +
+        r.addr = priv_base + static_cast<Addr>(blk) * l2_block +
                  rng.below(l2_block / 64) * 64;
         r.op = rng.chance(p.store_frac) ? MemOp::Store : MemOp::Load;
     }
@@ -126,7 +127,7 @@ class SynthWorkload::ThreadSource : public TraceSource
         // land in fresh blocks, so neither L1 nor any L2 retains them
         // usefully.
         stream_pos = (stream_pos + 1) % p.stream_blocks;
-        r.addr = streamBase(thread) +
+        r.addr = stream_base +
                  static_cast<Addr>(stream_pos) * l2_block;
         r.op = rng.chance(0.2) ? MemOp::Store : MemOp::Load;
     }
@@ -216,6 +217,12 @@ class SynthWorkload::ThreadSource : public TraceSource
     int thread;
     SynthThreadParams p;
     Rng rng;
+    /** Per-record constants hoisted out of next() (byte-identical to
+     *  recomputing them: the inputs are fixed at construction). */
+    std::uint32_t gap_bound;
+    Addr code_base;
+    Addr priv_base;
+    Addr stream_base;
     Addr ros_addr = 0;
     std::uint32_t ros_remaining = 0;
     std::uint32_t code_block = 0;

@@ -1,0 +1,42 @@
+# Differential golden-output check, run as a ctest via `cmake -P`.
+#
+#   cmake -DCMD=<exe + args> -DENVVARS=<K=V;K=V;...>
+#         -DGOLDEN=<file> -DOUT=<file> -P golden_diff.cmake
+#
+# Runs CMD with the given environment, captures stdout, and fails
+# unless it is byte-identical to GOLDEN. The captured output is left
+# at OUT for inspection on mismatch. These tests pin the simulator's
+# determinism contract: performance work must never change results.
+
+if(NOT DEFINED CMD OR NOT DEFINED GOLDEN OR NOT DEFINED OUT)
+    message(FATAL_ERROR "golden_diff: CMD, GOLDEN, and OUT are required")
+endif()
+
+if(DEFINED ENVVARS)
+    foreach(kv IN LISTS ENVVARS)
+        string(FIND "${kv}" "=" eq)
+        string(SUBSTRING "${kv}" 0 ${eq} key)
+        math(EXPR vstart "${eq} + 1")
+        string(SUBSTRING "${kv}" ${vstart} -1 val)
+        set(ENV{${key}} "${val}")
+    endforeach()
+endif()
+
+separate_arguments(cmd_list UNIX_COMMAND "${CMD}")
+execute_process(
+    COMMAND ${cmd_list}
+    OUTPUT_VARIABLE got
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "golden_diff: '${CMD}' exited ${rc}\n${err}")
+endif()
+
+file(WRITE "${OUT}" "${got}")
+file(READ "${GOLDEN}" want)
+if(NOT got STREQUAL want)
+    message(FATAL_ERROR
+        "golden_diff: output differs from ${GOLDEN}\n"
+        "captured output: ${OUT}\n"
+        "Regenerate the golden ONLY for an intentional model change.")
+endif()

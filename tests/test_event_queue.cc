@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <functional>
+#include <memory>
+#include <random>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -113,6 +117,151 @@ TEST(EventQueue, ExecutedCountAccumulates)
         eq.schedule(i, [](Tick) {});
     eq.run();
     EXPECT_EQ(eq.executed(), 10u);
+}
+
+TEST(EventQueue, RandomizedSchedulesKeepSeqOrderAtEqualTicks)
+{
+    // Regression test for the calendar-queue rewrite: (tick, seq)
+    // FIFO tie-order is the determinism contract, so same-tick events
+    // must run in scheduling order under arbitrary interleavings.
+    std::mt19937_64 rng(0xc0ffee);
+    EventQueue eq;
+    struct Rec
+    {
+        Tick tick;
+        int seq;
+    };
+    std::vector<Rec> ran;
+    int next_seq = 0;
+    for (int i = 0; i < 10000; ++i) {
+        // Small tick range forces heavy same-tick collision.
+        Tick when = rng() % 512;
+        int seq = next_seq++;
+        eq.schedule(when, [&ran, when, seq](Tick) {
+            ran.push_back({when, seq});
+        });
+    }
+    eq.run();
+    ASSERT_EQ(ran.size(), 10000u);
+    for (std::size_t i = 1; i < ran.size(); ++i) {
+        ASSERT_LE(ran[i - 1].tick, ran[i].tick);
+        if (ran[i - 1].tick == ran[i].tick) {
+            ASSERT_LT(ran[i - 1].seq, ran[i].seq);
+        }
+    }
+}
+
+TEST(EventQueue, RandomizedDynamicSchedulesStayOrdered)
+{
+    // Events scheduling further events at random offsets (including
+    // offset 0: same-tick self-append) must still observe global
+    // (tick, seq) order.
+    std::mt19937_64 rng(0xfeedface);
+    EventQueue eq;
+    Tick last_tick = 0;
+    std::uint64_t fired = 0;
+    std::function<void(Tick)> spawn = [&](Tick t) {
+        ASSERT_GE(t, last_tick);
+        last_tick = t;
+        ++fired;
+        if (fired + eq.pending() < 10000) {
+            eq.schedule(t + rng() % 97, spawn);
+            if (rng() % 4 == 0)
+                eq.schedule(t + 4096 + rng() % 8192, spawn);
+        }
+    };
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(rng() % 64, spawn);
+    eq.run();
+    EXPECT_GE(fired, 10000u);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, FarFutureBeyondWheelCapacity)
+{
+    // Spans far exceeding the calendar wheel size exercise the
+    // far-future heap and its migration back into the wheel.
+    EventQueue eq;
+    std::vector<Tick> order;
+    auto rec = [&](Tick t) { order.push_back(t); };
+    eq.schedule(123456789, rec);
+    eq.schedule(0, rec);
+    eq.schedule(4095, rec);   // last in-wheel tick
+    eq.schedule(4096, rec);   // first beyond the initial window
+    eq.schedule(1000000, rec);
+    eq.schedule(123456789, rec); // same far tick: FIFO pair
+    eq.run();
+    ASSERT_EQ(order.size(), 6u);
+    EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+    EXPECT_EQ(order.back(), 123456789u);
+    EXPECT_EQ(eq.now(), 123456789u);
+}
+
+TEST(EventQueue, ScheduleBelowRepositionedWindow)
+{
+    // run(until) can leave the wheel repositioned at a far event
+    // without executing it. A later schedule below that window (but
+    // >= now) must still run first -- the rebase path in insert().
+    EventQueue eq;
+    std::vector<Tick> order;
+    auto rec = [&](Tick t) { order.push_back(t); };
+    eq.schedule(100000, rec);
+    eq.run(50); // migrates the far event, executes nothing
+    EXPECT_TRUE(order.empty());
+    eq.schedule(60, rec);
+    eq.schedule(99000, rec);
+    eq.run();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 60u);
+    EXPECT_EQ(order[1], 99000u);
+    EXPECT_EQ(order[2], 100000u);
+}
+
+TEST(EventQueue, ArenaIsReusedAcrossRuns)
+{
+    // The arena grows to cover peak in-flight events once, then
+    // recycles records through the freelist: repeating the same load
+    // must not allocate new chunks.
+    EventQueue eq;
+    for (Tick i = 0; i < 3000; ++i)
+        eq.schedule(i, [](Tick) {});
+    eq.run();
+    std::size_t cap = eq.arenaCapacity();
+    EXPECT_GE(cap, 3000u);
+    for (int rep = 0; rep < 3; ++rep) {
+        for (Tick i = 0; i < 3000; ++i)
+            eq.schedule(eq.now() + 1 + i, [](Tick) {});
+        eq.run();
+        EXPECT_EQ(eq.arenaCapacity(), cap);
+    }
+    EXPECT_EQ(eq.executed(), 4u * 3000u);
+}
+
+TEST(EventQueue, LargeCallablesSpillToHeapBoxes)
+{
+    // Captures beyond the inline storage take the boxed path; both
+    // must coexist with correct invocation and destruction.
+    EventQueue eq;
+    std::array<std::uint64_t, 16> big{};
+    big.fill(7);
+    std::uint64_t sum = 0;
+    auto payload = std::make_shared<int>(41);
+    eq.schedule(1, [big, &sum](Tick) {
+        for (auto v : big)
+            sum += v;
+    });
+    eq.schedule(2, [payload, &sum](Tick) { sum += *payload; });
+    eq.schedule(3, [&sum](Tick) { ++sum; });
+    eq.run();
+    EXPECT_EQ(sum, 16u * 7u + 41u + 1u);
+    // Pending boxed events must also be destroyed cleanly (no leak
+    // under ASan) when the queue dies with events outstanding.
+    {
+        EventQueue eq2;
+        eq2.schedule(5, [payload](Tick) {});
+        EXPECT_EQ(payload.use_count(), 2);
+    }
+    EXPECT_EQ(payload.use_count(), 1);
 }
 
 TEST(EventQueueDeathTest, SchedulingIntoPastPanics)
