@@ -57,10 +57,10 @@ class L1Cache
     L1Cache(std::string name, const L1Params &p = L1Params{});
 
     /** @return true on load/ifetch hit; updates LRU. */
-    bool loadHit(Addr addr);
+    [[nodiscard]] bool loadHit(Addr addr);
 
     /** Classify a store against the current L1 contents. */
-    L1StoreCheck storeCheck(Addr addr);
+    [[nodiscard]] L1StoreCheck storeCheck(Addr addr);
 
     /**
      * Fill (or update the permissions of) the block containing @p addr.
@@ -90,15 +90,15 @@ class L1Cache
                           bool make_write_through);
 
     /** @return the hit latency in ticks. */
-    Tick latency() const { return params.latency; }
+    [[nodiscard]] Tick latency() const { return params.latency; }
 
-    unsigned blockSize() const { return params.block_size; }
+    [[nodiscard]] unsigned blockSize() const { return params.block_size; }
 
     void regStats(StatGroup &group);
     void resetStats();
 
-    std::uint64_t hits() const { return n_hits.value(); }
-    std::uint64_t misses() const { return n_misses.value(); }
+    [[nodiscard]] std::uint64_t hits() const { return n_hits.value(); }
+    [[nodiscard]] std::uint64_t misses() const { return n_misses.value(); }
 
     /** Drop all contents (used between runs). */
     void flushAll();

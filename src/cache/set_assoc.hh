@@ -43,33 +43,33 @@ class SetAssocArray
         way_lru.assign(blocks.size(), 0);
     }
 
-    unsigned numSets() const { return _num_sets; }
-    unsigned assoc() const { return _assoc; }
-    unsigned blockSize() const { return _block_size; }
+    [[nodiscard]] unsigned numSets() const { return _num_sets; }
+    [[nodiscard]] unsigned assoc() const { return _assoc; }
+    [[nodiscard]] unsigned blockSize() const { return _block_size; }
 
     /** @return the set index for @p addr (shift/mask; geometry is
      *  asserted power-of-two at construction). */
-    unsigned
+    [[nodiscard]] unsigned
     setIndex(Addr addr) const
     {
         return static_cast<unsigned>((addr >> _block_shift) & _set_mask);
     }
 
     /** @return pointer to the first way of @p addr's set. */
-    BlockT *
+    [[nodiscard]] BlockT *
     set(Addr addr)
     {
         return &blocks[static_cast<std::size_t>(setIndex(addr)) * _assoc];
     }
 
-    const BlockT *
+    [[nodiscard]] const BlockT *
     set(Addr addr) const
     {
         return &blocks[static_cast<std::size_t>(setIndex(addr)) * _assoc];
     }
 
     /** @return the matching valid block, or nullptr. */
-    BlockT *
+    [[nodiscard]] BlockT *
     find(Addr addr)
     {
         // Probe the packed tag mirror: one cache line covers a whole
@@ -86,7 +86,7 @@ class SetAssocArray
         return nullptr;
     }
 
-    const BlockT *
+    [[nodiscard]] const BlockT *
     find(Addr addr) const
     {
         return const_cast<SetAssocArray *>(this)->find(addr);
@@ -126,7 +126,7 @@ class SetAssocArray
      * invalid way if one exists, else the LRU way (still valid -- the
      * caller must handle its eviction).
      */
-    BlockT *
+    [[nodiscard]] BlockT *
     victim(Addr addr)
     {
         // Scan the packed mirrors, not the blocks: a 32-way set is a

@@ -64,7 +64,7 @@ class FlatMap
         return slots[idx].second;
     }
 
-    V *
+    [[nodiscard]] V *
     find(const K &key)
     {
         if (!count)
@@ -73,7 +73,7 @@ class FlatMap
         return idx == npos ? nullptr : &slots[idx].second;
     }
 
-    const V *
+    [[nodiscard]] const V *
     find(const K &key) const
     {
         return const_cast<FlatMap *>(this)->find(key);
@@ -94,10 +94,10 @@ class FlatMap
         return true;
     }
 
-    std::size_t size() const { return count; }
-    bool empty() const { return count == 0; }
+    [[nodiscard]] std::size_t size() const { return count; }
+    [[nodiscard]] bool empty() const { return count == 0; }
     /** @return slot-array length (for load/rehash tests). */
-    std::size_t capacity() const { return slots.size(); }
+    [[nodiscard]] std::size_t capacity() const { return slots.size(); }
 
     void
     clear()

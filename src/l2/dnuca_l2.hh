@@ -22,7 +22,9 @@
 #ifndef CNSIM_L2_DNUCA_L2_HH
 #define CNSIM_L2_DNUCA_L2_HH
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/coh_state.hh"

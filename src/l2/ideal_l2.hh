@@ -13,6 +13,8 @@
 #ifndef CNSIM_L2_IDEAL_L2_HH
 #define CNSIM_L2_IDEAL_L2_HH
 
+#include <string>
+
 #include "l2/shared_l2.hh"
 
 namespace cnsim

@@ -12,8 +12,10 @@
 #ifndef CNSIM_L2_L2_ORG_HH
 #define CNSIM_L2_L2_ORG_HH
 
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -42,10 +44,11 @@ class L2Org
      * updating all coherence state atomically and composing the
      * completion time from resource occupancies.
      */
-    virtual AccessResult access(const MemAccess &acc, Tick at) = 0;
+    [[nodiscard]] virtual AccessResult access(const MemAccess &acc,
+                                              Tick at) = 0;
 
     /** Short organization name for reports ("shared", "private", ...). */
-    virtual std::string kind() const = 0;
+    [[nodiscard]] virtual std::string kind() const = 0;
 
     /** Register statistics. Overriders must call the base. */
     virtual void
@@ -104,20 +107,20 @@ class L2Org
      * virtual call entirely for the (default) organizations that
      * ignore the notification.
      */
-    bool wantsL1HitNotes() const { return wants_l1_hit_notes; }
+    [[nodiscard]] bool wantsL1HitNotes() const { return wants_l1_hit_notes; }
 
     /** Total recorded L2 accesses. */
-    std::uint64_t accesses() const { return n_accesses.value(); }
+    [[nodiscard]] std::uint64_t accesses() const { return n_accesses.value(); }
 
     /** Count of accesses with the given classification. */
-    std::uint64_t
+    [[nodiscard]] std::uint64_t
     clsCount(AccessClass c) const
     {
         return cls[static_cast<int>(c)].value();
     }
 
     /** Fraction of accesses with the given classification. */
-    double
+    [[nodiscard]] double
     clsFraction(AccessClass c) const
     {
         std::uint64_t a = accesses();
@@ -125,7 +128,7 @@ class L2Org
     }
 
     /** Overall miss fraction. */
-    double
+    [[nodiscard]] double
     missFraction() const
     {
         return 1.0 - clsFraction(AccessClass::Hit);

@@ -21,6 +21,7 @@
 #define CNSIM_L2_SNUCA_L2_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "l2/shared_l2.hh"

@@ -31,7 +31,9 @@
 #ifndef CNSIM_L2_UPDATE_L2_HH
 #define CNSIM_L2_UPDATE_L2_HH
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/coh_state.hh"

@@ -22,6 +22,7 @@
 #define CNSIM_MEM_BUS_HH
 
 #include <array>
+#include <cstdint>
 
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -53,7 +54,7 @@ class SnoopBus
      *         snooper and any combined response (shared/dirty signals,
      *         pointer return) is available at the requestor.
      */
-    Tick transaction(BusCmd cmd, Tick at);
+    [[nodiscard]] Tick transaction(BusCmd cmd, Tick at);
 
     /**
      * Place a transaction that does not stall the issuer (BusRepl,
@@ -67,12 +68,12 @@ class SnoopBus
     /** Emit BusTx (and address-slot Resource) events into @p s. */
     void attachSink(obs::TraceSink *s);
 
-    std::uint64_t count(BusCmd cmd) const
+    [[nodiscard]] std::uint64_t count(BusCmd cmd) const
     {
         return counts[static_cast<int>(cmd)].value();
     }
 
-    Tick latency() const { return params.latency; }
+    [[nodiscard]] Tick latency() const { return params.latency; }
 
   private:
     BusParams params;

@@ -44,7 +44,7 @@ class Crossbar
      * @return the tick at which the d-group access *begins* (after the
      *         crossbar traversal and any port queueing).
      */
-    Tick access(DGroupId dg, Tick at, Tick occupancy);
+    [[nodiscard]] Tick access(DGroupId dg, Tick at, Tick occupancy);
 
     void regStats(StatGroup &group);
     void resetStats();
@@ -52,7 +52,10 @@ class Crossbar
     /** Emit per-d-group port-grant Resource events into @p s. */
     void attachSink(obs::TraceSink *s);
 
-    int numDGroups() const { return static_cast<int>(ports.size()); }
+    [[nodiscard]] int numDGroups() const
+    {
+        return static_cast<int>(ports.size());
+    }
 
   private:
     Tick traversal;

@@ -10,6 +10,8 @@
 #ifndef CNSIM_MEM_MEMORY_HH
 #define CNSIM_MEM_MEMORY_HH
 
+#include <cstdint>
+
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/resource.hh"
@@ -38,7 +40,7 @@ class MainMemory
      * Issue a read (fill) at tick @p at.
      * @return the tick at which the data is available on chip.
      */
-    Tick read(Tick at);
+    [[nodiscard]] Tick read(Tick at);
 
     /**
      * Issue a writeback at tick @p at. Writebacks are buffered: they
@@ -52,8 +54,11 @@ class MainMemory
     /** Emit channel-grant Resource events into @p s. */
     void attachSink(obs::TraceSink *s) { channels_res.attachSink(s, "mem.dram"); }
 
-    std::uint64_t reads() const { return n_reads.value(); }
-    std::uint64_t writebacks() const { return n_writebacks.value(); }
+    [[nodiscard]] std::uint64_t reads() const { return n_reads.value(); }
+    [[nodiscard]] std::uint64_t writebacks() const
+    {
+        return n_writebacks.value();
+    }
 
   private:
     MemoryParams params;

@@ -18,6 +18,7 @@
 #ifndef CNSIM_MEM_RESOURCE_HH
 #define CNSIM_MEM_RESOURCE_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -49,10 +50,10 @@ class Resource
      * @return the grant tick (>= at); the request's access may begin
      *         then, and the port frees at grant + occupancy.
      */
-    Tick acquire(Tick at, Tick occupancy);
+    [[nodiscard]] Tick acquire(Tick at, Tick occupancy);
 
     /** Peek at the earliest grant time without acquiring. */
-    Tick earliestGrant(Tick at) const;
+    [[nodiscard]] Tick earliestGrant(Tick at) const;
 
     /** Register this resource's stats into @p group. */
     void regStats(StatGroup &group);
@@ -66,9 +67,12 @@ class Resource
      */
     void attachSink(obs::TraceSink *s, const std::string &path = "");
 
-    const std::string &name() const { return _name; }
-    std::uint64_t grants() const { return n_grants.value(); }
-    std::uint64_t totalWait() const { return wait_ticks.value(); }
+    [[nodiscard]] const std::string &name() const { return _name; }
+    [[nodiscard]] std::uint64_t grants() const { return n_grants.value(); }
+    [[nodiscard]] std::uint64_t totalWait() const
+    {
+        return wait_ticks.value();
+    }
 
   private:
     std::string _name;

@@ -37,6 +37,7 @@
 #ifndef CNSIM_NURAPID_CMP_NURAPID_HH
 #define CNSIM_NURAPID_CMP_NURAPID_HH
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -114,37 +115,49 @@ class CmpNurapid : public L2Org
     void setTraceSink(obs::TraceSink *s) override;
 
     /** Coherence state of @p addr in @p core's tag array (tests). */
-    CohState stateOf(CoreId core, Addr addr) const;
+    [[nodiscard]] CohState stateOf(CoreId core, Addr addr) const;
 
     /** Forward pointer of @p addr in @p core's tag array (tests). */
-    FwdPtr fwdOf(CoreId core, Addr addr) const;
+    [[nodiscard]] FwdPtr fwdOf(CoreId core, Addr addr) const;
 
     /** Number of data frames currently holding @p addr (tests). */
-    int framesHolding(Addr addr) const;
+    [[nodiscard]] int framesHolding(Addr addr) const;
 
     /** Valid-frame count of a d-group (capacity-stealing studies). */
-    unsigned dgroupOccupancy(DGroupId dg) const
+    [[nodiscard]] unsigned dgroupOccupancy(DGroupId dg) const
     {
         return data.occupancy(dg);
     }
 
-    const PrefTable &prefTable() const { return pref; }
-    unsigned blockSize() const { return params.block_size; }
+    [[nodiscard]] const PrefTable &prefTable() const { return pref; }
+    [[nodiscard]] unsigned blockSize() const { return params.block_size; }
 
     /** Fraction of L2 hits serviced by the requestor's closest d-group. */
-    double closestHitFraction() const;
+    [[nodiscard]] double closestHitFraction() const;
 
-    std::uint64_t demotions() const { return n_demotions.value(); }
-    std::uint64_t promotions() const { return n_promotions.value(); }
-    std::uint64_t replications() const { return n_replications.value(); }
-    std::uint64_t pointerJoins() const { return n_pointer_joins.value(); }
-    std::uint64_t iscJoins() const { return n_isc_joins.value(); }
-    std::uint64_t busRepls() const { return n_bus_repl.value(); }
-    std::uint64_t privateEvictions() const
+    [[nodiscard]] std::uint64_t demotions() const
+    {
+        return n_demotions.value();
+    }
+    [[nodiscard]] std::uint64_t promotions() const
+    {
+        return n_promotions.value();
+    }
+    [[nodiscard]] std::uint64_t replications() const
+    {
+        return n_replications.value();
+    }
+    [[nodiscard]] std::uint64_t pointerJoins() const
+    {
+        return n_pointer_joins.value();
+    }
+    [[nodiscard]] std::uint64_t iscJoins() const { return n_isc_joins.value(); }
+    [[nodiscard]] std::uint64_t busRepls() const { return n_bus_repl.value(); }
+    [[nodiscard]] std::uint64_t privateEvictions() const
     {
         return n_private_evictions.value();
     }
-    std::uint64_t chainStopEvictions() const
+    [[nodiscard]] std::uint64_t chainStopEvictions() const
     {
         return n_chain_stop_evictions.value();
     }

@@ -47,7 +47,7 @@ class NuDataArray
     NuDataArray(int num_dgroups, unsigned frames_per_dgroup);
 
     /** @return frame index of a free frame in @p dg, or invalid_id. */
-    int allocate(DGroupId dg);
+    [[nodiscard]] int allocate(DGroupId dg);
 
     /** Free frame @p idx of @p dg. */
     void free(DGroupId dg, int idx);
@@ -59,19 +59,25 @@ class NuDataArray
      *
      * @return frame index, or invalid_id if nothing is eligible.
      */
-    int randomVictim(DGroupId dg, Rng &rng, Addr pinned_addr);
+    [[nodiscard]] int randomVictim(DGroupId dg, Rng &rng, Addr pinned_addr);
 
     /** @return true if @p dg has at least one free frame. */
-    bool hasFree(DGroupId dg) const { return !free_list[dg].empty(); }
+    [[nodiscard]] bool hasFree(DGroupId dg) const
+    {
+        return !free_list[dg].empty();
+    }
 
     Frame &at(DGroupId dg, int idx) { return frames[dg][idx]; }
     const Frame &at(DGroupId dg, int idx) const { return frames[dg][idx]; }
 
-    unsigned framesPerDGroup() const { return frames_per; }
-    int numDGroups() const { return static_cast<int>(frames.size()); }
+    [[nodiscard]] unsigned framesPerDGroup() const { return frames_per; }
+    [[nodiscard]] int numDGroups() const
+    {
+        return static_cast<int>(frames.size());
+    }
 
     /** Valid frames currently held in @p dg. */
-    unsigned occupancy(DGroupId dg) const
+    [[nodiscard]] unsigned occupancy(DGroupId dg) const
     {
         return frames_per - static_cast<unsigned>(free_list[dg].size());
     }

@@ -54,32 +54,41 @@ class PrefTable
               const DGroupLatencies &lat = DGroupLatencies{});
 
     /** D-group ranked @p rank (0 = most preferred) for @p core. */
-    DGroupId
+    [[nodiscard]] DGroupId
     ranked(CoreId core, int rank) const
     {
         return prefs[core][rank];
     }
 
     /** The full preference order for @p core, closest first. */
-    const std::vector<DGroupId> &order(CoreId core) const
+    [[nodiscard]] const std::vector<DGroupId> &order(CoreId core) const
     {
         return prefs[core];
     }
 
     /** The d-group closest to @p core (rank 0). */
-    DGroupId closest(CoreId core) const { return prefs[core][0]; }
+    [[nodiscard]] DGroupId closest(CoreId core) const
+    {
+        return prefs[core][0];
+    }
 
     /** The d-group farthest from @p core (last rank). */
-    DGroupId farthest(CoreId core) const { return prefs[core].back(); }
+    [[nodiscard]] DGroupId farthest(CoreId core) const
+    {
+        return prefs[core].back();
+    }
 
     /** Position of @p dg in @p core's preference order. */
-    int rankOf(CoreId core, DGroupId dg) const;
+    [[nodiscard]] int rankOf(CoreId core, DGroupId dg) const;
 
     /** Access latency of @p dg as seen from @p core (Table 1). */
-    Tick latency(CoreId core, DGroupId dg) const;
+    [[nodiscard]] Tick latency(CoreId core, DGroupId dg) const;
 
-    int numCores() const { return static_cast<int>(prefs.size()); }
-    int numDGroups() const { return n_dgroups; }
+    [[nodiscard]] int numCores() const
+    {
+        return static_cast<int>(prefs.size());
+    }
+    [[nodiscard]] int numDGroups() const { return n_dgroups; }
 
   private:
     int n_dgroups;

@@ -92,11 +92,11 @@ class NuTagArray
                unsigned block_size);
 
     /** @return the entry for @p addr, or nullptr on tag miss. */
-    TagEntry *find(Addr addr);
-    const TagEntry *find(Addr addr) const;
+    [[nodiscard]] TagEntry *find(Addr addr);
+    [[nodiscard]] const TagEntry *find(Addr addr) const;
 
     /** Position of @p e within this array. */
-    TagPos posOf(const TagEntry *e) const;
+    [[nodiscard]] TagPos posOf(const TagEntry *e) const;
 
     /** Entry at an explicit position. */
     TagEntry &at(int set, int way);
@@ -110,11 +110,11 @@ class NuTagArray
      * category priority order: invalid, then LRU private (E/M), then
      * LRU shared (S/C). Never returns a busy entry.
      */
-    TagEntry *replacementVictim(Addr addr);
+    [[nodiscard]] TagEntry *replacementVictim(Addr addr);
 
-    unsigned numSets() const { return _num_sets; }
-    unsigned assoc() const { return _assoc; }
-    unsigned setIndex(Addr addr) const;
+    [[nodiscard]] unsigned numSets() const { return _num_sets; }
+    [[nodiscard]] unsigned assoc() const { return _assoc; }
+    [[nodiscard]] unsigned setIndex(Addr addr) const;
 
     /** All entries, for invariant checks. */
     std::vector<TagEntry> &raw() { return entries; }

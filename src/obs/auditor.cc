@@ -57,7 +57,10 @@ ProtocolAuditor::onEvent(const TraceEvent &ev)
         remember(blockFor(ev.addr), ev);
         touched.push_back(ev.addr);
         break;
-      default:
+      case EventKind::BusTx:
+      case EventKind::Resource:
+      case EventKind::CoreStall:
+        // Timing-only events; no coherence or structural state moves.
         break;
     }
 }

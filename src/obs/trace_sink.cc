@@ -319,7 +319,9 @@ writeChromeJson(const std::string &path,
           case EventKind::L1BackInval:
             std::fprintf(f, ",\"l1Blocks\":%" PRIu64, ev.arg);
             break;
-          default:
+          case EventKind::BusTx:
+          case EventKind::CoreStall:
+            // No extra args beyond the common core/addr fields.
             break;
         }
         std::fputs("}}", f);

@@ -23,8 +23,10 @@
 #define CNSIM_OBS_TRACE_SINK_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/coh_state.hh"

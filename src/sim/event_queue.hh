@@ -39,6 +39,48 @@
 namespace cnsim
 {
 
+/**
+ * Opt-out wrapper for event callables that exceed the EventQueue's
+ * inline storage budget: scheduling a BoxedEvent explicitly accepts
+ * one heap allocation for that event. Construct via CNSIM_EVENT_BOXED.
+ */
+template <typename Fn>
+struct BoxedEvent
+{
+    Fn fn;
+
+    void
+    operator()(Tick t)
+    {
+        fn(t);
+    }
+};
+
+template <typename T>
+struct IsBoxedEvent : std::false_type
+{
+};
+
+template <typename Fn>
+struct IsBoxedEvent<BoxedEvent<Fn>> : std::true_type
+{
+};
+
+template <typename F>
+BoxedEvent<std::decay_t<F>>
+makeBoxedEvent(F &&f)
+{
+    return BoxedEvent<std::decay_t<F>>{std::forward<F>(f)};
+}
+
+/**
+ * Wrap an oversized event callable for scheduling. The wrapper is the
+ * visible, grep-able marker that this call site deliberately pays a
+ * per-event heap allocation; everything else must fit the inline
+ * budget, which EventQueue::schedule() enforces at compile time.
+ */
+#define CNSIM_EVENT_BOXED(...) ::cnsim::makeBoxedEvent(__VA_ARGS__)
+
 /** A global, deterministic discrete-event queue. */
 class EventQueue
 {
@@ -87,13 +129,16 @@ class EventQueue
     bool step();
 
     /** @return the current simulated time. */
-    Tick now() const { return cur_tick; }
+    [[nodiscard]] Tick now() const { return cur_tick; }
 
     /** @return number of pending events. */
-    std::size_t pending() const { return near_count + far.size(); }
+    [[nodiscard]] std::size_t pending() const
+    {
+        return near_count + far.size();
+    }
 
     /** @return total events executed since construction. */
-    std::uint64_t executed() const { return n_executed; }
+    [[nodiscard]] std::uint64_t executed() const { return n_executed; }
 
     /** Request that run() stop after the current event completes. */
     void stop() { stop_requested = true; }
@@ -103,7 +148,10 @@ class EventQueue
      * Exposed so tests can assert the arena is reused, not regrown,
      * across repeated schedule/run cycles.
      */
-    std::size_t arenaCapacity() const { return chunks.size() * chunk_events; }
+    [[nodiscard]] std::size_t arenaCapacity() const
+    {
+        return chunks.size() * chunk_events;
+    }
 
   private:
     /** Inline storage for the scheduled callable, sized for the lambdas
@@ -172,19 +220,26 @@ class EventQueue
         using Fn = std::decay_t<F>;
         static_assert(std::is_invocable_v<Fn &, Tick>,
                       "event callable must accept a Tick");
-        if constexpr (sizeof(Fn) <= inline_bytes &&
-                      alignof(Fn) <= alignof(std::max_align_t)) {
+        if constexpr (IsBoxedEvent<Fn>::value) {
+            // Explicitly opted into a per-event heap allocation.
+            ::new (static_cast<void *>(e->storage))
+                Fn *(new Fn(std::forward<F>(f)));
+            e->invoke = &invokeBoxed<Fn>;
+            e->destroy = &destroyBoxed<Fn>;
+        } else {
+            static_assert(sizeof(Fn) <= inline_bytes &&
+                              alignof(Fn) <= alignof(std::max_align_t),
+                          "event callable exceeds the EventQueue inline "
+                          "budget; shrink the capture (capture pointers, "
+                          "not copies) or wrap the callable in "
+                          "CNSIM_EVENT_BOXED(...) to accept one heap "
+                          "allocation per scheduled event");
             ::new (static_cast<void *>(e->storage))
                 Fn(std::forward<F>(f));
             e->invoke = &invokeInline<Fn>;
             e->destroy = std::is_trivially_destructible_v<Fn>
                              ? nullptr
                              : &destroyInline<Fn>;
-        } else {
-            ::new (static_cast<void *>(e->storage))
-                Fn *(new Fn(std::forward<F>(f)));
-            e->invoke = &invokeBoxed<Fn>;
-            e->destroy = &destroyBoxed<Fn>;
         }
     }
 

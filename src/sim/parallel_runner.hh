@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/runner.hh"

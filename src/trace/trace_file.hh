@@ -16,6 +16,7 @@
 #ifndef CNSIM_TRACE_TRACE_FILE_HH
 #define CNSIM_TRACE_TRACE_FILE_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>

@@ -1,0 +1,10 @@
+// Fixture: malformed cnlint directives are themselves findings.
+
+void
+configure()
+{
+    int x = 0; // cnlint: allow(CNL-9999 no such rule exists) // cnlint-fixture-expect: CNL-A001
+    int y = x; // cnlint: allow(CNL-D001) // cnlint-fixture-expect: CNL-A001
+    int z = y; // cnlint: allow CNL-D001 forgot the parentheses // cnlint-fixture-expect: CNL-A001
+    (void)z;
+}

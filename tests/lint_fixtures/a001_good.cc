@@ -1,0 +1,18 @@
+// cnlint: scope(sim)
+// Fixture: well-formed allow directives suppress their rule and are
+// not findings themselves. This file doubles as the proof that
+// suppression is honored: without the directives below, CNL-D001 and
+// CNL-D002 would both fire.
+
+#include <chrono>
+#include <cstdlib>
+
+void
+timeAndSeedForReportingOnly()
+{
+    std::srand(42); // cnlint: allow(CNL-D001 fixture proves same-line suppression is honored)
+    // cnlint: allow(CNL-D002 fixture proves comment-line suppression
+    // covers the first code line below the comment block)
+    auto wall = std::chrono::steady_clock::now();
+    (void)wall;
+}

@@ -1,0 +1,13 @@
+// cnlint: scope(sim)
+// Fixture: banned random sources in simulation code.
+
+#include <cstdlib>
+#include <random>
+
+unsigned
+pickVictimWay(unsigned ways)
+{
+    std::random_device rd; // cnlint-fixture-expect: CNL-D001
+    std::mt19937 gen(rd()); // cnlint-fixture-expect: CNL-D001
+    return static_cast<unsigned>(std::rand()) % ways; // cnlint-fixture-expect: CNL-D001
+}

@@ -1,0 +1,11 @@
+// cnlint: scope(sim)
+// Fixture: randomness drawn from a config-seeded cnsim::Rng is fine.
+
+#include "common/rng.hh"
+
+unsigned
+pickVictimWay(unsigned ways, unsigned long seed)
+{
+    cnsim::Rng rng(seed);
+    return static_cast<unsigned>(rng.next()) % ways;
+}

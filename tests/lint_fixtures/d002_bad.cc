@@ -1,0 +1,17 @@
+// cnlint: scope(sim)
+// Fixture: wall-clock reads in simulation code.
+
+#include <chrono>
+#include <ctime>
+
+double
+stampResult()
+{
+    auto t0 = std::chrono::steady_clock::now(); // cnlint-fixture-expect: CNL-D002
+    auto t1 = std::chrono::system_clock::now(); // cnlint-fixture-expect: CNL-D002
+    auto secs = std::time(nullptr); // cnlint-fixture-expect: CNL-D002
+    auto ticks = clock(); // cnlint-fixture-expect: CNL-D002
+    (void)t0;
+    (void)t1;
+    return static_cast<double>(secs) + static_cast<double>(ticks);
+}

@@ -1,0 +1,16 @@
+// cnlint: scope(sim)
+// Fixture: simulated time comes from the event queue; member
+// functions that happen to be named time()/clock() are not wall-clock
+// reads.
+
+#include "sim/event_queue.hh"
+
+cnsim::Tick
+stampResult(cnsim::EventQueue &eq, cnsim::TraceRecord &rec)
+{
+    cnsim::Tick now = eq.now();
+    rec.setTick(now);
+    auto issue = rec.time();   // member call, not ::time()
+    auto domain = rec.clock(); // member call, not ::clock()
+    return now + issue + domain;
+}

@@ -1,0 +1,18 @@
+// cnlint: scope(sim)
+// Fixture: iterating an unordered container leaks host hash order.
+
+#include <cstdint>
+#include <unordered_map>
+
+using SharerMap = std::unordered_map<std::uint64_t, unsigned>;
+
+unsigned
+dumpSharers(const SharerMap &sharers)
+{
+    unsigned total = 0;
+    for (const auto &kv : sharers) // cnlint-fixture-expect: CNL-D003
+        total += kv.second;
+    auto it = sharers.begin(); // cnlint-fixture-expect: CNL-D003
+    (void)it;
+    return total;
+}

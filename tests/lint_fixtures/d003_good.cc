@@ -1,0 +1,20 @@
+// cnlint: scope(sim)
+// Fixture: point lookups into an unordered container are fine; only
+// iteration exposes the hash order.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+unsigned
+lookupSharers(const std::unordered_map<std::uint64_t, unsigned> &sharers,
+              const std::vector<std::uint64_t> &sorted_addrs)
+{
+    unsigned total = 0;
+    for (auto addr : sorted_addrs) {
+        auto it = sharers.find(addr);
+        if (it != sharers.end())
+            total += it->second;
+    }
+    return total;
+}

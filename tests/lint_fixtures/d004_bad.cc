@@ -1,0 +1,14 @@
+// cnlint: scope(sim)
+// Fixture: pointer-keyed ordered containers sort by allocation
+// address, which varies run to run.
+
+#include <map>
+#include <set>
+
+struct Block;
+
+struct Directory
+{
+    std::map<const Block *, unsigned> owner_of; // cnlint-fixture-expect: CNL-D004
+    std::set<Block *> dirty; // cnlint-fixture-expect: CNL-D004
+};

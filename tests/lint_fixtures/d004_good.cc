@@ -1,0 +1,16 @@
+// cnlint: scope(sim)
+// Fixture: ordered containers keyed by stable IDs are deterministic;
+// a pointer in the mapped (value) type is fine.
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+struct Block;
+
+struct Directory
+{
+    std::map<std::uint32_t, unsigned> owner_by_id;
+    std::map<std::uint32_t, Block *> block_by_id;
+    std::set<std::uint32_t> dirty_ids;
+};

@@ -1,0 +1,17 @@
+// cnlint: scope(sim)
+// Fixture: default-constructed Rng falls back to the baked-in seed.
+
+#include "common/rng.hh"
+
+using cnsim::Rng;
+
+unsigned
+shuffleSeedless()
+{
+    Rng rng; // cnlint-fixture-expect: CNL-D005
+    Rng gen{}; // cnlint-fixture-expect: CNL-D005
+    auto *heap = new Rng; // cnlint-fixture-expect: CNL-D005
+    unsigned v = static_cast<unsigned>(Rng().next()); // cnlint-fixture-expect: CNL-D005
+    delete heap;
+    return v + static_cast<unsigned>(rng.next() + gen.next());
+}

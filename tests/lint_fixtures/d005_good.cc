@@ -1,0 +1,27 @@
+// cnlint: scope(sim)
+// Fixture: every Rng takes an explicit configuration-derived seed; a
+// class member is seeded by its constructor.
+
+#include "common/rng.hh"
+
+using cnsim::Rng;
+
+class VictimPicker
+{
+  public:
+    explicit VictimPicker(unsigned long seed) : rng(seed) {}
+
+    unsigned pick(unsigned ways) {
+        return static_cast<unsigned>(rng.next()) % ways;
+    }
+
+  private:
+    Rng rng; // member: the constructor above is responsible for seeding
+};
+
+unsigned
+pickOnce(unsigned long seed, unsigned ways)
+{
+    Rng local(seed);
+    return static_cast<unsigned>(local.next()) % ways;
+}

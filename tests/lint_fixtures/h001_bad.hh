@@ -1,0 +1,20 @@
+// Fixture: a using-namespace directive in a header leaks into every
+// includer.
+
+#ifndef CNSIM_TESTS_LINT_FIXTURES_H001_BAD_HH
+#define CNSIM_TESTS_LINT_FIXTURES_H001_BAD_HH
+
+#include <vector>
+
+using namespace std; // cnlint-fixture-expect: CNL-H001
+
+inline int
+sumAll(const vector<int> &v)
+{
+    int s = 0;
+    for (int x : v)
+        s += x;
+    return s;
+}
+
+#endif // CNSIM_TESTS_LINT_FIXTURES_H001_BAD_HH

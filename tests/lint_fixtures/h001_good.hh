@@ -1,0 +1,18 @@
+// Fixture: headers qualify names explicitly (or use narrow
+// using-declarations inside their own namespace).
+
+#ifndef CNSIM_TESTS_LINT_FIXTURES_H001_GOOD_HH
+#define CNSIM_TESTS_LINT_FIXTURES_H001_GOOD_HH
+
+#include <vector>
+
+inline int
+sumAll(const std::vector<int> &v)
+{
+    int s = 0;
+    for (int x : v)
+        s += x;
+    return s;
+}
+
+#endif // CNSIM_TESTS_LINT_FIXTURES_H001_GOOD_HH

@@ -1,0 +1,13 @@
+// Fixture: the guard macro must follow the CNSIM_<PATH>_HH
+// convention so two headers can never collide.
+
+#ifndef LINT_FIXTURES_H002_BAD_H // cnlint-fixture-expect: CNL-H002
+#define LINT_FIXTURES_H002_BAD_H
+
+inline int
+two()
+{
+    return 2;
+}
+
+#endif // LINT_FIXTURES_H002_BAD_H

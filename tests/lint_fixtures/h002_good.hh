@@ -1,0 +1,12 @@
+// Fixture: a conforming CNSIM_<PATH>_HH include guard.
+
+#ifndef CNSIM_TESTS_LINT_FIXTURES_H002_GOOD_HH
+#define CNSIM_TESTS_LINT_FIXTURES_H002_GOOD_HH
+
+inline int
+two()
+{
+    return 2;
+}
+
+#endif // CNSIM_TESTS_LINT_FIXTURES_H002_GOOD_HH

@@ -1,0 +1,13 @@
+// Fixture: a header that only compiles if its includer happened to
+// pull in <cstdint> and <vector> first.
+
+#ifndef CNSIM_TESTS_LINT_FIXTURES_H003_BAD_HH
+#define CNSIM_TESTS_LINT_FIXTURES_H003_BAD_HH
+
+inline std::uint64_t // cnlint-fixture-expect: CNL-H003
+firstOrZero(const std::vector<std::uint64_t> &v) // cnlint-fixture-expect: CNL-H003
+{
+    return v.empty() ? 0 : v.front();
+}
+
+#endif // CNSIM_TESTS_LINT_FIXTURES_H003_BAD_HH

@@ -1,0 +1,16 @@
+// Fixture: a self-contained header -- every std:: symbol's provider
+// is included directly.
+
+#ifndef CNSIM_TESTS_LINT_FIXTURES_H003_GOOD_HH
+#define CNSIM_TESTS_LINT_FIXTURES_H003_GOOD_HH
+
+#include <cstdint>
+#include <vector>
+
+inline std::uint64_t
+firstOrZero(const std::vector<std::uint64_t> &v)
+{
+    return v.empty() ? 0 : v.front();
+}
+
+#endif // CNSIM_TESTS_LINT_FIXTURES_H003_GOOD_HH

@@ -1,0 +1,33 @@
+// Fixture: enum switches that can silently absorb new enumerators.
+
+enum class Dir
+{
+    North,
+    South,
+    East,
+    West,
+};
+
+int
+turnPenalty(Dir d)
+{
+    switch (d) { // cnlint-fixture-expect: CNL-S001
+    case Dir::North:
+        return 0;
+    case Dir::South:
+        return 2;
+    }
+    return -1;
+}
+
+int
+isVertical(Dir d)
+{
+    switch (d) { // cnlint-fixture-expect: CNL-S001
+    case Dir::North:
+    case Dir::South:
+        return 1;
+    default:
+        return 0;
+    }
+}

@@ -1,0 +1,43 @@
+// Fixture: enum switches that are future-proof -- either exhaustive
+// or guarded by a cnsim_unreachable() default.
+
+#include "common/logging.hh"
+
+enum class Dir
+{
+    North,
+    South,
+    East,
+    West,
+};
+
+int
+turnPenalty(Dir d)
+{
+    switch (d) {
+    case Dir::North:
+        return 0;
+    case Dir::South:
+        return 2;
+    case Dir::East:
+        return 1;
+    case Dir::West:
+        return 1;
+    }
+    return -1;
+}
+
+int
+isVertical(Dir d)
+{
+    switch (d) {
+    case Dir::North:
+    case Dir::South:
+        return 1;
+    case Dir::East:
+    case Dir::West:
+        return 0;
+    default:
+        cnsim_unreachable("corrupt Dir value");
+    }
+}

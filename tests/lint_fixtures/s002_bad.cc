@@ -1,0 +1,18 @@
+// cnlint: scope(sim)
+// Fixture: a stat member that never reaches a StatGroup is invisible
+// in every dump.
+
+#include "common/stats.hh"
+
+class PrefetcherStats
+{
+  public:
+    void regStats(cnsim::StatGroup &g)
+    {
+        g.addCounter("pf_issued", &n_issued, "prefetches issued");
+    }
+
+  private:
+    cnsim::Counter n_issued;
+    cnsim::Counter n_useless; // cnlint-fixture-expect: CNL-S002
+};

@@ -1,0 +1,21 @@
+// cnlint: scope(sim)
+// Fixture: every stat member is registered, even when the
+// registration lives in a different function from the declaration.
+
+#include "common/stats.hh"
+
+class PrefetcherStats
+{
+  public:
+    void regStats(cnsim::StatGroup &g)
+    {
+        g.addCounter("pf_issued", &n_issued, "prefetches issued");
+        g.addCounter("pf_useless", &n_useless, "prefetches never hit");
+        g.addDistribution("pf_depth", &depth, "prefetch depth");
+    }
+
+  private:
+    cnsim::Counter n_issued;
+    cnsim::Counter n_useless;
+    cnsim::Distribution depth;
+};

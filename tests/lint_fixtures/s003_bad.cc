@@ -1,0 +1,14 @@
+// Fixture: type-erased callables on the event queue defeat the
+// arena's inline storage.
+
+#include <functional>
+
+#include "sim/event_queue.hh"
+
+void
+scheduleErased(cnsim::EventQueue &eq, unsigned *counter)
+{
+    eq.schedule(100, std::function<void(cnsim::Tick)>([counter](cnsim::Tick) { ++*counter; })); // cnlint-fixture-expect: CNL-S003
+    cnsim::EventQueue::Callback saved = [counter](cnsim::Tick) { ++*counter; }; // cnlint-fixture-expect: CNL-S003
+    eq.schedule(200, saved);
+}

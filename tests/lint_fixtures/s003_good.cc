@@ -1,0 +1,11 @@
+// Fixture: lambdas scheduled directly land in the event arena's
+// inline storage -- no type erasure, no allocation.
+
+#include "sim/event_queue.hh"
+
+void
+scheduleInline(cnsim::EventQueue &eq, unsigned *counter)
+{
+    eq.schedule(100, [counter](cnsim::Tick) { ++*counter; });
+    eq.schedule(200, [counter](cnsim::Tick t) { *counter += t != 0; });
+}

@@ -239,17 +239,19 @@ TEST(EventQueue, ArenaIsReusedAcrossRuns)
 
 TEST(EventQueue, LargeCallablesSpillToHeapBoxes)
 {
-    // Captures beyond the inline storage take the boxed path; both
-    // must coexist with correct invocation and destruction.
+    // Captures beyond the inline storage must opt into the boxed path
+    // explicitly (schedule() rejects oversized callables at compile
+    // time otherwise); boxed and inline events must coexist with
+    // correct invocation and destruction.
     EventQueue eq;
     std::array<std::uint64_t, 16> big{};
     big.fill(7);
     std::uint64_t sum = 0;
     auto payload = std::make_shared<int>(41);
-    eq.schedule(1, [big, &sum](Tick) {
+    eq.schedule(1, CNSIM_EVENT_BOXED([big, &sum](Tick) {
         for (auto v : big)
             sum += v;
-    });
+    }));
     eq.schedule(2, [payload, &sum](Tick) { sum += *payload; });
     eq.schedule(3, [&sum](Tick) { ++sum; });
     eq.run();

@@ -116,9 +116,9 @@ TEST(L1Cache, StatsCountHitsAndMisses)
     L1Cache c("l1", smallL1());
     StatGroup g("sys");
     c.regStats(g);
-    c.loadHit(0x100);  // miss
+    (void)c.loadHit(0x100); // miss
     c.fill(0x100, false, false);
-    c.loadHit(0x100);  // hit
+    (void)c.loadHit(0x100); // hit
     EXPECT_EQ(g.counter("l1.hits").value(), 1u);
     EXPECT_EQ(g.counter("l1.misses").value(), 1u);
     c.resetStats();

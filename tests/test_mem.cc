@@ -87,7 +87,7 @@ TEST(MainMemory, StatsRegisterAndReset)
     MainMemory m;
     StatGroup g("sys");
     m.regStats(g);
-    m.read(0);
+    (void)m.read(0);
     m.writeback(0);
     EXPECT_EQ(g.counter("mem.reads").value(), 1u);
     EXPECT_EQ(g.counter("mem.writebacks").value(), 1u);
@@ -132,9 +132,9 @@ TEST(SnoopBus, StatsPerCommand)
     SnoopBus bus;
     StatGroup g("sys");
     bus.regStats(g);
-    bus.transaction(BusCmd::BusRd, 0);
-    bus.transaction(BusCmd::BusRd, 0);
-    bus.transaction(BusCmd::WrBack, 0);
+    (void)bus.transaction(BusCmd::BusRd, 0);
+    (void)bus.transaction(BusCmd::BusRd, 0);
+    (void)bus.transaction(BusCmd::WrBack, 0);
     EXPECT_EQ(g.counter("bus.busRd").value(), 2u);
     EXPECT_EQ(g.counter("bus.wrBack").value(), 1u);
     bus.resetStats();
@@ -160,7 +160,7 @@ TEST(Crossbar, TraversalLatencyAdds)
 TEST(CrossbarDeathTest, BadDGroupPanics)
 {
     Crossbar x(2);
-    EXPECT_DEATH(x.access(5, 0, 1), "bad d-group");
+    EXPECT_DEATH((void)x.access(5, 0, 1), "bad d-group");
 }
 
 } // namespace

@@ -41,7 +41,7 @@ TEST(Resource, MultiplePortsRunInParallel)
 TEST(Resource, EarliestGrantDoesNotAcquire)
 {
     Resource r("r", 1);
-    r.acquire(0, 50);
+    (void)r.acquire(0, 50);
     EXPECT_EQ(r.earliestGrant(10), 50u);
     EXPECT_EQ(r.earliestGrant(10), 50u);  // unchanged: no side effect
     EXPECT_EQ(r.acquire(10, 5), 50u);
@@ -59,8 +59,8 @@ TEST(Resource, StatsCountWaits)
     Resource r("r", 1);
     StatGroup g("sys");
     r.regStats(g);
-    r.acquire(0, 10);
-    r.acquire(0, 10);  // waits 10
+    (void)r.acquire(0, 10);
+    (void)r.acquire(0, 10); // waits 10
     EXPECT_EQ(g.counter("r.grants").value(), 2u);
     EXPECT_EQ(g.counter("r.waitTicks").value(), 10u);
     EXPECT_EQ(g.counter("r.busyTicks").value(), 20u);

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * cnlint: cnsim's determinism-and-invariant static-analysis suite.
+ *
+ * cnlint is a token-level ("AST-lite") scanner that enforces the
+ * project rules the C++ compiler cannot: determinism hygiene in
+ * simulation code (D-rules), structural invariants such as exhaustive
+ * enum switches and registered statistics (S-rules), and header
+ * hygiene (H-rules). It is deliberately not a compiler plugin -- the
+ * rules are lexical and cross-file, the tool builds in milliseconds,
+ * and it runs identically on every host the simulator builds on.
+ *
+ * Rule catalog (see DESIGN.md section 3f for the full rationale):
+ *
+ *   CNL-D001  banned random source (std::rand, random_device, mt19937,
+ *             ...) in simulation code; use a seeded cnsim::Rng
+ *   CNL-D002  banned wall-clock source (system_clock, steady_clock,
+ *             time(), ...) in simulation code; simulated time comes
+ *             from EventQueue::now()
+ *   CNL-D003  iteration over a std::unordered_{map,set}; unordered
+ *             iteration order leaks host ASLR/hash state into stats,
+ *             traces, and event schedules -- use FlatMap + sort or a
+ *             sorted container
+ *   CNL-D004  pointer-keyed std::map/std::set; pointer order varies
+ *             run to run
+ *   CNL-D005  default-constructed (unseeded) Rng; every Rng must take
+ *             a seed that derives from configuration
+ *   CNL-S001  switch over a tracked enum that is neither exhaustive
+ *             nor guarded by a cnsim_unreachable() default
+ *   CNL-S002  Counter/Scalar/Distribution member never registered
+ *             with a StatGroup/MetricsRegistry (invisible stat)
+ *   CNL-S003  std::function / EventQueue::Callback scheduled on the
+ *             EventQueue; schedule raw callables so they use the
+ *             arena's inline storage
+ *   CNL-H001  `using namespace` in a header
+ *   CNL-H002  missing or malformed include guard (expects
+ *             CNSIM_*_HH #ifndef/#define or #pragma once)
+ *   CNL-H003  std:: symbol used in a header without a direct include
+ *             of its provider (self-containment assist)
+ *   CNL-A001  malformed cnlint suppression comment
+ *
+ * Suppression syntax, placed on the offending line or on a
+ * comment-only line directly above it:
+ *
+ *   // cnlint: allow(CNL-D002 wall-clock time is reporting-only here)
+ *
+ * The rule ID must name a real rule and the reason must be non-empty;
+ * anything else is itself a finding (CNL-A001).
+ *
+ * Scope: D-rules and S002 apply only to simulation code -- files under
+ * src/ -- because benches legitimately read wall clocks and tests
+ * legitimately fuzz against std::unordered_map. A file outside src/
+ * can opt in with a `// cnlint: scope(sim)` pragma (the lint-fixture
+ * corpus uses this). All other rules apply everywhere cnlint looks.
+ */
+
+#ifndef CNSIM_TOOLS_CNLINT_CNLINT_HH
+#define CNSIM_TOOLS_CNLINT_CNLINT_HH
+
+#include <string>
+#include <vector>
+
+namespace cnlint
+{
+
+/** One diagnostic: a rule violation at a source location. */
+struct Finding
+{
+    std::string file; //!< path as given to the linter
+    int line = 0;     //!< 1-based line number
+    std::string rule; //!< rule ID, e.g. "CNL-D003"
+    std::string message;
+};
+
+/** One catalog entry, for --list-rules and ID validation. */
+struct RuleInfo
+{
+    std::string id;
+    std::string summary;
+    bool sim_scope_only;
+};
+
+/** @return the full rule catalog in ID order. */
+const std::vector<RuleInfo> &ruleCatalog();
+
+/** @return true if @p id names a cataloged rule. */
+bool isKnownRule(const std::string &id);
+
+/**
+ * The linter: add files, then run() once. Rules that need cross-file
+ * context (enum definitions for CNL-S001, stat registrations for
+ * CNL-S002) see every added file, so a whole-tree invocation must add
+ * the whole tree before running.
+ */
+class Linter
+{
+  public:
+    /**
+     * Load and pre-process @p path.
+     * @return false (with a note on stderr) if the file is unreadable.
+     */
+    bool addFile(const std::string &path);
+
+    /** Run every rule over every added file. */
+    void run();
+
+    /** Findings sorted by (file, line, rule); valid after run(). */
+    const std::vector<Finding> &findings() const { return results; }
+
+    /** Number of files successfully added. */
+    std::size_t fileCount() const;
+
+    ~Linter();
+    Linter();
+    Linter(const Linter &) = delete;
+    Linter &operator=(const Linter &) = delete;
+
+  private:
+    struct Impl;
+    Impl *impl;
+    std::vector<Finding> results;
+};
+
+} // namespace cnlint
+
+#endif // CNSIM_TOOLS_CNLINT_CNLINT_HH

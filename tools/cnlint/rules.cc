@@ -1,0 +1,952 @@
+/**
+ * @file
+ * The cnlint rule implementations.
+ *
+ * Each rule is a pass over a SourceFile's token stream (comments and
+ * string literals already blanked). Two pieces of context are global
+ * across every scanned file, so whole-tree invocations build them
+ * first: the enum catalog (CNL-S001 must know an enum's full
+ * enumerator list no matter which header defines it) and the set of
+ * registered stat member names (CNL-S002 accepts registration in the
+ * .cc even when the member is declared in the .hh).
+ *
+ * Every rule is lexical and deliberately conservative: it flags the
+ * patterns the codebase actually uses, and intentional exceptions are
+ * recorded in-line with an allow directive (syntax in cnlint.hh)
+ * rather than by weakening the rule.
+ */
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cnlint/cnlint.hh"
+#include "cnlint/source_model.hh"
+
+namespace cnlint
+{
+
+namespace
+{
+
+/** Cross-file context shared by all rules. */
+struct Context
+{
+    /** enum name -> enumerator names, from every scanned file. */
+    std::map<std::string, std::vector<std::string>> enums;
+    /** Stat member names passed by address to add{Counter,Scalar,
+     *  Distribution} anywhere in the scanned set. */
+    std::set<std::string> registered_stats;
+};
+
+using Tokens = std::vector<Token>;
+
+bool
+isPunct(const Token &t, const char *p)
+{
+    return t.kind == TokKind::Punct && t.text == p;
+}
+
+bool
+isIdent(const Token &t, const char *name)
+{
+    return t.kind == TokKind::Ident && t.text == name;
+}
+
+/**
+ * @return index of the matcher for the opener at @p i (tokens[i] must
+ * be @p open), or tokens.size() if unbalanced.
+ */
+std::size_t
+matchForward(const Tokens &ts, std::size_t i, const char *open,
+             const char *close)
+{
+    int depth = 0;
+    for (std::size_t k = i; k < ts.size(); ++k) {
+        if (isPunct(ts[k], open))
+            ++depth;
+        else if (isPunct(ts[k], close) && --depth == 0)
+            return k;
+    }
+    return ts.size();
+}
+
+void
+emit(const SourceFile &f, std::vector<Finding> &out, int line,
+     const std::string &rule, const std::string &msg)
+{
+    if (f.isSuppressed(rule, line))
+        return;
+    out.push_back({f.path, line, rule, msg});
+}
+
+// --------------------------------------------------------------------
+// Global context collection
+// --------------------------------------------------------------------
+
+void
+collectEnums(const SourceFile &f, Context &ctx)
+{
+    const Tokens &ts = f.tokens;
+    for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+        if (!isIdent(ts[i], "enum"))
+            continue;
+        std::size_t j = i + 1;
+        if (j < ts.size() &&
+            (isIdent(ts[j], "class") || isIdent(ts[j], "struct")))
+            ++j;
+        if (j >= ts.size() || ts[j].kind != TokKind::Ident)
+            continue; // anonymous enum
+        std::string name = ts[j].text;
+        ++j;
+        // Skip an underlying-type clause up to the opening brace.
+        while (j < ts.size() && !isPunct(ts[j], "{") && !isPunct(ts[j], ";"))
+            ++j;
+        if (j >= ts.size() || !isPunct(ts[j], "{"))
+            continue; // forward declaration
+        std::size_t end = matchForward(ts, j, "{", "}");
+        std::vector<std::string> values;
+        std::size_t k = j + 1;
+        while (k < end) {
+            if (ts[k].kind == TokKind::Ident) {
+                values.push_back(ts[k].text);
+                // Skip an optional "= expr" to the comma at depth 0.
+                int depth = 0;
+                while (k < end) {
+                    if (isPunct(ts[k], "(") || isPunct(ts[k], "{"))
+                        ++depth;
+                    else if (isPunct(ts[k], ")") || isPunct(ts[k], "}"))
+                        --depth;
+                    else if (depth == 0 && isPunct(ts[k], ","))
+                        break;
+                    ++k;
+                }
+            }
+            ++k;
+        }
+        // First definition wins; redefinitions in other files (e.g. a
+        // test's local enum sharing a name) are ignored.
+        if (!values.empty() && !ctx.enums.count(name))
+            ctx.enums.emplace(name, std::move(values));
+    }
+}
+
+void
+collectStatRegistrations(const SourceFile &f, Context &ctx)
+{
+    static const std::set<std::string> regs = {
+        "addCounter", "addScalar", "addDistribution"};
+    const Tokens &ts = f.tokens;
+    for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+        if (ts[i].kind != TokKind::Ident || !regs.count(ts[i].text) ||
+            !isPunct(ts[i + 1], "("))
+            continue;
+        std::size_t end = matchForward(ts, i + 1, "(", ")");
+        for (std::size_t k = i + 2; k < end; ++k) {
+            if (!isPunct(ts[k], "&"))
+                continue;
+            // &ident(.ident | ->ident | ::ident)* -- register the last
+            // component ("&stats.n_hits" registers n_hits,
+            // "&cls[1]" registers cls).
+            std::size_t m = k + 1;
+            std::string last;
+            while (m < end) {
+                if (ts[m].kind == TokKind::Ident) {
+                    last = ts[m].text;
+                    ++m;
+                    if (m < end && isPunct(ts[m], ".")) {
+                        ++m;
+                    } else if (m + 1 < end &&
+                               ((isPunct(ts[m], "-") &&
+                                 isPunct(ts[m + 1], ">")) ||
+                                (isPunct(ts[m], ":") &&
+                                 isPunct(ts[m + 1], ":")))) {
+                        m += 2;
+                    } else {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+            if (!last.empty())
+                ctx.registered_stats.insert(last);
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// D-rules: determinism (sim scope)
+// --------------------------------------------------------------------
+
+void
+ruleD001BannedRandom(const SourceFile &f, std::vector<Finding> &out)
+{
+    static const std::set<std::string> always = {
+        "random_device", "mt19937",        "mt19937_64",
+        "minstd_rand",   "minstd_rand0",   "default_random_engine",
+        "ranlux24",      "ranlux48",       "knuth_b",
+        "drand48",       "lrand48",        "mrand48",
+        "random_shuffle"};
+    const Tokens &ts = f.tokens;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (ts[i].kind != TokKind::Ident)
+            continue;
+        bool qualified = i > 0 && isPunct(ts[i - 1], ":");
+        bool called = i + 1 < ts.size() && isPunct(ts[i + 1], "(");
+        if (always.count(ts[i].text) ||
+            ((ts[i].text == "rand" || ts[i].text == "srand") &&
+             (qualified || called))) {
+            emit(f, out, ts[i].line, "CNL-D001",
+                 "'" + ts[i].text +
+                     "' is a nondeterministic/unseeded random source; "
+                     "use a cnsim::Rng seeded from the run config");
+        }
+    }
+}
+
+void
+ruleD002BannedClock(const SourceFile &f, std::vector<Finding> &out)
+{
+    static const std::set<std::string> always = {
+        "system_clock",  "steady_clock", "high_resolution_clock",
+        "gettimeofday",  "clock_gettime", "timespec_get",
+        "localtime",     "gmtime",        "mktime"};
+    const Tokens &ts = f.tokens;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (ts[i].kind != TokKind::Ident)
+            continue;
+        if (always.count(ts[i].text)) {
+            emit(f, out, ts[i].line, "CNL-D002",
+                 "'" + ts[i].text +
+                     "' reads host wall-clock state; simulated time "
+                     "must come from EventQueue::now()");
+            continue;
+        }
+        if (ts[i].text != "time" && ts[i].text != "clock")
+            continue;
+        bool member = i > 0 && (isPunct(ts[i - 1], ".") ||
+                                (i > 1 && isPunct(ts[i - 1], ">") &&
+                                 isPunct(ts[i - 2], "-")));
+        if (member)
+            continue;
+        bool qualified = i > 0 && isPunct(ts[i - 1], ":");
+        bool nullary_call =
+            i + 2 < ts.size() && isPunct(ts[i + 1], "(") &&
+            (isPunct(ts[i + 2], ")") || isIdent(ts[i + 2], "nullptr") ||
+             isIdent(ts[i + 2], "NULL") ||
+             (ts[i + 2].kind == TokKind::Number && ts[i + 2].text == "0"));
+        if (qualified || nullary_call) {
+            emit(f, out, ts[i].line, "CNL-D002",
+                 "'" + ts[i].text +
+                     "()' reads host wall-clock state; simulated time "
+                     "must come from EventQueue::now()");
+        }
+    }
+}
+
+void
+ruleD003UnorderedIteration(const SourceFile &f, std::vector<Finding> &out)
+{
+    const Tokens &ts = f.tokens;
+    // Type names that denote unordered containers in this file: the
+    // std templates themselves plus any `using X = std::unordered_*`
+    // aliases declared here.
+    std::set<std::string> unordered_types = {"unordered_map",
+                                             "unordered_set",
+                                             "unordered_multimap",
+                                             "unordered_multiset"};
+    for (std::size_t i = 0; i + 2 < ts.size(); ++i) {
+        if (isIdent(ts[i], "using") && ts[i + 1].kind == TokKind::Ident &&
+            isPunct(ts[i + 2], "=")) {
+            for (std::size_t k = i + 3;
+                 k < ts.size() && !isPunct(ts[k], ";"); ++k) {
+                if (ts[k].kind == TokKind::Ident &&
+                    unordered_types.count(ts[k].text)) {
+                    unordered_types.insert(ts[i + 1].text);
+                    break;
+                }
+            }
+        }
+    }
+    // Variables declared with an unordered type.
+    std::set<std::string> unordered_vars;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (ts[i].kind != TokKind::Ident ||
+            !unordered_types.count(ts[i].text))
+            continue;
+        std::size_t j = i + 1;
+        if (j < ts.size() && isPunct(ts[j], "<")) {
+            int depth = 0;
+            for (; j < ts.size(); ++j) {
+                if (isPunct(ts[j], "<"))
+                    ++depth;
+                else if (isPunct(ts[j], ">") && --depth == 0)
+                    break;
+            }
+            ++j;
+        }
+        if (j < ts.size() && isPunct(ts[j], "&"))
+            ++j; // reference parameters still expose unordered order
+        if (j < ts.size() && ts[j].kind == TokKind::Ident &&
+            !(j + 1 < ts.size() && isPunct(ts[j + 1], "(")))
+            unordered_vars.insert(ts[j].text);
+    }
+    if (unordered_vars.empty())
+        return;
+
+    auto flag = [&](int line, const std::string &var) {
+        emit(f, out, line, "CNL-D003",
+             "iteration over unordered container '" + var +
+                 "' makes order depend on the host hash/allocator; use "
+                 "FlatMap::forEach + sort, or a sorted container");
+    };
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        // Range-for whose range expression names an unordered var.
+        if (isIdent(ts[i], "for") && i + 1 < ts.size() &&
+            isPunct(ts[i + 1], "(")) {
+            std::size_t close = matchForward(ts, i + 1, "(", ")");
+            std::size_t colon = ts.size();
+            for (std::size_t k = i + 2; k < close; ++k) {
+                if (isPunct(ts[k], ":") &&
+                    !(k + 1 < close && isPunct(ts[k + 1], ":")) &&
+                    !(k > 0 && isPunct(ts[k - 1], ":"))) {
+                    colon = k;
+                    break;
+                }
+            }
+            for (std::size_t k = colon; k < close; ++k) {
+                if (ts[k].kind == TokKind::Ident &&
+                    unordered_vars.count(ts[k].text)) {
+                    flag(ts[k].line, ts[k].text);
+                    break;
+                }
+            }
+        }
+        // Explicit iterator walks: var.begin() / var.cbegin() / ...
+        if (ts[i].kind == TokKind::Ident &&
+            unordered_vars.count(ts[i].text) && i + 2 < ts.size() &&
+            isPunct(ts[i + 1], ".") && ts[i + 2].kind == TokKind::Ident) {
+            const std::string &m = ts[i + 2].text;
+            if (m == "begin" || m == "cbegin" || m == "rbegin" ||
+                m == "crbegin")
+                flag(ts[i].line, ts[i].text);
+        }
+    }
+}
+
+void
+ruleD004PointerKeyedMap(const SourceFile &f, std::vector<Finding> &out)
+{
+    static const std::set<std::string> ordered = {"map", "multimap", "set",
+                                                  "multiset"};
+    const Tokens &ts = f.tokens;
+    for (std::size_t i = 2; i + 1 < ts.size(); ++i) {
+        if (ts[i].kind != TokKind::Ident || !ordered.count(ts[i].text))
+            continue;
+        if (!(isPunct(ts[i - 1], ":") && isPunct(ts[i - 2], ":") &&
+              i >= 3 && isIdent(ts[i - 3], "std")))
+            continue;
+        if (!isPunct(ts[i + 1], "<"))
+            continue;
+        // Scan the key type: the first template argument.
+        int depth = 0;
+        bool pointer_key = false;
+        for (std::size_t k = i + 1; k < ts.size(); ++k) {
+            if (isPunct(ts[k], "<")) {
+                ++depth;
+            } else if (isPunct(ts[k], ">")) {
+                if (--depth == 0)
+                    break;
+            } else if (depth == 1 && isPunct(ts[k], ",")) {
+                break;
+            } else if (isPunct(ts[k], "*")) {
+                pointer_key = true;
+            }
+        }
+        if (pointer_key) {
+            emit(f, out, ts[i].line, "CNL-D004",
+                 "std::" + ts[i].text +
+                     " keyed by a pointer orders entries by allocation "
+                     "address, which varies run to run; key by a stable "
+                     "ID instead");
+        }
+    }
+}
+
+void
+ruleD005UnseededRng(const SourceFile &f, std::vector<Finding> &out)
+{
+    const Tokens &ts = f.tokens;
+    auto flag = [&](int line) {
+        emit(f, out, line, "CNL-D005",
+             "default-constructed Rng uses the baked-in seed; every Rng "
+             "must be seeded explicitly from the run configuration");
+    };
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (!isIdent(ts[i], "Rng") || i + 1 >= ts.size())
+            continue;
+        const Token &n1 = ts[i + 1];
+        // Rng::member, "class Rng", "Rng(" with arguments, etc.
+        if (isPunct(n1, ":") || (i > 0 && (isIdent(ts[i - 1], "class") ||
+                                           isIdent(ts[i - 1], "struct"))))
+            continue;
+        // `new Rng;` -- but a bare `Rng ;` also ends using-declarations
+        // (`using cnsim::Rng;`), so require the `new`.
+        if (isPunct(n1, ";") && i > 0 && isIdent(ts[i - 1], "new")) {
+            flag(ts[i].line);
+            continue;
+        }
+        if (isPunct(n1, "(") && i + 2 < ts.size() &&
+            isPunct(ts[i + 2], ")")) { // Rng()
+            flag(ts[i].line);
+            continue;
+        }
+        if (isPunct(n1, "{") && i + 2 < ts.size() &&
+            isPunct(ts[i + 2], "}")) { // Rng{}
+            flag(ts[i].line);
+            continue;
+        }
+        if (n1.kind == TokKind::Ident && i + 2 < ts.size()) {
+            const Token &n2 = ts[i + 2];
+            if (isPunct(n2, ";")) {
+                // `Rng name;` -- in a class body this is a member the
+                // constructor is responsible for seeding (the ctor
+                // initializer list doesn't mention the type, so it is
+                // invisible here); anywhere else it is a local or
+                // global default construction.
+                if (ts[i].scope != ScopeKind::Class)
+                    flag(ts[i].line);
+            } else if (isPunct(n2, "{") && i + 3 < ts.size() &&
+                       isPunct(ts[i + 3], "}")) {
+                flag(ts[i].line); // Rng name{};
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// S-rules: structural invariants
+// --------------------------------------------------------------------
+
+void
+ruleS001EnumSwitch(const SourceFile &f, const Context &ctx,
+                   std::vector<Finding> &out)
+{
+    const Tokens &ts = f.tokens;
+    for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+        if (!isIdent(ts[i], "switch") || !isPunct(ts[i + 1], "("))
+            continue;
+        std::size_t close = matchForward(ts, i + 1, "(", ")");
+        if (close >= ts.size() || close + 1 >= ts.size() ||
+            !isPunct(ts[close + 1], "{"))
+            continue;
+        std::size_t body_end = matchForward(ts, close + 1, "{", "}");
+
+        std::string enum_name;
+        std::set<std::string> seen;
+        bool has_default = false;
+        bool has_unreachable = false;
+        for (std::size_t k = close + 2; k < body_end; ++k) {
+            if (isIdent(ts[k], "default") && k + 1 < body_end &&
+                isPunct(ts[k + 1], ":"))
+                has_default = true;
+            if (isIdent(ts[k], "cnsim_unreachable"))
+                has_unreachable = true;
+            // EnumName::Enumerator used as a `case` label. Walk back
+            // over any qualifier chain (case cnsim::CohState::M:) to
+            // confirm the `case` keyword, so mere mentions of the enum
+            // in the body don't count as handled labels.
+            if (ts[k].kind == TokKind::Ident && k + 3 < body_end &&
+                isPunct(ts[k + 1], ":") && isPunct(ts[k + 2], ":") &&
+                ts[k + 3].kind == TokKind::Ident &&
+                ctx.enums.count(ts[k].text)) {
+                std::size_t b = k;
+                while (b >= 3 && isPunct(ts[b - 1], ":") &&
+                       isPunct(ts[b - 2], ":") &&
+                       ts[b - 3].kind == TokKind::Ident)
+                    b -= 3;
+                if (b == 0 || !isIdent(ts[b - 1], "case"))
+                    continue;
+                if (enum_name.empty())
+                    enum_name = ts[k].text;
+                if (ts[k].text == enum_name)
+                    seen.insert(ts[k + 3].text);
+            }
+        }
+        if (enum_name.empty())
+            continue; // not a switch over a tracked enum
+        if (has_default) {
+            if (!has_unreachable) {
+                emit(f, out, ts[i].line, "CNL-S001",
+                     "switch over " + enum_name +
+                         " has a default that silently absorbs new "
+                         "enumerators; enumerate them or make the "
+                         "default cnsim_unreachable()");
+            }
+            continue;
+        }
+        std::string missing;
+        for (const auto &v : ctx.enums.at(enum_name)) {
+            if (!seen.count(v))
+                missing += missing.empty() ? v : ", " + v;
+        }
+        if (!missing.empty()) {
+            emit(f, out, ts[i].line, "CNL-S001",
+                 "switch over " + enum_name +
+                     " is not exhaustive (missing: " + missing +
+                     ") and has no cnsim_unreachable() default");
+        }
+    }
+}
+
+void
+ruleS002UnregisteredStat(const SourceFile &f, const Context &ctx,
+                         std::vector<Finding> &out)
+{
+    static const std::set<std::string> stat_types = {"Counter", "Scalar",
+                                                     "Distribution"};
+    const Tokens &ts = f.tokens;
+    for (std::size_t i = 0; i + 2 < ts.size(); ++i) {
+        if (ts[i].kind != TokKind::Ident || !stat_types.count(ts[i].text))
+            continue;
+        if (ts[i].scope != ScopeKind::Class)
+            continue;
+        // Exclude pointers/references, template arguments, forward
+        // declarations and method return types: the pattern is
+        // `Counter name ;`, `Counter name [`, or `Counter name {`.
+        if (i > 0 && (isIdent(ts[i - 1], "class") ||
+                      isIdent(ts[i - 1], "struct") ||
+                      isPunct(ts[i - 1], "<")))
+            continue;
+        const Token &name = ts[i + 1];
+        const Token &after = ts[i + 2];
+        if (name.kind != TokKind::Ident)
+            continue;
+        if (!(isPunct(after, ";") || isPunct(after, "[") ||
+              isPunct(after, "{")))
+            continue;
+        if (!ctx.registered_stats.count(name.text)) {
+            emit(f, out, name.line, "CNL-S002",
+                 ts[i].text + " member '" + name.text +
+                     "' is never registered via addCounter/addScalar/"
+                     "addDistribution, so it is invisible in every "
+                     "stats dump");
+        }
+    }
+}
+
+void
+ruleS003FunctionOnEventQueue(const SourceFile &f, std::vector<Finding> &out)
+{
+    // The event arena stores callables inline; wrapping one in a
+    // std::function (or the legacy EventQueue::Callback alias) before
+    // scheduling re-introduces a type-erasure allocation per event.
+    if (f.path.find("sim/event_queue.hh") != std::string::npos)
+        return; // the alias's own declaration
+    const Tokens &ts = f.tokens;
+    for (std::size_t i = 1; i + 1 < ts.size(); ++i) {
+        bool member_call =
+            isIdent(ts[i], "schedule") && isPunct(ts[i + 1], "(") &&
+            (isPunct(ts[i - 1], ".") ||
+             (i >= 2 && isPunct(ts[i - 1], ">") && isPunct(ts[i - 2], "-")));
+        if (member_call) {
+            std::size_t close = matchForward(ts, i + 1, "(", ")");
+            for (std::size_t k = i + 2; k < close; ++k) {
+                bool is_std_function =
+                    isIdent(ts[k], "function") && k >= 2 &&
+                    isPunct(ts[k - 1], ":") && isPunct(ts[k - 2], ":");
+                if (is_std_function || isIdent(ts[k], "Callback")) {
+                    emit(f, out, ts[k].line, "CNL-S003",
+                         "scheduling a type-erased std::function on the "
+                         "EventQueue; pass the lambda directly so it "
+                         "lands in the arena's inline storage");
+                    break;
+                }
+            }
+        }
+        if (isIdent(ts[i], "EventQueue") && i + 3 < ts.size() &&
+            isPunct(ts[i + 1], ":") && isPunct(ts[i + 2], ":") &&
+            isIdent(ts[i + 3], "Callback")) {
+            emit(f, out, ts[i].line, "CNL-S003",
+                 "EventQueue::Callback forces type erasure; declare the "
+                 "callable type directly (template or lambda)");
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// H-rules: header hygiene
+// --------------------------------------------------------------------
+
+void
+ruleH001UsingNamespace(const SourceFile &f, std::vector<Finding> &out)
+{
+    const Tokens &ts = f.tokens;
+    for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+        if (isIdent(ts[i], "using") && isIdent(ts[i + 1], "namespace")) {
+            emit(f, out, ts[i].line, "CNL-H001",
+                 "'using namespace' in a header leaks the namespace "
+                 "into every includer");
+        }
+    }
+}
+
+/** @return the directive lines ("#word rest") of the blanked view. */
+std::vector<std::pair<int, std::string>>
+directiveLines(const SourceFile &f)
+{
+    std::vector<std::pair<int, std::string>> dirs;
+    std::size_t start = 0;
+    int line = 1;
+    while (start <= f.code.size()) {
+        std::size_t end = f.code.find('\n', start);
+        if (end == std::string::npos)
+            end = f.code.size();
+        std::size_t s = start;
+        while (s < end &&
+               std::isspace(static_cast<unsigned char>(f.code[s])))
+            ++s;
+        if (s < end && f.code[s] == '#')
+            dirs.emplace_back(line, f.code.substr(s, end - s));
+        if (end == f.code.size())
+            break;
+        start = end + 1;
+        ++line;
+    }
+    return dirs;
+}
+
+/** Split a directive into whitespace-separated words. */
+std::vector<std::string>
+words(const std::string &s)
+{
+    std::vector<std::string> w;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        std::size_t j = i;
+        while (j < s.size() &&
+               !std::isspace(static_cast<unsigned char>(s[j])))
+            ++j;
+        if (j > i)
+            w.push_back(s.substr(i, j - i));
+        i = j;
+    }
+    // Normalize "# ifndef" to "#ifndef".
+    if (w.size() >= 2 && w[0] == "#") {
+        w.erase(w.begin());
+        w[0] = "#" + w[0];
+    }
+    return w;
+}
+
+void
+ruleH002IncludeGuard(const SourceFile &f, std::vector<Finding> &out)
+{
+    auto dirs = directiveLines(f);
+    if (dirs.empty()) {
+        emit(f, out, 1, "CNL-H002", "header has no include guard");
+        return;
+    }
+    auto first = words(dirs.front().second);
+    int line = dirs.front().first;
+    if (first.size() >= 2 && first[0] == "#pragma" && first[1] == "once")
+        return;
+    if (first.size() < 2 || first[0] != "#ifndef") {
+        emit(f, out, line, "CNL-H002",
+             "header must open with '#ifndef CNSIM_..._HH' (or #pragma "
+             "once) before any other directive");
+        return;
+    }
+    const std::string &guard = first[1];
+    if (dirs.size() < 2) {
+        emit(f, out, line, "CNL-H002", "include guard is never #defined");
+        return;
+    }
+    auto second = words(dirs[1].second);
+    if (second.size() < 2 || second[0] != "#define" ||
+        second[1] != guard) {
+        emit(f, out, dirs[1].first, "CNL-H002",
+             "include-guard #define does not match #ifndef " + guard);
+        return;
+    }
+    bool conforming = guard.rfind("CNSIM_", 0) == 0 &&
+                      guard.size() > 9 &&
+                      guard.compare(guard.size() - 3, 3, "_HH") == 0;
+    if (!conforming) {
+        emit(f, out, line, "CNL-H002",
+             "guard macro '" + guard +
+                 "' does not follow the CNSIM_<PATH>_HH convention");
+    }
+}
+
+void
+ruleH003MissingInclude(const SourceFile &f, std::vector<Finding> &out)
+{
+    // Curated symbol -> acceptable provider headers. Only symbols with
+    // an unambiguous home are listed; anything absent is ignored.
+    static const std::map<std::string, std::vector<std::string>> providers =
+        {
+            {"vector", {"vector"}},
+            {"string", {"string"}},
+            {"function", {"functional"}},
+            {"unordered_map", {"unordered_map"}},
+            {"unordered_set", {"unordered_set"}},
+            {"map", {"map"}},
+            {"multimap", {"map"}},
+            {"set", {"set"}},
+            {"multiset", {"set"}},
+            {"unique_ptr", {"memory"}},
+            {"shared_ptr", {"memory"}},
+            {"weak_ptr", {"memory"}},
+            {"make_unique", {"memory"}},
+            {"make_shared", {"memory"}},
+            {"optional", {"optional"}},
+            {"nullopt", {"optional"}},
+            {"variant", {"variant"}},
+            {"monostate", {"variant"}},
+            {"array", {"array"}},
+            {"deque", {"deque"}},
+            {"list", {"list"}},
+            {"pair", {"utility", "map"}},
+            {"make_pair", {"utility"}},
+            {"move", {"utility"}},
+            {"forward", {"utility"}},
+            {"swap", {"utility"}},
+            {"exchange", {"utility"}},
+            {"declval", {"utility"}},
+            {"uint8_t", {"cstdint"}},
+            {"uint16_t", {"cstdint"}},
+            {"uint32_t", {"cstdint"}},
+            {"uint64_t", {"cstdint"}},
+            {"int8_t", {"cstdint"}},
+            {"int16_t", {"cstdint"}},
+            {"int32_t", {"cstdint"}},
+            {"int64_t", {"cstdint"}},
+            {"uintptr_t", {"cstdint"}},
+            {"intptr_t", {"cstdint"}},
+            {"size_t",
+             {"cstddef", "cstdint", "cstdio", "cstring", "vector",
+              "string"}},
+            {"ptrdiff_t", {"cstddef"}},
+            {"max_align_t", {"cstddef"}},
+            {"mutex", {"mutex"}},
+            {"lock_guard", {"mutex"}},
+            {"unique_lock", {"mutex"}},
+            {"scoped_lock", {"mutex"}},
+            {"atomic", {"atomic"}},
+            {"thread", {"thread"}},
+            {"condition_variable", {"condition_variable"}},
+            {"sort", {"algorithm"}},
+            {"stable_sort", {"algorithm"}},
+            {"lower_bound", {"algorithm"}},
+            {"upper_bound", {"algorithm"}},
+            {"min", {"algorithm"}},
+            {"max", {"algorithm"}},
+            {"min_element", {"algorithm"}},
+            {"max_element", {"algorithm"}},
+            {"clamp", {"algorithm"}},
+            {"fill", {"algorithm"}},
+            {"copy", {"algorithm"}},
+            {"find_if", {"algorithm"}},
+            {"remove_if", {"algorithm"}},
+            {"sqrt", {"cmath"}},
+            {"pow", {"cmath"}},
+            {"exp", {"cmath"}},
+            {"log", {"cmath"}},
+            {"floor", {"cmath"}},
+            {"ceil", {"cmath"}},
+            {"fabs", {"cmath"}},
+            {"ostream", {"ostream", "iostream", "sstream", "fstream"}},
+            {"istream", {"istream", "iostream", "sstream", "fstream"}},
+            {"ofstream", {"fstream"}},
+            {"ifstream", {"fstream"}},
+            {"fstream", {"fstream"}},
+            {"ostringstream", {"sstream"}},
+            {"istringstream", {"sstream"}},
+            {"stringstream", {"sstream"}},
+            {"cout", {"iostream"}},
+            {"cerr", {"iostream"}},
+            {"launder", {"new"}},
+            {"numeric_limits", {"limits"}},
+            {"initializer_list", {"initializer_list"}},
+            {"runtime_error", {"stdexcept"}},
+            {"logic_error", {"stdexcept"}},
+            {"va_list", {"cstdarg"}},
+            {"decay_t", {"type_traits"}},
+            {"is_same", {"type_traits"}},
+            {"is_same_v", {"type_traits"}},
+            {"enable_if_t", {"type_traits"}},
+            {"conditional_t", {"type_traits"}},
+            {"is_invocable", {"type_traits"}},
+            {"is_invocable_v", {"type_traits"}},
+            {"is_trivially_destructible_v", {"type_traits"}},
+            {"true_type", {"type_traits"}},
+            {"false_type", {"type_traits"}},
+            {"remove_reference_t", {"type_traits"}},
+        };
+
+    // Collect this header's own #include names from the blanked view.
+    std::set<std::string> included;
+    for (const auto &[line, text] : directiveLines(f)) {
+        (void)line;
+        auto w = words(text);
+        if (w.size() < 2 || w[0] != "#include")
+            continue;
+        std::string name = w[1];
+        if (name.size() >= 2 &&
+            (name.front() == '<' || name.front() == '"'))
+            name = name.substr(1, name.size() - 2);
+        included.insert(name);
+    }
+
+    const Tokens &ts = f.tokens;
+    std::set<std::string> reported;
+    for (std::size_t i = 0; i + 3 < ts.size(); ++i) {
+        if (!isIdent(ts[i], "std") || !isPunct(ts[i + 1], ":") ||
+            !isPunct(ts[i + 2], ":") || ts[i + 3].kind != TokKind::Ident)
+            continue;
+        const std::string &sym = ts[i + 3].text;
+        auto it = providers.find(sym);
+        if (it == providers.end() || reported.count(sym))
+            continue;
+        bool satisfied = false;
+        for (const auto &p : it->second)
+            satisfied = satisfied || included.count(p);
+        if (!satisfied) {
+            reported.insert(sym);
+            emit(f, out, ts[i].line, "CNL-H003",
+                 "std::" + sym + " used but <" + it->second.front() +
+                     "> is not included directly; headers must be "
+                     "self-contained");
+        }
+    }
+}
+
+void
+ruleA001MalformedDirective(const SourceFile &f, std::vector<Finding> &out)
+{
+    for (const auto &a : f.allows) {
+        if (a.malformed)
+            emit(f, out, a.line, "CNL-A001",
+                 "malformed cnlint directive: " + a.error);
+    }
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Catalog and Linter driver
+// --------------------------------------------------------------------
+
+const std::vector<RuleInfo> &
+ruleCatalog()
+{
+    static const std::vector<RuleInfo> catalog = {
+        {"CNL-A001", "malformed cnlint suppression comment", false},
+        {"CNL-D001",
+         "banned random source; use a seeded cnsim::Rng", true},
+        {"CNL-D002",
+         "banned wall-clock source; use EventQueue::now()", true},
+        {"CNL-D003",
+         "iteration over std::unordered_{map,set} leaks hash order",
+         true},
+        {"CNL-D004", "pointer-keyed std::map/std::set", true},
+        {"CNL-D005", "default-constructed (unseeded) Rng", true},
+        {"CNL-S001",
+         "enum switch neither exhaustive nor cnsim_unreachable-guarded",
+         false},
+        {"CNL-S002", "Counter/Scalar/Distribution member never "
+                     "registered with a StatGroup",
+         true},
+        {"CNL-S003",
+         "std::function/Callback scheduled on the EventQueue", false},
+        {"CNL-H001", "'using namespace' in a header", false},
+        {"CNL-H002", "missing or malformed include guard", false},
+        {"CNL-H003",
+         "std:: symbol without a direct include (self-containment)",
+         false},
+    };
+    return catalog;
+}
+
+bool
+isKnownRule(const std::string &id)
+{
+    for (const auto &r : ruleCatalog())
+        if (r.id == id)
+            return true;
+    return false;
+}
+
+struct Linter::Impl
+{
+    std::vector<SourceFile> files;
+    Context ctx;
+};
+
+Linter::Linter() : impl(new Impl) {}
+
+Linter::~Linter()
+{
+    delete impl;
+}
+
+std::size_t
+Linter::fileCount() const
+{
+    return impl->files.size();
+}
+
+bool
+Linter::addFile(const std::string &path)
+{
+    SourceFile f;
+    if (!f.load(path))
+        return false;
+    impl->files.push_back(std::move(f));
+    return true;
+}
+
+void
+Linter::run()
+{
+    results.clear();
+    for (const auto &f : impl->files) {
+        collectEnums(f, impl->ctx);
+        collectStatRegistrations(f, impl->ctx);
+    }
+    for (const auto &f : impl->files) {
+        ruleA001MalformedDirective(f, results);
+        if (f.sim_scope) {
+            ruleD001BannedRandom(f, results);
+            ruleD002BannedClock(f, results);
+            ruleD003UnorderedIteration(f, results);
+            ruleD004PointerKeyedMap(f, results);
+            ruleD005UnseededRng(f, results);
+            ruleS002UnregisteredStat(f, impl->ctx, results);
+        }
+        ruleS001EnumSwitch(f, impl->ctx, results);
+        ruleS003FunctionOnEventQueue(f, results);
+        if (f.header) {
+            ruleH001UsingNamespace(f, results);
+            ruleH002IncludeGuard(f, results);
+            ruleH003MissingInclude(f, results);
+        }
+    }
+    std::sort(results.begin(), results.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+}
+
+} // namespace cnlint

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * cnlint's view of one translation unit: raw text, a comment- and
+ * string-blanked "code" view at identical offsets, a coarse token
+ * stream annotated with lexical scope, and the parsed cnlint
+ * directives (allow-suppressions and scope pragmas).
+ *
+ * The blanking pass is what keeps the token rules honest: banned
+ * identifiers inside comments, doc examples, or string literals (this
+ * very tool is full of them) never reach the rules.
+ */
+
+#ifndef CNSIM_TOOLS_CNLINT_SOURCE_MODEL_HH
+#define CNSIM_TOOLS_CNLINT_SOURCE_MODEL_HH
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cnlint
+{
+
+/** Coarse token classification; enough for every cnlint rule. */
+enum class TokKind
+{
+    Ident,  //!< identifier or keyword
+    Number, //!< numeric literal
+    Punct,  //!< one punctuation character
+};
+
+/** Innermost lexical scope a token sits in. */
+enum class ScopeKind
+{
+    File,  //!< outside any brace (includes namespace bodies)
+    Class, //!< directly inside a class/struct/union body
+    Enum,  //!< directly inside an enum body
+    Block, //!< any other brace context (function body, initializer)
+};
+
+/** One token of the blanked code view. */
+struct Token
+{
+    TokKind kind;
+    std::string text; //!< single character for Punct
+    int line;         //!< 1-based
+    ScopeKind scope;  //!< innermost enclosing scope
+};
+
+/** A parsed allow directive (suppression syntax: see cnlint.hh). */
+struct Allow
+{
+    int line;         //!< line the directive appears on
+    bool next_line;   //!< directive sits on a comment-only line
+    std::string rule;
+    std::string reason;
+    bool malformed;   //!< bad syntax / unknown rule / empty reason
+    std::string error;
+};
+
+/** One pre-processed source file. */
+struct SourceFile
+{
+    std::string path;
+    std::string raw;  //!< file contents as read
+    std::string code; //!< comments and literals blanked with spaces
+    std::vector<Token> tokens;
+    std::vector<Allow> allows;
+    bool header = false;    //!< .hh/.h
+    bool sim_scope = false; //!< under src/, or `cnlint: scope(sim)`
+
+    /** rule ID -> lines on which it is suppressed. */
+    std::map<std::string, std::set<int>> suppressed;
+
+    /**
+     * Load @p path and run every preprocessing pass.
+     * @return false if the file cannot be read.
+     */
+    bool load(const std::string &path);
+
+    /** @return true if findings of @p rule are suppressed at @p line. */
+    bool isSuppressed(const std::string &rule, int line) const;
+
+    /** @return 1-based line containing byte offset @p off. */
+    int lineOf(std::size_t off) const;
+
+    /** @return true if the code view of @p line holds no code tokens
+     *  (the line is blank or comment-only). */
+    bool lineIsCodeFree(int line) const;
+
+  private:
+    std::vector<std::size_t> line_starts;
+
+    void blankCommentsAndStrings();
+    void tokenize();
+    void assignScopes();
+    void parseDirectives();
+};
+
+} // namespace cnlint
+
+#endif // CNSIM_TOOLS_CNLINT_SOURCE_MODEL_HH
