@@ -168,6 +168,11 @@ runAll(const std::vector<GridJob> &grid)
         return;
 
     ParallelRunner pool(jobsFromEnv());
+    // Bench grids vary the system configuration over a fixed workload
+    // set, so every cell shares one canonical pre-materialized stream
+    // per (workload, seed): generation is paid once per workload, not
+    // once per cell.
+    pool.enableSharedTraceCache();
     for (const GridJob *g : todo)
         pool.submit(g->cfg, workloads::byName(g->workload), runConfig());
     pool.onProgress([&](const JobReport &rep) {
@@ -193,6 +198,20 @@ runAll(const std::vector<L2Kind> &kinds,
     runAll(grid);
 }
 
+/**
+ * The bench RunConfig with the workload's shared canonical trace
+ * attached, so cells run outside a runAll() grid still replay the
+ * same stream as the grid cells.
+ */
+inline RunConfig
+replayConfig(const WorkloadSpec &wl)
+{
+    RunConfig rc = runConfig();
+    rc.replay = TraceCache::global().acquire(
+        Runner::effectiveSynthParams(wl, rc));
+    return rc;
+}
+
 /** Run one custom-config cell under the bench budget (cached by tag). */
 inline RunResult
 run(const std::string &tag, const SystemConfig &cfg,
@@ -202,7 +221,8 @@ run(const std::string &tag, const SystemConfig &cfg,
     RunResult r;
     if (detail::lookup(k, r))
         return r;
-    r = Runner::run(cfg, workloads::byName(workload), runConfig());
+    WorkloadSpec wl = workloads::byName(workload);
+    r = Runner::run(cfg, wl, replayConfig(wl));
     detail::store(k, r);
     return r;
 }
@@ -218,7 +238,8 @@ run(L2Kind kind, const std::string &workload)
 inline RunResult
 run(const SystemConfig &cfg, const std::string &workload)
 {
-    return Runner::run(cfg, workloads::byName(workload), runConfig());
+    WorkloadSpec wl = workloads::byName(workload);
+    return Runner::run(cfg, wl, replayConfig(wl));
 }
 
 inline void

@@ -2,18 +2,33 @@
  * @file
  * Pinned-workload simulator-throughput benchmark and regression gate.
  *
- * Runs the oltp multithreaded workload on the shared and CMP-NuRAPID
- * L2 organizations with tracing/auditing disabled -- the two hot-path
- * extremes: shared is event-kernel-bound, nurapid exercises the tag
- * snoop/pointer machinery -- and reports simulator throughput in
- * *accesses per wall-second* (one kernel event per trace record).
+ * Two scenarios, both with tracing/auditing disabled:
  *
- * Each organization is measured over CNSIM_PERF_REPS repetitions
- * (default 5) of a pinned warmup/measure budget; the p50 and p95 of
- * the repetitions are written as JSON so tools/perfcmp can diff two
- * runs and fail CI on a regression. The budgets are intentionally NOT
- * scaled by CNSIM_WARMUP/CNSIM_MEASURE: the workload is pinned so the
- * numbers form a comparable trajectory across commits.
+ * 1. Per-organization throughput: the oltp multithreaded workload on
+ *    the shared, CMP-NuRAPID, private, and D-NUCA L2 organizations --
+ *    shared is event-kernel-bound, nurapid exercises the tag
+ *    snoop/pointer machinery, private stresses the coherent-bus path,
+ *    dnuca the migration machinery. Reported as *accesses per
+ *    wall-second* (one kernel event per trace record). These runs
+ *    generate their reference streams live so the numbers stay
+ *    comparable with the pre-replay trajectory.
+ *
+ * 2. A 7-organization sweep over oltp, timed end to end both live
+ *    (every cell regenerates its reference stream inline) and in
+ *    replay mode (the shared trace cache materializes each stream
+ *    once per rep and every cell replays it). The live and replay
+ *    sweeps alternate within each rep so slow host drift hits both
+ *    sides equally. The report includes generator_share: the fraction
+ *    of the live sweep's wall time attributable to reference-stream
+ *    generation (7x the standalone generation cost of one stream),
+ *    which bounds the speedup replay can deliver on a given host.
+ *
+ * Each measurement is repeated CNSIM_PERF_REPS times (default 5);
+ * p50/p95 of the repetitions are written as JSON so tools/perfcmp can
+ * diff two runs and fail CI on a regression. The budgets are
+ * intentionally NOT scaled by CNSIM_WARMUP/CNSIM_MEASURE: the
+ * workload is pinned so the numbers form a comparable trajectory
+ * across commits.
  *
  * Usage: perf_gate [output.json]   (default: BENCH_perf.json)
  */
@@ -25,6 +40,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "trace/replay.hh"
 
 using namespace cnsim;
 
@@ -33,7 +49,16 @@ namespace
 
 constexpr std::uint64_t pinned_warmup = 500'000;
 constexpr std::uint64_t pinned_measure = 1'000'000;
+constexpr std::uint64_t sweep_warmup = 500'000;
+constexpr std::uint64_t sweep_measure = 1'000'000;
 constexpr const char *pinned_workload = "oltp";
+
+constexpr L2Kind sweep_orgs[] = {
+    L2Kind::Shared, L2Kind::Private, L2Kind::Snuca, L2Kind::Ideal,
+    L2Kind::Nurapid, L2Kind::Update, L2Kind::Dnuca,
+};
+constexpr std::size_t num_sweep_orgs =
+    sizeof(sweep_orgs) / sizeof(sweep_orgs[0]);
 
 struct OrgResult
 {
@@ -42,6 +67,16 @@ struct OrgResult
     double p50_aps = 0.0;        //!< median accesses/sec
     double p95_aps = 0.0;        //!< nearest-rank p95 accesses/sec
     double best_aps = 0.0;
+};
+
+struct SweepResult
+{
+    double live_ms_p50 = 0.0;    //!< 7-org sweep, streams generated
+    double replay_ms_p50 = 0.0;  //!< same sweep via shared trace cache
+    double live_ms_best = 0.0;
+    double replay_ms_best = 0.0;
+    double speedup = 0.0;        //!< live_ms_p50 / replay_ms_p50
+    double generator_share = 0.0;
 };
 
 /** Nearest-rank percentile of an unsorted sample set. */
@@ -53,6 +88,26 @@ percentile(std::vector<double> v, double p)
         p / 100.0 * static_cast<double>(v.size()) + 0.5);
     rank = rank ? rank - 1 : 0;
     return v[std::min(rank, v.size() - 1)];
+}
+
+double
+nowSeconds()
+{
+    // cnlint: allow(CNL-D002 wall-clock timing is the measured
+    // quantity here; simulation results never read it)
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+RunConfig
+sweepConfig()
+{
+    RunConfig rc;
+    rc.warmup_instructions = sweep_warmup;
+    rc.measure_instructions = sweep_measure;
+    rc.seed = 1;
+    return rc;
 }
 
 OrgResult
@@ -70,10 +125,9 @@ measure(L2Kind kind, int reps)
     r.org = toString(kind);
     std::vector<double> aps;
     for (int i = 0; i < reps; ++i) {
-        auto t0 = std::chrono::steady_clock::now();
+        double t0 = nowSeconds();
         RunResult run = Runner::run(cfg, wl, rc);
-        auto t1 = std::chrono::steady_clock::now();
-        double secs = std::chrono::duration<double>(t1 - t0).count();
+        double secs = nowSeconds() - t0;
         r.accesses = run.events_executed;
         aps.push_back(static_cast<double>(run.events_executed) / secs);
         std::fprintf(stderr, "  %-8s rep %d/%d: %.0f accesses/sec\n",
@@ -88,6 +142,90 @@ measure(L2Kind kind, int reps)
     return r;
 }
 
+/** One timed 7-org sweep; @p replay toggles the shared trace cache. */
+double
+sweepOnceMs(bool replay)
+{
+    ParallelRunner pool(benchutil::jobsFromEnv());
+    if (replay)
+        pool.enableSharedTraceCache();
+    RunConfig rc = sweepConfig();
+    WorkloadSpec wl = workloads::byName(pinned_workload);
+    for (L2Kind k : sweep_orgs)
+        pool.submit(Runner::paperConfig(k), wl, rc);
+    double t0 = nowSeconds();
+    std::vector<RunResult> results = pool.run();
+    double ms = (nowSeconds() - t0) * 1e3;
+    cnsim_assert(results.size() == num_sweep_orgs, "sweep lost cells");
+    return ms;
+}
+
+/**
+ * Wall-milliseconds to materialize one canonical stream of the sweep
+ * budget (the generation cost a live sweep pays once per cell).
+ */
+double
+generationMs()
+{
+    RunConfig rc = sweepConfig();
+    WorkloadSpec wl = workloads::byName(pinned_workload);
+    SynthWorkloadParams params = Runner::effectiveSynthParams(wl, rc);
+
+    // A cell consumes roughly (warmup + measure) / cpi-ish records
+    // per core; probing one run gives the exact event count.
+    RunResult probe =
+        Runner::run(Runner::paperConfig(L2Kind::Shared), wl, rc);
+    std::uint64_t per_core =
+        probe.events_executed /
+        static_cast<std::uint64_t>(params.threads.size());
+
+    // Drain the synthetic generator directly, in canonical order, so
+    // the number excludes replay's own encode/decode cost and is
+    // purely "what a live cell pays to make its records".
+    double t0 = nowSeconds();
+    SynthWorkload synth(params);
+    int cores = static_cast<int>(params.threads.size());
+    for (std::uint64_t i = 0; i < per_core; ++i)
+        for (int c = 0; c < cores; ++c)
+            (void)synth.source(c).next();
+    return (nowSeconds() - t0) * 1e3;
+}
+
+SweepResult
+measureSweep(int reps)
+{
+    SweepResult s;
+    std::vector<double> live_ms, replay_ms;
+    for (int i = 0; i < reps; ++i) {
+        // Alternate sides within the rep so host drift cancels.
+        live_ms.push_back(sweepOnceMs(false));
+        replay_ms.push_back(sweepOnceMs(true));
+        std::fprintf(stderr,
+                     "  sweep7 rep %d/%d: live %.0f ms, replay %.0f "
+                     "ms\n",
+                     i + 1, reps, live_ms.back(), replay_ms.back());
+    }
+    s.live_ms_p50 = percentile(live_ms, 50.0);
+    s.replay_ms_p50 = percentile(replay_ms, 50.0);
+    s.live_ms_best = *std::min_element(live_ms.begin(), live_ms.end());
+    s.replay_ms_best =
+        *std::min_element(replay_ms.begin(), replay_ms.end());
+    s.speedup = s.replay_ms_p50 > 0.0
+                    ? s.live_ms_p50 / s.replay_ms_p50
+                    : 0.0;
+    double gen_ms = generationMs();
+    s.generator_share =
+        s.live_ms_p50 > 0.0
+            ? static_cast<double>(num_sweep_orgs) * gen_ms /
+                  s.live_ms_p50
+            : 0.0;
+    std::fprintf(stderr,
+                 "  sweep7: one-stream generation %.0f ms "
+                 "(generator_share %.2f)\n",
+                 gen_ms, s.generator_share);
+    return s;
+}
+
 } // namespace
 
 int
@@ -100,8 +238,11 @@ main(int argc, char **argv)
                       "hot-path regression trajectory (not a paper figure)");
 
     std::vector<OrgResult> results;
-    for (L2Kind k : {L2Kind::Shared, L2Kind::Nurapid})
+    for (L2Kind k : {L2Kind::Shared, L2Kind::Nurapid, L2Kind::Private,
+                     L2Kind::Dnuca})
         results.push_back(measure(k, reps));
+
+    SweepResult sweep = measureSweep(reps);
 
     std::printf("%-10s %16s %16s %14s\n", "org", "p50 acc/sec",
                 "p95 acc/sec", "accesses");
@@ -111,6 +252,16 @@ main(int argc, char **argv)
                     r.p50_aps, r.p95_aps,
                     static_cast<unsigned long long>(r.accesses));
     }
+    std::printf("\n7-org sweep (%s, %llu+%llu per core):\n",
+                pinned_workload,
+                static_cast<unsigned long long>(sweep_warmup),
+                static_cast<unsigned long long>(sweep_measure));
+    std::printf("  live   p50 %8.0f ms (best %8.0f)\n",
+                sweep.live_ms_p50, sweep.live_ms_best);
+    std::printf("  replay p50 %8.0f ms (best %8.0f)\n",
+                sweep.replay_ms_p50, sweep.replay_ms_best);
+    std::printf("  speedup %.2fx  generator_share %.2f\n",
+                sweep.speedup, sweep.generator_share);
 
     FILE *f = std::fopen(out.c_str(), "w");
     if (!f)
@@ -133,6 +284,23 @@ main(int argc, char **argv)
                      static_cast<unsigned long long>(r.accesses),
                      i + 1 < results.size() ? "," : "");
     }
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"sweep\": {\n");
+    std::fprintf(f, "    \"orgs\": %zu,\n", num_sweep_orgs);
+    std::fprintf(f, "    \"warmup\": %llu,\n",
+                 static_cast<unsigned long long>(sweep_warmup));
+    std::fprintf(f, "    \"measure\": %llu,\n",
+                 static_cast<unsigned long long>(sweep_measure));
+    std::fprintf(f, "    \"live_ms_p50\": %.1f,\n", sweep.live_ms_p50);
+    std::fprintf(f, "    \"replay_ms_p50\": %.1f,\n",
+                 sweep.replay_ms_p50);
+    std::fprintf(f, "    \"live_ms_best\": %.1f,\n",
+                 sweep.live_ms_best);
+    std::fprintf(f, "    \"replay_ms_best\": %.1f,\n",
+                 sweep.replay_ms_best);
+    std::fprintf(f, "    \"speedup\": %.3f,\n", sweep.speedup);
+    std::fprintf(f, "    \"generator_share\": %.3f\n",
+                 sweep.generator_share);
     std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::fprintf(stderr, "wrote %s\n", out.c_str());

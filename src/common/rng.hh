@@ -14,7 +14,6 @@
 #ifndef CNSIM_COMMON_RNG_HH
 #define CNSIM_COMMON_RNG_HH
 
-#include <cmath>
 #include <cstdint>
 
 namespace cnsim
@@ -90,39 +89,19 @@ class Rng
     /**
      * Sample an approximate Zipf-like rank in [0, n).
      *
-     * Uses the inverse-CDF power-law approximation: rank distribution
-     * proportional to 1/(rank+1)^theta. theta = 0 degenerates to
-     * uniform; theta around 0.6-0.9 matches common workload skew.
+     * Realizes the discretized power law 1/(rank+1)^theta via a shared
+     * O(1) alias table (common/zipf.hh); theta = 0 degenerates to
+     * uniform, theta around 0.6-0.9 matches common workload skew. One
+     * raw RNG value is consumed per draw, like the historical
+     * inverse-CDF implementation this replaced. Hot generators should
+     * hold the ZipfTable directly to skip the per-call cache lookup.
      */
-    std::uint32_t
-    zipf(std::uint32_t n, double theta);
+    std::uint32_t zipf(std::uint32_t n, double theta);
 
   private:
     std::uint64_t state;
     std::uint64_t inc;
 };
-
-inline std::uint32_t
-Rng::zipf(std::uint32_t n, double theta)
-{
-    if (theta <= 0.0)
-        return below(n);
-    // Approximate inverse CDF of a power law on [1, n+1): the CDF of
-    // p(x) ~ x^-theta is x^(1-theta); invert a uniform sample.
-    double u = uniform();
-    double one_minus = 1.0 - theta;
-    double x;
-    if (one_minus > 1e-9) {
-        double max_cdf = 1.0;  // normalized
-        x = std::pow(u * max_cdf, 1.0 / one_minus);
-        x *= n;
-    } else {
-        // theta == 1: logarithmic
-        x = std::exp(u * std::log(static_cast<double>(n) + 1.0)) - 1.0;
-    }
-    auto r = static_cast<std::uint32_t>(x);
-    return r >= n ? n - 1 : r;
-}
 
 } // namespace cnsim
 

@@ -1,0 +1,139 @@
+#include "common/zipf.hh"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace cnsim
+{
+
+namespace
+{
+
+/**
+ * CDF of the discretized sampler at rank k: the probability that the
+ * continuous inverse-CDF draw lands below k+1. Mirrors the two analytic
+ * branches of the historical Rng::zipf inversion exactly, including its
+ * top-rank clamp (cdf(n-1) == 1).
+ */
+double
+discreteCdf(std::uint32_t k, std::uint32_t n, double theta)
+{
+    if (k + 1 >= n)
+        return 1.0;
+    double one_minus = 1.0 - theta;
+    if (one_minus > 1e-9) {
+        // x = n * u^(1/(1-theta))  =>  P(x < k+1) = ((k+1)/n)^(1-theta)
+        return std::pow(static_cast<double>(k + 1) /
+                            static_cast<double>(n),
+                        one_minus);
+    }
+    // theta == 1: x = exp(u * ln(n+1)) - 1  =>  P = ln(k+2)/ln(n+1)
+    return std::log(static_cast<double>(k) + 2.0) /
+           std::log(static_cast<double>(n) + 1.0);
+}
+
+struct TableCache
+{
+    std::mutex mutex;
+    std::map<std::pair<std::uint32_t, double>,
+             std::shared_ptr<const ZipfTable>>
+        tables;
+};
+
+TableCache &
+tableCache()
+{
+    static TableCache c;
+    return c;
+}
+
+} // namespace
+
+double
+ZipfTable::cellProbability(std::uint32_t k, std::uint32_t n, double theta)
+{
+    cnsim_assert(k < n, "rank %u out of range [0, %u)", k, n);
+    double lo = k == 0 ? 0.0 : discreteCdf(k - 1, n, theta);
+    return discreteCdf(k, n, theta) - lo;
+}
+
+ZipfTable::ZipfTable(std::uint32_t n, double theta) : cells(n)
+{
+    cnsim_assert(n >= 1, "zipf needs at least one rank");
+    cnsim_assert(theta > 0.0, "alias table is for skewed draws only");
+
+    // Vose's alias method: split ranks into under- and over-full
+    // columns of the n-scaled probabilities and pair them up.
+    std::vector<double> scaled(n);
+    double prev = 0.0;
+    for (std::uint32_t k = 0; k < n; ++k) {
+        double c = discreteCdf(k, n, theta);
+        scaled[k] = (c - prev) * static_cast<double>(n);
+        prev = c;
+    }
+
+    std::vector<std::uint32_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    // Walk ranks high-to-low so the stacks pop low ranks (the probable
+    // ones) first; pairing order only affects rounding placement, not
+    // the realized distribution beyond double precision.
+    for (std::uint32_t k = n; k-- > 0;) {
+        if (scaled[k] < 1.0)
+            small.push_back(k);
+        else
+            large.push_back(k);
+    }
+    while (!small.empty() && !large.empty()) {
+        std::uint32_t s = small.back();
+        small.pop_back();
+        std::uint32_t l = large.back();
+        large.pop_back();
+        cells[s].cut = scaled[s];
+        cells[s].alias = l;
+        scaled[l] -= 1.0 - scaled[s];
+        if (scaled[l] < 1.0)
+            small.push_back(l);
+        else
+            large.push_back(l);
+    }
+    // Leftovers are exactly-full columns up to rounding.
+    for (std::uint32_t s : small) {
+        cells[s].cut = 1.0;
+        cells[s].alias = s;
+    }
+    for (std::uint32_t l : large) {
+        cells[l].cut = 1.0;
+        cells[l].alias = l;
+    }
+}
+
+std::shared_ptr<const ZipfTable>
+ZipfTable::get(std::uint32_t n, double theta)
+{
+    cnsim_assert(n >= 1, "zipf needs at least one rank");
+    cnsim_assert(theta > 0.0, "alias table is for skewed draws only");
+    TableCache &c = tableCache();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    auto key = std::make_pair(n, theta);
+    auto it = c.tables.find(key);
+    if (it != c.tables.end())
+        return it->second;
+    std::shared_ptr<const ZipfTable> t(new ZipfTable(n, theta));
+    c.tables.emplace(key, t);
+    return t;
+}
+
+std::uint32_t
+Rng::zipf(std::uint32_t n, double theta)
+{
+    if (theta <= 0.0)
+        return below(n);
+    return ZipfTable::get(n, theta)->sample(*this);
+}
+
+} // namespace cnsim

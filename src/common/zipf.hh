@@ -1,0 +1,94 @@
+/**
+ * @file
+ * O(1) Zipf-like rank sampling via Walker/Vose alias tables.
+ *
+ * Rng::zipf historically inverted the power-law CDF per draw (a pow()
+ * or exp() per sample). The distribution it realizes is a *discretized*
+ * power law: rank k is drawn with the exact probability mass the
+ * continuous inverse CDF assigns to the interval [k, k+1). An alias
+ * table built from those same cell probabilities reproduces the
+ * distribution while sampling in O(1) with a single 32-bit RNG draw --
+ * the same RNG consumption as the old inversion, so generators that
+ * interleave zipf draws with other draws keep their draw counts.
+ *
+ * Tables depend only on (n, theta); they are built once per distinct
+ * pair, cached process-wide, and shared immutably (thread-safe: the
+ * cache is mutex-protected, sampling is read-only).
+ */
+
+#ifndef CNSIM_COMMON_ZIPF_HH
+#define CNSIM_COMMON_ZIPF_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace cnsim
+{
+
+/**
+ * An immutable alias table over ranks [0, n) realizing the discretized
+ * power-law distribution of Rng::zipf (theta > 0).
+ */
+class ZipfTable
+{
+  public:
+    /**
+     * Fetch the shared table for (@p n, @p theta) from the process-wide
+     * cache, building it on first use. Requires n >= 1 and theta > 0
+     * (theta <= 0 is uniform; use Rng::below directly).
+     */
+    static std::shared_ptr<const ZipfTable> get(std::uint32_t n,
+                                                double theta);
+
+    /** Draw one rank in [0, n); consumes exactly one raw RNG value. */
+    std::uint32_t
+    sample(Rng &rng) const
+    {
+        // One uniform drives both the column pick (integer part) and
+        // the in-column coin flip (fractional part): the classic
+        // single-draw alias lookup.
+        double scaled = rng.uniform() * static_cast<double>(cells.size());
+        auto col = static_cast<std::uint32_t>(scaled);
+        if (col >= cells.size())
+            col = static_cast<std::uint32_t>(cells.size()) - 1;
+        const Cell &c = cells[col];
+        return (scaled - static_cast<double>(col)) < c.cut ? col : c.alias;
+    }
+
+    /** Number of ranks (n). */
+    std::uint32_t
+    size() const
+    {
+        return static_cast<std::uint32_t>(cells.size());
+    }
+
+    /**
+     * Exact probability mass the discretized power law assigns to rank
+     * @p k -- the analytic cell probability the table is built from
+     * (exposed for the distribution-regression test).
+     */
+    static double cellProbability(std::uint32_t k, std::uint32_t n,
+                                  double theta);
+
+    ZipfTable(const ZipfTable &) = delete;
+    ZipfTable &operator=(const ZipfTable &) = delete;
+
+  private:
+    ZipfTable(std::uint32_t n, double theta);
+
+    /** One alias column: stay if the fraction is below cut. */
+    struct Cell
+    {
+        double cut;
+        std::uint32_t alias;
+    };
+
+    std::vector<Cell> cells;
+};
+
+} // namespace cnsim
+
+#endif // CNSIM_COMMON_ZIPF_HH

@@ -8,7 +8,8 @@ namespace cnsim
 
 Core::Core(CoreId id, System &system, TraceSource &source,
            double non_mem_cpi)
-    : _id(id), system(system), source(source), non_mem_cpi(non_mem_cpi)
+    : _id(id), system(system), source(source), non_mem_cpi(non_mem_cpi),
+      unit_cpi(non_mem_cpi == 1.0)
 {
 }
 
@@ -24,8 +25,12 @@ Core::step(EventQueue &eq, Tick now)
     TraceRecord rec = source.next();
     // gap non-memory instructions at non_mem_cpi cycles each, then the
     // memory reference.
+    // unit_cpi skips the double round-trip: gap * 1.0 + 0.5 truncates
+    // back to gap exactly, so the fast path is byte-identical.
     Tick issue =
-        now + static_cast<Tick>(rec.gap * non_mem_cpi + 0.5);
+        now + (unit_cpi
+                   ? static_cast<Tick>(rec.gap)
+                   : static_cast<Tick>(rec.gap * non_mem_cpi + 0.5));
     n_instr.inc(rec.gap + 1);
     n_data_refs.inc();
     Tick done = system.access(_id, rec, issue);

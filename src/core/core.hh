@@ -79,6 +79,9 @@ class Core
     System &system;
     TraceSource &source;
     double non_mem_cpi;
+    /** True when non_mem_cpi == 1.0: step() then sidesteps the
+     *  int->double->int conversion on every record. */
+    bool unit_cpi;
     obs::TraceSink *sink = nullptr;
     int track = -1;
     Tick stall_threshold = 0;

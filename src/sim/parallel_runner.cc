@@ -46,6 +46,20 @@ ParallelRunner::run()
     if (total == 0)
         return results;
 
+    // Resolve shared traces serially, in submission order, before any
+    // worker starts: acquisition order is then deterministic, and the
+    // batch holds the trace references for its whole lifetime (the
+    // cache keeps entries alive only while referenced).
+    if (shared_trace_cache) {
+        for (ParallelJob &job : batch) {
+            if (!job.run_cfg.replay) {
+                job.run_cfg.replay = TraceCache::global().acquire(
+                    Runner::effectiveSynthParams(job.workload,
+                                                 job.run_cfg));
+            }
+        }
+    }
+
     // Workers claim jobs by atomic index and write results into the
     // submission-order slot; no result ever depends on which worker or
     // in what order a job ran.

@@ -91,6 +91,23 @@ class ParallelRunner
     void onProgress(ProgressFn fn) { progress = std::move(fn); }
 
     /**
+     * Share one RecordedTrace per (workload, seed) across the batch:
+     * run() assigns every job lacking an explicit RunConfig::replay a
+     * trace from TraceCache::global(), keyed by the job's effective
+     * synthetic params, so grid cells that differ only in system
+     * configuration replay one identical canonical stream instead of
+     * regenerating it per cell (trace/replay.hh). Results remain
+     * byte-identical for any worker count; they differ from live-mode
+     * results because the canonical generation order replaces the
+     * timing-dependent one.
+     */
+    void
+    enableSharedTraceCache(bool on = true)
+    {
+        shared_trace_cache = on;
+    }
+
+    /**
      * Execute every pending job and @return their results in
      * submission order (results[i] belongs to the job submit()
      * returned i for), bit-identical to a serial Runner::run loop.
@@ -115,6 +132,7 @@ class ParallelRunner
     unsigned num_workers;
     std::vector<ParallelJob> jobs;
     ProgressFn progress;
+    bool shared_trace_cache = false;
 };
 
 } // namespace cnsim

@@ -66,6 +66,15 @@ Runner::paperConfig(L2Kind kind)
     return cfg;
 }
 
+SynthWorkloadParams
+Runner::effectiveSynthParams(const WorkloadSpec &workload,
+                             const RunConfig &run_cfg)
+{
+    SynthWorkloadParams wp = workload.synth;
+    wp.seed = wp.seed * 31 + run_cfg.seed;
+    return wp;
+}
+
 RunResult
 Runner::run(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
             const RunConfig &run_cfg)
@@ -82,15 +91,33 @@ Runner::run(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
         sc.obs.trace = true;
 
     System system(sc);
-    SynthWorkloadParams wp = workload.synth;
-    wp.seed = wp.seed * 31 + run_cfg.seed;
-    SynthWorkload synth(wp);
+    // Replay runs pull records from the shared pre-materialized trace;
+    // live runs own a fresh generative workload. Either way each core
+    // gets its own TraceSource.
+    std::unique_ptr<SynthWorkload> synth;
+    std::vector<std::unique_ptr<ReplaySource>> replays;
+    if (run_cfg.replay) {
+        cnsim_assert(run_cfg.replay->cores() == sc.num_cores,
+                     "replay trace has %d cores for a %d-core system",
+                     run_cfg.replay->cores(), sc.num_cores);
+        for (int c = 0; c < sc.num_cores; ++c)
+            replays.emplace_back(std::make_unique<ReplaySource>(
+                *run_cfg.replay, c));
+    } else {
+        synth = std::make_unique<SynthWorkload>(
+            effectiveSynthParams(workload, run_cfg));
+    }
+    auto source = [&](int c) -> TraceSource & {
+        if (synth)
+            return synth->source(c);
+        return *replays[static_cast<std::size_t>(c)];
+    };
     EventQueue eq;
 
     std::vector<std::unique_ptr<Core>> cores;
     for (int c = 0; c < sc.num_cores; ++c) {
         cores.emplace_back(std::make_unique<Core>(
-            c, system, synth.source(c), sc.core_non_mem_cpi));
+            c, system, source(c), sc.core_non_mem_cpi));
         cores.back()->attachSink(system.traceSink());
         cores.back()->start(eq);
     }

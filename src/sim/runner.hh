@@ -16,11 +16,13 @@
 #define CNSIM_SIM_RUNNER_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cache/reuse_tracker.hh"
 #include "sim/system.hh"
+#include "trace/replay.hh"
 #include "trace/workloads.hh"
 
 namespace cnsim
@@ -46,6 +48,14 @@ struct RunConfig
     std::string trace_out;
     /** Export format for trace_out. */
     obs::TraceFormat trace_format = obs::TraceFormat::ChromeJson;
+    /**
+     * Drive the cores from this pre-materialized trace instead of live
+     * generation (trace/replay.hh). The trace's core count must match
+     * the system's; the workload's synthetic params are bypassed. Grid
+     * drivers (ParallelRunner's shared trace cache, the CLI, benches)
+     * set this so every cell replays one identical stream.
+     */
+    std::shared_ptr<RecordedTrace> replay;
 };
 
 /** Everything measured by one run. */
@@ -144,6 +154,16 @@ class Runner
      * (Table 1 latencies, 8 MB L2, 4 cores).
      */
     static SystemConfig paperConfig(L2Kind kind);
+
+    /**
+     * The *effective* synthetic parameters a run would generate with:
+     * the workload's params with the run seed mixed in, exactly as
+     * run() does internally. This is the key under which grid drivers
+     * share RecordedTraces across cells (TraceCache::acquire).
+     */
+    static SynthWorkloadParams
+    effectiveSynthParams(const WorkloadSpec &workload,
+                         const RunConfig &run_cfg);
 };
 
 } // namespace cnsim

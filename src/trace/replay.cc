@@ -1,0 +1,461 @@
+#include "trace/replay.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "trace/trace_file.hh"
+
+namespace cnsim
+{
+
+namespace
+{
+
+/**
+ * Upper bound on chunks per core (8192 x 4096 records covers ~1.4 G
+ * instructions per core at the paper workloads' densest record rate --
+ * beyond any configured budget). The slot tables are pre-sized to this
+ * so readers can index them without synchronizing with growth.
+ */
+constexpr std::size_t max_chunks = 8192;
+
+inline std::uint64_t
+zigzag(std::uint64_t prev, std::uint64_t now)
+{
+    std::int64_t d = static_cast<std::int64_t>(now - prev);
+    return (static_cast<std::uint64_t>(d) << 1) ^
+           static_cast<std::uint64_t>(d >> 63);
+}
+
+inline std::uint64_t
+unzigzag(std::uint64_t z)
+{
+    return (z >> 1) ^ (~(z & 1) + 1);
+}
+
+inline void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/** Hot-path decode: the buffer is trusted (validated or generated). */
+inline std::uint64_t
+getVarint(const std::uint8_t *&p)
+{
+    std::uint8_t b = *p++;
+    std::uint64_t v = b & 0x7f;
+    unsigned shift = 7;
+    while (b & 0x80) {
+        b = *p++;
+        v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        shift += 7;
+    }
+    return v;
+}
+
+/** Validating decode for untrusted bytes. */
+inline bool
+getVarintChecked(const std::uint8_t *&p, const std::uint8_t *end,
+                 std::uint64_t &v)
+{
+    v = 0;
+    unsigned shift = 0;
+    while (p != end && shift < 70) {
+        std::uint8_t b = *p++;
+        v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            return true;
+        shift += 7;
+    }
+    return false;
+}
+
+inline std::uint32_t
+opCode(MemOp op)
+{
+    switch (op) {
+      case MemOp::Load: return 0;
+      case MemOp::Store: return 1;
+      case MemOp::Ifetch: return 2;
+    }
+    cnsim_unreachable("MemOp");
+}
+
+inline void
+encodeRecord(std::vector<std::uint8_t> &out, Addr &prev_iaddr,
+             Addr &prev_addr, const TraceRecord &rec)
+{
+    putVarint(out, (static_cast<std::uint64_t>(rec.gap) << 2) |
+                       opCode(rec.op));
+    putVarint(out, zigzag(prev_iaddr, rec.iaddr));
+    putVarint(out, zigzag(prev_addr, rec.addr));
+    prev_iaddr = rec.iaddr;
+    prev_addr = rec.addr;
+}
+
+void
+appendBytes(std::string &out, const void *p, std::size_t n)
+{
+    out.append(static_cast<const char *>(p), n);
+}
+
+void
+appendU32(std::string &out, std::uint32_t v)
+{
+    appendBytes(out, &v, sizeof(v));
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    appendBytes(out, &v, sizeof(v));
+}
+
+void
+appendF64(std::string &out, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    appendU64(out, bits);
+}
+
+/**
+ * Byte-serialize every field that shapes the generated stream, in
+ * declaration order. Used both as the exact TraceCache key (no hash
+ * collisions possible) and as input to the provenance hash.
+ */
+std::string
+serializeParams(const SynthWorkloadParams &params)
+{
+    std::string s;
+    appendU64(s, params.seed);
+    appendU32(s, params.shared_regions ? 1 : 0);
+    appendU32(s, static_cast<std::uint32_t>(params.threads.size()));
+    for (const SynthThreadParams &t : params.threads) {
+        appendF64(s, t.mean_gap);
+        appendF64(s, t.frac_ros);
+        appendF64(s, t.frac_rws);
+        appendU32(s, t.private_blocks);
+        appendF64(s, t.private_theta);
+        appendF64(s, t.private_hot_frac);
+        appendU32(s, t.private_hot_blocks);
+        appendU32(s, t.ros_blocks);
+        appendF64(s, t.ros_follow);
+        appendF64(s, t.ros_reuse.p0);
+        appendF64(s, t.ros_reuse.p1);
+        appendF64(s, t.ros_reuse.p2_5);
+        appendF64(s, t.ros_reuse.p_more);
+        appendU32(s, t.rws_blocks);
+        appendF64(s, t.rws_write_frac);
+        appendF64(s, t.rws_migratory);
+        appendU32(s, t.code_blocks);
+        appendF64(s, t.code_theta);
+        appendF64(s, t.code_hot_frac);
+        appendU32(s, t.code_hot_blocks);
+        appendF64(s, t.store_frac);
+        appendF64(s, t.frac_stream);
+        appendU32(s, t.stream_blocks);
+    }
+    return s;
+}
+
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 14695981039346656037ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+bool
+PackedStreamReader::next(TraceRecord &out)
+{
+    if (cur == end || bad)
+        return false;
+    std::uint64_t go = 0, di = 0, da = 0;
+    if (!getVarintChecked(cur, end, go) ||
+        !getVarintChecked(cur, end, di) ||
+        !getVarintChecked(cur, end, da) || (go & 3) == 3 ||
+        (go >> 2) > 0xffffffffULL) {
+        bad = true;
+        return false;
+    }
+    out.gap = static_cast<std::uint32_t>(go >> 2);
+    out.op = (go & 3) == 0   ? MemOp::Load
+             : (go & 3) == 1 ? MemOp::Store
+                             : MemOp::Ifetch;
+    prev_iaddr += unzigzag(di);
+    prev_addr += unzigzag(da);
+    out.iaddr = prev_iaddr;
+    out.addr = prev_addr;
+    ++n_decoded;
+    return true;
+}
+
+RecordedTrace::RecordedTrace() = default;
+
+RecordedTrace::RecordedTrace(const SynthWorkloadParams &params)
+    : num_cores(static_cast<int>(params.threads.size())),
+      trace_seed(params.seed), params_hash(hashParams(params)),
+      synth(std::make_unique<SynthWorkload>(params)),
+      enc_prev_iaddr(params.threads.size(), 0),
+      enc_prev_addr(params.threads.size(), 0)
+{
+    slots.resize(params.threads.size());
+    for (auto &core_slots : slots)
+        core_slots.resize(max_chunks);
+}
+
+RecordedTrace::~RecordedTrace() = default;
+
+std::uint64_t
+RecordedTrace::hashParams(const SynthWorkloadParams &params)
+{
+    return fnv1a(serializeParams(params));
+}
+
+void
+RecordedTrace::grow(std::size_t idx)
+{
+    std::lock_guard<std::mutex> lock(grow_mutex);
+    while (published.load(std::memory_order_relaxed) <= idx) {
+        std::size_t pub = published.load(std::memory_order_relaxed);
+        cnsim_assert(pub < max_chunks,
+                     "trace exceeds %zu chunks of %u records per core",
+                     max_chunks, chunk_records);
+        std::vector<std::unique_ptr<Chunk>> pending;
+        pending.reserve(static_cast<std::size_t>(num_cores));
+        for (int c = 0; c < num_cores; ++c) {
+            auto chunk = std::make_unique<Chunk>();
+            chunk->n_records = chunk_records;
+            // ~8 B/record for the paper workloads; headroom avoids a
+            // mid-chunk regrow in the common case.
+            chunk->bytes.reserve(chunk_records * 10);
+            pending.push_back(std::move(chunk));
+        }
+        // Canonical round-robin interleaving: core 0..N-1, repeat.
+        // This fixed order -- not the simulated timing -- defines the
+        // replayed stream, making it identical across organizations.
+        for (std::uint32_t r = 0; r < chunk_records; ++r) {
+            for (int c = 0; c < num_cores; ++c) {
+                TraceRecord rec = synth->source(c).next();
+                auto ci = static_cast<std::size_t>(c);
+                encodeRecord(pending[ci]->bytes, enc_prev_iaddr[ci],
+                             enc_prev_addr[ci], rec);
+            }
+        }
+        for (int c = 0; c < num_cores; ++c) {
+            auto ci = static_cast<std::size_t>(c);
+            slots[ci][pub] = std::move(pending[ci]);
+        }
+        published.store(pub + 1, std::memory_order_release);
+    }
+}
+
+std::uint64_t
+RecordedTrace::recordsPublished(int core) const
+{
+    std::size_t pub = published.load(std::memory_order_acquire);
+    std::uint64_t n = 0;
+    const auto &core_slots = slots[static_cast<std::size_t>(core)];
+    for (std::size_t i = 0; i < pub; ++i)
+        n += core_slots[i]->n_records;
+    return n;
+}
+
+std::uint64_t
+RecordedTrace::bytesPublished() const
+{
+    std::size_t pub = published.load(std::memory_order_acquire);
+    std::uint64_t n = 0;
+    for (const auto &core_slots : slots)
+        for (std::size_t i = 0; i < pub; ++i)
+            n += core_slots[i]->bytes.size();
+    return n;
+}
+
+void
+RecordedTrace::saveTrf(const std::string &path) const
+{
+    // Published chunks are immutable, so an acquire snapshot of the
+    // count is all the synchronization a consistent save needs.
+    std::size_t pub = published.load(std::memory_order_acquire);
+    cnsim_assert(pub > 0 || frozen(), "saving an empty trace");
+    PackedTrace t;
+    t.params_hash = params_hash;
+    t.seed = trace_seed;
+    t.cores.resize(static_cast<std::size_t>(num_cores));
+    for (int c = 0; c < num_cores; ++c) {
+        const auto &core_slots = slots[static_cast<std::size_t>(c)];
+        PackedCoreTrace &out = t.cores[static_cast<std::size_t>(c)];
+        for (std::size_t i = 0; i < pub; ++i) {
+            const Chunk &ch = *core_slots[i];
+            out.n_records += ch.n_records;
+            out.bytes.insert(out.bytes.end(), ch.bytes.begin(),
+                             ch.bytes.end());
+        }
+    }
+    writeTrf(path, t);
+}
+
+std::shared_ptr<RecordedTrace>
+RecordedTrace::fromFile(const std::string &path)
+{
+    PackedTrace t = readTrf(path);
+    std::shared_ptr<RecordedTrace> trace(new RecordedTrace());
+    trace->num_cores = static_cast<int>(t.cores.size());
+    trace->trace_seed = t.seed;
+    trace->params_hash = t.params_hash;
+    trace->slots.resize(t.cores.size());
+    trace->published.store(1, std::memory_order_relaxed);
+    for (std::size_t c = 0; c < t.cores.size(); ++c) {
+        PackedCoreTrace &core = t.cores[c];
+        if (core.n_records == 0)
+            fatal("trace '%s' has no records for core %zu",
+                  path.c_str(), c);
+        // Decode-validate the whole payload up front: the hot replay
+        // decoder trusts its buffer, so nothing malformed may pass.
+        PackedStreamReader reader(core.bytes.data(), core.bytes.size());
+        TraceRecord rec;
+        while (reader.next(rec)) {
+        }
+        if (reader.error() || reader.decoded() != core.n_records) {
+            fatal("corrupt packed stream for core %zu in '%s': "
+                  "%llu of %llu records decode",
+                  c, path.c_str(),
+                  static_cast<unsigned long long>(reader.decoded()),
+                  static_cast<unsigned long long>(core.n_records));
+        }
+        auto chunk = std::make_unique<Chunk>();
+        chunk->n_records = static_cast<std::uint32_t>(core.n_records);
+        chunk->bytes = std::move(core.bytes);
+        trace->slots[c].resize(1);
+        trace->slots[c][0] = std::move(chunk);
+    }
+    return trace;
+}
+
+std::shared_ptr<RecordedTrace>
+RecordedTrace::fromRecords(
+    const std::vector<std::vector<TraceRecord>> &records)
+{
+    cnsim_assert(!records.empty(), "trace needs at least one core");
+    std::shared_ptr<RecordedTrace> trace(new RecordedTrace());
+    trace->num_cores = static_cast<int>(records.size());
+    trace->slots.resize(records.size());
+    trace->published.store(1, std::memory_order_relaxed);
+    for (std::size_t c = 0; c < records.size(); ++c) {
+        cnsim_assert(!records[c].empty(),
+                     "core %zu has an empty record stream", c);
+        auto chunk = std::make_unique<Chunk>();
+        chunk->n_records = static_cast<std::uint32_t>(records[c].size());
+        Addr prev_iaddr = 0, prev_addr = 0;
+        for (const TraceRecord &rec : records[c])
+            encodeRecord(chunk->bytes, prev_iaddr, prev_addr, rec);
+        trace->slots[c].resize(1);
+        trace->slots[c][0] = std::move(chunk);
+    }
+    return trace;
+}
+
+ReplaySource::ReplaySource(RecordedTrace &trace, int core)
+    : trace(trace), core(core)
+{
+    cnsim_assert(core >= 0 && core < trace.cores(),
+                 "core %d out of range for a %d-core trace", core,
+                 trace.cores());
+    advanceTo(0);
+}
+
+void
+ReplaySource::advanceTo(std::size_t idx)
+{
+    const RecordedTrace::Chunk *c = trace.chunk(core, idx);
+    if (!c) {
+        // Frozen trace ran dry: wrap to the top, like the legacy
+        // FileTraceSource (sources never run dry by contract).
+        if (n_wraps++ == 0)
+            warn("trace replay wrapped on core %d; consider a longer "
+                 "capture",
+                 core);
+        idx = 0;
+        c = trace.chunk(core, 0);
+        prev_iaddr = 0;
+        prev_addr = 0;
+    }
+    chunk_idx = idx;
+    cur = c;
+    ptr = c->bytes.data();
+    off = 0;
+}
+
+TraceRecord
+ReplaySource::next()
+{
+    if (off == cur->n_records)
+        advanceTo(chunk_idx + 1);
+    ++off;
+    std::uint64_t go = getVarint(ptr);
+    prev_iaddr += unzigzag(getVarint(ptr));
+    prev_addr += unzigzag(getVarint(ptr));
+    TraceRecord r;
+    r.gap = static_cast<std::uint32_t>(go >> 2);
+    r.op = (go & 3) == 0   ? MemOp::Load
+           : (go & 3) == 1 ? MemOp::Store
+                           : MemOp::Ifetch;
+    r.iaddr = prev_iaddr;
+    r.addr = prev_addr;
+    return r;
+}
+
+TraceCache &
+TraceCache::global()
+{
+    static TraceCache cache;
+    return cache;
+}
+
+std::shared_ptr<RecordedTrace>
+TraceCache::acquire(const SynthWorkloadParams &params)
+{
+    std::string key = serializeParams(params);
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = entries.find(key);
+    if (it != entries.end()) {
+        if (std::shared_ptr<RecordedTrace> t = it->second.lock())
+            return t;
+    }
+    // Miss: prune entries whose traces have been released, then build.
+    for (auto e = entries.begin(); e != entries.end();) {
+        if (e->second.expired())
+            e = entries.erase(e);
+        else
+            ++e;
+    }
+    auto t = std::make_shared<RecordedTrace>(params);
+    entries[key] = t;
+    return t;
+}
+
+std::size_t
+TraceCache::liveEntries()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::size_t n = 0;
+    for (const auto &e : entries)
+        if (!e.second.expired())
+            ++n;
+    return n;
+}
+
+} // namespace cnsim

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Zero-copy trace capture and replay.
+ *
+ * A paper figure is a grid of L2 organizations all driven by the same
+ * synthetic reference stream, yet historically every grid cell re-ran
+ * the full generative model. A RecordedTrace materializes each
+ * (workload, seed) stream once -- all cores, in a *canonical* order --
+ * into packed per-core buffers, and ReplaySource replays a core's
+ * stream from those buffers with nothing but a pointer bump and a
+ * few-byte varint decode per record. Every cell of a sweep then shares
+ * one immutable trace (via TraceCache), so generation is paid once
+ * instead of once per cell, and every organization is, by
+ * construction, measured against the bit-identical reference stream.
+ *
+ * Canonical generation order. The synthetic model keeps cross-thread
+ * state (the ROS/RWS recently-used registries), so per-core streams
+ * depend on the order in which cores draw records. In live mode that
+ * order is the simulated interleaving -- which depends on the L2
+ * organization's timing, meaning live streams are *not* comparable
+ * across organizations. A RecordedTrace instead draws records
+ * round-robin (core 0..N-1, repeat), a fixed interleaving independent
+ * of any simulator timing. This is the defining semantics of replay
+ * mode: one stream, identical for every organization, every --jobs
+ * value, and every host.
+ *
+ * Record encoding (the payload CNTRF001 files transport, ~8 B/record
+ * for the paper workloads vs 21 B flat):
+ *   varint(gap * 4 + op)                  op: 0 load, 1 store, 2 ifetch
+ *   varint(zigzag(iaddr - prev_iaddr))
+ *   varint(zigzag(addr - prev_addr))
+ * where varint is the usual 7-bits-per-byte little-endian continuation
+ * code and prev_* start at 0 per core stream. Decoding is strictly
+ * sequential, which is exactly how cores consume traces.
+ *
+ * Thread-safety: a RecordedTrace generates lazily in fixed-size chunks
+ * under a mutex, publishing each completed chunk with a release store;
+ * ReplaySources on any thread read published chunks lock-free. Frozen
+ * traces (loaded from file) are immutable.
+ */
+
+#ifndef CNSIM_TRACE_REPLAY_HH
+#define CNSIM_TRACE_REPLAY_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/synth.hh"
+#include "trace/trace.hh"
+
+namespace cnsim
+{
+
+/**
+ * Bounds-checked sequential decoder over one packed core stream; the
+ * validating counterpart of ReplaySource's trusting hot-path decoder.
+ * Used when ingesting untrusted CNTRF001 payloads and by cntrace.
+ */
+class PackedStreamReader
+{
+  public:
+    PackedStreamReader(const std::uint8_t *data, std::size_t size)
+        : cur(data), end(data + size)
+    {
+    }
+
+    /**
+     * Decode one record. @return false at the end of the buffer or on
+     * a malformed record (check error() to distinguish).
+     */
+    bool next(TraceRecord &out);
+
+    /** True when decoding stopped on malformed bytes, not clean EOF. */
+    bool error() const { return bad; }
+
+    /** Records decoded so far. */
+    std::uint64_t decoded() const { return n_decoded; }
+
+  private:
+    const std::uint8_t *cur;
+    const std::uint8_t *end;
+    Addr prev_iaddr = 0;
+    Addr prev_addr = 0;
+    std::uint64_t n_decoded = 0;
+    bool bad = false;
+};
+
+/**
+ * One (workload, seed) reference stream, materialized once for all
+ * cores into packed per-core chunk lists.
+ *
+ * Two modes:
+ *  - generating: owns a SynthWorkload and extends every core's stream
+ *    on demand (canonical round-robin order), so consumers never run
+ *    dry and a cold cache costs exactly one generation pass;
+ *  - frozen: loaded from a CNTRF001 file (or fixed record vectors);
+ *    consumers wrap to the start when they exhaust it, like the legacy
+ *    FileTraceSource.
+ */
+class RecordedTrace
+{
+  public:
+    /** Records per generated chunk, per core. */
+    static constexpr std::uint32_t chunk_records = 4096;
+
+    /** One packed segment of a core's stream. */
+    struct Chunk
+    {
+        std::uint32_t n_records = 0;
+        std::vector<std::uint8_t> bytes;
+    };
+
+    /** Generating mode over a fresh SynthWorkload for @p params. */
+    explicit RecordedTrace(const SynthWorkloadParams &params);
+
+    /**
+     * Frozen mode from a CNTRF001 file. Every core's payload is
+     * decode-validated against its header record count; fatal on
+     * malformed or empty streams.
+     */
+    static std::shared_ptr<RecordedTrace>
+    fromFile(const std::string &path);
+
+    /** Frozen mode from explicit per-core records (tests, adapters). */
+    static std::shared_ptr<RecordedTrace>
+    fromRecords(const std::vector<std::vector<TraceRecord>> &records);
+
+    ~RecordedTrace();
+
+    RecordedTrace(const RecordedTrace &) = delete;
+    RecordedTrace &operator=(const RecordedTrace &) = delete;
+
+    int cores() const { return num_cores; }
+
+    /** True for file/record-backed traces that can run dry (and wrap). */
+    bool frozen() const { return !synth; }
+
+    /** Records currently published for @p core (grows in generating
+     *  mode as consumers pull). */
+    std::uint64_t recordsPublished(int core) const;
+
+    /** Packed payload bytes currently published, across all cores. */
+    std::uint64_t bytesPublished() const;
+
+    /** Effective workload seed (provenance; 0 for fromRecords). */
+    std::uint64_t seed() const { return trace_seed; }
+
+    /** FNV-1a hash of the generating params (0 for fromRecords). */
+    std::uint64_t paramsHash() const { return params_hash; }
+
+    /** Snapshot the published stream prefix as a CNTRF001 file. */
+    void saveTrf(const std::string &path) const;
+
+    /**
+     * Chunk @p idx of @p core's stream: generates (and publishes) it
+     * first if needed in generating mode; nullptr past the end of a
+     * frozen trace. Lock-free for already-published chunks.
+     */
+    const Chunk *
+    chunk(int core, std::size_t idx)
+    {
+        if (idx >= published.load(std::memory_order_acquire)) {
+            if (frozen())
+                return nullptr;
+            grow(idx);
+        }
+        return slots[static_cast<std::size_t>(core)][idx].get();
+    }
+
+    /** FNV-1a hash of a params structure (file provenance field). */
+    static std::uint64_t hashParams(const SynthWorkloadParams &params);
+
+  private:
+    RecordedTrace();  // frozen-mode shell, filled by the factories
+
+    /** Generate and publish chunks until @p idx is available. */
+    void grow(std::size_t idx);
+
+    int num_cores = 0;
+    std::uint64_t trace_seed = 0;
+    std::uint64_t params_hash = 0;
+
+    /** Generating mode only; null when frozen. */
+    std::unique_ptr<SynthWorkload> synth;
+    /** Per-core delta-encoder state (generating mode, under mutex). */
+    std::vector<Addr> enc_prev_iaddr;
+    std::vector<Addr> enc_prev_addr;
+
+    /**
+     * slots[core][chunk] -> published chunks. Pre-sized so readers can
+     * index without synchronizing with growth; `published` (release/
+     * acquire) is the visibility fence for slot contents.
+     */
+    std::vector<std::vector<std::unique_ptr<Chunk>>> slots;
+    std::atomic<std::size_t> published{0};
+    std::mutex grow_mutex;
+};
+
+/**
+ * A final, pointer-bumping TraceSource over one core's stream of a
+ * RecordedTrace. Replaces the whole generative machinery on the replay
+ * side of a sweep: next() is a varint decode from the current chunk.
+ *
+ * Multiple ReplaySources (across threads) may share one RecordedTrace;
+ * each keeps its own cursor.
+ */
+class ReplaySource final : public TraceSource
+{
+  public:
+    ReplaySource(RecordedTrace &trace, int core);
+
+    TraceRecord next() override;
+
+    /** Times a frozen trace ran dry and restarted from the top. */
+    std::uint64_t wraps() const { return n_wraps; }
+
+  private:
+    /** Step to chunk @p idx; wraps frozen traces at the end. */
+    void advanceTo(std::size_t idx);
+
+    RecordedTrace &trace;
+    int core;
+    const RecordedTrace::Chunk *cur = nullptr;
+    std::size_t chunk_idx = 0;
+    const std::uint8_t *ptr = nullptr;
+    std::uint32_t off = 0;
+    Addr prev_iaddr = 0;
+    Addr prev_addr = 0;
+    std::uint64_t n_wraps = 0;
+};
+
+/**
+ * Process-wide cache of RecordedTraces keyed by the *effective*
+ * workload parameters (every field, plus the seed), so every grid cell
+ * of a sweep -- across Runner, ParallelRunner workers, and bench
+ * binaries -- shares one trace per (workload, seed). Entries are held
+ * by weak_ptr: a trace lives exactly as long as some runner holds it.
+ */
+class TraceCache
+{
+  public:
+    static TraceCache &global();
+
+    /**
+     * The shared trace for @p params (which must already include the
+     * run seed mixing, i.e. Runner's effective params), creating it on
+     * first use.
+     */
+    std::shared_ptr<RecordedTrace>
+    acquire(const SynthWorkloadParams &params);
+
+    /** Live (still-referenced) entries; for tests and diagnostics. */
+    std::size_t liveEntries();
+
+  private:
+    std::mutex mutex;
+    std::map<std::string, std::weak_ptr<RecordedTrace>> entries;
+};
+
+} // namespace cnsim
+
+#endif // CNSIM_TRACE_REPLAY_HH

@@ -1,6 +1,9 @@
 #include "trace/synth.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "common/zipf.hh"
 
 namespace cnsim
 {
@@ -57,7 +60,22 @@ class SynthWorkload::ThreadSource : public TraceSource
           gap_bound(static_cast<std::uint32_t>(2.0 * p.mean_gap + 0.5)),
           code_base(codeBaseFor(thread, wl.params.shared_regions)),
           priv_base(privateBase(thread, wl.params.shared_regions)),
-          stream_base(streamBase(thread))
+          stream_base(streamBase(thread)),
+          th_rws(p.frac_rws),
+          th_ros(p.frac_rws + p.frac_ros),
+          th_stream(p.frac_rws + p.frac_ros + p.frac_stream),
+          reuse_th1(p.ros_reuse.p0 + p.ros_reuse.p1),
+          reuse_th2(p.ros_reuse.p0 + p.ros_reuse.p1 + p.ros_reuse.p2_5),
+          code_hot_bound(std::min(p.code_hot_blocks, p.code_blocks)),
+          priv_hot_bound(std::min(p.private_hot_blocks,
+                                  p.private_blocks)),
+          code_table(p.code_theta > 0.0 && p.code_blocks > 0
+                         ? ZipfTable::get(p.code_blocks, p.code_theta)
+                         : nullptr),
+          priv_table(p.private_theta > 0.0 && p.private_blocks > 0
+                         ? ZipfTable::get(p.private_blocks,
+                                          p.private_theta)
+                         : nullptr)
     {
     }
 
@@ -71,12 +89,11 @@ class SynthWorkload::ThreadSource : public TraceSource
         r.iaddr = nextIfetch();
 
         double u = rng.uniform();
-        if (u < p.frac_rws && p.rws_blocks > 0) {
+        if (u < th_rws && p.rws_blocks > 0) {
             genRws(r);
-        } else if (u < p.frac_rws + p.frac_ros && p.ros_blocks > 0) {
+        } else if (u < th_ros && p.ros_blocks > 0) {
             genRos(r);
-        } else if (u < p.frac_rws + p.frac_ros + p.frac_stream &&
-                   p.stream_blocks > 0) {
+        } else if (u < th_stream && p.stream_blocks > 0) {
             genStream(r);
         } else {
             genPrivate(r);
@@ -92,10 +109,11 @@ class SynthWorkload::ThreadSource : public TraceSource
         // stay within the current block for a few fetches, then jump.
         if (code_run == 0) {
             if (rng.chance(p.code_hot_frac)) {
-                code_block =
-                    rng.below(std::min(p.code_hot_blocks, p.code_blocks));
+                code_block = rng.below(code_hot_bound);
             } else {
-                code_block = rng.zipf(p.code_blocks, p.code_theta);
+                code_block = code_table
+                                 ? code_table->sample(rng)
+                                 : rng.below(p.code_blocks);
             }
             code_run = rng.range(2, 8);
         }
@@ -110,14 +128,31 @@ class SynthWorkload::ThreadSource : public TraceSource
         std::uint32_t blk;
         if (rng.chance(p.private_hot_frac)) {
             // L1-resident hot tier: stack frames and loop-local data.
-            blk = rng.below(std::min(p.private_hot_blocks,
-                                     p.private_blocks));
+            blk = rng.below(priv_hot_bound);
         } else {
-            blk = rng.zipf(p.private_blocks, p.private_theta);
+            blk = priv_table ? priv_table->sample(rng)
+                             : rng.below(p.private_blocks);
         }
         r.addr = priv_base + static_cast<Addr>(blk) * l2_block +
                  rng.below(l2_block / 64) * 64;
         r.op = rng.chance(p.store_frac) ? MemOp::Store : MemOp::Load;
+    }
+
+    /**
+     * ReuseDist::sample with the cumulative thresholds precomputed at
+     * construction (identical arithmetic, so identical draws).
+     */
+    std::uint32_t
+    sampleReuse()
+    {
+        double u = rng.uniform();
+        if (u < p.ros_reuse.p0)
+            return 0;
+        if (u < reuse_th1)
+            return 1;
+        if (u < reuse_th2)
+            return rng.range(2, 5);
+        return rng.range(6, 12);
     }
 
     void
@@ -157,7 +192,7 @@ class SynthWorkload::ThreadSource : public TraceSource
                 }
             }
             // Total accesses this episode = 1 + sampled reuse count.
-            ros_remaining = 1 + p.ros_reuse.sample(rng);
+            ros_remaining = 1 + sampleReuse();
         }
         --ros_remaining;
         r.addr = ros_addr;
@@ -223,6 +258,17 @@ class SynthWorkload::ThreadSource : public TraceSource
     Addr code_base;
     Addr priv_base;
     Addr stream_base;
+    double th_rws;
+    double th_ros;
+    double th_stream;
+    double reuse_th1;
+    double reuse_th2;
+    std::uint32_t code_hot_bound;
+    std::uint32_t priv_hot_bound;
+    /** Alias tables held directly so the hot path skips the shared
+     *  table-cache mutex inside Rng::zipf; null when theta <= 0. */
+    std::shared_ptr<const ZipfTable> code_table;
+    std::shared_ptr<const ZipfTable> priv_table;
     Addr ros_addr = 0;
     std::uint32_t ros_remaining = 0;
     std::uint32_t code_block = 0;

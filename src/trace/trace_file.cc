@@ -11,6 +11,10 @@ namespace
 {
 
 constexpr char magic[8] = {'C', 'N', 'S', 'T', 'R', 'C', '0', '1'};
+constexpr char trf_magic[8] = {'C', 'N', 'T', 'R', 'F', '0', '0', '1'};
+
+/** Sanity bound: more cores than this means a corrupt header. */
+constexpr std::uint32_t trf_max_cores = 1024;
 
 void
 putU32(std::FILE *fp, std::uint32_t v)
@@ -132,6 +136,97 @@ FileTraceSource::FileTraceSource(const std::string &path)
     std::fclose(fp);
     if (trace.empty())
         fatal("trace file '%s' has no records", path.c_str());
+}
+
+void
+writeTrf(const std::string &path, const PackedTrace &trace)
+{
+    cnsim_assert(!trace.cores.empty(), "packed trace has no cores");
+    std::FILE *fp = std::fopen(path.c_str(), "wb");
+    if (!fp)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    std::fwrite(trf_magic, 1, sizeof(trf_magic), fp);
+    putU32(fp, static_cast<std::uint32_t>(trace.cores.size()));
+    putU32(fp, 0);  // reserved
+    putU64(fp, trace.params_hash);
+    putU64(fp, trace.seed);
+    for (const PackedCoreTrace &c : trace.cores) {
+        putU64(fp, c.n_records);
+        putU64(fp, c.bytes.size());
+    }
+    for (const PackedCoreTrace &c : trace.cores) {
+        if (!c.bytes.empty())
+            std::fwrite(c.bytes.data(), 1, c.bytes.size(), fp);
+    }
+    if (std::ferror(fp)) {
+        std::fclose(fp);
+        fatal("I/O error writing trace file '%s'", path.c_str());
+    }
+    std::fclose(fp);
+}
+
+PackedTrace
+readTrf(const std::string &path)
+{
+    std::FILE *fp = std::fopen(path.c_str(), "rb");
+    if (!fp)
+        fatal("cannot open trace file '%s'", path.c_str());
+    char m[8];
+    if (std::fread(m, 1, 8, fp) != 8 ||
+        std::memcmp(m, trf_magic, 8) != 0) {
+        std::fclose(fp);
+        fatal("'%s' is not a CNTRF001 trace file", path.c_str());
+    }
+    std::uint32_t num_cores = 0, reserved = 0;
+    PackedTrace t;
+    if (!getU32(fp, num_cores) || !getU32(fp, reserved) ||
+        !getU64(fp, t.params_hash) || !getU64(fp, t.seed)) {
+        std::fclose(fp);
+        fatal("truncated CNTRF001 header in '%s'", path.c_str());
+    }
+    if (num_cores == 0 || num_cores > trf_max_cores) {
+        std::fclose(fp);
+        fatal("corrupt CNTRF001 header in '%s': %u cores", path.c_str(),
+              num_cores);
+    }
+    t.cores.resize(num_cores);
+    for (PackedCoreTrace &c : t.cores) {
+        std::uint64_t n_bytes = 0;
+        if (!getU64(fp, c.n_records) || !getU64(fp, n_bytes)) {
+            std::fclose(fp);
+            fatal("truncated CNTRF001 header in '%s'", path.c_str());
+        }
+        // A packed record is at least 3 bytes (one per varint field),
+        // so a size wildly out of line with the count is corruption --
+        // and this bound keeps the resize below from ballooning on a
+        // hostile header before fread can fail.
+        if (n_bytes > c.n_records * 30 || (c.n_records > 0 && n_bytes == 0)) {
+            std::fclose(fp);
+            fatal("corrupt CNTRF001 header in '%s': %llu records in "
+                  "%llu bytes",
+                  path.c_str(),
+                  static_cast<unsigned long long>(c.n_records),
+                  static_cast<unsigned long long>(n_bytes));
+        }
+        c.bytes.resize(n_bytes);
+    }
+    for (PackedCoreTrace &c : t.cores) {
+        if (c.bytes.empty())
+            continue;
+        if (std::fread(c.bytes.data(), 1, c.bytes.size(), fp) !=
+            c.bytes.size()) {
+            std::fclose(fp);
+            fatal("truncated CNTRF001 payload in '%s'", path.c_str());
+        }
+    }
+    // The payload must end exactly where the header said it would.
+    if (std::fgetc(fp) != EOF) {
+        std::fclose(fp);
+        fatal("trailing garbage after CNTRF001 payload in '%s'",
+              path.c_str());
+    }
+    std::fclose(fp);
+    return t;
 }
 
 TraceRecord

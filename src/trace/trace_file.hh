@@ -8,9 +8,25 @@
  * (convert to the format below and replay). Replaying a recorded
  * synthetic run reproduces it cycle-for-cycle.
  *
- * File format (little-endian):
- *   8-byte magic "CNSTRC01", u64 record count, then per record:
- *   u32 gap, u64 iaddr, u64 addr, u8 op.
+ * Two file formats live here (both little-endian):
+ *
+ *  - CNSTRC01: the legacy flat per-core record stream used by
+ *    --record/--replay. 8-byte magic "CNSTRC01", u64 record count,
+ *    then per record: u32 gap, u64 iaddr, u64 addr, u8 op. Simple and
+ *    interoperable, but 21 B/record and one file per core.
+ *
+ *  - CNTRF001: the packed multi-core trace behind --trace-capture /
+ *    --trace-replay (trace/replay.hh). One file holds every core's
+ *    stream, each delta+varint encoded to ~8 B/record. Layout:
+ *      8-byte magic "CNTRF001"
+ *      u32 num_cores, u32 reserved (0)
+ *      u64 params_hash   (provenance: FNV-1a of the workload params)
+ *      u64 seed          (provenance: effective workload seed)
+ *      per core: u64 n_records, u64 n_bytes
+ *      per core: n_bytes of packed stream (see replay.hh for the
+ *                record encoding)
+ *    This header only transports the packed bytes; encoding/decoding
+ *    them is RecordedTrace's job.
  */
 
 #ifndef CNSIM_TRACE_TRACE_FILE_HH
@@ -72,6 +88,35 @@ class FileTraceSource : public TraceSource
     std::size_t pos = 0;
     std::uint64_t n_wraps = 0;
 };
+
+/** One core's packed stream inside a CNTRF001 trace. */
+struct PackedCoreTrace
+{
+    std::uint64_t n_records = 0;
+    std::vector<std::uint8_t> bytes;
+};
+
+/** In-memory image of a CNTRF001 multi-core packed trace file. */
+struct PackedTrace
+{
+    /** FNV-1a hash of the generating workload params (0 if unknown). */
+    std::uint64_t params_hash = 0;
+    /** Effective workload seed the trace was generated with. */
+    std::uint64_t seed = 0;
+    std::vector<PackedCoreTrace> cores;
+};
+
+/** Write @p trace to @p path in CNTRF001 format; fatal on I/O error. */
+void writeTrf(const std::string &path, const PackedTrace &trace);
+
+/**
+ * Load a CNTRF001 file. Fatal on malformed input: bad magic, an absurd
+ * core count, a truncated header, or payload bytes that do not match
+ * the header's per-core sizes exactly. (Record-level validation -- do
+ * the packed bytes decode to n_records records -- is RecordedTrace's
+ * job, since the codec lives there.)
+ */
+PackedTrace readTrf(const std::string &path);
 
 /** Tees another source's records into a TraceFileWriter. */
 class RecordingSource : public TraceSource

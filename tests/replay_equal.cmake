@@ -1,0 +1,48 @@
+# Differential capture/replay check, run as a ctest via `cmake -P`.
+#
+#   cmake -DCMD1=<exe + args> -DCMD2=<exe + args>
+#         [-DENVVARS=<K=V;K=V;...>] -DOUT1=<file> -DOUT2=<file>
+#         -P replay_equal.cmake
+#
+# Runs CMD1 then CMD2 with the given environment and fails unless
+# their stdout is byte-identical. This pins the replay contract: a
+# sweep replaying a captured CNTRF001 stream (or the shared in-memory
+# trace cache, at any --jobs level) must reproduce the capture run's
+# results exactly.
+
+if(NOT DEFINED CMD1 OR NOT DEFINED CMD2 OR NOT DEFINED OUT1
+   OR NOT DEFINED OUT2)
+    message(FATAL_ERROR
+            "replay_equal: CMD1, CMD2, OUT1, and OUT2 are required")
+endif()
+
+if(DEFINED ENVVARS)
+    foreach(kv IN LISTS ENVVARS)
+        string(FIND "${kv}" "=" eq)
+        string(SUBSTRING "${kv}" 0 ${eq} key)
+        math(EXPR vstart "${eq} + 1")
+        string(SUBSTRING "${kv}" ${vstart} -1 val)
+        set(ENV{${key}} "${val}")
+    endforeach()
+endif()
+
+foreach(side 1 2)
+    separate_arguments(cmd_list UNIX_COMMAND "${CMD${side}}")
+    execute_process(
+        COMMAND ${cmd_list}
+        OUTPUT_VARIABLE got${side}
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "replay_equal: '${CMD${side}}' exited ${rc}\n${err}")
+    endif()
+    file(WRITE "${OUT${side}}" "${got${side}}")
+endforeach()
+
+if(NOT got1 STREQUAL got2)
+    message(FATAL_ERROR
+        "replay_equal: outputs differ\n"
+        "  ${OUT1}\n  ${OUT2}\n"
+        "Replayed streams must reproduce the capture run exactly.")
+endif()

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Tests for the packed trace capture/replay subsystem: encode/decode
+ * round-trip fuzzing, CNTRF001 file validation (corrupt and truncated
+ * inputs must be rejected loudly), wrap semantics, canonical-order
+ * determinism including concurrent chunk growth, the process-wide
+ * TraceCache, and end-to-end replay equality across worker counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/parallel_runner.hh"
+#include "sim/runner.hh"
+#include "trace/replay.hh"
+#include "trace/trace_file.hh"
+#include "trace/workloads.hh"
+
+namespace cnsim
+{
+namespace
+{
+
+std::string
+tempPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "cnsim_replay_" + tag +
+           ".trf";
+}
+
+bool
+sameRecord(const TraceRecord &a, const TraceRecord &b)
+{
+    return a.gap == b.gap && a.iaddr == b.iaddr && a.addr == b.addr &&
+           a.op == b.op;
+}
+
+/** Random record with adversarial deltas (both signs, full range). */
+TraceRecord
+fuzzRecord(Rng &rng)
+{
+    TraceRecord r;
+    // Mix small gaps (the common case) with full-range u32 gaps.
+    r.gap = rng.chance(0.9) ? rng.below(200)
+                            : rng.below(0xffffffffu);
+    auto addr64 = [&rng]() {
+        return (static_cast<Addr>(rng.below(0xffffffffu)) << 32) ^
+               rng.below(0xffffffffu);
+    };
+    r.iaddr = addr64();
+    r.addr = addr64();
+    std::uint32_t op = rng.below(3);
+    r.op = op == 0 ? MemOp::Load : op == 1 ? MemOp::Store
+                                           : MemOp::Ifetch;
+    return r;
+}
+
+/** Drain @p n records from a ReplaySource. */
+std::vector<TraceRecord>
+drain(ReplaySource &src, std::size_t n)
+{
+    std::vector<TraceRecord> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(src.next());
+    return out;
+}
+
+TEST(Replay, RoundTripFuzz)
+{
+    Rng rng(2026);
+    for (int trial = 0; trial < 8; ++trial) {
+        int cores = 1 + static_cast<int>(rng.below(4));
+        std::vector<std::vector<TraceRecord>> records(cores);
+        for (auto &stream : records) {
+            std::size_t n = 1 + rng.below(700);
+            for (std::size_t i = 0; i < n; ++i)
+                stream.push_back(fuzzRecord(rng));
+        }
+
+        // In-memory: RecordedTrace must echo the records verbatim.
+        auto trace = RecordedTrace::fromRecords(records);
+        ASSERT_EQ(trace->cores(), cores);
+        for (int c = 0; c < cores; ++c) {
+            EXPECT_EQ(trace->recordsPublished(c), records[c].size());
+            ReplaySource src(*trace, c);
+            auto got = drain(src, records[c].size());
+            for (std::size_t i = 0; i < records[c].size(); ++i)
+                EXPECT_TRUE(sameRecord(got[i], records[c][i]))
+                    << "trial " << trial << " core " << c << " #" << i;
+            EXPECT_EQ(src.wraps(), 0u);
+        }
+
+        // Through the file format: save, reload, replay again.
+        std::string path = tempPath("fuzz");
+        trace->saveTrf(path);
+        auto loaded = RecordedTrace::fromFile(path);
+        ASSERT_EQ(loaded->cores(), cores);
+        EXPECT_TRUE(loaded->frozen());
+        EXPECT_EQ(loaded->paramsHash(), trace->paramsHash());
+        EXPECT_EQ(loaded->seed(), trace->seed());
+        for (int c = 0; c < cores; ++c) {
+            ReplaySource src(*loaded, c);
+            auto got = drain(src, records[c].size());
+            for (std::size_t i = 0; i < records[c].size(); ++i)
+                EXPECT_TRUE(sameRecord(got[i], records[c][i]))
+                    << "trial " << trial << " core " << c << " #" << i;
+        }
+        std::remove(path.c_str());
+    }
+}
+
+TEST(Replay, PackedStreamReaderRejectsGarbage)
+{
+    // A stream of 0xff varint continuation bytes never terminates a
+    // field within the length bound: the reader must flag an error,
+    // not read past the buffer or loop forever.
+    std::vector<std::uint8_t> junk(64, 0xff);
+    PackedStreamReader reader(junk.data(), junk.size());
+    TraceRecord rec;
+    while (reader.next(rec)) {
+    }
+    EXPECT_TRUE(reader.error());
+}
+
+TEST(ReplayDeath, CorruptMagicRejected)
+{
+    std::string path = tempPath("badmagic");
+    std::FILE *fp = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(fp, nullptr);
+    std::fputs("NOTATRACEFILE___", fp);
+    std::fclose(fp);
+    EXPECT_DEATH(readTrf(path), "not a CNTRF001");
+    std::remove(path.c_str());
+}
+
+TEST(ReplayDeath, TruncatedHeaderRejected)
+{
+    std::string path = tempPath("shorthdr");
+    std::FILE *fp = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(fp, nullptr);
+    std::fwrite("CNTRF001\x02\x00", 1, 10, fp);
+    std::fclose(fp);
+    EXPECT_DEATH(readTrf(path), "truncated CNTRF001 header");
+    std::remove(path.c_str());
+}
+
+TEST(ReplayDeath, TruncatedPayloadRejected)
+{
+    std::string path = tempPath("shortpay");
+    Rng rng(5);
+    std::vector<std::vector<TraceRecord>> records(2);
+    for (auto &s : records)
+        for (int i = 0; i < 50; ++i)
+            s.push_back(fuzzRecord(rng));
+    RecordedTrace::fromRecords(records)->saveTrf(path);
+
+    // Chop the last few payload bytes off.
+    std::FILE *fp = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(fp, nullptr);
+    std::fseek(fp, 0, SEEK_END);
+    long size = std::ftell(fp);
+    std::fseek(fp, 0, SEEK_SET);
+    std::vector<unsigned char> bytes(static_cast<std::size_t>(size));
+    ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), fp),
+              bytes.size());
+    std::fclose(fp);
+    fp = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(fp, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size() - 5, fp);
+    std::fclose(fp);
+
+    EXPECT_DEATH(readTrf(path), "truncated CNTRF001 payload");
+    std::remove(path.c_str());
+}
+
+TEST(ReplayDeath, TrailingGarbageRejected)
+{
+    std::string path = tempPath("trailing");
+    Rng rng(6);
+    std::vector<std::vector<TraceRecord>> records(1);
+    for (int i = 0; i < 20; ++i)
+        records[0].push_back(fuzzRecord(rng));
+    RecordedTrace::fromRecords(records)->saveTrf(path);
+    std::FILE *fp = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(fp, nullptr);
+    std::fputs("extra", fp);
+    std::fclose(fp);
+    EXPECT_DEATH(readTrf(path), "trailing garbage");
+    std::remove(path.c_str());
+}
+
+TEST(ReplayDeath, ZeroCoreHeaderRejected)
+{
+    std::string path = tempPath("zerocores");
+    std::FILE *fp = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(fp, nullptr);
+    std::fputs("CNTRF001", fp);
+    // num_cores = 0, then enough zero bytes to pass the header read.
+    std::vector<unsigned char> zeros(40, 0);
+    std::fwrite(zeros.data(), 1, zeros.size(), fp);
+    std::fclose(fp);
+    EXPECT_DEATH(readTrf(path), "corrupt CNTRF001 header");
+    std::remove(path.c_str());
+}
+
+TEST(Replay, FrozenTraceWrapsAndRepeats)
+{
+    Rng rng(11);
+    std::vector<std::vector<TraceRecord>> records(1);
+    for (int i = 0; i < 5; ++i)
+        records[0].push_back(fuzzRecord(rng));
+    auto trace = RecordedTrace::fromRecords(records);
+    ReplaySource src(*trace, 0);
+    auto got = drain(src, 13);
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_TRUE(sameRecord(got[i], records[0][i % 5])) << "#" << i;
+    EXPECT_EQ(src.wraps(), 2u);
+}
+
+TEST(Replay, CanonicalGenerationIsDeterministic)
+{
+    SynthWorkloadParams params = Runner::effectiveSynthParams(
+        workloads::byName("oltp"), RunConfig{});
+    RecordedTrace a(params), b(params);
+    ASSERT_EQ(a.cores(), b.cores());
+    for (int c = 0; c < a.cores(); ++c) {
+        ReplaySource sa(a, c), sb(b, c);
+        for (int i = 0; i < 10'000; ++i)
+            EXPECT_TRUE(sameRecord(sa.next(), sb.next()))
+                << "core " << c << " #" << i;
+    }
+}
+
+TEST(Replay, ConcurrentReadersMatchSerialBaseline)
+{
+    SynthWorkloadParams params = Runner::effectiveSynthParams(
+        workloads::byName("oltp"), RunConfig{});
+    // Enough records to force several lazily generated chunks.
+    const std::size_t per_core =
+        3 * RecordedTrace::chunk_records + 77;
+
+    RecordedTrace serial(params);
+    std::vector<std::vector<TraceRecord>> baseline;
+    for (int c = 0; c < serial.cores(); ++c) {
+        ReplaySource src(serial, c);
+        baseline.push_back(drain(src, per_core));
+    }
+
+    // Fresh trace, one thread per core racing through chunk growth.
+    RecordedTrace shared(params);
+    std::vector<std::vector<TraceRecord>> got(
+        static_cast<std::size_t>(shared.cores()));
+    std::vector<std::thread> threads;
+    for (int c = 0; c < shared.cores(); ++c) {
+        threads.emplace_back([&, c]() {
+            ReplaySource src(shared, c);
+            got[static_cast<std::size_t>(c)] = drain(src, per_core);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    for (int c = 0; c < shared.cores(); ++c) {
+        for (std::size_t i = 0; i < per_core; ++i)
+            EXPECT_TRUE(sameRecord(
+                got[static_cast<std::size_t>(c)][i],
+                baseline[static_cast<std::size_t>(c)][i]))
+                << "core " << c << " #" << i;
+    }
+}
+
+TEST(Replay, TraceCacheSharesByParams)
+{
+    SynthWorkloadParams params = Runner::effectiveSynthParams(
+        workloads::byName("oltp"), RunConfig{});
+    auto a = TraceCache::global().acquire(params);
+    auto b = TraceCache::global().acquire(params);
+    EXPECT_EQ(a.get(), b.get());
+
+    SynthWorkloadParams other = params;
+    other.seed += 1;
+    auto c = TraceCache::global().acquire(other);
+    EXPECT_NE(a.get(), c.get());
+}
+
+TEST(Replay, TraceCachePrunesDeadEntries)
+{
+    SynthWorkloadParams params = Runner::effectiveSynthParams(
+        workloads::byName("oltp"), RunConfig{});
+    params.seed = 0xdeadf00d;
+    std::size_t before = TraceCache::global().liveEntries();
+    {
+        auto held = TraceCache::global().acquire(params);
+        EXPECT_EQ(TraceCache::global().liveEntries(), before + 1);
+    }
+    // The entry expired with its last reference; the next miss prunes
+    // it, so the live count cannot grow without bound across sweeps,
+    // and re-acquiring the same params regenerates rather than
+    // resurrecting the dead pointer.
+    SynthWorkloadParams fresh = params;
+    fresh.seed = 0xfeedbeef;
+    auto held = TraceCache::global().acquire(fresh);
+    EXPECT_LE(TraceCache::global().liveEntries(), before + 1);
+    auto again = TraceCache::global().acquire(params);
+    EXPECT_NE(again, nullptr);
+}
+
+TEST(Replay, RunnerReplayMatchesAcrossWorkerCounts)
+{
+    RunConfig rc;
+    rc.warmup_instructions = 20'000;
+    rc.measure_instructions = 40'000;
+
+    auto grid = [&](unsigned workers) {
+        ParallelRunner pool(workers);
+        pool.enableSharedTraceCache();
+        for (L2Kind k : {L2Kind::Shared, L2Kind::Nurapid,
+                         L2Kind::Private}) {
+            pool.submit(Runner::paperConfig(k),
+                        workloads::byName("oltp"), rc);
+        }
+        return pool.run();
+    };
+
+    std::vector<RunResult> one = grid(1);
+    std::vector<RunResult> four = grid(4);
+    ASSERT_EQ(one.size(), four.size());
+    for (std::size_t i = 0; i < one.size(); ++i) {
+        EXPECT_EQ(one[i].instructions, four[i].instructions);
+        EXPECT_EQ(one[i].cycles, four[i].cycles);
+        EXPECT_EQ(one[i].l2_accesses, four[i].l2_accesses);
+        EXPECT_EQ(one[i].bus_transactions, four[i].bus_transactions);
+        EXPECT_DOUBLE_EQ(one[i].ipc, four[i].ipc);
+        EXPECT_DOUBLE_EQ(one[i].miss_rate, four[i].miss_rate);
+    }
+}
+
+TEST(Replay, ReplayRunIsByteStableAcrossTraceInstances)
+{
+    // Two independently generated traces of the same params must give
+    // identical simulation results (the canonical-order contract).
+    RunConfig rc;
+    rc.warmup_instructions = 20'000;
+    rc.measure_instructions = 40'000;
+    WorkloadSpec wl = workloads::byName("oltp");
+    SynthWorkloadParams params = Runner::effectiveSynthParams(wl, rc);
+
+    RunConfig rc_a = rc;
+    rc_a.replay = std::make_shared<RecordedTrace>(params);
+    RunConfig rc_b = rc;
+    rc_b.replay = std::make_shared<RecordedTrace>(params);
+
+    SystemConfig cfg = Runner::paperConfig(L2Kind::Nurapid);
+    RunResult a = Runner::run(cfg, wl, rc_a);
+    RunResult b = Runner::run(cfg, wl, rc_b);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.l2_accesses, b.l2_accesses);
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+}
+
+} // namespace
+} // namespace cnsim

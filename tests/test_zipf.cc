@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests pinning the alias-table Zipf sampler. The sampler replaced an
+ * O(log n) inverse-CDF search; its per-rank probabilities must stay
+ * exactly the analytic cell masses of that search, so the tests here
+ * chi-squared-compare sampled frequencies against
+ * ZipfTable::cellProbability for both CDF branches, and pin the
+ * uniform fallback, determinism, and table-cache sharing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/zipf.hh"
+
+namespace cnsim
+{
+namespace
+{
+
+/**
+ * Chi-squared statistic of @p draws samples from rng.zipf(n, theta)
+ * against the analytic cell probabilities.
+ */
+double
+chiSquared(std::uint32_t n, double theta, std::uint32_t draws,
+           std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint64_t> observed(n, 0);
+    for (std::uint32_t i = 0; i < draws; ++i) {
+        std::uint32_t k = rng.zipf(n, theta);
+        EXPECT_LT(k, n);
+        ++observed[k];
+    }
+    double chi2 = 0.0;
+    for (std::uint32_t k = 0; k < n; ++k) {
+        double expected =
+            ZipfTable::cellProbability(k, n, theta) * draws;
+        EXPECT_GT(expected, 0.0) << "rank " << k;
+        double d = static_cast<double>(observed[k]) - expected;
+        chi2 += d * d / expected;
+    }
+    return chi2;
+}
+
+TEST(Zipf, CellProbabilitiesSumToOne)
+{
+    struct Case
+    {
+        std::uint32_t n;
+        double theta;
+    };
+    for (Case c : {Case{4, 0.3}, Case{64, 0.6}, Case{100, 1.0},
+                   Case{1000, 0.55}, Case{7, 1.0}}) {
+        double sum = 0.0;
+        for (std::uint32_t k = 0; k < c.n; ++k)
+            sum += ZipfTable::cellProbability(k, c.n, c.theta);
+        EXPECT_NEAR(sum, 1.0, 1e-9) << "n=" << c.n
+                                    << " theta=" << c.theta;
+    }
+}
+
+TEST(Zipf, CellProbabilitiesDecreaseWithRank)
+{
+    // Zipf mass must be (weakly) front-loaded: rank 0 most popular.
+    for (double theta : {0.3, 0.6, 1.0}) {
+        for (std::uint32_t k = 0; k + 1 < 64; ++k) {
+            EXPECT_GE(ZipfTable::cellProbability(k, 64, theta) + 1e-12,
+                      ZipfTable::cellProbability(k + 1, 64, theta))
+                << "theta=" << theta << " rank " << k;
+        }
+    }
+}
+
+/**
+ * Power branch (1 - theta > 1e-9): cdf(k) = ((k+1)/n)^(1-theta).
+ * Fixed seed makes the statistic a deterministic regression value;
+ * 110 sits above the 99.9th percentile of chi^2 with 63 dof (~103.4),
+ * so a distribution change fails loudly while sampling noise cannot.
+ */
+TEST(Zipf, ChiSquaredPowerBranch)
+{
+    EXPECT_LT(chiSquared(64, 0.6, 200'000, 12345), 110.0);
+}
+
+/** Log branch (theta ~ 1): cdf(k) = ln(k+2)/ln(n+1). 99 dof. */
+TEST(Zipf, ChiSquaredLogBranch)
+{
+    EXPECT_LT(chiSquared(100, 1.0, 200'000, 999), 150.0);
+}
+
+/** theta <= 0 falls back to a uniform pick over [0, n). */
+TEST(Zipf, ThetaZeroIsUniform)
+{
+    Rng rng(7);
+    constexpr std::uint32_t n = 16;
+    constexpr std::uint32_t draws = 160'000;
+    std::vector<std::uint64_t> observed(n, 0);
+    for (std::uint32_t i = 0; i < draws; ++i)
+        ++observed[rng.zipf(n, 0.0)];
+    double expected = static_cast<double>(draws) / n;
+    double chi2 = 0.0;
+    for (std::uint32_t k = 0; k < n; ++k) {
+        double d = static_cast<double>(observed[k]) - expected;
+        chi2 += d * d / expected;
+    }
+    // 15 dof: 99.9th percentile ~ 37.7.
+    EXPECT_LT(chi2, 40.0);
+}
+
+TEST(Zipf, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.zipf(512, 0.75), b.zipf(512, 0.75));
+}
+
+TEST(Zipf, OneUniformPerDraw)
+{
+    // The alias sampler consumes exactly one uniform() per draw, so a
+    // zipf draw and a uniform draw advance the stream identically.
+    Rng a(9), b(9);
+    (void)a.zipf(64, 0.6);
+    (void)b.uniform();
+    EXPECT_EQ(a.below(1u << 30), b.below(1u << 30));
+}
+
+TEST(Zipf, TableCacheSharesInstances)
+{
+    auto t1 = ZipfTable::get(128, 0.8);
+    auto t2 = ZipfTable::get(128, 0.8);
+    EXPECT_EQ(t1.get(), t2.get());
+    auto t3 = ZipfTable::get(128, 0.7);
+    EXPECT_NE(t1.get(), t3.get());
+    auto t4 = ZipfTable::get(256, 0.8);
+    EXPECT_NE(t1.get(), t4.get());
+}
+
+TEST(Zipf, DegenerateSizes)
+{
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.zipf(1, 0.9), 0u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LT(rng.zipf(2, 1.0), 2u);
+}
+
+} // namespace
+} // namespace cnsim

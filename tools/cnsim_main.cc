@@ -32,6 +32,7 @@
 #include "sim/event_queue.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/runner.hh"
+#include "trace/replay.hh"
 #include "trace/trace_file.hh"
 
 using namespace cnsim;
@@ -80,9 +81,29 @@ usage(const char *argv0)
         "  --metrics-out <file>    write the metrics time series CSV "
         "here\n"
         "  --audit            run the online coherence-protocol auditor\n"
+        "  --replay-cache     materialize each workload's stream once "
+        "(canonical\n"
+        "                     order) and replay it across every grid "
+        "cell; default\n"
+        "                     for multi-cell grids\n"
+        "  --no-replay-cache  regenerate the stream live per cell "
+        "(timing-\n"
+        "                     interleaved order)\n"
+        "  --trace-capture <file>  save the replayed stream(s) as "
+        "CNTRF001 (grids\n"
+        "                     with several workloads insert the "
+        "workload name\n"
+        "                     before the extension); implies "
+        "--replay-cache\n"
+        "  --trace-replay <file>   drive every cell from a captured "
+        "CNTRF001 trace\n"
+        "                     (single workload name for labeling only)"
+        "\n"
         "  --record <prefix>  record per-core traces to "
-        "<prefix>.core<N>.trc\n"
-        "  --replay <prefix>  drive the cores from recorded traces\n"
+        "<prefix>.core<N>.trc (legacy\n"
+        "                     CNSTRC01, timing-interleaved, serial)\n"
+        "  --replay <prefix>  drive the cores from recorded legacy "
+        "traces\n"
         "  --list             list workloads and organizations\n",
         argv0);
 }
@@ -260,6 +281,9 @@ main(int argc, char **argv)
     unsigned tag_factor = 2;
     std::string record_prefix;
     std::string replay_prefix;
+    std::string trace_capture_path;
+    std::string trace_replay_path;
+    int replay_cache = -1;  // -1 auto, 0 off, 1 on
     std::string stats_csv_path;
     std::string trace_out;
     std::string metrics_out;
@@ -324,6 +348,14 @@ main(int argc, char **argv)
             record_prefix = next();
         } else if (a == "--replay") {
             replay_prefix = next();
+        } else if (a == "--trace-capture") {
+            trace_capture_path = next();
+        } else if (a == "--trace-replay") {
+            trace_replay_path = next();
+        } else if (a == "--replay-cache") {
+            replay_cache = 1;
+        } else if (a == "--no-replay-cache") {
+            replay_cache = 0;
         } else if (a == "--list") {
             std::printf("workloads (Table 3): ");
             for (const auto &w : workloads::multithreadedNames())
@@ -353,11 +385,66 @@ main(int argc, char **argv)
         metrics_interval = 100'000;
 
     const bool trace_io = !record_prefix.empty() || !replay_prefix.empty();
+    if (trace_io &&
+        (!trace_capture_path.empty() || !trace_replay_path.empty() ||
+         replay_cache == 1)) {
+        fatal("--record/--replay (legacy per-core traces) cannot be "
+              "combined with --trace-capture/--trace-replay/"
+              "--replay-cache");
+    }
+    if (!trace_capture_path.empty() && !trace_replay_path.empty())
+        fatal("--trace-capture and --trace-replay are mutually "
+              "exclusive");
 
     // Build the (L2 kind x workload) grid in print order.
     const std::vector<L2Kind> kind_list = parseKinds(l2_arg);
     const std::vector<std::string> wl_list = parseWorkloads(wl_arg);
     const bool multi = kind_list.size() * wl_list.size() > 1;
+
+    // A captured trace replays one workload's stream; a grid over
+    // several workloads has no single stream to replay.
+    if (!trace_replay_path.empty() && wl_list.size() > 1)
+        fatal("--trace-replay drives a single workload (got %zu)",
+              wl_list.size());
+
+    // Replay-cache mode: multi-cell grids default to sharing one
+    // canonical pre-materialized stream per workload; capturing
+    // requires it. --no-replay-cache restores live per-cell
+    // generation (timing-interleaved stream order).
+    const bool use_replay_cache =
+        replay_cache == 1 ||
+        (!trace_capture_path.empty() && replay_cache != 0) ||
+        (replay_cache == -1 && multi && !trace_io);
+    if (!trace_capture_path.empty() && !use_replay_cache)
+        fatal("--trace-capture needs the replay cache; drop "
+              "--no-replay-cache");
+
+    // Per-workload shared traces for this grid (capture needs the
+    // handles afterwards to save the streams).
+    std::shared_ptr<RecordedTrace> frozen;
+    if (!trace_replay_path.empty()) {
+        frozen = RecordedTrace::fromFile(trace_replay_path);
+        inform("replaying '%s': %d cores, %llu records/core published",
+               trace_replay_path.c_str(), frozen->cores(),
+               static_cast<unsigned long long>(
+                   frozen->recordsPublished(0)));
+    }
+    std::vector<std::pair<std::string, std::shared_ptr<RecordedTrace>>>
+        cached_traces;
+    auto trace_for = [&](const std::string &w)
+        -> std::shared_ptr<RecordedTrace> {
+        if (frozen)
+            return frozen;
+        if (!use_replay_cache)
+            return nullptr;
+        for (const auto &ct : cached_traces)
+            if (ct.first == w)
+                return ct.second;
+        cached_traces.emplace_back(
+            w, TraceCache::global().acquire(Runner::effectiveSynthParams(
+                   workloads::byName(w), rc)));
+        return cached_traces.back().second;
+    };
 
     ParallelRunner pool(jobs);
     std::vector<RunResult> results;
@@ -377,6 +464,12 @@ main(int argc, char **argv)
 
         for (const auto &w : wl_list) {
             RunConfig run = rc;
+            run.replay = trace_for(w);
+            if (run.replay && run.replay->cores() != cfg.num_cores) {
+                fatal("trace '%s' has %d cores but the system has %d",
+                      trace_replay_path.c_str(), run.replay->cores(),
+                      cfg.num_cores);
+            }
             // Grid sweeps write one trace per run, tagged by cell.
             if (!trace_out.empty())
                 run.trace_out =
@@ -447,6 +540,27 @@ main(int argc, char **argv)
                                           r.l2_kind + "-" + r.workload)
                                 : metrics_out,
                           r.metrics_csv);
+    }
+    if (!trace_capture_path.empty()) {
+        // Save exactly what the grid consumed: the published prefix of
+        // each workload's canonical stream.
+        for (const auto &ct : cached_traces) {
+            std::string path = wl_list.size() > 1
+                                   ? tagPath(trace_capture_path, ct.first)
+                                   : trace_capture_path;
+            ct.second->saveTrf(path);
+            inform("captured %s: %llu records/core, %.1f MB packed "
+                   "(%.2f B/record)",
+                   path.c_str(),
+                   static_cast<unsigned long long>(
+                       ct.second->recordsPublished(0)),
+                   static_cast<double>(ct.second->bytesPublished()) /
+                       (1024.0 * 1024.0),
+                   static_cast<double>(ct.second->bytesPublished()) /
+                       (static_cast<double>(
+                            ct.second->recordsPublished(0)) *
+                        ct.second->cores()));
+        }
     }
     return 0;
 }
