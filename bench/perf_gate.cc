@@ -8,10 +8,12 @@
  *    the shared, CMP-NuRAPID, private, and D-NUCA L2 organizations --
  *    shared is event-kernel-bound, nurapid exercises the tag
  *    snoop/pointer machinery, private stresses the coherent-bus path,
- *    dnuca the migration machinery. Reported as *accesses per
- *    wall-second* (one kernel event per trace record). These runs
- *    generate their reference streams live so the numbers stay
- *    comparable with the pre-replay trajectory.
+ *    dnuca the migration machinery -- plus "mesh16", CMP-NuRAPID at
+ *    16 cores over the mesh directory (NoC links, home striping,
+ *    sharer fan-out). Reported as *accesses per wall-second* (one
+ *    kernel event per trace record). These runs generate their
+ *    reference streams live so the numbers stay comparable with the
+ *    pre-replay trajectory.
  *
  * 2. A 7-organization sweep over oltp, timed end to end both live
  *    (every cell regenerates its reference stream inline) and in
@@ -111,18 +113,16 @@ sweepConfig()
 }
 
 OrgResult
-measure(L2Kind kind, int reps)
+measure(const std::string &tag, const SystemConfig &cfg,
+        const WorkloadSpec &wl, int reps)
 {
     RunConfig rc;
     rc.warmup_instructions = pinned_warmup;
     rc.measure_instructions = pinned_measure;
     rc.seed = 1;
 
-    SystemConfig cfg = Runner::paperConfig(kind);
-    WorkloadSpec wl = workloads::byName(pinned_workload);
-
     OrgResult r;
-    r.org = toString(kind);
+    r.org = tag;
     std::vector<double> aps;
     for (int i = 0; i < reps; ++i) {
         double t0 = nowSeconds();
@@ -240,7 +240,17 @@ main(int argc, char **argv)
     std::vector<OrgResult> results;
     for (L2Kind k : {L2Kind::Shared, L2Kind::Nurapid, L2Kind::Private,
                      L2Kind::Dnuca})
-        results.push_back(measure(k, reps));
+        results.push_back(measure(toString(k), Runner::paperConfig(k),
+                                  workloads::byName(pinned_workload),
+                                  reps));
+    // The many-core hot path: CMP-NuRAPID at 16 cores over the mesh
+    // directory stresses the NoC link resources, home-node striping,
+    // and the sharer fan-out that the 4-core bus scenarios never touch.
+    results.push_back(
+        measure("mesh16",
+                Runner::paperConfig(L2Kind::Nurapid, 16,
+                                    InterconnectKind::Mesh),
+                workloads::byName(pinned_workload, 16), reps));
 
     SweepResult sweep = measureSweep(reps);
 

@@ -19,7 +19,6 @@
 #include <cstdio>
 
 #include "bench_util.hh"
-#include "cactilite/cactilite.hh"
 
 using namespace cnsim;
 
@@ -29,24 +28,9 @@ namespace
 SystemConfig
 configFor(L2Kind kind, int cores)
 {
-    SystemConfig cfg = Runner::paperConfig(kind);
-    CactiLite m;
-    std::uint64_t per_core = 2ull * 1024 * 1024;
-    std::uint64_t total = per_core * cores;
-
-    cfg.num_cores = cores;
-    cfg.shared.num_cores = cores;
-    cfg.shared.capacity = total;
-    cfg.shared.latency = m.sharedCache(total, 128).total;
-    cfg.shared.ports = cores;
-    cfg.priv.num_cores = cores;
-    cfg.priv.capacity_per_core = per_core;
-    cfg.ideal_latency = cfg.priv.latency;
-    cfg.nurapid.num_cores = cores;
-    cfg.nurapid.num_dgroups = cores;
-    cfg.nurapid.dgroup_capacity = per_core;
-    cfg.bus.latency = m.busCycles(total);
-    return cfg;
+    // The scaled-platform recipe lives in Runner::paperConfig now;
+    // this sweep keeps the paper's bus at both core counts.
+    return Runner::paperConfig(kind, cores, InterconnectKind::Bus);
 }
 
 void

@@ -78,7 +78,7 @@ DnucaL2::access(const MemAccess &acc, Tick at)
 {
     Addr baddr = blockAlign(acc.addr, params.block_size);
     AccessResult res;
-    std::uint32_t me = 1u << acc.core;
+    std::uint64_t me = 1ull << acc.core;
 
     if (Block *b = array.find(baddr)) {
         array.touch(b);
@@ -87,7 +87,7 @@ DnucaL2::access(const MemAccess &acc, Tick at)
         Tick done = grant + bankLatency(acc.core, bank);
         if (acc.op == MemOp::Store) {
             for (CoreId c = 0; c < params.num_cores; ++c) {
-                if (c != acc.core && (b->l1_sharers & (1u << c))) {
+                if (c != acc.core && (b->l1_sharers & (1ull << c))) {
                     emitDir(done, c, baddr, dirState(*b, c),
                             CohState::Invalid, obs::TransCause::BusRdX);
                     invalidateL1(c, baddr);
@@ -134,7 +134,7 @@ DnucaL2::access(const MemAccess &acc, Tick at)
     Block *v = array.victim(baddr);
     if (v->valid) {
         for (CoreId c = 0; c < params.num_cores; ++c) {
-            if (v->l1_sharers & (1u << c)) {
+            if (v->l1_sharers & (1ull << c)) {
                 emitDir(done, c, v->addr, dirState(*v, c),
                         CohState::Invalid, obs::TransCause::Replacement);
                 invalidateL1(c, v->addr);
@@ -184,7 +184,7 @@ DnucaL2::dirState(const Block &b, CoreId c)
 {
     if (b.l1_owner == c)
         return CohState::Modified;
-    if (b.l1_sharers & (1u << c))
+    if (b.l1_sharers & (1ull << c))
         return CohState::Shared;
     return CohState::Invalid;
 }
@@ -210,7 +210,7 @@ DnucaL2::checkBlockInvariants(Addr addr) const
     cnsim_assert(b->bank < nparams.banks, "block in bank %u of %u",
                  static_cast<unsigned>(b->bank), nparams.banks);
     cnsim_assert(b->l1_owner == invalid_id ||
-                     (b->l1_sharers & (1u << b->l1_owner)),
+                     (b->l1_sharers & (1ull << b->l1_owner)),
                  "L1 owner %d not in sharer set of block %llx",
                  b->l1_owner, static_cast<unsigned long long>(baddr));
 }

@@ -73,7 +73,7 @@ class DnucaL2 : public L2Org
         bool dirty = false;
         /** Bank currently holding the block (migrates). */
         std::uint16_t bank = 0;
-        std::uint32_t l1_sharers = 0;
+        std::uint64_t l1_sharers = 0;
         CoreId l1_owner = invalid_id;
     };
 

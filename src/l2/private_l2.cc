@@ -6,7 +6,7 @@
 namespace cnsim
 {
 
-PrivateL2::PrivateL2(const PrivateL2Params &p, SnoopBus &bus,
+PrivateL2::PrivateL2(const PrivateL2Params &p, Interconnect &bus,
                      MainMemory &mem)
     : L2Org("privateL2"), params(p), bus(bus), memory(mem)
 {
@@ -36,6 +36,10 @@ PrivateL2::invalidateCopy(CoreId core, Block *b, obs::TransCause cause,
     if (b->fill_class == AccessClass::RWSMiss && !b->ifetch_filled)
         reuse_tracker.rwsInvalidated(b->reuses);
     emitTrans(t, core, b->addr, b->state, CohState::Invalid, cause);
+    // Snoop-driven invalidations are silent on a bus but would strand
+    // this core's sharer bit in a directory.
+    if (bus.wantsEvictionNotices())
+        bus.postedTransaction(BusCmd::DirPut, core, b->addr, t);
     caches[core].invalidate(b);
     b->state = CohState::Invalid;
     invalidateL1(core, b->addr);
@@ -73,7 +77,7 @@ PrivateL2::access(const MemAccess &acc, Tick at)
         // invalidate the other copies (a coherence *transaction*, not a
         // miss -- the data is already local).
         cnsim_assert(b->state == CohState::Shared, "bad upgrade state");
-        Tick tb = bus.transaction(BusCmd::BusUpg, t);
+        Tick tb = bus.transaction(BusCmd::BusUpg, c, baddr, t);
         n_upgrades.inc();
         for (CoreId o = 0; o < params.num_cores; ++o) {
             if (o == c)
@@ -93,7 +97,7 @@ PrivateL2::access(const MemAccess &acc, Tick at)
 
     // Miss: broadcast on the bus and snoop the other caches.
     BusCmd cmd = acc.op == MemOp::Store ? BusCmd::BusRdX : BusCmd::BusRd;
-    Tick tb = bus.transaction(cmd, t);
+    Tick tb = bus.transaction(cmd, c, baddr, t);
 
     bool any_dirty = false;
     bool any_clean = false;
@@ -164,7 +168,11 @@ PrivateL2::access(const MemAccess &acc, Tick at)
             reuse_tracker.rosReplaced(v->reuses);
         if (v->state == CohState::Modified) {
             memory.writeback(data_at);
-            bus.postedTransaction(BusCmd::WrBack, data_at);
+            bus.postedTransaction(BusCmd::WrBack, c, v->addr, data_at);
+        } else if (bus.wantsEvictionNotices()) {
+            // A silent clean eviction would strand this core's sharer
+            // bit in the directory.
+            bus.postedTransaction(BusCmd::DirPut, c, v->addr, data_at);
         }
         emitTrans(data_at, c, v->addr, v->state, CohState::Invalid,
                   obs::TransCause::Replacement);

@@ -28,7 +28,7 @@
 #include "cache/reuse_tracker.hh"
 #include "cache/set_assoc.hh"
 #include "l2/l2_org.hh"
-#include "mem/bus.hh"
+#include "mem/interconnect.hh"
 #include "mem/memory.hh"
 #include "mem/resource.hh"
 #include "obs/event.hh"
@@ -53,7 +53,8 @@ struct PrivateL2Params
 class PrivateL2 : public L2Org
 {
   public:
-    PrivateL2(const PrivateL2Params &p, SnoopBus &bus, MainMemory &mem);
+    PrivateL2(const PrivateL2Params &p, Interconnect &bus,
+              MainMemory &mem);
 
     AccessResult access(const MemAccess &acc, Tick at) override;
     std::string kind() const override { return "private"; }
@@ -96,7 +97,7 @@ class PrivateL2 : public L2Org
                    CohState news, obs::TransCause cause);
 
     PrivateL2Params params;
-    SnoopBus &bus;
+    Interconnect &bus;
     MainMemory &memory;
     std::vector<SetAssocArray<Block>> caches;
     std::vector<std::unique_ptr<Resource>> ports;

@@ -59,7 +59,7 @@ SharedL2::access(const MemAccess &acc, Tick at)
     Tick done = serviceTime(acc.core, baddr, grant);
 
     AccessResult res;
-    std::uint32_t me = 1u << acc.core;
+    std::uint64_t me = 1ull << acc.core;
 
     if (auto *b = array.find(baddr)) {
         array.touch(b);
@@ -67,7 +67,7 @@ SharedL2::access(const MemAccess &acc, Tick at)
             // Invalidate other cores' L1 copies through the in-L2
             // directory; no bus transaction is needed.
             for (CoreId c = 0; c < params.num_cores; ++c) {
-                if (c != acc.core && (b->l1_sharers & (1u << c))) {
+                if (c != acc.core && (b->l1_sharers & (1ull << c))) {
                     if (sink)
                         emitDir(done, c, baddr, dirState(*b, c),
                                 CohState::Invalid,
@@ -113,7 +113,7 @@ SharedL2::access(const MemAccess &acc, Tick at)
     Block *v = array.victim(baddr);
     if (v->valid) {
         for (CoreId c = 0; c < params.num_cores; ++c) {
-            if (v->l1_sharers & (1u << c)) {
+            if (v->l1_sharers & (1ull << c)) {
                 if (sink)
                     emitDir(done, c, v->addr, dirState(*v, c),
                             CohState::Invalid,
@@ -160,7 +160,7 @@ SharedL2::checkInvariants() const
         cnsim_assert(b.addr == blockAlign(b.addr, params.block_size),
                      "unaligned block address");
         if (b.l1_owner != invalid_id) {
-            cnsim_assert(b.l1_sharers & (1u << b.l1_owner),
+            cnsim_assert(b.l1_sharers & (1ull << b.l1_owner),
                          "L1 owner not in sharer set");
         }
     }
@@ -175,7 +175,7 @@ SharedL2::checkBlockInvariants(Addr addr) const
     cnsim_assert(b->addr == blockAlign(b->addr, params.block_size),
                  "unaligned block address");
     if (b->l1_owner != invalid_id) {
-        cnsim_assert(b->l1_sharers & (1u << b->l1_owner),
+        cnsim_assert(b->l1_sharers & (1ull << b->l1_owner),
                      "L1 owner of 0x%llx not in sharer set",
                      static_cast<unsigned long long>(b->addr));
     }

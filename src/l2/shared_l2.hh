@@ -91,7 +91,7 @@ class SharedL2 : public L2Org
         bool valid = false;
         bool dirty = false;
         /** Bitmask of cores that may hold L1 copies. */
-        std::uint32_t l1_sharers = 0;
+        std::uint64_t l1_sharers = 0;
         /** Core whose L1 holds store ownership, or invalid_id. */
         CoreId l1_owner = invalid_id;
     };
@@ -102,7 +102,7 @@ class SharedL2 : public L2Org
     {
         if (b.l1_owner == c)
             return CohState::Modified;
-        return (b.l1_sharers & (1u << c)) ? CohState::Shared
+        return (b.l1_sharers & (1ull << c)) ? CohState::Shared
                                           : CohState::Invalid;
     }
 

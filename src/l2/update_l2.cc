@@ -6,7 +6,7 @@
 namespace cnsim
 {
 
-UpdateL2::UpdateL2(const PrivateL2Params &p, SnoopBus &bus,
+UpdateL2::UpdateL2(const PrivateL2Params &p, Interconnect &bus,
                    MainMemory &mem)
     : L2Org("updateL2"), params(p), bus(bus), memory(mem)
 {
@@ -46,7 +46,7 @@ UpdateL2::access(const MemAccess &acc, Tick at)
             // The update-protocol tax: every write to a shared block
             // broadcasts the new data and patches the peer copies (and
             // their L1s) in place.
-            Tick tb = bus.transaction(BusCmd::BusUpd, t);
+            Tick tb = bus.transaction(BusCmd::BusUpd, c, baddr, t);
             n_updates.inc();
             bool still_shared = false;
             for (CoreId o = 0; o < params.num_cores; ++o) {
@@ -94,7 +94,7 @@ UpdateL2::access(const MemAccess &acc, Tick at)
 
     // Miss: fetch the block; with updates, peers keep their copies.
     BusCmd cmd = acc.op == MemOp::Store ? BusCmd::BusRdX : BusCmd::BusRd;
-    Tick tb = bus.transaction(cmd, t);
+    Tick tb = bus.transaction(cmd, c, baddr, t);
 
     bool any_dirty = false;
     bool any_copy = false;
@@ -129,9 +129,11 @@ UpdateL2::access(const MemAccess &acc, Tick at)
     if (v->valid) {
         if (v->owner || v->state == CohState::Modified) {
             memory.writeback(data_at);
-            bus.postedTransaction(BusCmd::WrBack, data_at);
+            bus.postedTransaction(BusCmd::WrBack, c, v->addr, data_at);
             // Ownership hand-off: some remaining sharer becomes owner
             // is unnecessary -- the data just went to memory.
+        } else if (bus.wantsEvictionNotices()) {
+            bus.postedTransaction(BusCmd::DirPut, c, v->addr, data_at);
         }
         emitTrans(data_at, c, v->addr, v->state, CohState::Invalid,
                   obs::TransCause::Replacement);
@@ -167,7 +169,7 @@ UpdateL2::access(const MemAccess &acc, Tick at)
         if (shared_now) {
             // The write itself updates the peers; ownership (writeback
             // responsibility) moves to the writer.
-            Tick tu = bus.transaction(BusCmd::BusUpd, data_at);
+            Tick tu = bus.transaction(BusCmd::BusUpd, c, baddr, data_at);
             n_updates.inc();
             emitTrans(tu, c, baddr, CohState::Shared, CohState::Shared,
                       obs::TransCause::PrWr, obs::trans_flag_broadcast);

@@ -40,7 +40,7 @@
 #include "cache/set_assoc.hh"
 #include "l2/l2_org.hh"
 #include "l2/private_l2.hh"
-#include "mem/bus.hh"
+#include "mem/interconnect.hh"
 #include "mem/memory.hh"
 #include "mem/resource.hh"
 
@@ -51,7 +51,8 @@ namespace cnsim
 class UpdateL2 : public L2Org
 {
   public:
-    UpdateL2(const PrivateL2Params &p, SnoopBus &bus, MainMemory &mem);
+    UpdateL2(const PrivateL2Params &p, Interconnect &bus,
+             MainMemory &mem);
 
     AccessResult access(const MemAccess &acc, Tick at) override;
     std::string kind() const override { return "update"; }
@@ -86,7 +87,7 @@ class UpdateL2 : public L2Org
                    std::uint64_t flags = 0);
 
     PrivateL2Params params;
-    SnoopBus &bus;
+    Interconnect &bus;
     MainMemory &memory;
     std::vector<SetAssocArray<Block>> caches;
     std::vector<std::unique_ptr<Resource>> ports;

@@ -11,22 +11,25 @@ SnoopBus::SnoopBus(const BusParams &p)
 }
 
 Tick
-SnoopBus::transaction(BusCmd cmd, Tick at)
+SnoopBus::place(BusCmd cmd, Tick at)
 {
     counts[static_cast<int>(cmd)].inc();
     Tick grant = slot.acquire(at, params.arbitration);
     if (sink)
         sink->busTx(grant, track, cmd, params.latency);
-    return grant + params.latency;
+    return grant;
+}
+
+Tick
+SnoopBus::transaction(BusCmd cmd, CoreId, Addr, Tick at)
+{
+    return place(cmd, at) + params.latency;
 }
 
 void
-SnoopBus::postedTransaction(BusCmd cmd, Tick at)
+SnoopBus::postedTransaction(BusCmd cmd, CoreId, Addr, Tick at)
 {
-    counts[static_cast<int>(cmd)].inc();
-    Tick grant = slot.acquire(at, params.arbitration);
-    if (sink)
-        sink->busTx(grant, track, cmd, params.latency);
+    (void)place(cmd, at);
 }
 
 void
@@ -40,11 +43,15 @@ SnoopBus::attachSink(obs::TraceSink *s)
 void
 SnoopBus::regStats(StatGroup &group)
 {
-    static const char *names[] = {"busRd", "busRdX", "busUpg", "busRepl",
-                                  "wrBack", "busUpd"};
+    // statName's switch is exhaustive (-Wswitch-enum), so a BusCmd
+    // addition that forgets the counter table can't mislabel anything;
+    // this only guards the enumerator/count pairing itself.
+    static_assert(static_cast<int>(BusCmd::DirPut) + 1 == num_bus_cmds,
+                  "num_bus_cmds disagrees with the BusCmd enumerators");
     for (int i = 0; i < num_bus_cmds; ++i)
-        group.addCounter(std::string("bus.") + names[i], &counts[i],
-                         "bus transactions");
+        group.addCounter(
+            std::string("bus.") + statName(static_cast<BusCmd>(i)),
+            &counts[i], "bus transactions");
     slot.regStats(group);
 }
 

@@ -15,7 +15,10 @@
  *
  * Protocol *logic* (who responds, what state changes) lives in the L2
  * organizations, which have the global view; the Bus provides timing
- * and per-command accounting.
+ * and per-command accounting. It implements the Interconnect interface
+ * but ignores the requestor/address operands -- a broadcast medium has
+ * no use for them -- so bus-coupled runs are bit-identical to the
+ * pre-interface simulator.
  */
 
 #ifndef CNSIM_MEM_BUS_HH
@@ -26,6 +29,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "mem/interconnect.hh"
 #include "mem/packet.hh"
 #include "mem/resource.hh"
 
@@ -42,40 +46,51 @@ struct BusParams
 };
 
 /** Timing/accounting model of the snoopy bus. */
-class SnoopBus
+class SnoopBus : public Interconnect
 {
   public:
     explicit SnoopBus(const BusParams &p = BusParams{});
 
+    using Interconnect::postedTransaction;
+    using Interconnect::transaction;
+
     /**
      * Place a transaction of kind @p cmd on the bus at tick @p at.
+     * @p src and @p addr are accounting-only on a broadcast medium and
+     * are ignored.
      *
      * @return the tick at which the transaction has been seen by every
      *         snooper and any combined response (shared/dirty signals,
      *         pointer return) is available at the requestor.
      */
-    [[nodiscard]] Tick transaction(BusCmd cmd, Tick at);
+    [[nodiscard]] Tick transaction(BusCmd cmd, CoreId src, Addr addr,
+                                   Tick at) override;
 
     /**
      * Place a transaction that does not stall the issuer (BusRepl,
      * writeback address phases). Occupies the address slot only.
      */
-    void postedTransaction(BusCmd cmd, Tick at);
+    void postedTransaction(BusCmd cmd, CoreId src, Addr addr,
+                           Tick at) override;
 
-    void regStats(StatGroup &group);
-    void resetStats();
+    void regStats(StatGroup &group) override;
+    void resetStats() override;
 
     /** Emit BusTx (and address-slot Resource) events into @p s. */
-    void attachSink(obs::TraceSink *s);
+    void attachSink(obs::TraceSink *s) override;
 
-    [[nodiscard]] std::uint64_t count(BusCmd cmd) const
+    [[nodiscard]] std::uint64_t count(BusCmd cmd) const override
     {
         return counts[static_cast<int>(cmd)].value();
     }
 
-    [[nodiscard]] Tick latency() const { return params.latency; }
+    [[nodiscard]] Tick latency() const override { return params.latency; }
 
   private:
+    /** Arbitrate for the address slot and account one transaction.
+     *  @return the slot-grant tick. */
+    Tick place(BusCmd cmd, Tick at);
+
     BusParams params;
     Resource slot;
     std::array<Counter, num_bus_cmds> counts;

@@ -92,10 +92,11 @@ enum class BusCmd
     BusRepl,  //!< replacement notification for shared data (paper 3.1)
     WrBack,   //!< dirty writeback to memory
     BusUpd,   //!< write-update broadcast (update-protocol baseline)
+    DirPut,   //!< clean-eviction notice to a directory home node
 };
 
 /** Number of distinct BusCmd values. */
-constexpr int num_bus_cmds = 6;
+constexpr int num_bus_cmds = 7;
 
 /** Human-readable name for a BusCmd. */
 inline const char *
@@ -108,6 +109,23 @@ toString(BusCmd c)
       case BusCmd::BusRepl: return "BusRepl";
       case BusCmd::WrBack: return "WrBack";
       case BusCmd::BusUpd: return "BusUpd";
+      case BusCmd::DirPut: return "DirPut";
+    }
+    return "?";
+}
+
+/** Stat name for a BusCmd ("bus.busRd" style lower camel case). */
+inline const char *
+statName(BusCmd c)
+{
+    switch (c) {
+      case BusCmd::BusRd: return "busRd";
+      case BusCmd::BusRdX: return "busRdX";
+      case BusCmd::BusUpg: return "busUpg";
+      case BusCmd::BusRepl: return "busRepl";
+      case BusCmd::WrBack: return "wrBack";
+      case BusCmd::BusUpd: return "busUpd";
+      case BusCmd::DirPut: return "dirPut";
     }
     return "?";
 }

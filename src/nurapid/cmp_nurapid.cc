@@ -16,7 +16,7 @@ namespace
 constexpr Addr no_pin = static_cast<Addr>(-1);
 } // namespace
 
-CmpNurapid::CmpNurapid(const NurapidParams &p, SnoopBus &bus,
+CmpNurapid::CmpNurapid(const NurapidParams &p, Interconnect &bus,
                        MainMemory &mem)
     : L2Org("cmpNurapid"), params(p), bus(bus), memory(mem),
       pref(p.num_cores, p.num_dgroups, p.dgroup_latencies),
@@ -186,6 +186,12 @@ CmpNurapid::evictSharedFrame(const FwdPtr &fwd, Tick at)
             te->valid = false;
             te->state = CohState::Invalid;
             invalidateL1(c, addr);
+            // BusRepl itself must not clear directory membership --
+            // sharers holding their own replica in a different frame
+            // keep valid copies -- so each invalidated tag reports its
+            // own departure.
+            if (bus.wantsEvictionNotices())
+                bus.postedTransaction(BusCmd::DirPut, c, addr, at);
         }
     }
     emitDGroup(at, f.rev.core, addr, obs::DGroupOp::Eviction, fwd.dgroup);
@@ -199,8 +205,10 @@ CmpNurapid::evictPrivateBlock(TagEntry *e, CoreId core, Tick at)
     cnsim_assert(isPrivateState(e->state), "not a private block");
     if (e->state == CohState::Modified) {
         memory.writeback(at);
-        bus.postedTransaction(BusCmd::WrBack, at);
+        bus.postedTransaction(BusCmd::WrBack, core, e->addr, at);
         n_writebacks.inc();
+    } else if (bus.wantsEvictionNotices()) {
+        bus.postedTransaction(BusCmd::DirPut, core, e->addr, at);
     }
     emitTrans(at, core, e->addr, e->state, CohState::Invalid,
               obs::TransCause::Replacement);
@@ -319,6 +327,9 @@ CmpNurapid::allocTagEntry(CoreId core, Addr addr, Tick at,
                 invalidateL1(core, v->addr);
                 v->valid = false;
                 v->state = CohState::Invalid;
+                if (bus.wantsEvictionNotices())
+                    bus.postedTransaction(BusCmd::DirPut, core, v->addr,
+                                          at);
             }
         }
     }
@@ -491,7 +502,7 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
                 res.closest = dg == my_closest;
             } else {
                 // Write to a clean shared block: BusUpg.
-                Tick tb = bus.transaction(BusCmd::BusUpg, t);
+                Tick tb = bus.transaction(BusCmd::BusUpg, c, baddr, t);
                 bool others = false;
                 for (int o = 0; o < params.num_cores && !others; ++o)
                     others = o != c && tags[o]->find(baddr) != nullptr;
@@ -532,6 +543,9 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
                             te->valid = false;
                             te->state = CohState::Invalid;
                             invalidateL1(o, baddr);
+                            if (bus.wantsEvictionNotices())
+                                bus.postedTransaction(BusCmd::DirPut, o,
+                                                      baddr, tb);
                         }
                     }
                     for (const FwdPtr &f : old)
@@ -569,7 +583,7 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
                 // Every write to a C block broadcasts BusRdX so the
                 // other sharers drop stale L1 copies; the L2 state does
                 // not change (no exits from C).
-                Tick tb = bus.transaction(BusCmd::BusRdX, t);
+                Tick tb = bus.transaction(BusCmd::BusRdX, c, baddr, t);
                 n_c_writes.inc();
                 emitTrans(tb, c, baddr, CohState::Communication,
                           CohState::Communication, obs::TransCause::PrWr,
@@ -602,7 +616,7 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
 
     // ---- Tag miss: broadcast on the bus and snoop. ----
     BusCmd cmd = store ? BusCmd::BusRdX : BusCmd::BusRd;
-    Tick tb = bus.transaction(cmd, t);
+    Tick tb = bus.transaction(cmd, c, baddr, t);
     SnoopResult sr = snoop(c, baddr);
     AccessClass cls = sr.dirty ? AccessClass::RWSMiss
                       : sr.clean ? AccessClass::ROSMiss
@@ -781,6 +795,9 @@ CmpNurapid::access(const MemAccess &acc, Tick at)
                     te->valid = false;
                     te->state = CohState::Invalid;
                     invalidateL1(o, baddr);
+                    if (bus.wantsEvictionNotices())
+                        bus.postedTransaction(BusCmd::DirPut, o, baddr,
+                                              tb);
                 }
             }
             for (const FwdPtr &f : old)

@@ -45,8 +45,8 @@
 
 #include "common/rng.hh"
 #include "l2/l2_org.hh"
-#include "mem/bus.hh"
 #include "mem/crossbar.hh"
+#include "mem/interconnect.hh"
 #include "mem/memory.hh"
 #include "mem/resource.hh"
 #include "nurapid/data_array.hh"
@@ -104,7 +104,8 @@ struct NurapidParams
 class CmpNurapid : public L2Org
 {
   public:
-    CmpNurapid(const NurapidParams &p, SnoopBus &bus, MainMemory &mem);
+    CmpNurapid(const NurapidParams &p, Interconnect &bus,
+               MainMemory &mem);
 
     AccessResult access(const MemAccess &acc, Tick at) override;
     std::string kind() const override;
@@ -249,7 +250,7 @@ class CmpNurapid : public L2Org
                     DGroupId dg, bool closest = false);
 
     NurapidParams params;
-    SnoopBus &bus;
+    Interconnect &bus;
     MainMemory &memory;
     PrefTable pref;
     Crossbar xbar;

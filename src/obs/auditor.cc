@@ -57,6 +57,19 @@ ProtocolAuditor::onEvent(const TraceEvent &ev)
         remember(blockFor(ev.addr), ev);
         touched.push_back(ev.addr);
         break;
+      case EventKind::Directory: {
+        // An independent reading of who should hold the block. The
+        // directory updates before the organization emits its own
+        // Transitions for the same request, so agreement is only
+        // checked at the next safe point.
+        BlockAudit &ba = blockFor(ev.addr);
+        remember(ba, ev);
+        ba.dir_sharers = ev.arg;
+        ba.dir_owner = static_cast<CoreId>(ev.a) - 1;
+        ba.dir_seen = true;
+        touched.push_back(ev.addr);
+        break;
+      }
       case EventKind::BusTx:
       case EventKind::Resource:
       case EventKind::CoreStall:
@@ -157,11 +170,45 @@ ProtocolAuditor::runDeferredChecks()
     std::sort(touched.begin(), touched.end());
     touched.erase(std::unique(touched.begin(), touched.end()),
                   touched.end());
+    for (Addr a : touched) {
+        if (const BlockAudit *ba = blocks.find(a)) {
+            if (ba->dir_seen)
+                checkDirectoryReading(a, *ba);
+        }
+    }
     if (blockCheck) {
         for (Addr a : touched)
             blockCheck(a);
     }
     touched.clear();
+}
+
+void
+ProtocolAuditor::checkDirectoryReading(Addr addr,
+                                       const BlockAudit &ba) const
+{
+    // Every valid audited copy must be in the directory's sharer set;
+    // the converse is allowed (the directory may be a superset while
+    // eviction notices drain).
+    for (int c = 0; c < ncores && c < 64; ++c) {
+        if (isValid(ba.st[c]) && !(ba.dir_sharers & (1ull << c)))
+            violation(addr, ba,
+                      strfmt("core%d holds %c but directory sharers "
+                             "0x%" PRIx64 " omit it",
+                             c, stateChar(ba.st[c]), ba.dir_sharers));
+    }
+    // No stale owner: a named owner must still hold a valid copy.
+    if (ba.dir_owner != invalid_id) {
+        if (ba.dir_owner < 0 || ba.dir_owner >= ncores)
+            violation(addr, ba,
+                      strfmt("directory owner %d out of range",
+                             ba.dir_owner));
+        if (!isValid(ba.st[ba.dir_owner]))
+            violation(addr, ba,
+                      strfmt("directory names core%d owner but its "
+                             "audited state is %c",
+                             ba.dir_owner, stateChar(ba.st[ba.dir_owner])));
+    }
 }
 
 CohState

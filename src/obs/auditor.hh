@@ -16,7 +16,13 @@
  *  - no invalidation of a busy tag (the busy bit guards an in-flight
  *    shared read against BusRepl);
  *  - write-through-for-C: a processor write that keeps a block in C
- *    must carry the bus-broadcast flag (every C write is a BusRdX).
+ *    must carry the bus-broadcast flag (every C write is a BusRdX);
+ *  - directory agreement (mesh/ring runs): each Directory event is an
+ *    independent reading of who should hold the block -- at the next
+ *    safe point every valid audited copy must appear in the sharer
+ *    bitset, and a named owner must still hold a valid copy (no stale
+ *    owner). The directory may conservatively name extra sharers
+ *    (e.g. while an eviction notice is in flight), never fewer.
  *
  * Structural invariants that are only consistent *between* accesses --
  * forward/reverse pointer agreement in CMP-NuRAPID's tag/frame arrays
@@ -120,11 +126,18 @@ class ProtocolAuditor
         std::size_t next = 0;
         /** Total events ever recorded into the ring. */
         std::uint64_t seen = 0;
+        /** Last directory sharer-bitset reading for this block. */
+        std::uint64_t dir_sharers = 0;
+        /** Last directory owner reading, invalid_id if none. */
+        CoreId dir_owner = invalid_id;
+        /** True once a Directory event has been seen for this block. */
+        bool dir_seen = false;
     };
 
     BlockAudit &blockFor(Addr addr);
     void remember(BlockAudit &ba, const TraceEvent &ev);
     void auditTransition(const TraceEvent &ev);
+    void checkDirectoryReading(Addr addr, const BlockAudit &ba) const;
     [[noreturn]] void violation(Addr addr, const BlockAudit &ba,
                                 const std::string &msg) const;
     std::string historyOf(const BlockAudit &ba) const;

@@ -31,10 +31,12 @@ enum class EventKind : std::uint8_t
     L1BackInval,  //!< L1 back-invalidation (arg = L1 blocks invalidated)
     Resource,     //!< port grant (arg = wait ticks, dur = occupancy)
     CoreStall,    //!< core memory stall (dur = stall ticks)
+    Directory,    //!< directory reading (arg = sharers, a = owner+1,
+                  //!< b = BusCmd that triggered it)
 };
 
 /** Number of distinct EventKind values. */
-constexpr int num_event_kinds = 6;
+constexpr int num_event_kinds = 7;
 
 /** Why a coherence transition happened. */
 enum class TransCause : std::uint8_t
@@ -117,6 +119,7 @@ toString(EventKind k)
       case EventKind::L1BackInval: return "l1BackInval";
       case EventKind::Resource: return "resource";
       case EventKind::CoreStall: return "coreStall";
+      case EventKind::Directory: return "directory";
     }
     return "?";
 }

@@ -99,6 +99,8 @@ eventName(const TraceEvent &ev)
         return "grant";
       case EventKind::CoreStall:
         return "stall";
+      case EventKind::Directory:
+        return strfmt("dir:%s", toString(static_cast<BusCmd>(ev.b)));
     }
     return "?";
 }
@@ -319,6 +321,10 @@ writeChromeJson(const std::string &path,
           case EventKind::L1BackInval:
             std::fprintf(f, ",\"l1Blocks\":%" PRIu64, ev.arg);
             break;
+          case EventKind::Directory:
+            std::fprintf(f, ",\"sharers\":\"0x%" PRIx64 "\",\"owner\":%d",
+                         ev.arg, static_cast<int>(ev.a) - 1);
+            break;
           case EventKind::BusTx:
           case EventKind::CoreStall:
             // No extra args beyond the common core/addr fields.
@@ -370,6 +376,13 @@ formatEvent(const TraceEvent &ev, const std::vector<std::string> &components)
       case EventKind::CoreStall:
         s += strfmt("core%d 0x%" PRIx64 " stall dur=%u", ev.core,
                     static_cast<std::uint64_t>(ev.addr), ev.dur);
+        break;
+      case EventKind::Directory:
+        s += strfmt("core%d 0x%" PRIx64
+                    " dir %s sharers=0x%" PRIx64 " owner=%d",
+                    ev.core, static_cast<std::uint64_t>(ev.addr),
+                    toString(static_cast<BusCmd>(ev.b)), ev.arg,
+                    static_cast<int>(ev.a) - 1);
         break;
     }
     return s;

@@ -205,6 +205,29 @@ class TraceSink
         record(ev);
     }
 
+    /**
+     * A directory reading for block @p addr after a request by
+     * @p core: the post-update sharer bitset and owner (invalid_id for
+     * none), and the BusCmd that triggered it.
+     */
+    void
+    directoryState(Tick t, int comp, CoreId core, Addr addr,
+                   std::uint64_t sharers, CoreId owner, BusCmd cmd)
+    {
+        if (!active())
+            return;
+        TraceEvent ev;
+        ev.tick = t;
+        ev.addr = addr;
+        ev.arg = sharers;
+        ev.component = static_cast<std::int16_t>(comp);
+        ev.core = static_cast<std::int16_t>(core);
+        ev.kind = EventKind::Directory;
+        ev.a = static_cast<std::uint8_t>(owner + 1);
+        ev.b = static_cast<std::uint8_t>(cmd);
+        record(ev);
+    }
+
     /** Minimum stall, in ticks, for cores to emit CoreStall events. */
     Tick stallThreshold() const { return params.core_stall_threshold; }
 

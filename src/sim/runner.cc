@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "cactilite/cactilite.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "core/core.hh"
@@ -66,6 +67,31 @@ Runner::paperConfig(L2Kind kind)
     return cfg;
 }
 
+SystemConfig
+Runner::paperConfig(L2Kind kind, int cores, InterconnectKind icn)
+{
+    SystemConfig cfg = paperConfig(kind);
+    if (cores != 4) {
+        // Scale capacity with the core count (the paper's 2 MB per
+        // core) and re-derive the latencies that depend on it.
+        CactiLite m;
+        std::uint64_t per_core = 2ull * 1024 * 1024;
+        std::uint64_t total = per_core * static_cast<std::uint64_t>(cores);
+
+        cfg.num_cores = cores;
+        cfg.shared.capacity = total;
+        cfg.shared.latency = m.sharedCache(total, 128).total;
+        cfg.shared.ports = static_cast<unsigned>(cores);
+        cfg.priv.capacity_per_core = per_core;
+        cfg.ideal_latency = cfg.priv.latency;
+        cfg.nurapid.num_dgroups = cores;
+        cfg.nurapid.dgroup_capacity = per_core;
+        cfg.bus.latency = m.busCycles(total);
+    }
+    cfg.interconnect = icn;
+    return cfg;
+}
+
 SynthWorkloadParams
 Runner::effectiveSynthParams(const WorkloadSpec &workload,
                              const RunConfig &run_cfg)
@@ -75,15 +101,33 @@ Runner::effectiveSynthParams(const WorkloadSpec &workload,
     return wp;
 }
 
+void
+Runner::validate(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
+                 const RunConfig &run_cfg)
+{
+    // These are user-input mistakes (wrong --cores, a stale trace
+    // file), not simulator bugs, so they exit cleanly via fatal()
+    // instead of panicking with a backtrace.
+    if (sys_cfg.num_cores < 1 || sys_cfg.num_cores > 64)
+        fatal("core count must be between 1 and 64, got %d",
+              sys_cfg.num_cores);
+    if (static_cast<int>(workload.synth.threads.size()) !=
+        sys_cfg.num_cores)
+        fatal("workload '%s' has %zu threads but the system has %d "
+              "cores; regenerate it for this core count",
+              workload.name.c_str(), workload.synth.threads.size(),
+              sys_cfg.num_cores);
+    if (run_cfg.replay && run_cfg.replay->cores() != sys_cfg.num_cores)
+        fatal("replay trace has %d cores but the system has %d; "
+              "recapture the trace at this core count",
+              run_cfg.replay->cores(), sys_cfg.num_cores);
+}
+
 RunResult
 Runner::run(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
             const RunConfig &run_cfg)
 {
-    cnsim_assert(static_cast<int>(workload.synth.threads.size()) ==
-                     sys_cfg.num_cores,
-                 "workload '%s' has %zu threads for %d cores",
-                 workload.name.c_str(), workload.synth.threads.size(),
-                 sys_cfg.num_cores);
+    validate(sys_cfg, workload, run_cfg);
 
     // A trace-out path implies event recording for this run.
     SystemConfig sc = sys_cfg;
@@ -97,9 +141,6 @@ Runner::run(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
     std::unique_ptr<SynthWorkload> synth;
     std::vector<std::unique_ptr<ReplaySource>> replays;
     if (run_cfg.replay) {
-        cnsim_assert(run_cfg.replay->cores() == sc.num_cores,
-                     "replay trace has %d cores for a %d-core system",
-                     run_cfg.replay->cores(), sc.num_cores);
         for (int c = 0; c < sc.num_cores; ++c)
             replays.emplace_back(std::make_unique<ReplaySource>(
                 *run_cfg.replay, c));

@@ -156,6 +156,28 @@ class Runner
     static SystemConfig paperConfig(L2Kind kind);
 
     /**
+     * The @p cores-core generalization of the Section-4 platform over
+     * interconnect @p icn: 2 MB of L2 per core (one d-group per core
+     * for CMP-NuRAPID), array and bus latencies re-derived from
+     * CactiLite at the scaled capacity. @p cores = 4 with a bus
+     * reproduces paperConfig(kind) exactly.
+     */
+    static SystemConfig paperConfig(L2Kind kind, int cores,
+                                    InterconnectKind icn);
+
+    /**
+     * Check the user-supplied parts of a run request -- workload
+     * thread count vs. system cores, replay-trace core count, core
+     * count within the sharer-bitset limit -- and fatal() (a clean
+     * user-error exit, never a panicking backtrace) on a mismatch.
+     * run() calls this itself; CLIs may call it earlier to fail before
+     * building anything.
+     */
+    static void validate(const SystemConfig &sys_cfg,
+                         const WorkloadSpec &workload,
+                         const RunConfig &run_cfg);
+
+    /**
      * The *effective* synthetic parameters a run would generate with:
      * the workload's params with the run seed mixed in, exactly as
      * run() does internally. This is the key under which grid drivers

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "l2/dnuca_l2.hh"
+#include "mem/directory.hh"
 #include "l2/ideal_l2.hh"
 #include "l2/update_l2.hh"
 
@@ -25,39 +26,79 @@ toString(L2Kind k)
 
 System::System(const SystemConfig &c) : cfg(c)
 {
+    // cfg.num_cores is the single source of truth. The per-organization
+    // params each default to the paper's 4 cores; an organization left
+    // at the default follows the system, and an explicitly different
+    // value is a configuration bug (it used to silently build a 4-port
+    // L2 under an 8-core run loop).
+    auto adopt = [this](int &org_cores, const char *what) {
+        if (org_cores == 4)
+            org_cores = cfg.num_cores;
+        cnsim_assert(org_cores == cfg.num_cores,
+                     "%s is configured for %d cores but the system has %d",
+                     what, org_cores, cfg.num_cores);
+    };
+    adopt(cfg.shared.num_cores, "the shared L2");
+    adopt(cfg.priv.num_cores, "the private L2");
+    adopt(cfg.nurapid.num_cores, "CMP-NuRAPID");
+
     mem = std::make_unique<MainMemory>(cfg.memory);
-    snoop_bus = std::make_unique<SnoopBus>(cfg.bus);
 
     switch (cfg.l2_kind) {
       case L2Kind::Shared:
+      case L2Kind::Snuca:
+      case L2Kind::Ideal:
+      case L2Kind::Dnuca:
         l2_block_size = cfg.shared.block_size;
+        break;
+      case L2Kind::Private:
+      case L2Kind::Update:
+        l2_block_size = cfg.priv.block_size;
+        break;
+      case L2Kind::Nurapid:
+        l2_block_size = cfg.nurapid.block_size;
+        break;
+    }
+
+    if (cfg.interconnect == InterconnectKind::Bus) {
+        icn = std::make_unique<SnoopBus>(cfg.bus);
+    } else {
+        // The directory mirrors whatever protocol the organization
+        // speaks over it, so its membership bookkeeping matches the
+        // per-core cache states the auditor sees.
+        CohMode mode = CohMode::Mesi;
+        if (cfg.l2_kind == L2Kind::Nurapid && cfg.nurapid.enable_isc)
+            mode = CohMode::Mesic;
+        else if (cfg.l2_kind == L2Kind::Update)
+            mode = CohMode::WriteUpdate;
+        icn = std::make_unique<DirectoryInterconnect>(
+            cfg.interconnect, cfg.num_cores, l2_block_size, mode,
+            cfg.noc);
+    }
+
+    switch (cfg.l2_kind) {
+      case L2Kind::Shared:
         l2_org = std::make_unique<SharedL2>(cfg.shared, *mem);
         break;
       case L2Kind::Private:
-        l2_block_size = cfg.priv.block_size;
-        l2_org = std::make_unique<PrivateL2>(cfg.priv, *snoop_bus, *mem);
+        l2_org = std::make_unique<PrivateL2>(cfg.priv, *icn, *mem);
         break;
       case L2Kind::Snuca:
-        l2_block_size = cfg.shared.block_size;
         l2_org =
             std::make_unique<SnucaL2>(cfg.shared, cfg.snuca, *mem);
         break;
       case L2Kind::Ideal:
-        l2_block_size = cfg.shared.block_size;
         l2_org = std::make_unique<IdealL2>(cfg.shared, cfg.ideal_latency,
                                            *mem);
         break;
       case L2Kind::Nurapid:
-        l2_block_size = cfg.nurapid.block_size;
         l2_org =
-            std::make_unique<CmpNurapid>(cfg.nurapid, *snoop_bus, *mem);
+            std::make_unique<CmpNurapid>(cfg.nurapid, *icn, *mem);
         break;
       case L2Kind::Update:
-        l2_block_size = cfg.priv.block_size;
-        l2_org = std::make_unique<UpdateL2>(cfg.priv, *snoop_bus, *mem);
+        l2_org = std::make_unique<UpdateL2>(cfg.priv, *icn, *mem);
         break;
       case L2Kind::Dnuca:
-        l2_block_size = cfg.shared.block_size;
         l2_org =
             std::make_unique<DnucaL2>(cfg.shared, cfg.snuca, *mem);
         break;
@@ -85,7 +126,7 @@ System::System(const SystemConfig &c) : cfg(c)
     // runs stay deterministic and traced runs stay reproducible.
     if (cfg.obs.trace || cfg.obs.audit) {
         sink_ = std::make_unique<obs::TraceSink>(cfg.obs);
-        snoop_bus->attachSink(sink_.get());
+        icn->attachSink(sink_.get());
         mem->attachSink(sink_.get());
         l2_org->setTraceSink(sink_.get());
         for (int i = 0; i < cfg.num_cores; ++i) {
@@ -205,7 +246,7 @@ System::regStats(StatGroup &group)
 {
     l2_org->regStats(group);
     mem->regStats(group);
-    snoop_bus->regStats(group);
+    icn->regStats(group);
     for (auto &l1 : l1ds)
         l1->regStats(group);
     for (auto &l1 : l1is)
@@ -217,7 +258,7 @@ System::resetStats()
 {
     l2_org->resetStats();
     mem->resetStats();
-    snoop_bus->resetStats();
+    icn->resetStats();
     for (auto &l1 : l1ds)
         l1->resetStats();
     for (auto &l1 : l1is)

@@ -1,7 +1,9 @@
 /**
  * @file
- * System assembly: a 4-core CMP with L1s, a chosen L2 organization,
- * the snooping bus, and main memory (the paper's Section 4 platform).
+ * System assembly: a CMP with L1s, a chosen L2 organization, a chosen
+ * interconnect (the paper's snooping bus, or a mesh/ring NoC with
+ * directory coherence for core counts the bus cannot reach), and main
+ * memory (the paper's Section 4 platform at the 4-core default).
  */
 
 #ifndef CNSIM_SIM_SYSTEM_HH
@@ -18,7 +20,9 @@
 #include "l2/shared_l2.hh"
 #include "l2/snuca_l2.hh"
 #include "mem/bus.hh"
+#include "mem/interconnect.hh"
 #include "mem/memory.hh"
+#include "mem/noc.hh"
 #include "nurapid/cmp_nurapid.hh"
 #include "obs/auditor.hh"
 #include "obs/metrics.hh"
@@ -46,8 +50,15 @@ const char *toString(L2Kind k);
 /** Full system configuration (defaults = the paper's Section 4). */
 struct SystemConfig
 {
+    /**
+     * Core count -- the single source of truth. The System constructor
+     * propagates it into the per-organization params (which default to
+     * the paper's 4) and asserts on an explicit mismatch.
+     */
     int num_cores = 4;
     L2Kind l2_kind = L2Kind::Nurapid;
+    /** Coherence fabric: the paper's bus, or a directory NoC. */
+    InterconnectKind interconnect = InterconnectKind::Bus;
     /** Average cycles per non-memory instruction in the cores. */
     double core_non_mem_cpi = 1.4;
     /**
@@ -65,12 +76,14 @@ struct SystemConfig
     /** Private-cache latency used by the ideal configuration. */
     Tick ideal_latency = 10;
     BusParams bus;
+    /** Mesh/ring + directory timing (mesh/ring interconnects only). */
+    NocParams noc;
     MemoryParams memory;
     /** Observability: event tracing, metrics, protocol auditing. */
     obs::ObsParams obs;
 };
 
-/** A 4-core CMP with the selected on-chip cache hierarchy. */
+/** A CMP with the selected on-chip cache hierarchy and interconnect. */
 class System
 {
   public:
@@ -88,7 +101,8 @@ class System
     L2Org &l2() { return *l2_org; }
     const L2Org &l2() const { return *l2_org; }
     MainMemory &memory() { return *mem; }
-    SnoopBus &bus() { return *snoop_bus; }
+    /** The coherence interconnect (bus or directory NoC). */
+    Interconnect &bus() { return *icn; }
     L1Cache &l1d(CoreId c) { return *l1ds[c]; }
     L1Cache &l1i(CoreId c) { return *l1is[c]; }
     int numCores() const { return cfg.num_cores; }
@@ -138,7 +152,7 @@ class System
     /** Cached l2_org->wantsL1HitNotes(): checked on every L1 hit. */
     bool l2_notes_l1 = false;
     std::unique_ptr<MainMemory> mem;
-    std::unique_ptr<SnoopBus> snoop_bus;
+    std::unique_ptr<Interconnect> icn;
     std::unique_ptr<L2Org> l2_org;
     std::vector<std::unique_ptr<L1Cache>> l1ds;
     std::vector<std::unique_ptr<L1Cache>> l1is;

@@ -34,13 +34,13 @@ namespace
 
 std::vector<MemAccess>
 randomStream(std::uint64_t seed, int n, std::uint32_t pool,
-             double store_frac)
+             double store_frac, int cores = 4)
 {
     Rng rng(seed);
     std::vector<MemAccess> v;
     v.reserve(n);
     for (int i = 0; i < n; ++i) {
-        v.push_back({static_cast<CoreId>(rng.below(4)),
+        v.push_back({static_cast<CoreId>(rng.below(cores)),
                      static_cast<Addr>(rng.below(pool)) * 128,
                      rng.chance(store_frac) ? MemOp::Store : MemOp::Load});
     }
@@ -124,6 +124,40 @@ TEST(Differential, PrivateVsUpdateAgreeOnReadOnlyStreams)
     EXPECT_EQ(b1.count(BusCmd::BusUpg), 0u);
     EXPECT_EQ(b2.count(BusCmd::BusUpd), 0u);
 }
+
+class DifferentialCores : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DifferentialCores, SharedVsIdealAtAnyCoreCount)
+{
+    const int cores = GetParam();
+    SharedL2Params p = smallShared();
+    p.num_cores = cores;
+    MainMemory m1, m2;
+    SharedL2 shared(p, m1);
+    IdealL2 ideal(p, 10, m2);
+    expectSameClassification(shared, ideal,
+                             randomStream(37, 3000, 1024, 0.3, cores));
+}
+
+TEST_P(DifferentialCores, PrivateVsUpdateAtAnyCoreCount)
+{
+    const int cores = GetParam();
+    PrivateL2Params p;
+    p.num_cores = cores;
+    p.capacity_per_core = 32 * 1024;
+    p.assoc = 4;
+    MainMemory m1, m2;
+    SnoopBus b1, b2;
+    PrivateL2 mesi(p, b1, m1);
+    UpdateL2 update(p, b2, m2);
+    expectSameClassification(mesi, update,
+                             randomStream(41, 3000, 512, 0.0, cores));
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, DifferentialCores,
+                         ::testing::Values(2, 8, 16));
 
 TEST(Differential, IdealIsAlwaysFastestOnHits)
 {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "mem/bus.hh"
+#include "mem/directory.hh"
 #include "mem/memory.hh"
 #include "nurapid/cmp_nurapid.hh"
 #include "obs/auditor.hh"
@@ -156,6 +157,61 @@ INSTANTIATE_TEST_SUITE_P(
                   {{0, 'R'}, {1, 'R'}, {2, 'R'}, {3, 'R'}, {2, 'W'},
                    {0, 'R'}},
                   "CCCC", 1}));
+
+/**
+ * The protocol sequences above at other core counts, over the mesh
+ * directory instead of the bus: the migratory-sharing pattern must end
+ * with every core in C regardless of scale or fabric, with an
+ * equally-scaled auditor watching (including the directory readings).
+ */
+class MesicMatrixScale : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MesicMatrixScale, MigratorySharingEndsAllC)
+{
+    const int cores = GetParam();
+    NurapidParams p = tinyNurapid();
+    p.num_cores = cores;
+    p.num_dgroups = cores;
+    MainMemory mem;
+    DirectoryInterconnect dir(InterconnectKind::Mesh, cores,
+                              p.block_size, CohMode::Mesic);
+    CmpNurapid l2(p, dir, mem);
+    l2.setL1Hooks([](CoreId, Addr) {}, [](CoreId, Addr, bool) {});
+
+    obs::TraceSink sink;
+    obs::ProtocolAuditor auditor{obs::AuditProtocol::Mesic, cores};
+    auditor.blockCheck = [&l2](Addr a) { l2.checkBlockInvariants(a); };
+    sink.setListener(
+        [&auditor](const obs::TraceEvent &ev) { auditor.onEvent(ev); });
+    l2.setTraceSink(&sink);
+    dir.attachSink(&sink);
+
+    const Addr x = 0x1000;
+    Tick t = 0;
+    auto step = [&](CoreId c, char op) {
+        l2.access({c, x, op == 'W' ? MemOp::Store : MemOp::Load}, t);
+        auditor.runDeferredChecks();
+        t += 1000;
+    };
+    step(0, 'W');
+    for (CoreId c = 1; c < cores; ++c) {
+        step(c, 'R');
+        step(c, 'W');
+    }
+    for (CoreId c = 0; c < cores; ++c) {
+        EXPECT_EQ(l2.stateOf(c, x), CohState::Communication)
+            << "core " << c << " of " << cores;
+        EXPECT_TRUE(dir.sharersOf(x) & (1ull << c));
+    }
+    EXPECT_EQ(l2.framesHolding(x), 1);
+    EXPECT_TRUE(dir.dirtyOf(x));
+    l2.checkInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, MesicMatrixScale,
+                         ::testing::Values(2, 8, 16));
 
 TEST(MesicMatrix, DirtyBlockAlwaysSingleFrame)
 {

@@ -56,6 +56,13 @@ usage(const char *argv0)
         "dnuca|all (default nurapid)\n"
         "  --workload <name>  oltp|apache|specjbb|ocean|barnes|mix1..mix4"
         "|mt|mp|all (default oltp)\n"
+        "  --cores <N>        core count, 1..64 (default 4; other "
+        "counts scale\n"
+        "                     capacity at 2 MB/core and re-derive "
+        "latencies)\n"
+        "  --interconnect <i> bus|mesh|ring (default bus; mesh/ring "
+        "use a\n"
+        "                     directory protocol over the NoC)\n"
         "  --warmup <N>       warm-up instructions per core\n"
         "  --measure <N>      measured instructions per core\n"
         "  --seed <N>         workload seed (default 1)\n"
@@ -146,6 +153,19 @@ parseKinds(const std::string &s)
             return {kv.second};
     }
     fatal("unknown L2 kind '%s'", s.c_str());
+}
+
+InterconnectKind
+parseInterconnect(const std::string &s)
+{
+    if (s == "bus")
+        return InterconnectKind::Bus;
+    if (s == "mesh")
+        return InterconnectKind::Mesh;
+    if (s == "ring")
+        return InterconnectKind::Ring;
+    fatal("--interconnect must be bus, mesh or ring, got '%s'",
+          s.c_str());
 }
 
 /**
@@ -270,6 +290,8 @@ main(int argc, char **argv)
 {
     std::string l2_arg = "nurapid";
     std::string wl_arg = "oltp";
+    int cores = 4;
+    InterconnectKind icn = InterconnectKind::Bus;
     RunConfig rc;
     rc.warmup_instructions = 6'000'000;
     rc.measure_instructions = 10'000'000;
@@ -302,6 +324,14 @@ main(int argc, char **argv)
             l2_arg = next();
         } else if (a == "--workload") {
             wl_arg = next();
+        } else if (a == "--cores") {
+            const char *v = next();
+            char *end = nullptr;
+            cores = static_cast<int>(std::strtol(v, &end, 10));
+            if (end == v || *end != '\0' || cores < 1 || cores > 64)
+                fatal("--cores needs an integer in 1..64, got '%s'", v);
+        } else if (a == "--interconnect") {
+            icn = parseInterconnect(next());
         } else if (a == "--warmup") {
             rc.warmup_instructions = std::strtoull(next(), nullptr, 10);
         } else if (a == "--measure") {
@@ -442,14 +472,14 @@ main(int argc, char **argv)
                 return ct.second;
         cached_traces.emplace_back(
             w, TraceCache::global().acquire(Runner::effectiveSynthParams(
-                   workloads::byName(w), rc)));
+                   workloads::byName(w, cores), rc)));
         return cached_traces.back().second;
     };
 
     ParallelRunner pool(jobs);
     std::vector<RunResult> results;
     for (L2Kind kind : kind_list) {
-        SystemConfig cfg = Runner::paperConfig(kind);
+        SystemConfig cfg = Runner::paperConfig(kind, cores, icn);
         cfg.nurapid.enable_cr = !no_cr;
         cfg.nurapid.enable_isc = !no_isc;
         cfg.nurapid.tag_factor = tag_factor;
@@ -479,11 +509,11 @@ main(int argc, char **argv)
             if (trace_io) {
                 // Trace record/replay shares files between runs, so it
                 // stays serial and bypasses the pool.
-                results.push_back(runWithTraceIO(cfg, workloads::byName(w),
-                                                 run, record_prefix,
-                                                 replay_prefix));
+                results.push_back(runWithTraceIO(
+                    cfg, workloads::byName(w, cores), run, record_prefix,
+                    replay_prefix));
             } else {
-                pool.submit(cfg, workloads::byName(w), run);
+                pool.submit(cfg, workloads::byName(w, cores), run);
             }
         }
     }
