@@ -25,6 +25,15 @@
  *    generation (7x the standalone generation cost of one stream),
  *    which bounds the speedup replay can deliver on a given host.
  *
+ * 3. The sampled-sweep scenario (DESIGN.md 3i): every organization is
+ *    warmed exactly once and snapshotted to an in-memory CNCKPT01
+ *    checkpoint, then the same measurement budget is run twice from
+ *    that checkpoint -- once fully detailed, once as interval-sampled
+ *    windows -- and both sides are timed. The report carries the
+ *    wall-time speedup AND the worst-case relative IPC error across
+ *    the organizations, so a change that makes sampling fast by
+ *    making it wrong fails the gate just as loudly as a slowdown.
+ *
  * Each measurement is repeated CNSIM_PERF_REPS times (default 5);
  * p50/p95 of the repetitions are written as JSON so tools/perfcmp can
  * diff two runs and fail CI on a regression. The budgets are
@@ -37,7 +46,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -54,6 +65,17 @@ constexpr std::uint64_t pinned_measure = 1'000'000;
 constexpr std::uint64_t sweep_warmup = 500'000;
 constexpr std::uint64_t sweep_measure = 1'000'000;
 constexpr const char *pinned_workload = "oltp";
+
+// Sampled-sweep scenario: the measurement is deliberately much longer
+// than the detailed scenarios so the wall-time ratio reflects the
+// regime sampling exists for. Both sides resume from one shared
+// post-warm-up checkpoint per organization, so warm-up cost cancels
+// and the ratio isolates detailed-measure vs sampled-measure work.
+constexpr std::uint64_t sampled_ckpt_warmup = 16'000'000;
+constexpr std::uint64_t sampled_measure = 20'000'000;
+constexpr unsigned sampled_windows = 8;
+constexpr std::uint64_t sampled_detail = 50'000;
+constexpr std::uint64_t sampled_warm = 100'000;
 
 constexpr L2Kind sweep_orgs[] = {
     L2Kind::Shared, L2Kind::Private, L2Kind::Snuca, L2Kind::Ideal,
@@ -226,6 +248,103 @@ measureSweep(int reps)
     return s;
 }
 
+struct SampledSweepResult
+{
+    double full_ms_p50 = 0.0;     //!< detailed measure from checkpoint
+    double sampled_ms_p50 = 0.0;  //!< sampled measure, same checkpoint
+    double full_ms_best = 0.0;
+    double sampled_ms_best = 0.0;
+    double speedup = 0.0;         //!< full_ms_p50 / sampled_ms_p50
+    double max_ipc_err = 0.0;     //!< worst |sampled-full|/full IPC
+};
+
+/**
+ * One timed 7-org measurement sweep resuming from per-org checkpoints;
+ * @p sampled toggles interval sampling. Returns wall-ms and fills
+ * @p ipc_out with the per-org aggregate IPCs (submission order).
+ */
+double
+sampledSweepOnceMs(
+    const std::vector<std::shared_ptr<std::string>> &blobs,
+    const std::shared_ptr<RecordedTrace> &trace, bool sampled,
+    std::vector<double> &ipc_out)
+{
+    ParallelRunner pool(benchutil::jobsFromEnv());
+    WorkloadSpec wl = workloads::byName(pinned_workload);
+    RunConfig rc = sweepConfig();
+    rc.warmup_instructions = sampled_ckpt_warmup;
+    rc.measure_instructions = sampled_measure;
+    rc.replay = trace;
+    if (sampled) {
+        rc.sample_windows = sampled_windows;
+        rc.sample_detail = sampled_detail;
+        rc.sample_warmup = sampled_warm;
+    }
+    for (std::size_t i = 0; i < num_sweep_orgs; ++i) {
+        rc.ckpt_blob_in = blobs[i];
+        pool.submit(Runner::paperConfig(sweep_orgs[i]), wl, rc);
+    }
+    double t0 = nowSeconds();
+    std::vector<RunResult> results = pool.run();
+    double ms = (nowSeconds() - t0) * 1e3;
+    cnsim_assert(results.size() == num_sweep_orgs, "sweep lost cells");
+    ipc_out.clear();
+    for (const RunResult &r : results)
+        ipc_out.push_back(r.ipc);
+    return ms;
+}
+
+SampledSweepResult
+measureSampledSweep(int reps)
+{
+    WorkloadSpec wl = workloads::byName(pinned_workload);
+    RunConfig warm_rc = sweepConfig();
+    warm_rc.warmup_instructions = sampled_ckpt_warmup;
+    // The warm run only exists to produce the checkpoint; its own
+    // measurement is a throwaway stub.
+    warm_rc.measure_instructions = 100'000;
+    warm_rc.replay = TraceCache::global().acquire(
+        Runner::effectiveSynthParams(wl, warm_rc));
+
+    // Warm every organization once, untimed: this is exactly the cost
+    // checkpoint sharing amortizes across a sweep's cells and reps.
+    std::vector<std::shared_ptr<std::string>> blobs;
+    for (L2Kind k : sweep_orgs) {
+        RunConfig rc = warm_rc;
+        rc.ckpt_blob_out = std::make_shared<std::string>();
+        (void)Runner::run(Runner::paperConfig(k), wl, rc);
+        blobs.push_back(rc.ckpt_blob_out);
+    }
+
+    SampledSweepResult s;
+    std::vector<double> full_ms, sampled_ms;
+    std::vector<double> full_ipc, sampled_ipc;
+    for (int i = 0; i < reps; ++i) {
+        full_ms.push_back(sampledSweepOnceMs(blobs, warm_rc.replay,
+                                             false, full_ipc));
+        sampled_ms.push_back(sampledSweepOnceMs(blobs, warm_rc.replay,
+                                                true, sampled_ipc));
+        std::fprintf(stderr,
+                     "  sampled7 rep %d/%d: full %.0f ms, sampled "
+                     "%.0f ms\n",
+                     i + 1, reps, full_ms.back(), sampled_ms.back());
+    }
+    for (std::size_t i = 0; i < num_sweep_orgs; ++i) {
+        double err = std::abs(sampled_ipc[i] - full_ipc[i]) /
+                     full_ipc[i];
+        s.max_ipc_err = std::max(s.max_ipc_err, err);
+    }
+    s.full_ms_p50 = percentile(full_ms, 50.0);
+    s.sampled_ms_p50 = percentile(sampled_ms, 50.0);
+    s.full_ms_best = *std::min_element(full_ms.begin(), full_ms.end());
+    s.sampled_ms_best =
+        *std::min_element(sampled_ms.begin(), sampled_ms.end());
+    s.speedup = s.sampled_ms_p50 > 0.0
+                    ? s.full_ms_p50 / s.sampled_ms_p50
+                    : 0.0;
+    return s;
+}
+
 } // namespace
 
 int
@@ -253,6 +372,7 @@ main(int argc, char **argv)
                 workloads::byName(pinned_workload, 16), reps));
 
     SweepResult sweep = measureSweep(reps);
+    SampledSweepResult sampled = measureSampledSweep(reps);
 
     std::printf("%-10s %16s %16s %14s\n", "org", "p50 acc/sec",
                 "p95 acc/sec", "accesses");
@@ -272,6 +392,16 @@ main(int argc, char **argv)
                 sweep.replay_ms_p50, sweep.replay_ms_best);
     std::printf("  speedup %.2fx  generator_share %.2f\n",
                 sweep.speedup, sweep.generator_share);
+    std::printf("\nsampled 7-org sweep (%s, %llu measured from a "
+                "shared checkpoint):\n",
+                pinned_workload,
+                static_cast<unsigned long long>(sampled_measure));
+    std::printf("  full    p50 %8.0f ms (best %8.0f)\n",
+                sampled.full_ms_p50, sampled.full_ms_best);
+    std::printf("  sampled p50 %8.0f ms (best %8.0f)\n",
+                sampled.sampled_ms_p50, sampled.sampled_ms_best);
+    std::printf("  speedup %.2fx  max IPC error %.4f\n",
+                sampled.speedup, sampled.max_ipc_err);
 
     FILE *f = std::fopen(out.c_str(), "w");
     if (!f)
@@ -311,6 +441,27 @@ main(int argc, char **argv)
     std::fprintf(f, "    \"speedup\": %.3f,\n", sweep.speedup);
     std::fprintf(f, "    \"generator_share\": %.3f\n",
                  sweep.generator_share);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"sampled_sweep\": {\n");
+    std::fprintf(f, "    \"orgs\": %zu,\n", num_sweep_orgs);
+    std::fprintf(f, "    \"ckpt_warmup\": %llu,\n",
+                 static_cast<unsigned long long>(sampled_ckpt_warmup));
+    std::fprintf(f, "    \"measure\": %llu,\n",
+                 static_cast<unsigned long long>(sampled_measure));
+    std::fprintf(f, "    \"windows\": %u,\n", sampled_windows);
+    std::fprintf(f, "    \"detail\": %llu,\n",
+                 static_cast<unsigned long long>(sampled_detail));
+    std::fprintf(f, "    \"warm\": %llu,\n",
+                 static_cast<unsigned long long>(sampled_warm));
+    std::fprintf(f, "    \"full_ms_p50\": %.1f,\n", sampled.full_ms_p50);
+    std::fprintf(f, "    \"sampled_ms_p50\": %.1f,\n",
+                 sampled.sampled_ms_p50);
+    std::fprintf(f, "    \"full_ms_best\": %.1f,\n",
+                 sampled.full_ms_best);
+    std::fprintf(f, "    \"sampled_ms_best\": %.1f,\n",
+                 sampled.sampled_ms_best);
+    std::fprintf(f, "    \"speedup\": %.3f,\n", sampled.speedup);
+    std::fprintf(f, "    \"max_ipc_err\": %.5f\n", sampled.max_ipc_err);
     std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::fprintf(stderr, "wrote %s\n", out.c_str());

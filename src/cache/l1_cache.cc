@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "obs/trace_sink.hh"
+#include "sample/checkpoint.hh"
 
 namespace cnsim
 {
@@ -166,6 +167,38 @@ L1Cache::flushAll()
     for (auto &b : blocks)
         b = Block{};
     lru_clock = 0;
+}
+
+void
+L1Cache::saveState(sample::Writer &w) const
+{
+    w.u32(static_cast<std::uint32_t>(blocks.size()));
+    w.u64(lru_clock);
+    for (const Block &b : blocks) {
+        w.u64(b.tag);
+        w.u8(static_cast<std::uint8_t>((b.valid ? 1 : 0) |
+                                       (b.owned ? 2 : 0) |
+                                       (b.write_through ? 4 : 0)));
+        w.u64(b.lru);
+    }
+}
+
+void
+L1Cache::loadState(sample::Reader &r)
+{
+    std::uint32_t n = r.u32();
+    cnsim_assert(n == blocks.size(),
+                 "checkpoint has %u blocks for L1 '%s' with %zu", n,
+                 _name.c_str(), blocks.size());
+    lru_clock = r.u64();
+    for (Block &b : blocks) {
+        b.tag = r.u64();
+        std::uint8_t flags = r.u8();
+        b.valid = flags & 1;
+        b.owned = flags & 2;
+        b.write_through = flags & 4;
+        b.lru = r.u64();
+    }
 }
 
 } // namespace cnsim

@@ -32,6 +32,12 @@ namespace obs
 class TraceSink;
 } // namespace obs
 
+namespace sample
+{
+class Writer;
+class Reader;
+} // namespace sample
+
 /** Parameters for an L1 cache. */
 struct L1Params
 {
@@ -102,6 +108,23 @@ class L1Cache
 
     /** Drop all contents (used between runs). */
     void flushAll();
+
+    /** Valid blocks currently cached (checkpoint inspector). */
+    [[nodiscard]] std::uint64_t
+    validBlockCount() const
+    {
+        std::uint64_t n = 0;
+        for (const Block &b : blocks)
+            if (b.valid)
+                ++n;
+        return n;
+    }
+
+    /** Serialize contents + LRU state into a checkpoint. */
+    void saveState(sample::Writer &w) const;
+
+    /** Restore contents + LRU state from a checkpoint. */
+    void loadState(sample::Reader &r);
 
     /**
      * Emit an L1BackInval event into @p s whenever a back-invalidation

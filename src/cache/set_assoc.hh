@@ -18,6 +18,7 @@
 
 #include "common/logging.hh"
 #include "common/types.hh"
+#include "sample/checkpoint.hh"
 
 namespace cnsim
 {
@@ -160,6 +161,49 @@ class SetAssocArray
         way_tags.assign(blocks.size(), 0);
         way_lru.assign(blocks.size(), 0);
         lru_clock = 0;
+    }
+
+    /**
+     * Serialize the array into a checkpoint: geometry guard, the LRU
+     * clock and per-way stamps, and each block through @p save_block
+     * (void(sample::Writer&, const BlockT&)), which writes the
+     * organization-specific fields.
+     */
+    template <typename SaveBlockFn>
+    void
+    saveState(sample::Writer &w, SaveBlockFn save_block) const
+    {
+        w.u32(_num_sets);
+        w.u32(_assoc);
+        w.u64(lru_clock);
+        for (std::uint64_t stamp : way_lru)
+            w.u64(stamp);
+        for (const BlockT &b : blocks)
+            save_block(w, b);
+    }
+
+    /**
+     * Restore from a checkpoint written by saveState. @p load_block
+     * (void(sample::Reader&, BlockT&)) reads the organization-specific
+     * fields including `valid` and `addr`; the packed tag mirror is
+     * rebuilt from those afterwards.
+     */
+    template <typename LoadBlockFn>
+    void
+    loadState(sample::Reader &r, LoadBlockFn load_block)
+    {
+        std::uint32_t sets = r.u32();
+        std::uint32_t ways = r.u32();
+        cnsim_assert(sets == _num_sets && ways == _assoc,
+                     "checkpoint array geometry %ux%u mismatches %ux%u",
+                     sets, ways, _num_sets, _assoc);
+        lru_clock = r.u64();
+        for (std::uint64_t &stamp : way_lru)
+            stamp = r.u64();
+        for (std::size_t i = 0; i < blocks.size(); ++i) {
+            load_block(r, blocks[i]);
+            way_tags[i] = blocks[i].valid ? (blocks[i].addr | 1) : 0;
+        }
     }
 
   private:

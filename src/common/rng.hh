@@ -98,6 +98,20 @@ class Rng
      */
     std::uint32_t zipf(std::uint32_t n, double theta);
 
+    /** Raw generator state, for checkpoint save. */
+    std::uint64_t stateWord() const { return state; }
+
+    /** Raw stream selector, for checkpoint save. */
+    std::uint64_t incWord() const { return inc; }
+
+    /** Overwrite the generator state (checkpoint restore only). */
+    void
+    restoreState(std::uint64_t state_word, std::uint64_t inc_word)
+    {
+        state = state_word;
+        inc = inc_word;
+    }
+
   private:
     std::uint64_t state;
     std::uint64_t inc;

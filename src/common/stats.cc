@@ -5,6 +5,25 @@
 namespace cnsim
 {
 
+double
+RunningStats::ci95HalfWidth() const
+{
+    if (_n < 2)
+        return 0.0;
+    // Two-sided 97.5% Student-t quantiles for df = n-1. Sampled runs
+    // use a handful of measurement windows, squarely in the small-df
+    // regime; beyond df = 30 the normal quantile is within 2%.
+    static const double t975[] = {
+        0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+        2.306,  2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+        2.120,  2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+        2.064,  2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    std::uint64_t df = _n - 1;
+    double t = df <= 30 ? t975[df] : 1.96;
+    return t * stderrMean();
+}
+
 void
 StatGroup::addCounter(const std::string &n, Counter *c, std::string desc)
 {

@@ -44,6 +44,9 @@ class Counter
     /** Reset to zero (end of warm-up). */
     void reset() { _value = 0; }
 
+    /** Overwrite the count (checkpoint restore only). */
+    void restore(std::uint64_t v) { _value = v; }
+
   private:
     std::uint64_t _value = 0;
 };
@@ -202,6 +205,21 @@ class RunningStats
 
     /** Sample standard deviation. */
     double stddev() const { return std::sqrt(sampleVariance()); }
+
+    /** Standard error of the mean; 0 for fewer than two observations. */
+    double
+    stderrMean() const
+    {
+        return _n > 1 ? stddev() / std::sqrt(static_cast<double>(_n)) : 0.0;
+    }
+
+    /**
+     * Half-width of the 95% confidence interval on the mean, using the
+     * Student-t distribution with n-1 degrees of freedom (the window
+     * count in sampled runs is small, so the normal approximation
+     * understates the interval). 0 for fewer than two observations.
+     */
+    double ci95HalfWidth() const;
 
     void
     reset()

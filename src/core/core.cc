@@ -1,6 +1,8 @@
 #include "core/core.hh"
 
 #include "obs/trace_sink.hh"
+#include "sample/checkpoint.hh"
+#include "sample/warm.hh"
 #include "sim/system.hh"
 
 namespace cnsim
@@ -16,13 +18,16 @@ Core::Core(CoreId id, System &system, TraceSource &source,
 void
 Core::start(EventQueue &eq)
 {
-    eq.schedule(eq.now(), [this, &eq](Tick now) { step(eq, now); });
+    next_step_when = eq.now();
+    next_step_seq =
+        eq.schedule(eq.now(), [this, &eq](Tick now) { step(eq, now); });
 }
 
 void
 Core::step(EventQueue &eq, Tick now)
 {
     TraceRecord rec = source.next();
+    ++n_records;
     // gap non-memory instructions at non_mem_cpi cycles each, then the
     // memory reference.
     // unit_cpi skips the double round-trip: gap * 1.0 + 0.5 truncates
@@ -38,7 +43,51 @@ Core::step(EventQueue &eq, Tick now)
         sink->coreStall(issue, track, _id, rec.addr, done - issue);
     if (done <= now)
         done = now + 1;
-    eq.schedule(done, [this, &eq](Tick t) { step(eq, t); });
+    next_step_when = done;
+    next_step_seq = eq.schedule(done, [this, &eq](Tick t) { step(eq, t); });
+}
+
+void
+Core::warmAdvance(std::uint64_t instrs, Tick at)
+{
+    sample::WarmScope warm;
+    std::uint64_t advanced = 0;
+    while (advanced < instrs) {
+        TraceRecord rec = source.next();
+        ++n_records;
+        advanced += rec.gap + 1;
+        n_instr.inc(rec.gap + 1);
+        n_data_refs.inc();
+        (void)system.access(_id, rec, at);
+    }
+}
+
+void
+Core::skipAdvance(std::uint64_t instrs)
+{
+    // The source consumes exactly the records a decode-and-count loop
+    // would (replay sources hop whole chunks positionally), so the
+    // counters advance identically at a fraction of the decode cost.
+    SkipResult skipped = source.skipInstructions(instrs);
+    n_records += skipped.records;
+    n_instr.inc(skipped.instructions);
+    n_data_refs.inc(skipped.records);
+}
+
+void
+Core::restoreCursor(const sample::CoreState &cs)
+{
+    n_instr.restore(cs.instructions);
+    n_data_refs.restore(cs.data_refs);
+    source.skip(cs.consumed);
+    n_records = cs.consumed;
+}
+
+void
+Core::resume(EventQueue &eq, Tick when)
+{
+    next_step_when = when;
+    next_step_seq = eq.schedule(when, [this, &eq](Tick t) { step(eq, t); });
 }
 
 void

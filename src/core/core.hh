@@ -28,6 +28,10 @@ namespace obs
 {
 class TraceSink;
 } // namespace obs
+namespace sample
+{
+struct CoreState;
+} // namespace sample
 
 /** A single trace-driven in-order core. */
 class Core
@@ -45,6 +49,47 @@ class Core
 
     /** Schedule the first step into @p eq. */
     void start(EventQueue &eq);
+
+    /**
+     * Functionally retire records until at least @p instrs instructions
+     * have been consumed, warming the memory hierarchy (caches,
+     * coherence, replication state) without advancing time: every
+     * resource grants immediately under sample::WarmScope, and no
+     * events are scheduled. Must not race a pending step event's
+     * execution -- callers interleave warm phases between eq.run()s.
+     */
+    void warmAdvance(std::uint64_t instrs, Tick at);
+
+    /**
+     * Skip records until at least @p instrs instructions have been
+     * consumed, without touching the memory system at all (decode-only
+     * fast-forward between sampling windows).
+     */
+    void skipAdvance(std::uint64_t instrs);
+
+    /**
+     * Restore this core's position from a checkpoint: retirement
+     * counters and the trace cursor (decode-and-discard to the saved
+     * consumed count). Does not schedule anything; follow with
+     * resume().
+     */
+    void restoreCursor(const sample::CoreState &cs);
+
+    /** Re-schedule the step event a checkpoint recorded at @p when.
+     *  Call in ascending saved-seq order so FIFO ties replay. */
+    void resume(EventQueue &eq, Tick when);
+
+    /** Tick of this core's single pending step event. */
+    Tick nextStepWhen() const { return next_step_when; }
+
+    /** Schedule sequence number of the pending step (FIFO tie rank). */
+    std::uint64_t nextStepSeq() const { return next_step_seq; }
+
+    /** Trace records consumed since construction (checkpoint cursor). */
+    std::uint64_t recordsConsumed() const { return n_records; }
+
+    /** Data references issued since construction. */
+    std::uint64_t dataRefs() const { return n_data_refs.value(); }
 
     /** Instructions retired since construction. */
     std::uint64_t instructions() const { return n_instr.value(); }
@@ -90,6 +135,11 @@ class Core
     Counter n_data_refs;
     std::uint64_t epoch_instr = 0;
     Tick epoch_start = 0;
+    /** Trace records consumed (every source.next() call). */
+    std::uint64_t n_records = 0;
+    /** The single pending step event, mirrored for checkpointing. */
+    Tick next_step_when = 0;
+    std::uint64_t next_step_seq = 0;
 };
 
 } // namespace cnsim

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "obs/trace_sink.hh"
+#include "sample/checkpoint.hh"
 
 namespace cnsim
 {
@@ -246,6 +247,47 @@ DnucaL2::resetStats()
     n_migrations.reset();
     for (auto &p : bank_ports)
         p->reset();
+}
+
+std::uint64_t
+DnucaL2::validBlockCount() const
+{
+    std::uint64_t n = 0;
+    for (const Block &b : array.raw())
+        if (b.valid)
+            ++n;
+    return n;
+}
+
+void
+DnucaL2::saveState(sample::Writer &w) const
+{
+    array.saveState(w, [](sample::Writer &out, const Block &b) {
+        out.u64(b.addr);
+        out.u8(static_cast<std::uint8_t>((b.valid ? 1 : 0) |
+                                         (b.dirty ? 2 : 0)));
+        out.u32(b.bank);
+        out.u64(b.l1_sharers);
+        out.u32(static_cast<std::uint32_t>(b.l1_owner));
+    });
+    for (const auto &p : bank_ports)
+        p->saveState(w);
+}
+
+void
+DnucaL2::loadState(sample::Reader &r)
+{
+    array.loadState(r, [](sample::Reader &in, Block &b) {
+        b.addr = in.u64();
+        std::uint8_t flags = in.u8();
+        b.valid = flags & 1;
+        b.dirty = flags & 2;
+        b.bank = static_cast<std::uint16_t>(in.u32());
+        b.l1_sharers = in.u64();
+        b.l1_owner = static_cast<CoreId>(static_cast<std::int32_t>(in.u32()));
+    });
+    for (auto &p : bank_ports)
+        p->loadState(r);
 }
 
 } // namespace cnsim

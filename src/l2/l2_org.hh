@@ -29,6 +29,12 @@ namespace obs
 class TraceSink;
 } // namespace obs
 
+namespace sample
+{
+class Writer;
+class Reader;
+} // namespace sample
+
 /** Base class for L2 cache organizations. */
 class L2Org
 {
@@ -69,6 +75,22 @@ class L2Org
         for (auto &c : cls)
             c.reset();
     }
+
+    /**
+     * Serialize the organization's full architectural state (arrays,
+     * LRU stamps, coherence metadata, port occupancies) into a
+     * checkpoint payload. Pure so a new organization cannot silently
+     * opt out of checkpointing.
+     */
+    virtual void saveState(sample::Writer &w) const = 0;
+
+    /** Restore state written by saveState on an identically-configured
+     * organization. */
+    virtual void loadState(sample::Reader &r) = 0;
+
+    /** Valid data copies currently resident (checkpoint inspector's
+     *  occupancy summary). */
+    [[nodiscard]] virtual std::uint64_t validBlockCount() const = 0;
 
     /** Verify internal invariants; panics on violation. */
     virtual void checkInvariants() const {}

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "obs/trace_sink.hh"
+#include "sample/checkpoint.hh"
 
 namespace cnsim
 {
@@ -291,6 +292,53 @@ PrivateL2::resetStats()
     reuse_tracker.resetStats();
     for (auto &p : ports)
         p->reset();
+}
+
+std::uint64_t
+PrivateL2::validBlockCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &cache : caches)
+        for (const Block &b : cache.raw())
+            if (b.valid)
+                ++n;
+    return n;
+}
+
+void
+PrivateL2::saveState(sample::Writer &w) const
+{
+    // Reuse-tracker distributions are epoch stats (reset at the
+    // measurement boundary on both the save and restore paths), so
+    // only the per-block reuse counters travel.
+    for (std::size_t c = 0; c < caches.size(); ++c) {
+        caches[c].saveState(w, [](sample::Writer &out, const Block &b) {
+            out.u64(b.addr);
+            out.u8(static_cast<std::uint8_t>(
+                (b.valid ? 1 : 0) | (b.ifetch_filled ? 2 : 0)));
+            out.u8(static_cast<std::uint8_t>(b.state));
+            out.u8(static_cast<std::uint8_t>(b.fill_class));
+            out.u32(b.reuses);
+        });
+        ports[c]->saveState(w);
+    }
+}
+
+void
+PrivateL2::loadState(sample::Reader &r)
+{
+    for (std::size_t c = 0; c < caches.size(); ++c) {
+        caches[c].loadState(r, [](sample::Reader &in, Block &b) {
+            b.addr = in.u64();
+            std::uint8_t flags = in.u8();
+            b.valid = flags & 1;
+            b.ifetch_filled = flags & 2;
+            b.state = static_cast<CohState>(in.u8());
+            b.fill_class = static_cast<AccessClass>(in.u8());
+            b.reuses = in.u32();
+        });
+        ports[c]->loadState(r);
+    }
 }
 
 } // namespace cnsim

@@ -73,6 +73,10 @@ class PrivateL2 : public L2Org
 
     unsigned blockSize() const { return params.block_size; }
 
+    void saveState(sample::Writer &w) const override;
+    void loadState(sample::Reader &r) override;
+    std::uint64_t validBlockCount() const override;
+
   private:
     struct Block
     {

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "obs/trace_sink.hh"
+#include "sample/checkpoint.hh"
 
 namespace cnsim
 {
@@ -193,6 +194,33 @@ SharedL2::resetStats()
 {
     L2Org::resetStats();
     port.reset();
+}
+
+void
+SharedL2::saveState(sample::Writer &w) const
+{
+    array.saveState(w, [](sample::Writer &out, const Block &b) {
+        out.u64(b.addr);
+        out.u8(static_cast<std::uint8_t>((b.valid ? 1 : 0) |
+                                         (b.dirty ? 2 : 0)));
+        out.u64(b.l1_sharers);
+        out.u32(static_cast<std::uint32_t>(b.l1_owner));
+    });
+    port.saveState(w);
+}
+
+void
+SharedL2::loadState(sample::Reader &r)
+{
+    array.loadState(r, [](sample::Reader &in, Block &b) {
+        b.addr = in.u64();
+        std::uint8_t flags = in.u8();
+        b.valid = flags & 1;
+        b.dirty = flags & 2;
+        b.l1_sharers = in.u64();
+        b.l1_owner = static_cast<CoreId>(static_cast<std::int32_t>(in.u32()));
+    });
+    port.loadState(r);
 }
 
 } // namespace cnsim

@@ -69,6 +69,14 @@ class SharedL2 : public L2Org
     /** @return the number of valid blocks currently cached. */
     std::uint64_t validBlocks() const;
 
+    void saveState(sample::Writer &w) const override;
+    void loadState(sample::Reader &r) override;
+
+    std::uint64_t validBlockCount() const override
+    {
+        return validBlocks();
+    }
+
     unsigned blockSize() const { return params.block_size; }
 
   protected:

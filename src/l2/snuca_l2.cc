@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "sample/checkpoint.hh"
 
 namespace cnsim
 {
@@ -119,6 +120,22 @@ SnucaL2::setTraceSink(obs::TraceSink *s)
     inner->setTraceSink(s);
     for (std::size_t b = 0; b < bank_ports.size(); ++b)
         bank_ports[b]->attachSink(s, strfmt("l2.snuca.bank%zu", b));
+}
+
+void
+SnucaL2::saveState(sample::Writer &w) const
+{
+    inner->saveState(w);
+    for (const auto &p : bank_ports)
+        p->saveState(w);
+}
+
+void
+SnucaL2::loadState(sample::Reader &r)
+{
+    inner->loadState(r);
+    for (auto &p : bank_ports)
+        p->loadState(r);
 }
 
 } // namespace cnsim

@@ -20,6 +20,7 @@
 #ifndef CNSIM_L2_SNUCA_L2_HH
 #define CNSIM_L2_SNUCA_L2_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -71,6 +72,14 @@ class SnucaL2 : public L2Org
 
     /** Mean bank latency over all banks for @p core. */
     double meanLatency(CoreId core) const;
+
+    void saveState(sample::Writer &w) const override;
+    void loadState(sample::Reader &r) override;
+
+    std::uint64_t validBlockCount() const override
+    {
+        return inner->validBlockCount();
+    }
 
   protected:
     void onL1Hooks() override;

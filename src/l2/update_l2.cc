@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "obs/trace_sink.hh"
+#include "sample/checkpoint.hh"
 
 namespace cnsim
 {
@@ -304,6 +305,46 @@ UpdateL2::resetStats()
     n_cache_to_cache.reset();
     for (auto &p : ports)
         p->reset();
+}
+
+std::uint64_t
+UpdateL2::validBlockCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &cache : caches)
+        for (const Block &b : cache.raw())
+            if (b.valid)
+                ++n;
+    return n;
+}
+
+void
+UpdateL2::saveState(sample::Writer &w) const
+{
+    for (std::size_t c = 0; c < caches.size(); ++c) {
+        caches[c].saveState(w, [](sample::Writer &out, const Block &b) {
+            out.u64(b.addr);
+            out.u8(static_cast<std::uint8_t>((b.valid ? 1 : 0) |
+                                             (b.owner ? 2 : 0)));
+            out.u8(static_cast<std::uint8_t>(b.state));
+        });
+        ports[c]->saveState(w);
+    }
+}
+
+void
+UpdateL2::loadState(sample::Reader &r)
+{
+    for (std::size_t c = 0; c < caches.size(); ++c) {
+        caches[c].loadState(r, [](sample::Reader &in, Block &b) {
+            b.addr = in.u64();
+            std::uint8_t flags = in.u8();
+            b.valid = flags & 1;
+            b.owner = flags & 2;
+            b.state = static_cast<CohState>(in.u8());
+        });
+        ports[c]->loadState(r);
+    }
 }
 
 } // namespace cnsim

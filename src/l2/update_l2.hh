@@ -70,6 +70,10 @@ class UpdateL2 : public L2Org
 
     std::uint64_t updatesSent() const { return n_updates.value(); }
 
+    void saveState(sample::Writer &w) const override;
+    void loadState(sample::Reader &r) override;
+    std::uint64_t validBlockCount() const override;
+
   private:
     struct Block
     {

@@ -1,6 +1,7 @@
 #include "mem/bus.hh"
 
 #include "obs/trace_sink.hh"
+#include "sample/checkpoint.hh"
 
 namespace cnsim
 {
@@ -61,6 +62,18 @@ SnoopBus::resetStats()
     for (auto &c : counts)
         c.reset();
     slot.reset();
+}
+
+void
+SnoopBus::saveState(sample::Writer &w) const
+{
+    slot.saveState(w);
+}
+
+void
+SnoopBus::loadState(sample::Reader &r)
+{
+    slot.loadState(r);
 }
 
 } // namespace cnsim

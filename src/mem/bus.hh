@@ -86,6 +86,9 @@ class SnoopBus : public Interconnect
 
     [[nodiscard]] Tick latency() const override { return params.latency; }
 
+    void saveState(sample::Writer &w) const override;
+    void loadState(sample::Reader &r) override;
+
   private:
     /** Arbitrate for the address slot and account one transaction.
      *  @return the slot-grant tick. */

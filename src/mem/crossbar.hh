@@ -57,6 +57,22 @@ class Crossbar
         return static_cast<int>(ports.size());
     }
 
+    /** Serialize every d-group port's occupancy into a checkpoint. */
+    void
+    saveState(sample::Writer &w) const
+    {
+        for (const auto &p : ports)
+            p->saveState(w);
+    }
+
+    /** Restore d-group port occupancy from a checkpoint. */
+    void
+    loadState(sample::Reader &r)
+    {
+        for (auto &p : ports)
+            p->loadState(r);
+    }
+
   private:
     Tick traversal;
     std::vector<std::unique_ptr<Resource>> ports;

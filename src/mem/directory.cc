@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "obs/trace_sink.hh"
+#include "sample/checkpoint.hh"
 
 namespace cnsim
 {
@@ -239,6 +240,46 @@ DirectoryInterconnect::resetStats()
     for (auto &c : counts)
         c.reset();
     net.resetStats();
+}
+
+void
+DirectoryInterconnect::saveState(sample::Writer &w) const
+{
+    net.saveState(w);
+    // FlatMap iterates in hash order, which is not part of the
+    // deterministic contract; serialize lines sorted by block address
+    // so identical machine states produce identical checkpoints
+    // (cnlint CNL-D003 discipline).
+    std::vector<std::pair<Addr, DirEntry>> lines;
+    lines.reserve(dir.size());
+    dir.forEach([&lines](const Addr &a, const DirEntry &e) {
+        lines.emplace_back(a, e);
+    });
+    std::sort(lines.begin(), lines.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    w.u64(lines.size());
+    for (const auto &l : lines) {
+        w.u64(l.first);
+        w.u64(l.second.sharers);
+        w.u32(static_cast<std::uint32_t>(l.second.owner));
+        w.u8(l.second.dirty ? 1 : 0);
+    }
+}
+
+void
+DirectoryInterconnect::loadState(sample::Reader &r)
+{
+    net.loadState(r);
+    dir.clear();
+    std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Addr a = r.u64();
+        DirEntry e;
+        e.sharers = r.u64();
+        e.owner = static_cast<CoreId>(static_cast<std::int32_t>(r.u32()));
+        e.dirty = r.u8() != 0;
+        dir[a] = e;
+    }
 }
 
 } // namespace cnsim

@@ -133,6 +133,9 @@ class DirectoryInterconnect : public Interconnect
     [[nodiscard]] const Noc &noc() const { return net; }
     [[nodiscard]] CohMode mode() const { return coh_mode; }
 
+    void saveState(sample::Writer &w) const override;
+    void loadState(sample::Reader &r) override;
+
   private:
     /** Common path of transaction/postedTransaction. */
     Tick request(BusCmd cmd, CoreId src, Addr addr, Tick at);

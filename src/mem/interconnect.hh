@@ -42,6 +42,12 @@ namespace obs
 class TraceSink;
 } // namespace obs
 
+namespace sample
+{
+class Writer;
+class Reader;
+} // namespace sample
+
 /** Which interconnect fabric couples the L2 organizations. */
 enum class InterconnectKind
 {
@@ -124,6 +130,13 @@ class Interconnect
 
     /** Nominal end-to-end visibility latency (energy/latency models). */
     [[nodiscard]] virtual Tick latency() const = 0;
+
+    /** Serialize fabric state (slot/link occupancy, directory
+     *  membership) into a checkpoint. */
+    virtual void saveState(sample::Writer &w) const = 0;
+
+    /** Restore fabric state from a checkpoint. */
+    virtual void loadState(sample::Reader &r) = 0;
 };
 
 } // namespace cnsim

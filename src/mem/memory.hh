@@ -60,6 +60,12 @@ class MainMemory
         return n_writebacks.value();
     }
 
+    /** Serialize channel occupancy into a checkpoint. */
+    void saveState(sample::Writer &w) const { channels_res.saveState(w); }
+
+    /** Restore channel occupancy from a checkpoint. */
+    void loadState(sample::Reader &r) { channels_res.loadState(r); }
+
   private:
     MemoryParams params;
     Resource channels_res;

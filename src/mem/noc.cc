@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "obs/trace_sink.hh"
+#include "sample/checkpoint.hh"
 
 namespace cnsim
 {
@@ -174,6 +175,24 @@ Noc::attachSink(obs::TraceSink *s)
     for (auto &l : links)
         if (l)
             l->attachSink(s, "mem." + l->name());
+}
+
+void
+Noc::saveState(sample::Writer &w_) const
+{
+    // Fixed iteration order (node * 4 + dir); geometry is derived from
+    // the config, so only the occupancies travel.
+    for (const auto &l : links)
+        if (l)
+            l->saveState(w_);
+}
+
+void
+Noc::loadState(sample::Reader &r)
+{
+    for (auto &l : links)
+        if (l)
+            l->loadState(r);
 }
 
 } // namespace cnsim

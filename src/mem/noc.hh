@@ -92,6 +92,12 @@ class Noc
     /** Emit per-link Resource events into @p s under "mem.noc.*". */
     void attachSink(obs::TraceSink *s);
 
+    /** Serialize every link's occupancy into a checkpoint. */
+    void saveState(sample::Writer &w) const;
+
+    /** Restore link occupancy from a checkpoint. */
+    void loadState(sample::Reader &r);
+
   private:
     /** Directed link leaving @p node towards @p dir (0=E 1=W 2=N 3=S). */
     Resource &link(int node, int dir);

@@ -4,6 +4,8 @@
 
 #include "common/logging.hh"
 #include "obs/trace_sink.hh"
+#include "sample/checkpoint.hh"
+#include "sample/warm.hh"
 
 namespace cnsim
 {
@@ -19,6 +21,11 @@ Resource::Resource(std::string name, unsigned ports)
 Tick
 Resource::acquire(Tick at, Tick occupancy)
 {
+    // Functional fast-forward: grant immediately, occupy nothing,
+    // count nothing. Architectural state transitions in the caller
+    // proceed exactly as in detailed mode; only time is neutralized.
+    if (sample::WarmScope::active())
+        return at;
     auto it = std::min_element(free_at.begin(), free_at.end());
     Tick grant = std::max(at, *it);
     *it = grant + occupancy;
@@ -61,6 +68,25 @@ Resource::reset()
     n_grants.reset();
     wait_ticks.reset();
     busy_ticks.reset();
+}
+
+void
+Resource::saveState(sample::Writer &w) const
+{
+    w.u32(static_cast<std::uint32_t>(free_at.size()));
+    for (Tick t : free_at)
+        w.tick(t);
+}
+
+void
+Resource::loadState(sample::Reader &r)
+{
+    std::uint32_t n = r.u32();
+    cnsim_assert(n == free_at.size(),
+                 "checkpoint has %u ports for resource '%s' with %zu", n,
+                 _name.c_str(), free_at.size());
+    for (Tick &t : free_at)
+        t = r.tick();
 }
 
 } // namespace cnsim

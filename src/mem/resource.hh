@@ -33,6 +33,12 @@ namespace obs
 class TraceSink;
 } // namespace obs
 
+namespace sample
+{
+class Writer;
+class Reader;
+} // namespace sample
+
 /** A contended hardware structure with one or more identical ports. */
 class Resource
 {
@@ -73,6 +79,12 @@ class Resource
     {
         return wait_ticks.value();
     }
+
+    /** Serialize port occupancy (free_at) into a checkpoint. */
+    void saveState(sample::Writer &w) const;
+
+    /** Restore port occupancy from a checkpoint. */
+    void loadState(sample::Reader &r);
 
   private:
     std::string _name;

@@ -6,6 +6,7 @@
 #include "common/flat_map.hh"
 #include "common/logging.hh"
 #include "obs/trace_sink.hh"
+#include "sample/checkpoint.hh"
 
 namespace cnsim
 {
@@ -1081,6 +1082,39 @@ CmpNurapid::resetStats()
     for (auto &p : tag_ports)
         p->reset();
     xbar.resetStats();
+}
+
+void
+CmpNurapid::saveState(sample::Writer &w) const
+{
+    for (const auto &t : tags)
+        t->saveState(w);
+    data.saveState(w);
+    for (const auto &p : tag_ports)
+        p->saveState(w);
+    xbar.saveState(w);
+    // The RNG drives random distance replacement; its position is
+    // architectural state for bit-identical resume.
+    w.u64(rng.stateWord());
+    w.u64(rng.incWord());
+    w.u64(pinned_addr);
+    w.tick(op_tick);
+}
+
+void
+CmpNurapid::loadState(sample::Reader &r)
+{
+    for (auto &t : tags)
+        t->loadState(r);
+    data.loadState(r);
+    for (auto &p : tag_ports)
+        p->loadState(r);
+    xbar.loadState(r);
+    std::uint64_t state_word = r.u64();
+    std::uint64_t inc_word = r.u64();
+    rng.restoreState(state_word, inc_word);
+    pinned_addr = r.u64();
+    op_tick = r.tick();
 }
 
 } // namespace cnsim

@@ -163,6 +163,17 @@ class CmpNurapid : public L2Org
         return n_chain_stop_evictions.value();
     }
 
+    void saveState(sample::Writer &w) const override;
+    void loadState(sample::Reader &r) override;
+
+    std::uint64_t validBlockCount() const override
+    {
+        std::uint64_t n = 0;
+        for (int dg = 0; dg < data.numDGroups(); ++dg)
+            n += data.occupancy(dg);
+        return n;
+    }
+
     /**
      * Optional protocol trace hook: invoked with a short description of
      * every coherence-visible action (used by the protocol_trace

@@ -1,6 +1,7 @@
 #include "nurapid/data_array.hh"
 
 #include "common/logging.hh"
+#include "sample/checkpoint.hh"
 
 namespace cnsim
 {
@@ -74,6 +75,52 @@ NuDataArray::flushAll()
         free_list[g].clear();
         for (int i = static_cast<int>(frames_per) - 1; i >= 0; --i)
             free_list[g].push_back(i);
+    }
+}
+
+void
+NuDataArray::saveState(sample::Writer &w) const
+{
+    w.u32(static_cast<std::uint32_t>(numDGroups()));
+    w.u32(frames_per);
+    for (int g = 0; g < numDGroups(); ++g) {
+        for (const Frame &f : frames[g]) {
+            w.u64(f.addr);
+            w.u8(f.valid ? 1 : 0);
+            w.u32(static_cast<std::uint32_t>(f.rev.core));
+            w.u32(static_cast<std::uint32_t>(f.rev.set));
+            w.u32(static_cast<std::uint32_t>(f.rev.way));
+        }
+        w.u32(static_cast<std::uint32_t>(free_list[g].size()));
+        for (int idx : free_list[g])
+            w.u32(static_cast<std::uint32_t>(idx));
+    }
+}
+
+void
+NuDataArray::loadState(sample::Reader &r)
+{
+    std::uint32_t dgs = r.u32();
+    std::uint32_t fp = r.u32();
+    cnsim_assert(dgs == static_cast<std::uint32_t>(numDGroups()) &&
+                     fp == frames_per,
+                 "checkpoint data-array geometry %ux%u mismatches %dx%u",
+                 dgs, fp, numDGroups(), frames_per);
+    for (int g = 0; g < numDGroups(); ++g) {
+        for (Frame &f : frames[g]) {
+            f.addr = r.u64();
+            f.valid = r.u8() & 1;
+            f.rev.core =
+                static_cast<CoreId>(static_cast<std::int32_t>(r.u32()));
+            f.rev.set = static_cast<int>(static_cast<std::int32_t>(r.u32()));
+            f.rev.way = static_cast<int>(static_cast<std::int32_t>(r.u32()));
+        }
+        std::uint32_t n_free = r.u32();
+        cnsim_assert(n_free <= frames_per, "free list larger than d-group");
+        free_list[g].clear();
+        for (std::uint32_t i = 0; i < n_free; ++i)
+            free_list[g].push_back(
+                static_cast<int>(static_cast<std::int32_t>(r.u32())));
     }
 }
 

@@ -90,6 +90,13 @@ class NuDataArray
 
     void flushAll();
 
+    /** Serialize frames and free lists (order matters: allocate() pops
+     * from the back, so the free-list sequence is architectural). */
+    void saveState(sample::Writer &w) const;
+
+    /** Restore frames and free lists written by saveState. */
+    void loadState(sample::Reader &r);
+
   private:
     unsigned frames_per;
     std::vector<std::vector<Frame>> frames;

@@ -1,6 +1,7 @@
 #include "nurapid/tag_array.hh"
 
 #include "common/logging.hh"
+#include "sample/checkpoint.hh"
 
 namespace cnsim
 {
@@ -97,6 +98,45 @@ NuTagArray::flushAll()
     for (auto &e : entries)
         e = TagEntry{};
     lru_clock = 0;
+}
+
+void
+NuTagArray::saveState(sample::Writer &w) const
+{
+    w.u32(_num_sets);
+    w.u32(_assoc);
+    w.u64(lru_clock);
+    for (const TagEntry &e : entries) {
+        w.u64(e.addr);
+        w.u8(static_cast<std::uint8_t>((e.valid ? 1 : 0) |
+                                       (e.busy ? 2 : 0)));
+        w.u8(static_cast<std::uint8_t>(e.state));
+        w.u32(static_cast<std::uint32_t>(e.fwd.dgroup));
+        w.u32(static_cast<std::uint32_t>(e.fwd.frame));
+        w.u64(e.lru);
+    }
+}
+
+void
+NuTagArray::loadState(sample::Reader &r)
+{
+    std::uint32_t sets = r.u32();
+    std::uint32_t ways = r.u32();
+    cnsim_assert(sets == _num_sets && ways == _assoc,
+                 "checkpoint tag-array geometry %ux%u mismatches %ux%u",
+                 sets, ways, _num_sets, _assoc);
+    lru_clock = r.u64();
+    for (TagEntry &e : entries) {
+        e.addr = r.u64();
+        std::uint8_t flags = r.u8();
+        e.valid = flags & 1;
+        e.busy = flags & 2;
+        e.state = static_cast<CohState>(r.u8());
+        e.fwd.dgroup =
+            static_cast<DGroupId>(static_cast<std::int32_t>(r.u32()));
+        e.fwd.frame = static_cast<int>(static_cast<std::int32_t>(r.u32()));
+        e.lru = r.u64();
+    }
 }
 
 } // namespace cnsim

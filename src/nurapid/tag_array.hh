@@ -31,6 +31,12 @@
 namespace cnsim
 {
 
+namespace sample
+{
+class Writer;
+class Reader;
+} // namespace sample
+
 /** Forward pointer: which frame of which d-group holds the data. */
 struct FwdPtr
 {
@@ -121,6 +127,12 @@ class NuTagArray
     const std::vector<TagEntry> &raw() const { return entries; }
 
     void flushAll();
+
+    /** Serialize every entry and the LRU clock into a checkpoint. */
+    void saveState(sample::Writer &w) const;
+
+    /** Restore entries written by saveState (geometry must match). */
+    void loadState(sample::Reader &r);
 
   private:
     CoreId _core;

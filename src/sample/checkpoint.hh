@@ -1,0 +1,166 @@
+/**
+ * @file
+ * CNCKPT01: validated snapshot/restore of full machine state.
+ *
+ * A checkpoint captures everything needed to resume a run exactly where
+ * it stopped: per-core retirement and replay-cursor positions, the one
+ * pending step event per core, the event-queue clock, and an opaque
+ * architectural payload (cache arrays, LRU state, d-group layouts,
+ * coherence directories, resource occupancies) written by the System
+ * through the same Writer.
+ *
+ * The format follows the CNTRF001 trace-file discipline: a fixed magic,
+ * an explicit version, little-endian fixed-width fields, full bounds
+ * validation on every read, and an FNV-1a checksum over the payload so
+ * truncation and bit corruption are user errors (fatal), never memory
+ * errors. Checkpoints are config-strict: the core count, L2
+ * organization, interconnect, and trace provenance hash must match the
+ * resuming run (the trace hash check can be relaxed for in-memory
+ * sharing across variability seeds, where streams differ by
+ * construction but are positionally interchangeable).
+ *
+ * Layout:
+ *   "CNCKPT01"                       8-byte magic
+ *   u32 version                      currently 1
+ *   u32 num_cores, l2_kind, interconnect
+ *   u64 tick, events_executed
+ *   u64 trace_params_hash, trace_seed, warmup_instructions
+ *   per core: u64 instructions, data_refs, step_when, step_seq, consumed
+ *   u32 n_meta, then per entry: str name, u64 value   (inspector summary)
+ *   u64 arch_len, arch bytes                          (opaque payload)
+ *   u64 checksum                     FNV-1a of everything above
+ */
+
+#ifndef CNSIM_SAMPLE_CHECKPOINT_HH
+#define CNSIM_SAMPLE_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cnsim
+{
+
+namespace sample
+{
+
+/** Little-endian appender used for both the outer format and the
+ * architectural payload; components serialize through this so the
+ * byte layout has exactly one implementation. */
+class Writer
+{
+  public:
+    void u8(std::uint8_t v) { out.push_back(static_cast<char>(v)); }
+    void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+    void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+    void tick(Tick v) { u64(v); }
+    void f64(double v);
+    void str(const std::string &s);
+    void raw(const void *p, std::size_t n);
+
+    [[nodiscard]] const std::string &bytes() const { return out; }
+    [[nodiscard]] std::string take() { return std::move(out); }
+
+  private:
+    std::string out;
+};
+
+/**
+ * Bounds-checked reader over a checkpoint byte range. Every overrun is
+ * reported as a fatal truncation naming @p what, so a clipped file
+ * dies with a clear message instead of decoding garbage.
+ */
+class Reader
+{
+  public:
+    Reader(const void *data, std::size_t size, std::string what);
+
+    [[nodiscard]] std::uint8_t u8();
+    [[nodiscard]] std::uint32_t u32();
+    [[nodiscard]] std::uint64_t u64();
+    [[nodiscard]] Tick tick() { return u64(); }
+    [[nodiscard]] double f64();
+    [[nodiscard]] std::string str();
+    void raw(void *p, std::size_t n);
+
+    /** Bytes not yet consumed. */
+    [[nodiscard]] std::size_t remaining() const
+    {
+        return static_cast<std::size_t>(end - cur);
+    }
+
+    /** Fatal unless the payload was consumed exactly. */
+    void expectExhausted() const;
+
+  private:
+    const std::uint8_t *cur;
+    const std::uint8_t *end;
+    std::string what;
+};
+
+/** Saved position of one core: retirement counters, the single pending
+ * step event, and the replay-stream cursor (consumed-record count). */
+struct CoreState
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t data_refs = 0;
+    Tick step_when = 0;
+    std::uint64_t step_seq = 0;
+    std::uint64_t consumed = 0;
+};
+
+/** An in-memory checkpoint; serialize()/deserialize() map it to the
+ * validated CNCKPT01 byte format. */
+struct Checkpoint
+{
+    static constexpr std::uint32_t current_version = 1;
+
+    std::uint32_t version = current_version;
+    std::uint32_t num_cores = 0;
+    std::uint32_t l2_kind = 0;
+    std::uint32_t interconnect = 0;
+    Tick tick = 0;
+    std::uint64_t events_executed = 0;
+    std::uint64_t trace_params_hash = 0;
+    std::uint64_t trace_seed = 0;
+    std::uint64_t warmup_instructions = 0;
+    std::vector<CoreState> cores;
+    /** Inspector-facing summary facts ("l2.blocksValid", ...). */
+    std::vector<std::pair<std::string, std::uint64_t>> meta;
+    /** Opaque architectural payload written by System::saveState. */
+    std::string arch;
+
+    /** Render to the CNCKPT01 byte format (checksummed). */
+    [[nodiscard]] std::string serialize() const;
+
+    /** Parse + validate bytes; fatal on any corruption. @p what names
+     * the source (a path or "<memory>") in error messages. */
+    static Checkpoint deserialize(const std::string &bytes,
+                                  const std::string &what);
+
+    /** Write serialize() to @p path; fatal on I/O failure. */
+    void saveFile(const std::string &path) const;
+
+    /** Read + deserialize @p path; fatal on I/O or validation failure. */
+    static Checkpoint loadFile(const std::string &path);
+
+    /**
+     * Fatal unless this checkpoint matches the resuming run's shape.
+     * @p check_trace additionally pins the trace provenance hash
+     * (file checkpoints are strict; the in-memory variability path
+     * relaxes it because each seed replays its own stream).
+     */
+    void validateConfig(std::uint32_t run_cores, std::uint32_t run_l2_kind,
+                        std::uint32_t run_interconnect,
+                        std::uint64_t run_trace_hash, bool check_trace,
+                        const std::string &what) const;
+};
+
+} // namespace sample
+
+} // namespace cnsim
+
+#endif // CNSIM_SAMPLE_CHECKPOINT_HH

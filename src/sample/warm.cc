@@ -1,0 +1,34 @@
+#include "sample/warm.hh"
+
+namespace cnsim
+{
+
+namespace sample
+{
+
+namespace
+{
+
+thread_local int warm_depth = 0;
+
+} // namespace
+
+WarmScope::WarmScope()
+{
+    ++warm_depth;
+}
+
+WarmScope::~WarmScope()
+{
+    --warm_depth;
+}
+
+bool
+WarmScope::active()
+{
+    return warm_depth > 0;
+}
+
+} // namespace sample
+
+} // namespace cnsim

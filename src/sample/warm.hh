@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Functional fast-forward mode switch.
+ *
+ * During sampled simulation the reference stream is advanced and the
+ * caches/coherence state warmed without modelling time. All detailed
+ * timing in cnsim composes through Resource::acquire -- the single
+ * choke point -- so fast-forward is implemented as a scoped,
+ * thread-local flag that acquire() consults: while a WarmScope is
+ * alive, ports grant immediately at the requested tick, occupy
+ * nothing, count nothing, and emit no trace events. Every state
+ * transition (fills, LRU updates, coherence, d-group bookkeeping)
+ * still executes exactly as in detailed mode, so a functionally warmed
+ * machine is architecturally identical to a detailed-warmed one -- it
+ * just never waited for a port.
+ *
+ * The flag is thread_local so ParallelRunner workers fast-forwarding
+ * different sweep cells never observe each other's mode.
+ */
+
+#ifndef CNSIM_SAMPLE_WARM_HH
+#define CNSIM_SAMPLE_WARM_HH
+
+namespace cnsim
+{
+
+namespace sample
+{
+
+/** RAII guard: while alive on this thread, Resource::acquire is
+ * timing-neutral. Nests safely. */
+class WarmScope
+{
+  public:
+    WarmScope();
+    ~WarmScope();
+
+    WarmScope(const WarmScope &) = delete;
+    WarmScope &operator=(const WarmScope &) = delete;
+
+    /** @return true while any WarmScope is alive on this thread. */
+    [[nodiscard]] static bool active();
+};
+
+} // namespace sample
+
+} // namespace cnsim
+
+#endif // CNSIM_SAMPLE_WARM_HH

@@ -100,9 +100,13 @@ class EventQueue
      * runs deterministic regardless of queue internals. The callable is
      * stored inline in the event record when it fits (typical lambda
      * captures do); larger callables fall back to a heap box.
+     *
+     * @return the event's sequence number, which defines its FIFO rank
+     * among same-tick events (checkpoints persist it so a restored
+     * queue replays ties in the original order).
      */
     template <typename F>
-    void
+    std::uint64_t
     schedule(Tick when, F &&f)
     {
         cnsim_assert(when >= cur_tick,
@@ -115,6 +119,7 @@ class EventQueue
         e->next = nullptr;
         emplaceCallable(e, std::forward<F>(f));
         insert(e);
+        return e->seq;
     }
 
     /**
@@ -142,6 +147,25 @@ class EventQueue
 
     /** Request that run() stop after the current event completes. */
     void stop() { stop_requested = true; }
+
+    /**
+     * Reposition an *empty* queue at a checkpointed instant: the clock
+     * moves to @p at and the executed-event count to @p executed, as if
+     * that many events had already run. The caller then re-schedules
+     * the checkpoint's pending events (in their saved seq-rank order,
+     * so FIFO ties replay identically) before resuming run().
+     */
+    void
+    resumeAt(Tick at, std::uint64_t executed)
+    {
+        cnsim_assert(pending() == 0,
+                     "resumeAt on a queue with %zu pending events",
+                     pending());
+        cur_tick = at;
+        wheel_base = at;
+        scan_tick = at;
+        n_executed = executed;
+    }
 
     /**
      * @return total event records owned by the arena (free + in use).

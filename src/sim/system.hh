@@ -9,8 +9,10 @@
 #ifndef CNSIM_SIM_SYSTEM_HH
 #define CNSIM_SIM_SYSTEM_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/l1_cache.hh"
@@ -122,6 +124,22 @@ class System
 
     /** Run the active organization's invariant checks. */
     void checkInvariants() const { l2_org->checkInvariants(); }
+
+    /**
+     * Serialize the full architectural state -- memory channels,
+     * interconnect (links/bus slot + directory), the L2 organization,
+     * and every L1 -- into a checkpoint payload, in a fixed order the
+     * matching loadState() replays.
+     */
+    void saveState(sample::Writer &w) const;
+
+    /** Restore state written by saveState on an identically-configured
+     *  system. */
+    void loadState(sample::Reader &r);
+
+    /** Append inspector-facing occupancy facts to @p meta. */
+    void checkpointMeta(
+        std::vector<std::pair<std::string, std::uint64_t>> &meta) const;
 
     /** The per-run trace sink, or null when observability is off. */
     obs::TraceSink *traceSink() { return sink_.get(); }

@@ -250,12 +250,15 @@ RecordedTrace::grow(std::size_t idx)
             for (int c = 0; c < num_cores; ++c) {
                 TraceRecord rec = synth->source(c).next();
                 auto ci = static_cast<std::size_t>(c);
+                pending[ci]->instr_total += rec.gap + 1;
                 encodeRecord(pending[ci]->bytes, enc_prev_iaddr[ci],
                              enc_prev_addr[ci], rec);
             }
         }
         for (int c = 0; c < num_cores; ++c) {
             auto ci = static_cast<std::size_t>(c);
+            pending[ci]->end_prev_iaddr = enc_prev_iaddr[ci];
+            pending[ci]->end_prev_addr = enc_prev_addr[ci];
             slots[ci][pub] = std::move(pending[ci]);
         }
         published.store(pub + 1, std::memory_order_release);
@@ -327,7 +330,12 @@ RecordedTrace::fromFile(const std::string &path)
         // decoder trusts its buffer, so nothing malformed may pass.
         PackedStreamReader reader(core.bytes.data(), core.bytes.size());
         TraceRecord rec;
+        std::uint64_t instr_total = 0;
+        Addr last_iaddr = 0, last_addr = 0;
         while (reader.next(rec)) {
+            instr_total += rec.gap + 1;
+            last_iaddr = rec.iaddr;
+            last_addr = rec.addr;
         }
         if (reader.error() || reader.decoded() != core.n_records) {
             fatal("corrupt packed stream for core %zu in '%s': "
@@ -339,6 +347,9 @@ RecordedTrace::fromFile(const std::string &path)
         auto chunk = std::make_unique<Chunk>();
         chunk->n_records = static_cast<std::uint32_t>(core.n_records);
         chunk->bytes = std::move(core.bytes);
+        chunk->instr_total = instr_total;
+        chunk->end_prev_iaddr = last_iaddr;
+        chunk->end_prev_addr = last_addr;
         trace->slots[c].resize(1);
         trace->slots[c][0] = std::move(chunk);
     }
@@ -360,8 +371,12 @@ RecordedTrace::fromRecords(
         auto chunk = std::make_unique<Chunk>();
         chunk->n_records = static_cast<std::uint32_t>(records[c].size());
         Addr prev_iaddr = 0, prev_addr = 0;
-        for (const TraceRecord &rec : records[c])
+        for (const TraceRecord &rec : records[c]) {
+            chunk->instr_total += rec.gap + 1;
             encodeRecord(chunk->bytes, prev_iaddr, prev_addr, rec);
+        }
+        chunk->end_prev_iaddr = prev_iaddr;
+        chunk->end_prev_addr = prev_addr;
         trace->slots[c].resize(1);
         trace->slots[c][0] = std::move(chunk);
     }
@@ -405,6 +420,7 @@ ReplaySource::next()
     if (off == cur->n_records)
         advanceTo(chunk_idx + 1);
     ++off;
+    ++n_consumed;
     std::uint64_t go = getVarint(ptr);
     prev_iaddr += unzigzag(getVarint(ptr));
     prev_addr += unzigzag(getVarint(ptr));
@@ -415,6 +431,55 @@ ReplaySource::next()
                            : MemOp::Ifetch;
     r.iaddr = prev_iaddr;
     r.addr = prev_addr;
+    return r;
+}
+
+void
+ReplaySource::skip(std::uint64_t n)
+{
+    while (n) {
+        if (off == cur->n_records)
+            advanceTo(chunk_idx + 1);
+        if (off == 0 && n >= cur->n_records) {
+            // The whole chunk is discarded: adopt its end-of-chunk
+            // decoder state instead of decoding record by record.
+            n -= cur->n_records;
+            n_consumed += cur->n_records;
+            prev_iaddr = cur->end_prev_iaddr;
+            prev_addr = cur->end_prev_addr;
+            off = cur->n_records;
+            ptr = cur->bytes.data() + cur->bytes.size();
+            continue;
+        }
+        (void)next();
+        --n;
+    }
+}
+
+SkipResult
+ReplaySource::skipInstructions(std::uint64_t min_instrs)
+{
+    SkipResult r;
+    while (r.instructions < min_instrs) {
+        if (off == cur->n_records)
+            advanceTo(chunk_idx + 1);
+        // Hop the chunk whenever a decode-and-count loop would consume
+        // all of it without reaching the target inside.
+        if (off == 0 &&
+            r.instructions + cur->instr_total < min_instrs) {
+            r.instructions += cur->instr_total;
+            r.records += cur->n_records;
+            n_consumed += cur->n_records;
+            prev_iaddr = cur->end_prev_iaddr;
+            prev_addr = cur->end_prev_addr;
+            off = cur->n_records;
+            ptr = cur->bytes.data() + cur->bytes.size();
+            continue;
+        }
+        TraceRecord rec = next();
+        ++r.records;
+        r.instructions += rec.gap + 1;
+    }
     return r;
 }
 

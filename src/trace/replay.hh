@@ -109,11 +109,20 @@ class RecordedTrace
     /** Records per generated chunk, per core. */
     static constexpr std::uint32_t chunk_records = 4096;
 
-    /** One packed segment of a core's stream. */
+    /** One packed segment of a core's stream. The skip metadata lets
+     *  ReplaySource fast-forward over a whole chunk in O(1): the
+     *  instruction total decides whether a decode-and-count loop would
+     *  stop inside it, and the end state is what the sequential delta
+     *  decoder would hold after its last record. */
     struct Chunk
     {
         std::uint32_t n_records = 0;
         std::vector<std::uint8_t> bytes;
+        /** Sum of (gap + 1) over the chunk's records. */
+        std::uint64_t instr_total = 0;
+        /** Delta-decoder state after the chunk's last record. */
+        Addr end_prev_iaddr = 0;
+        Addr end_prev_addr = 0;
     };
 
     /** Generating mode over a fresh SynthWorkload for @p params. */
@@ -217,8 +226,21 @@ class ReplaySource final : public TraceSource
 
     TraceRecord next() override;
 
+    /** Positional reposition; hops whole chunks without decoding. */
+    void skip(std::uint64_t n) override;
+
+    /** Instruction-bounded fast-forward; hops whole chunks using the
+     *  per-chunk instruction totals, decoding only the partial chunk
+     *  the stopping record lands in. */
+    SkipResult skipInstructions(std::uint64_t min_instrs) override;
+
     /** Times a frozen trace ran dry and restarted from the top. */
     std::uint64_t wraps() const { return n_wraps; }
+
+    /** Records consumed so far -- the stream cursor a checkpoint
+     *  persists. Purely positional: record N of any stream generated
+     *  from the same workload family is the N-th canonical draw. */
+    std::uint64_t consumed() const { return n_consumed; }
 
   private:
     /** Step to chunk @p idx; wraps frozen traces at the end. */
@@ -233,6 +255,7 @@ class ReplaySource final : public TraceSource
     Addr prev_iaddr = 0;
     Addr prev_addr = 0;
     std::uint64_t n_wraps = 0;
+    std::uint64_t n_consumed = 0;
 };
 
 /**

@@ -31,6 +31,13 @@ struct TraceRecord
     MemOp op = MemOp::Load;
 };
 
+/** What a fast-forward consumed: see TraceSource::skipInstructions. */
+struct SkipResult
+{
+    std::uint64_t records = 0;
+    std::uint64_t instructions = 0;
+};
+
 /** An infinite, per-core supplier of trace records. */
 class TraceSource
 {
@@ -39,6 +46,37 @@ class TraceSource
 
     /** Produce the next record. Sources never run dry. */
     virtual TraceRecord next() = 0;
+
+    /**
+     * Discard the next @p n records (checkpoint-restore positioning:
+     * record N of a stream is the N-th canonical draw, so decode-and-
+     * discard repositions any source exactly).
+     */
+    virtual void
+    skip(std::uint64_t n)
+    {
+        while (n--)
+            (void)next();
+    }
+
+    /**
+     * Discard records until at least @p min_instrs instructions (each
+     * record is gap + 1) have been passed over, stopping with the
+     * record that reaches the target -- exactly the records a
+     * decode-and-count loop would consume, so a replay source may
+     * satisfy this positionally without decoding every record.
+     */
+    virtual SkipResult
+    skipInstructions(std::uint64_t min_instrs)
+    {
+        SkipResult r;
+        while (r.instructions < min_instrs) {
+            TraceRecord rec = next();
+            ++r.records;
+            r.instructions += rec.gap + 1;
+        }
+        return r;
+    }
 };
 
 } // namespace cnsim

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for interval sampling: the Student-t confidence interval math,
+ * the shape and internal consistency of sampled RunResults, sampled
+ * determinism, budget validation, and the accuracy contract -- the
+ * window-mean IPC of a sampled run must land within 2% of the full
+ * detailed measurement once both are past cold-start (DESIGN.md 3i).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "common/stats.hh"
+#include "sim/runner.hh"
+#include "trace/replay.hh"
+#include "trace/workloads.hh"
+
+namespace cnsim
+{
+namespace
+{
+
+TEST(Ci95, ZeroForFewerThanTwoObservations)
+{
+    RunningStats s;
+    EXPECT_DOUBLE_EQ(s.ci95HalfWidth(), 0.0);
+    s.push(3.7);
+    EXPECT_DOUBLE_EQ(s.ci95HalfWidth(), 0.0);
+}
+
+TEST(Ci95, MatchesStudentTByHand)
+{
+    // {1,2,3,4}: mean 2.5, sample variance 5/3, sem sqrt(5/12);
+    // t_{.975, df=3} = 3.182.
+    RunningStats s;
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        s.push(x);
+    double sem = std::sqrt((5.0 / 3.0) / 4.0);
+    EXPECT_NEAR(s.stderrMean(), sem, 1e-12);
+    EXPECT_NEAR(s.ci95HalfWidth(), 3.182 * sem, 1e-12);
+}
+
+TEST(Ci95, TwoObservationsUseWidestQuantile)
+{
+    // df = 1 is the smallest legal df; t = 12.706 (the reason two-
+    // window sampled runs print huge error bars).
+    RunningStats s;
+    s.push(1.0);
+    s.push(2.0);
+    // sd = sqrt(0.5), sem = 0.5.
+    EXPECT_NEAR(s.ci95HalfWidth(), 12.706 * 0.5, 1e-12);
+}
+
+TEST(Ci95, LargeSampleApproachesNormalQuantile)
+{
+    RunningStats s;
+    for (int i = 0; i < 100; ++i)
+        s.push(i % 2 ? 1.0 : 3.0);
+    EXPECT_NEAR(s.ci95HalfWidth(), 1.96 * s.stderrMean(), 1e-12);
+}
+
+TEST(Ci95, ZeroSpreadGivesZeroWidth)
+{
+    RunningStats s;
+    for (int i = 0; i < 8; ++i)
+        s.push(1.25);
+    EXPECT_DOUBLE_EQ(s.ci95HalfWidth(), 0.0);
+}
+
+RunConfig
+sampledRun(unsigned windows)
+{
+    RunConfig rc;
+    rc.warmup_instructions = 200'000;
+    rc.measure_instructions = 400'000;
+    rc.sample_windows = windows;
+    return rc;
+}
+
+TEST(Sample, ResultCarriesWindowsAndInterval)
+{
+    RunConfig rc = sampledRun(4);
+    RunResult r = Runner::run(Runner::paperConfig(L2Kind::Nurapid),
+                              workloads::byName("oltp"), rc);
+    EXPECT_TRUE(r.sampled);
+    ASSERT_EQ(r.window_ipc.size(), 4u);
+    EXPECT_GE(r.ipc_ci95, 0.0);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_EQ(r.core_ipc.size(), 4u);
+
+    // The reported IPC is the window mean, and the interval is the
+    // Student-t half-width over exactly those windows.
+    RunningStats w;
+    for (double ipc : r.window_ipc) {
+        EXPECT_GT(ipc, 0.0);
+        w.push(ipc);
+    }
+    EXPECT_DOUBLE_EQ(r.ipc, w.mean());
+    EXPECT_DOUBLE_EQ(r.ipc_ci95, w.ci95HalfWidth());
+}
+
+TEST(Sample, UnsampledRunLeavesSamplingFieldsEmpty)
+{
+    RunConfig rc;
+    rc.warmup_instructions = 200'000;
+    rc.measure_instructions = 300'000;
+    RunResult r = Runner::run(Runner::paperConfig(L2Kind::Shared),
+                              workloads::byName("barnes"), rc);
+    EXPECT_FALSE(r.sampled);
+    EXPECT_TRUE(r.window_ipc.empty());
+    EXPECT_DOUBLE_EQ(r.ipc_ci95, 0.0);
+}
+
+TEST(Sample, DeterministicForFixedSeed)
+{
+    RunConfig rc = sampledRun(4);
+    RunResult a = Runner::run(Runner::paperConfig(L2Kind::Private),
+                              workloads::byName("apache"), rc);
+    RunResult b = Runner::run(Runner::paperConfig(L2Kind::Private),
+                              workloads::byName("apache"), rc);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    ASSERT_EQ(a.window_ipc.size(), b.window_ipc.size());
+    for (std::size_t i = 0; i < a.window_ipc.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.window_ipc[i], b.window_ipc[i]);
+    EXPECT_DOUBLE_EQ(a.ipc_ci95, b.ipc_ci95);
+}
+
+TEST(Sample, ExplicitBudgetsAreHonored)
+{
+    RunConfig rc = sampledRun(4);
+    rc.sample_detail = 10'000;
+    rc.sample_warmup = 20'000;
+    RunResult r = Runner::run(Runner::paperConfig(L2Kind::Shared),
+                              workloads::byName("oltp"), rc);
+    EXPECT_TRUE(r.sampled);
+    EXPECT_EQ(r.window_ipc.size(), 4u);
+    // Measured instructions cover the detailed windows only -- each
+    // window runs detailed until the leading core retires the detail
+    // budget, and fast-forward gaps are excluded from the totals.
+    EXPECT_GE(r.instructions, 4u * 10'000);
+    EXPECT_LE(r.instructions, 4u * (10'000 + 10'000 / 4) * 4 + 4'096);
+}
+
+TEST(SampleDeath, RejectsImpossibleBudgets)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    SystemConfig cfg = Runner::paperConfig(L2Kind::Shared);
+    WorkloadSpec wl = workloads::byName("oltp");
+
+    // 8 windows over 100 instructions: nothing left to measure.
+    RunConfig rc;
+    rc.measure_instructions = 100;
+    rc.sample_windows = 8;
+    EXPECT_DEATH(Runner::validate(cfg, wl, rc),
+                 "sampling budget too small");
+
+    // Explicit warm + detail exceeding the window extent.
+    RunConfig rc2;
+    rc2.measure_instructions = 400'000;
+    rc2.sample_windows = 4;
+    rc2.sample_detail = 90'000;
+    rc2.sample_warmup = 20'000;
+    EXPECT_DEATH(Runner::validate(cfg, wl, rc2),
+                 "sampling window over-budget");
+}
+
+TEST(SampleDeath, RejectsDoubleResume)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    SystemConfig cfg = Runner::paperConfig(L2Kind::Shared);
+    WorkloadSpec wl = workloads::byName("oltp");
+    RunConfig rc;
+    rc.replay =
+        TraceCache::global().acquire(Runner::effectiveSynthParams(wl, rc));
+    rc.ckpt_load = "/tmp/some.ckpt";
+    rc.ckpt_blob_in = std::make_shared<const std::string>("x");
+    EXPECT_DEATH(Runner::validate(cfg, wl, rc),
+                 "both a checkpoint file and an in-memory checkpoint");
+}
+
+/**
+ * The accuracy contract behind the speedup claim: past cold start
+ * (steady-state warm-up at these workload scales is ~8M instructions,
+ * bench/EXPERIMENTS.md), the sampled window-mean IPC tracks the full
+ * detailed measurement to within 2% with pure default budgets. This is
+ * the expensive test in the file (~2s); it pins the two cells the
+ * sweep benches lean on hardest.
+ */
+TEST(Sample, WindowMeanTracksFullMeasurementWithin2Percent)
+{
+    struct Cell
+    {
+        L2Kind kind;
+        const char *workload;
+    };
+    for (const Cell &cell : {Cell{L2Kind::Nurapid, "oltp"},
+                             Cell{L2Kind::Shared, "barnes"}}) {
+        SystemConfig cfg = Runner::paperConfig(cell.kind);
+        WorkloadSpec wl = workloads::byName(cell.workload);
+
+        RunConfig full;
+        full.warmup_instructions = 8'000'000;
+        full.measure_instructions = 4'000'000;
+        full.replay = TraceCache::global().acquire(
+            Runner::effectiveSynthParams(wl, full));
+
+        RunConfig sampled = full;
+        sampled.sample_windows = 8;
+
+        RunResult f = Runner::run(cfg, wl, full);
+        RunResult s = Runner::run(cfg, wl, sampled);
+        double err = std::abs(s.ipc - f.ipc) / f.ipc;
+        EXPECT_LT(err, 0.02)
+            << cell.workload << "/" << toString(cell.kind)
+            << ": sampled " << s.ipc << " vs full " << f.ipc;
+    }
+}
+
+} // namespace
+} // namespace cnsim

@@ -69,6 +69,28 @@ usage(const char *argv0)
         "  --jobs <N>         worker threads for grid sweeps (default: "
         "hardware\n"
         "                     concurrency; results identical for any N)\n"
+        "  --sample-windows <K>  interval sampling: K detailed windows "
+        "separated by\n"
+        "                     decode-only fast-forward, functional "
+        "(untimed) warm-up;\n"
+        "                     IPC is reported as mean +/- Student-t 95%% "
+        "CI over the\n"
+        "                     windows\n"
+        "  --sample-detail <N>   measured instructions per window "
+        "(default\n"
+        "                     measure / (K*16))\n"
+        "  --sample-warmup <N>   functionally-warmed instructions before "
+        "each\n"
+        "                     window (default = sample-detail)\n"
+        "  --ckpt-save <file> warm up, save the CNCKPT01 machine state, "
+        "then measure\n"
+        "                     (grid sweeps insert <l2>-<workload> before "
+        "the\n"
+        "                     extension); implies --replay-cache\n"
+        "  --ckpt-load <file> resume from a saved checkpoint instead of "
+        "warming up\n"
+        "                     (config- and trace-strict); implies "
+        "--replay-cache\n"
         "  --no-cr            disable controlled replication (nurapid)\n"
         "  --no-isc           disable in-situ communication (nurapid)\n"
         "  --promotion <p>    fastest|next-fastest|none (nurapid)\n"
@@ -303,6 +325,8 @@ main(int argc, char **argv)
     unsigned tag_factor = 2;
     std::string record_prefix;
     std::string replay_prefix;
+    std::string ckpt_save_path;
+    std::string ckpt_load_path;
     std::string trace_capture_path;
     std::string trace_replay_path;
     int replay_cache = -1;  // -1 auto, 0 off, 1 on
@@ -374,6 +398,22 @@ main(int argc, char **argv)
         } else if (a == "--tag-factor") {
             tag_factor =
                 static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        } else if (a == "--sample-windows") {
+            const char *v = next();
+            char *end = nullptr;
+            rc.sample_windows =
+                static_cast<unsigned>(std::strtoul(v, &end, 10));
+            if (end == v || *end != '\0' || rc.sample_windows == 0)
+                fatal("--sample-windows needs a positive integer, "
+                      "got '%s'", v);
+        } else if (a == "--sample-detail") {
+            rc.sample_detail = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--sample-warmup") {
+            rc.sample_warmup = std::strtoull(next(), nullptr, 10);
+        } else if (a == "--ckpt-save") {
+            ckpt_save_path = next();
+        } else if (a == "--ckpt-load") {
+            ckpt_load_path = next();
         } else if (a == "--record") {
             record_prefix = next();
         } else if (a == "--replay") {
@@ -422,6 +462,16 @@ main(int argc, char **argv)
               "combined with --trace-capture/--trace-replay/"
               "--replay-cache");
     }
+    const bool ckpt =
+        !ckpt_save_path.empty() || !ckpt_load_path.empty();
+    if (ckpt && trace_io)
+        fatal("--ckpt-save/--ckpt-load cannot be combined with the "
+              "legacy --record/--replay path");
+    if (ckpt && replay_cache == 0)
+        fatal("checkpoints store a positional stream cursor and need "
+              "the replay cache; drop --no-replay-cache");
+    if (!ckpt_save_path.empty() && !ckpt_load_path.empty())
+        fatal("--ckpt-save and --ckpt-load are mutually exclusive");
     if (!trace_capture_path.empty() && !trace_replay_path.empty())
         fatal("--trace-capture and --trace-replay are mutually "
               "exclusive");
@@ -442,7 +492,7 @@ main(int argc, char **argv)
     // requires it. --no-replay-cache restores live per-cell
     // generation (timing-interleaved stream order).
     const bool use_replay_cache =
-        replay_cache == 1 ||
+        replay_cache == 1 || ckpt ||
         (!trace_capture_path.empty() && replay_cache != 0) ||
         (replay_cache == -1 && multi && !trace_io);
     if (!trace_capture_path.empty() && !use_replay_cache)
@@ -506,6 +556,18 @@ main(int argc, char **argv)
                     multi ? tagPath(trace_out, std::string(toString(kind)) +
                                                    "-" + w)
                           : trace_out;
+            // Checkpoints are config-strict, so grid sweeps keep one
+            // file per cell.
+            if (!ckpt_save_path.empty())
+                run.ckpt_save =
+                    multi ? tagPath(ckpt_save_path,
+                                    std::string(toString(kind)) + "-" + w)
+                          : ckpt_save_path;
+            if (!ckpt_load_path.empty())
+                run.ckpt_load =
+                    multi ? tagPath(ckpt_load_path,
+                                    std::string(toString(kind)) + "-" + w)
+                          : ckpt_load_path;
             if (trace_io) {
                 // Trace record/replay shares files between runs, so it
                 // stays serial and bypasses the pool.
@@ -527,13 +589,16 @@ main(int argc, char **argv)
         results = pool.run();
     }
 
-    std::printf("%-8s %-10s %8s %8s %8s %8s %8s %9s\n", "l2",
-                "workload", "IPC", "hit%", "ros%", "rws%", "cap%",
-                "cycles");
+    const bool any_sampled = rc.sample_windows > 0;
+    std::printf("%-8s %-10s %8s %s%8s %8s %8s %8s %9s\n", "l2",
+                "workload", "IPC", any_sampled ? "  +/-ci95 " : "",
+                "hit%", "ros%", "rws%", "cap%", "cycles");
     for (const RunResult &r : results) {
-        std::printf("%-8s %-10s %8.3f %7.1f%% %7.1f%% %7.1f%% "
-                    "%7.1f%% %9llu\n",
-                    r.l2_kind.c_str(), r.workload.c_str(), r.ipc,
+        std::printf("%-8s %-10s %8.3f ", r.l2_kind.c_str(),
+                    r.workload.c_str(), r.ipc);
+        if (any_sampled)
+            std::printf("+/-%6.3f ", r.ipc_ci95);
+        std::printf("%7.1f%% %7.1f%% %7.1f%% %7.1f%% %9llu\n",
                     100 * r.frac_hit, 100 * r.frac_ros,
                     100 * r.frac_rws, 100 * r.frac_cap,
                     static_cast<unsigned long long>(r.cycles));
