@@ -5,7 +5,7 @@
  * Every record a component emits into the TraceSink is one TraceEvent:
  * a fixed-size POD tagged with an EventKind. Field meaning depends on
  * the kind (see the per-kind comments below); the layout is chosen so a
- * record serializes to 36 bytes with no padding ambiguity and carries
+ * record serializes to 40 bytes with no padding ambiguity and carries
  * no wall-clock state, keeping traces bit-identical across
  * ParallelRunner worker counts.
  */
@@ -91,8 +91,10 @@ struct TraceEvent
     Addr addr = 0;
     /** Kind-specific payload (wait ticks, flag bits, d-group id...). */
     std::uint64_t arg = 0;
-    /** Duration in ticks; 0 renders as an instant event. */
-    std::uint32_t dur = 0;
+    /** Duration in ticks (full Tick width; a stall or occupancy can
+     *  exceed 2^32 ticks on long runs); 0 renders as an instant
+     *  event. */
+    std::uint64_t dur = 0;
     /** Track id from TraceSink::registerComponent, -1 if unknown. */
     std::int16_t component = -1;
     /** Initiating/affected core, -1 if not core-specific. */
@@ -106,7 +108,7 @@ struct TraceEvent
 };
 
 /** Serialized size of one TraceEvent in the binary format. */
-constexpr std::size_t trace_event_wire_bytes = 36;
+constexpr std::size_t trace_event_wire_bytes = 40;
 
 /** Human-readable name for an EventKind. */
 inline const char *

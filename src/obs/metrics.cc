@@ -3,6 +3,7 @@
 #include <cinttypes>
 
 #include "common/logging.hh"
+#include "obs/binlog.hh"
 
 namespace cnsim
 {
@@ -61,6 +62,11 @@ MetricsRegistry::snapshot(Tick now)
     row.values.reserve(samplers.size());
     for (const auto &fn : samplers)
         row.values.push_back(fn());
+    if (binlog && binlog->active()) {
+        for (std::size_t i = 0; i < row.values.size(); ++i)
+            binlog->appendMetric(now, static_cast<std::uint32_t>(i),
+                                 row.values[i]);
+    }
     rows.push_back(std::move(row));
     last_snapshot = now;
     have_snapshot = true;

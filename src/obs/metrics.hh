@@ -30,6 +30,8 @@ namespace cnsim
 namespace obs
 {
 
+class BinlogWriter;
+
 /** A time-series registry of named counters and gauges. */
 class MetricsRegistry
 {
@@ -63,6 +65,21 @@ class MetricsRegistry
 
     /** Take a snapshot unconditionally (start/end of measurement). */
     void snapshot(Tick now);
+
+    /**
+     * Close out the time-series at the end of the run: emits the
+     * trailing partial-interval snapshot so the final ticks of a run
+     * are never silently missing from the CSV (a run whose length is
+     * not a multiple of the interval still gets a last row at @p now).
+     */
+    void finish(Tick now) { snapshot(now); }
+
+    /**
+     * Stream every snapshot row to @p w (one MetricValue record per
+     * column) in addition to the in-memory time-series. Rows taken
+     * while the writer is not active stay in-memory only.
+     */
+    void setBinlog(BinlogWriter *w) { binlog = w; }
 
     /** @return number of registered metrics (columns). */
     std::size_t numMetrics() const { return paths.size(); }
@@ -103,6 +120,7 @@ class MetricsRegistry
     std::vector<std::string> paths;
     std::vector<std::function<double()>> samplers;
     std::vector<Row> rows;
+    BinlogWriter *binlog = nullptr;
     Tick _interval = 0;
     Tick last_snapshot = 0;
     bool have_snapshot = false;

@@ -7,6 +7,7 @@
 #include <map>
 
 #include "common/logging.hh"
+#include "obs/binlog.hh"
 
 namespace cnsim
 {
@@ -79,7 +80,11 @@ get16(std::FILE *f, std::uint16_t &v)
     return true;
 }
 
-constexpr char binary_magic[8] = {'C', 'N', 'T', 'R', 'C', '0', '0', '1'};
+// CNTRC002 widened dur to 64 bits and added the capture-side drop
+// count to the header; CNTRC001 files (32-bit dur, no drop count) are
+// still readable.
+constexpr char binary_magic[8] = {'C', 'N', 'T', 'R', 'C', '0', '0', '2'};
+constexpr char binary_magic_v1[8] = {'C', 'N', 'T', 'R', 'C', '0', '0', '1'};
 
 /** Short label for one event, used as the Chrome event name. */
 std::string
@@ -133,6 +138,10 @@ TraceSink::record(const TraceEvent &ev)
         listener(ev);
     if (!armed)
         return;
+    if (binlog)
+        binlog->append(ev);
+    if (!store_enabled)
+        return;
     if (store.size() >= params.max_events) {
         if (n_dropped == 0)
             warn("trace sink full (%zu events); dropping further events",
@@ -144,15 +153,30 @@ TraceSink::record(const TraceEvent &ev)
     ++kind_counts[static_cast<int>(ev.kind)];
 }
 
+std::uint64_t
+TraceSink::recordedEvents() const
+{
+    return binlog ? binlog->records()
+                  : static_cast<std::uint64_t>(store.size());
+}
+
 void
 TraceSink::exportChromeJson(const std::string &path) const
 {
-    writeChromeJson(path, store, comps);
+    if (n_dropped)
+        warn("trace export '%s' is incomplete: %" PRIu64
+             " events were dropped past the %zu-event cap",
+             path.c_str(), n_dropped, params.max_events);
+    writeChromeJson(path, store, comps, n_dropped);
 }
 
 void
 TraceSink::exportBinary(const std::string &path) const
 {
+    if (n_dropped)
+        warn("trace export '%s' is incomplete: %" PRIu64
+             " events were dropped past the %zu-event cap",
+             path.c_str(), n_dropped, params.max_events);
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f)
         fatal("cannot open trace output '%s'", path.c_str());
@@ -162,12 +186,13 @@ TraceSink::exportBinary(const std::string &path) const
         put32(f, static_cast<std::uint32_t>(c.size()));
         std::fwrite(c.data(), 1, c.size(), f);
     }
+    put64(f, n_dropped);
     put64(f, static_cast<std::uint64_t>(store.size()));
     for (const TraceEvent &ev : store) {
         put64(f, static_cast<std::uint64_t>(ev.tick));
         put64(f, static_cast<std::uint64_t>(ev.addr));
         put64(f, ev.arg);
-        put32(f, ev.dur);
+        put64(f, ev.dur);
         put16(f, static_cast<std::uint16_t>(ev.component));
         put16(f, static_cast<std::uint16_t>(ev.core));
         unsigned char tail[4] = {static_cast<unsigned char>(ev.kind),
@@ -189,19 +214,25 @@ TraceSink::exportTo(const std::string &path, TraceFormat format) const
 bool
 TraceSink::readBinary(const std::string &path, std::vector<TraceEvent> &out,
                       std::vector<std::string> &components,
-                      std::string *error)
+                      std::string *error, std::uint64_t *dropped)
 {
     auto fail = [&](const std::string &msg) {
         if (error)
             *error = msg;
         return false;
     };
+    if (dropped)
+        *dropped = 0;
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
         return fail("cannot open '" + path + "'");
     char magic[8];
-    if (std::fread(magic, 1, 8, f) != 8 ||
-        std::memcmp(magic, binary_magic, 8) != 0) {
+    if (std::fread(magic, 1, 8, f) != 8) {
+        std::fclose(f);
+        return fail("'" + path + "' is not a cnsim binary trace");
+    }
+    bool legacy = std::memcmp(magic, binary_magic_v1, 8) == 0;
+    if (!legacy && std::memcmp(magic, binary_magic, 8) != 0) {
         std::fclose(f);
         return fail("'" + path + "' is not a cnsim binary trace");
     }
@@ -224,6 +255,15 @@ TraceSink::readBinary(const std::string &path, std::vector<TraceEvent> &out,
         }
         components.push_back(std::move(name));
     }
+    if (!legacy) {
+        std::uint64_t n_drop = 0;
+        if (!get64(f, n_drop)) {
+            std::fclose(f);
+            return fail("truncated drop count");
+        }
+        if (dropped)
+            *dropped = n_drop;
+    }
     std::uint64_t count = 0;
     if (!get64(f, count)) {
         std::fclose(f);
@@ -234,10 +274,19 @@ TraceSink::readBinary(const std::string &path, std::vector<TraceEvent> &out,
     for (std::uint64_t i = 0; i < count; ++i) {
         TraceEvent ev;
         std::uint64_t tick, addr;
+        std::uint32_t dur32 = 0;
         std::uint16_t comp, core;
         unsigned char tail[4];
-        if (!get64(f, tick) || !get64(f, addr) || !get64(f, ev.arg) ||
-            !get32(f, ev.dur) || !get16(f, comp) || !get16(f, core) ||
+        bool ok = get64(f, tick) && get64(f, addr) && get64(f, ev.arg);
+        if (ok) {
+            if (legacy) {
+                ok = get32(f, dur32);
+                ev.dur = dur32;
+            } else {
+                ok = get64(f, ev.dur);
+            }
+        }
+        if (!ok || !get16(f, comp) || !get16(f, core) ||
             std::fread(tail, 1, 4, f) != 4) {
             std::fclose(f);
             return fail(strfmt("truncated event %" PRIu64 " of %" PRIu64,
@@ -260,7 +309,8 @@ TraceSink::readBinary(const std::string &path, std::vector<TraceEvent> &out,
 void
 writeChromeJson(const std::string &path,
                 const std::vector<TraceEvent> &events,
-                const std::vector<std::string> &components)
+                const std::vector<std::string> &components,
+                std::uint64_t dropped)
 {
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f)
@@ -286,7 +336,7 @@ writeChromeJson(const std::string &path,
         if (ev.dur > 0) {
             std::fprintf(f,
                          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
-                         "\"ts\":%" PRIu64 ",\"dur\":%u,\"pid\":0,"
+                         "\"ts\":%" PRIu64 ",\"dur\":%" PRIu64 ",\"pid\":0,"
                          "\"tid\":%d",
                          name.c_str(), toString(ev.kind),
                          static_cast<std::uint64_t>(ev.tick), ev.dur, tid);
@@ -332,7 +382,9 @@ writeChromeJson(const std::string &path,
         }
         std::fputs("}}", f);
     }
-    std::fputs("\n]}\n", f);
+    std::fprintf(f,
+                 "\n],\"metadata\":{\"droppedEvents\":%" PRIu64 "}}\n",
+                 dropped);
     std::fclose(f);
 }
 
@@ -348,8 +400,8 @@ formatEvent(const TraceEvent &ev, const std::vector<std::string> &components)
                            comp.c_str());
     switch (ev.kind) {
       case EventKind::BusTx:
-        s += strfmt("busTx %s dur=%u", toString(static_cast<BusCmd>(ev.a)),
-                    ev.dur);
+        s += strfmt("busTx %s dur=%" PRIu64,
+                    toString(static_cast<BusCmd>(ev.a)), ev.dur);
         break;
       case EventKind::Transition:
         s += strfmt("core%d 0x%" PRIx64 " %c>%c cause=%s%s%s", ev.core,
@@ -371,10 +423,10 @@ formatEvent(const TraceEvent &ev, const std::vector<std::string> &components)
                     ev.core, static_cast<std::uint64_t>(ev.addr), ev.arg);
         break;
       case EventKind::Resource:
-        s += strfmt("grant wait=%" PRIu64 " occ=%u", ev.arg, ev.dur);
+        s += strfmt("grant wait=%" PRIu64 " occ=%" PRIu64, ev.arg, ev.dur);
         break;
       case EventKind::CoreStall:
-        s += strfmt("core%d 0x%" PRIx64 " stall dur=%u", ev.core,
+        s += strfmt("core%d 0x%" PRIx64 " stall dur=%" PRIu64, ev.core,
                     static_cast<std::uint64_t>(ev.addr), ev.dur);
         break;
       case EventKind::Directory:
@@ -390,7 +442,8 @@ formatEvent(const TraceEvent &ev, const std::vector<std::string> &components)
 
 std::string
 summarize(const std::vector<TraceEvent> &events,
-          const std::vector<std::string> &components)
+          const std::vector<std::string> &components,
+          std::uint64_t dropped)
 {
     std::uint64_t by_kind[num_event_kinds] = {};
     std::map<int, std::uint64_t> by_comp;
@@ -424,6 +477,10 @@ summarize(const std::vector<TraceEvent> &events,
         s += strfmt(", ticks [%" PRIu64 ", %" PRIu64 "]",
                     static_cast<std::uint64_t>(lo),
                     static_cast<std::uint64_t>(hi));
+    if (dropped)
+        s += strfmt("\nWARNING: incomplete capture -- %" PRIu64
+                    " events dropped past the max_events cap",
+                    dropped);
     s += "\n\nby kind:\n";
     for (int k = 0; k < num_event_kinds; ++k) {
         if (by_kind[k])

@@ -17,6 +17,12 @@
  * Exporters: Chrome `trace_event` JSON (one track per registered
  * component; loadable in chrome://tracing or Perfetto) and a compact
  * binary format readable by tools/cntrace and readBinary().
+ *
+ * When a BinlogWriter is attached (--binlog-out), armed events are
+ * streamed to the CNBLG01 binary log instead of (or in addition to)
+ * the in-memory store: the hot path is then one fixed-size record
+ * pushed onto a lock-free ring, with all formatting offline in
+ * tools/cntrace (DESIGN.md 3j).
  */
 
 #ifndef CNSIM_OBS_TRACE_SINK_HH
@@ -39,6 +45,8 @@ namespace cnsim
 namespace obs
 {
 
+class BinlogWriter;
+
 /** Trace export formats selectable from the CLI. */
 enum class TraceFormat
 {
@@ -55,6 +63,8 @@ struct ObsParams
     bool audit = false;
     /** Ticks between metrics snapshots; 0 disables the registry. */
     Tick metrics_interval = 0;
+    /** Stream events + metrics to this CNBLG01 file; "" disables. */
+    std::string binlog_out;
     /** Stop storing (but keep listening) past this many events. */
     std::size_t max_events = 4'000'000;
     /** Minimum stall, in ticks, for a core to emit a CoreStall event. */
@@ -80,8 +90,8 @@ class TraceSink
     /** @return true if record() currently does any work. */
     bool active() const { return armed || listener != nullptr; }
 
-    /** Start storing events (called at the measurement epoch). */
-    void armRecording() { armed = store_enabled; }
+    /** Start recording events (called at the measurement epoch). */
+    void armRecording() { armed = store_enabled || binlog != nullptr; }
 
     /** Stop storing events; the listener keeps seeing them. */
     void disarmRecording() { armed = false; }
@@ -94,6 +104,16 @@ class TraceSink
     {
         listener = std::move(fn);
     }
+
+    /**
+     * Stream armed events to @p w (not owned; must outlive the sink
+     * or be detached). The writer must be begin()-started before the
+     * sink is armed.
+     */
+    void setBinlog(BinlogWriter *w) { binlog = w; }
+
+    /** @return the attached binlog writer, or null. */
+    BinlogWriter *binlogWriter() const { return binlog; }
 
     /** Dispatch one event to the listener and the store. */
     void record(const TraceEvent &ev);
@@ -131,7 +151,7 @@ class TraceSink
             return;
         TraceEvent ev;
         ev.tick = t;
-        ev.dur = static_cast<std::uint32_t>(dur);
+        ev.dur = static_cast<std::uint64_t>(dur);
         ev.component = static_cast<std::int16_t>(comp);
         ev.kind = EventKind::BusTx;
         ev.a = static_cast<std::uint8_t>(cmd);
@@ -183,7 +203,7 @@ class TraceSink
         TraceEvent ev;
         ev.tick = t;
         ev.arg = static_cast<std::uint64_t>(wait);
-        ev.dur = static_cast<std::uint32_t>(occupancy);
+        ev.dur = static_cast<std::uint64_t>(occupancy);
         ev.component = static_cast<std::int16_t>(comp);
         ev.kind = EventKind::Resource;
         record(ev);
@@ -198,7 +218,7 @@ class TraceSink
         TraceEvent ev;
         ev.tick = t;
         ev.addr = addr;
-        ev.dur = static_cast<std::uint32_t>(dur);
+        ev.dur = static_cast<std::uint64_t>(dur);
         ev.component = static_cast<std::int16_t>(comp);
         ev.core = static_cast<std::int16_t>(core);
         ev.kind = EventKind::CoreStall;
@@ -237,6 +257,13 @@ class TraceSink
     /** @return events dropped after the max_events cap was hit. */
     std::uint64_t dropped() const { return n_dropped; }
 
+    /**
+     * @return events recorded for the run: the binlog stream count
+     *         when one is attached (it never drops), else the
+     *         in-memory store size.
+     */
+    std::uint64_t recordedEvents() const;
+
     /** @return stored-event count for one kind. */
     std::uint64_t
     storedCount(EventKind k) const
@@ -254,21 +281,27 @@ class TraceSink
     void exportTo(const std::string &path, TraceFormat format) const;
 
     /**
-     * Read a binary trace written by exportBinary().
+     * Read a binary trace written by exportBinary(). Accepts both the
+     * current CNTRC002 format (64-bit durations + drop count) and the
+     * legacy CNTRC001 layout.
      *
      * @return true on success; on failure @p error (if non-null)
-     *         receives a description.
+     *         receives a description. @p dropped (if non-null)
+     *         receives the capture-side drop count recorded in the
+     *         header (0 for CNTRC001 files).
      */
     static bool readBinary(const std::string &path,
                            std::vector<TraceEvent> &out,
                            std::vector<std::string> &components,
-                           std::string *error = nullptr);
+                           std::string *error = nullptr,
+                           std::uint64_t *dropped = nullptr);
 
   private:
     ObsParams params;
     std::vector<std::string> comps;
     std::vector<TraceEvent> store;
     std::function<void(const TraceEvent &)> listener;
+    BinlogWriter *binlog = nullptr;
     std::uint64_t kind_counts[num_event_kinds] = {};
     std::uint64_t n_dropped = 0;
     Tick last_tick = 0;
@@ -278,18 +311,22 @@ class TraceSink
 
 /**
  * Write @p events as Chrome trace_event JSON with one track per entry
- * of @p components. Shared by TraceSink and tools/cntrace.
+ * of @p components; @p dropped capture-side drops are surfaced in the
+ * top-level metadata object. Shared by TraceSink and tools/cntrace.
  */
 void writeChromeJson(const std::string &path,
                      const std::vector<TraceEvent> &events,
-                     const std::vector<std::string> &components);
+                     const std::vector<std::string> &components,
+                     std::uint64_t dropped = 0);
 
 /**
  * Render a per-kind / per-component / per-cause summary of @p events,
- * as printed by `cntrace summary`.
+ * as printed by `cntrace summary`; a non-zero @p dropped count adds an
+ * incomplete-capture warning line.
  */
 std::string summarize(const std::vector<TraceEvent> &events,
-                      const std::vector<std::string> &components);
+                      const std::vector<std::string> &components,
+                      std::uint64_t dropped = 0);
 
 /** Render one event as a single human-readable line. */
 std::string formatEvent(const TraceEvent &ev,

@@ -271,10 +271,13 @@ Runner::run(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
 {
     validate(sys_cfg, workload, run_cfg);
 
-    // A trace-out path implies event recording for this run.
+    // A trace-out path implies event recording for this run; a
+    // binlog-out path streams events to the CNBLG01 binary log.
     SystemConfig sc = sys_cfg;
     if (!run_cfg.trace_out.empty())
         sc.obs.trace = true;
+    if (!run_cfg.binlog_out.empty())
+        sc.obs.binlog_out = run_cfg.binlog_out;
 
     System system(sc);
     // Replay runs pull records from the shared pre-materialized trace;
@@ -572,12 +575,14 @@ Runner::run(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
             r.stats_csv = g.dumpCsv();
     }
 
-    if (system.metrics()) {
-        system.metrics()->snapshot(end);
+    // Close out observability before reading results: emits the
+    // trailing partial-interval metrics snapshot and seals the binlog.
+    system.finishObs(end);
+    if (system.metrics())
         r.metrics_csv = system.metrics()->csv();
-    }
     if (obs::TraceSink *sink = system.traceSink()) {
-        r.trace_events = sink->events().size();
+        r.trace_events = sink->recordedEvents();
+        r.trace_dropped = sink->dropped();
         if (!run_cfg.trace_out.empty())
             sink->exportTo(run_cfg.trace_out, run_cfg.trace_format);
     }

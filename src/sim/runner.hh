@@ -48,6 +48,9 @@ struct RunConfig
     std::string trace_out;
     /** Export format for trace_out. */
     obs::TraceFormat trace_format = obs::TraceFormat::ChromeJson;
+    /** Stream events + metrics to this CNBLG01 binary log ("" = off).
+     *  Setting this implies SystemConfig::obs.binlog_out. */
+    std::string binlog_out;
     /**
      * Drive the cores from this pre-materialized trace instead of live
      * generation (trace/replay.hh). The trace's core count must match
@@ -145,8 +148,13 @@ struct RunResult
     /** Metrics time-series CSV (when obs.metrics_interval > 0). */
     std::string metrics_csv;
 
-    /** Events stored by the trace sink over the measurement epoch. */
+    /** Events recorded over the measurement epoch (binlog stream
+     *  count when one is attached, else stored-event count). */
     std::uint64_t trace_events = 0;
+
+    /** Events dropped by the in-memory store past its max_events cap
+     *  (the binlog stream never drops). */
+    std::uint64_t trace_dropped = 0;
 
     /** Transitions checked by the auditor (when obs.audit). */
     std::uint64_t audited_transitions = 0;

@@ -124,7 +124,7 @@ System::System(const SystemConfig &c) : cfg(c)
 
     // Observability: one sink per System, never shared, so parallel
     // runs stay deterministic and traced runs stay reproducible.
-    if (cfg.obs.trace || cfg.obs.audit) {
+    if (cfg.obs.trace || cfg.obs.audit || !cfg.obs.binlog_out.empty()) {
         sink_ = std::make_unique<obs::TraceSink>(cfg.obs);
         icn->attachSink(sink_.get());
         mem->attachSink(sink_.get());
@@ -144,6 +144,11 @@ System::System(const SystemConfig &c) : cfg(c)
                 au->onEvent(ev);
             });
         }
+        if (!cfg.obs.binlog_out.empty()) {
+            binlog_ =
+                std::make_unique<obs::BinlogWriter>(cfg.obs.binlog_out);
+            sink_->setBinlog(binlog_.get());
+        }
     }
     if (cfg.obs.metrics_interval > 0) {
         metrics_ = std::make_unique<obs::MetricsRegistry>();
@@ -159,6 +164,8 @@ System::System(const SystemConfig &c) : cfg(c)
                     });
             }
         }
+        if (binlog_)
+            metrics_->setBinlog(binlog_.get());
     }
 }
 
@@ -263,8 +270,26 @@ System::resetStats()
         l1->resetStats();
     for (auto &l1 : l1is)
         l1->resetStats();
+    // Component and metric registration is complete by the measurement
+    // epoch, so the binlog header tables written here are final (and
+    // deterministic for a given configuration).
+    if (binlog_ && !binlog_->active()) {
+        std::vector<std::string> metric_paths;
+        if (metrics_)
+            metric_paths = metrics_->metricPaths();
+        binlog_->begin(sink_->components(), metric_paths);
+    }
     if (sink_)
         sink_->armRecording();
+}
+
+void
+System::finishObs(Tick now)
+{
+    if (metrics_)
+        metrics_->finish(now);
+    if (binlog_ && binlog_->active())
+        binlog_->finish(sink_->dropped());
 }
 
 void

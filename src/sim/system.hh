@@ -27,6 +27,7 @@
 #include "mem/noc.hh"
 #include "nurapid/cmp_nurapid.hh"
 #include "obs/auditor.hh"
+#include "obs/binlog.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_sink.hh"
 #include "trace/trace.hh"
@@ -150,6 +151,17 @@ class System
     /** The metrics registry, or null unless an interval is set. */
     obs::MetricsRegistry *metrics() { return metrics_.get(); }
 
+    /** The CNBLG01 stream writer, or null unless --binlog-out. */
+    obs::BinlogWriter *binlogWriter() { return binlog_.get(); }
+
+    /**
+     * Close out observability at the end of the run: emits the
+     * trailing partial-interval metrics snapshot and seals the binlog
+     * stream (writer drained, trailer written). Idempotent; safe when
+     * observability is off.
+     */
+    void finishObs(Tick now);
+
     /** Periodic observability work (metrics snapshots); cheap no-op
      *  when the registry is off. Called from the run loop. */
     void
@@ -177,6 +189,7 @@ class System
     std::unique_ptr<obs::TraceSink> sink_;
     std::unique_ptr<obs::ProtocolAuditor> auditor_;
     std::unique_ptr<obs::MetricsRegistry> metrics_;
+    std::unique_ptr<obs::BinlogWriter> binlog_;
 };
 
 } // namespace cnsim

@@ -95,6 +95,35 @@ TEST(MetricsRegistry, ImportStatGroupTracksEverything)
     EXPECT_EQ(reg.total("mem"), 11.0);
 }
 
+TEST(MetricsRegistry, FinishEmitsTrailingPartialInterval)
+{
+    // Regression: tick() only snapshots on full intervals, so a run
+    // whose length is not a multiple of the interval used to lose its
+    // trailing partial window. finish() must close the series so the
+    // last row covers the run's final tick.
+    Counter c;
+    obs::MetricsRegistry reg;
+    reg.addCounter("c", &c);
+    reg.setInterval(100);
+
+    reg.tick(0);
+    c.inc(10);
+    reg.tick(100);
+    c.inc(5);
+    reg.tick(130);  // partial window: no snapshot yet
+    EXPECT_EQ(reg.numSnapshots(), 2u);
+
+    reg.finish(130);  // run ends at tick 130
+    ASSERT_EQ(reg.numSnapshots(), 3u);
+    EXPECT_EQ(reg.latest("c"), 15.0);
+    std::string csv = reg.csv();
+    EXPECT_NE(csv.find("\n130,15\n"), std::string::npos) << csv;
+
+    // finish() at an already-snapshotted tick must not duplicate rows.
+    reg.finish(130);
+    EXPECT_EQ(reg.numSnapshots(), 3u);
+}
+
 TEST(MetricsRegistry, CsvHasHeaderAndOneRowPerSnapshot)
 {
     Counter c;

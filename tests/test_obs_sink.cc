@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -131,6 +132,77 @@ TEST(TraceSink, EventCapDropsButCounts)
         sink.busTx(i, 0, BusCmd::BusRd, 8);
     EXPECT_EQ(sink.events().size(), 4u);
     EXPECT_EQ(sink.dropped(), 6u);
+}
+
+TEST(TraceSink, DroppedCountSurfacesInEveryExport)
+{
+    // Regression: a trace that hit max_events used to export without
+    // any trace of the truncation -- the file looked complete.
+    obs::ObsParams p = tracingOn();
+    p.max_events = 3;
+    obs::TraceSink sink(p);
+    sink.armRecording();
+    int c = sink.registerComponent("mem.bus");
+    for (int i = 0; i < 10; ++i)
+        sink.busTx(i, c, BusCmd::BusRd, 8);
+    ASSERT_EQ(sink.dropped(), 7u);
+
+    // Binary header carries the drop count through a round trip...
+    const std::string bin = tmpPath("dropped.bin");
+    sink.exportBinary(bin);
+    std::vector<obs::TraceEvent> events;
+    std::vector<std::string> comps;
+    std::string err;
+    std::uint64_t dropped = 0;
+    ASSERT_TRUE(obs::TraceSink::readBinary(bin, events, comps, &err,
+                                           &dropped))
+        << err;
+    EXPECT_EQ(dropped, 7u);
+    EXPECT_EQ(events.size(), 3u);
+
+    // ...the summary warns about the incomplete capture...
+    std::string sum = obs::summarize(events, comps, dropped);
+    EXPECT_NE(sum.find("incomplete capture"), std::string::npos);
+    EXPECT_NE(sum.find("7 events dropped"), std::string::npos);
+
+    // ...and the Chrome JSON surfaces it as metadata.
+    const std::string json_path = tmpPath("dropped.json");
+    sink.exportChromeJson(json_path);
+    std::string json = slurp(json_path);
+    EXPECT_NE(json.find("\"droppedEvents\":7"), std::string::npos);
+
+    std::remove(bin.c_str());
+    std::remove(json_path.c_str());
+}
+
+TEST(TraceSink, WideDurationsSurviveBinaryRoundTrip)
+{
+    // Regression: busTx/resourceAcquire/coreStall used to truncate
+    // Tick durations to uint32, so a stall >= 2^32 ticks wrapped.
+    const std::uint64_t wide = (std::uint64_t{1} << 32) + 99;
+    obs::TraceSink sink(tracingOn());
+    sink.armRecording();
+    int c = sink.registerComponent("x");
+    sink.coreStall(10, c, 0, 0x40, wide);
+    sink.busTx(20, c, BusCmd::BusRd, wide + 1);
+    sink.resourceAcquire(30, c, 4, wide + 2);
+    ASSERT_EQ(sink.events().size(), 3u);
+    EXPECT_EQ(sink.events()[0].dur, wide);
+    EXPECT_EQ(sink.events()[1].dur, wide + 1);
+    EXPECT_EQ(sink.events()[2].dur, wide + 2);
+
+    const std::string path = tmpPath("wide.bin");
+    sink.exportBinary(path);
+    std::vector<obs::TraceEvent> events;
+    std::vector<std::string> comps;
+    std::string err;
+    ASSERT_TRUE(obs::TraceSink::readBinary(path, events, comps, &err))
+        << err;
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].dur, wide);
+    EXPECT_EQ(events[1].dur, wide + 1);
+    EXPECT_EQ(events[2].dur, wide + 2);
+    std::remove(path.c_str());
 }
 
 TEST(TraceSink, BinaryRoundTripPreservesEverything)

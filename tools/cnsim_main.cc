@@ -105,6 +105,10 @@ usage(const char *argv0)
         "                     extension)\n"
         "  --trace-format <f> json (Chrome trace_event) | bin (compact, "
         "for cntrace)\n"
+        "  --binlog-out <file> stream events + metrics to a CNBLG01 "
+        "binary log\n"
+        "                     (lock-free hot path; format offline with "
+        "cntrace)\n"
         "  --metrics-interval <N>  snapshot the metrics registry every N "
         "ticks\n"
         "  --metrics-out <file>    write the metrics time series CSV "
@@ -203,6 +207,8 @@ runWithTraceIO(const SystemConfig &cfg, const WorkloadSpec &wl,
     SystemConfig sc = cfg;
     if (!rc.trace_out.empty())
         sc.obs.trace = true;
+    if (!rc.binlog_out.empty())
+        sc.obs.binlog_out = rc.binlog_out;
     System system(sc);
     std::unique_ptr<SynthWorkload> synth;
     if (replay_prefix.empty())
@@ -274,12 +280,12 @@ runWithTraceIO(const SystemConfig &cfg, const WorkloadSpec &wl,
         if (rc.collect_stats_csv)
             r.stats_csv = g.dumpCsv();
     }
-    if (system.metrics()) {
-        system.metrics()->snapshot(eq.now());
+    system.finishObs(eq.now());
+    if (system.metrics())
         r.metrics_csv = system.metrics()->csv();
-    }
     if (obs::TraceSink *sink = system.traceSink()) {
-        r.trace_events = sink->events().size();
+        r.trace_events = sink->recordedEvents();
+        r.trace_dropped = sink->dropped();
         if (!rc.trace_out.empty())
             sink->exportTo(rc.trace_out, rc.trace_format);
     }
@@ -332,6 +338,7 @@ main(int argc, char **argv)
     int replay_cache = -1;  // -1 auto, 0 off, 1 on
     std::string stats_csv_path;
     std::string trace_out;
+    std::string binlog_out;
     std::string metrics_out;
     obs::TraceFormat trace_format = obs::TraceFormat::ChromeJson;
     std::uint64_t metrics_interval = 0;
@@ -374,6 +381,8 @@ main(int argc, char **argv)
             stats_csv_path = next();
         } else if (a == "--trace-out") {
             trace_out = next();
+        } else if (a == "--binlog-out") {
+            binlog_out = next();
         } else if (a == "--trace-format") {
             std::string f = next();
             if (f == "json")
@@ -556,6 +565,11 @@ main(int argc, char **argv)
                     multi ? tagPath(trace_out, std::string(toString(kind)) +
                                                    "-" + w)
                           : trace_out;
+            if (!binlog_out.empty())
+                run.binlog_out =
+                    multi ? tagPath(binlog_out,
+                                    std::string(toString(kind)) + "-" + w)
+                          : binlog_out;
             // Checkpoints are config-strict, so grid sweeps keep one
             // file per cell.
             if (!ckpt_save_path.empty())
@@ -604,12 +618,18 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(r.cycles));
         if (want_stats)
             std::printf("%s\n", r.stats_dump.c_str());
-        if (audit || !trace_out.empty())
+        if (audit || !trace_out.empty() || !binlog_out.empty()) {
             inform("%s/%s: %llu trace events, %llu audited transitions",
                    r.l2_kind.c_str(), r.workload.c_str(),
                    static_cast<unsigned long long>(r.trace_events),
                    static_cast<unsigned long long>(
                        r.audited_transitions));
+            if (r.trace_dropped)
+                warn("%s/%s: incomplete trace capture -- %llu events "
+                     "dropped past the max_events cap",
+                     r.l2_kind.c_str(), r.workload.c_str(),
+                     static_cast<unsigned long long>(r.trace_dropped));
+        }
     }
 
     if (!stats_csv_path.empty()) {

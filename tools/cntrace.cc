@@ -19,6 +19,16 @@
  *
  *   cntrace summary oltp.trf
  *   cntrace dump oltp.trf --core 1 --limit 20
+ *
+ * Binary logs (CNBLG001, from `cnsim --binlog-out run.blg`) are also
+ * detected by magic: summary/dump/json reconstruct the event stream
+ * offline from the embedded message registry, and `csv` renders the
+ * streamed metrics snapshots as a time-series CSV:
+ *
+ *   cntrace summary run.blg
+ *   cntrace dump run.blg --kind coreStall --limit 20
+ *   cntrace json run.blg out.json
+ *   cntrace csv run.blg [out.csv]
  */
 
 #include <cstdio>
@@ -29,6 +39,7 @@
 
 #include "common/logging.hh"
 #include "mem/packet.hh"
+#include "obs/binlog.hh"
 #include "obs/event.hh"
 #include "obs/trace_sink.hh"
 #include "trace/replay.hh"
@@ -50,6 +61,8 @@ usage(const char *argv0)
         "  dump <trace.bin> [filters]      print events, one per line\n"
         "  json <trace.bin> <out.json>     convert to Chrome "
         "trace_event JSON\n"
+        "  csv <run.blg> [out.csv]         metrics time-series from a "
+        "CNBLG01 binlog\n"
         "dump filters:\n"
         "  --kind <k>        busTx|transition|dgroup|l1BackInval|"
         "resource|coreStall\n"
@@ -60,18 +73,32 @@ usage(const char *argv0)
         argv0);
 }
 
-/** True when @p path starts with the CNTRF001 packed-trace magic. */
+/** True when @p path starts with the 8-byte @p magic. */
 bool
-isPackedTrace(const std::string &path)
+hasMagic(const std::string &path, const char *magic)
 {
     std::FILE *fp = std::fopen(path.c_str(), "rb");
     if (!fp)
         return false;
     char m[8];
     bool ok = std::fread(m, 1, 8, fp) == 8 &&
-              std::memcmp(m, "CNTRF001", 8) == 0;
+              std::memcmp(m, magic, 8) == 0;
     std::fclose(fp);
     return ok;
+}
+
+/** True when @p path starts with the CNTRF001 packed-trace magic. */
+bool
+isPackedTrace(const std::string &path)
+{
+    return hasMagic(path, "CNTRF001");
+}
+
+/** True when @p path starts with the CNBLG001 binlog magic. */
+bool
+isBinlog(const std::string &path)
+{
+    return hasMagic(path, "CNBLG001");
 }
 
 void
@@ -210,18 +237,53 @@ main(int argc, char **argv)
     std::vector<obs::TraceEvent> events;
     std::vector<std::string> components;
     std::string error;
-    if (!obs::TraceSink::readBinary(path, events, components, &error))
-        fatal("%s: %s", path.c_str(), error.c_str());
+    std::uint64_t dropped = 0;
+    bool binlog = isBinlog(path);
+    if (binlog) {
+        obs::BinlogData data;
+        if (!obs::readBinlog(path, data, &error))
+            fatal("%s: %s", path.c_str(), error.c_str());
+        if (cmd == "csv") {
+            std::string csv = obs::binlogMetricsCsv(data);
+            if (argc >= 4) {
+                std::FILE *out = std::fopen(argv[3], "wb");
+                if (!out)
+                    fatal("cannot open '%s' for writing", argv[3]);
+                std::fwrite(csv.data(), 1, csv.size(), out);
+                std::fclose(out);
+                inform("%zu metric columns -> %s", data.metrics.size(),
+                       argv[3]);
+            } else {
+                std::printf("%s", csv.c_str());
+            }
+            return 0;
+        }
+        events = obs::binlogEvents(data);
+        components = data.components;
+        dropped = data.dropped;
+    } else {
+        if (!obs::TraceSink::readBinary(path, events, components, &error,
+                                        &dropped))
+            fatal("%s: %s", path.c_str(), error.c_str());
+    }
+    if (dropped)
+        warn("%s: incomplete capture -- %llu events dropped past the "
+             "max_events cap",
+             path.c_str(), static_cast<unsigned long long>(dropped));
+
+    if (cmd == "csv")
+        fatal("csv applies to CNBLG001 binlogs, not '%s'", path.c_str());
 
     if (cmd == "summary") {
-        std::printf("%s", obs::summarize(events, components).c_str());
+        std::printf("%s",
+                    obs::summarize(events, components, dropped).c_str());
         return 0;
     }
 
     if (cmd == "json") {
         if (argc < 4)
             fatal("json needs an output path");
-        obs::writeChromeJson(argv[3], events, components);
+        obs::writeChromeJson(argv[3], events, components, dropped);
         inform("%zu events -> %s", events.size(), argv[3]);
         return 0;
     }
