@@ -98,13 +98,10 @@ class L1Cache
     /** @return the hit latency in ticks. */
     [[nodiscard]] Tick latency() const { return params.latency; }
 
-    [[nodiscard]] unsigned blockSize() const { return params.block_size; }
-
     void regStats(StatGroup &group);
     void resetStats();
 
     [[nodiscard]] std::uint64_t hits() const { return n_hits.value(); }
-    [[nodiscard]] std::uint64_t misses() const { return n_misses.value(); }
 
     /** Drop all contents (used between runs). */
     void flushAll();

@@ -44,9 +44,7 @@ class SetAssocArray
         way_lru.assign(blocks.size(), 0);
     }
 
-    [[nodiscard]] unsigned numSets() const { return _num_sets; }
     [[nodiscard]] unsigned assoc() const { return _assoc; }
-    [[nodiscard]] unsigned blockSize() const { return _block_size; }
 
     /** @return the set index for @p addr (shift/mask; geometry is
      *  asserted power-of-two at construction). */

@@ -3,19 +3,35 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 #include <vector>
+
+#include "common/thread_annotations.hh"
 
 namespace cnsim
 {
 
 namespace
 {
-// The quiet flag is the simulator's only global mutable state; parallel
-// experiment workers (sim/parallel_runner.cc) read it concurrently, so
-// it must be atomic. Each message below is emitted as one fprintf call,
-// which stdio serializes per stream, so concurrent workers never
-// interleave partial lines.
+// The quiet flag is read concurrently by parallel experiment workers
+// (sim/parallel_runner.cc), so it must be atomic. Each message below is
+// emitted as one fprintf call, which stdio serializes per stream, so
+// concurrent workers never interleave partial lines.
 std::atomic<bool> quiet_flag{false};
+
+/** Keys warnOnce() has already emitted, shared by every thread. */
+struct WarnOnceRegistry
+{
+    Mutex mu;
+    std::set<std::string> seen CNSIM_GUARDED_BY(mu);
+};
+
+WarnOnceRegistry &
+warnOnceRegistry()
+{
+    static WarnOnceRegistry r;
+    return r;
+}
 } // namespace
 
 std::string
@@ -86,6 +102,24 @@ inform(const char *fmt, ...)
     std::string s = vstrfmt(fmt, args);
     va_end(args);
     std::fprintf(stderr, "info: %s\n", s.c_str());
+}
+
+void
+warnOnce(const std::string &key, const char *fmt, ...)
+{
+    {
+        WarnOnceRegistry &r = warnOnceRegistry();
+        MutexLock lock(r.mu);
+        if (!r.seen.insert(key).second)
+            return;
+    }
+    if (quiet_flag.load(std::memory_order_relaxed))
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = vstrfmt(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", s.c_str());
 }
 
 void

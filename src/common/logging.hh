@@ -48,6 +48,15 @@ std::string vstrfmt(const char *fmt, std::va_list args);
 /** Report a condition that is modelled imperfectly but survivable. */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/**
+ * warn(), deduplicated process-wide by @p key: the first caller wins,
+ * every later call with the same key is silent. For conditions every
+ * parallel sweep worker hits identically (a wrapped replay trace, an
+ * approximated model), where per-worker repetition is pure noise.
+ */
+void warnOnce(const std::string &key, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
 /** Report normal operating status. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Clang thread-safety-analysis annotations and the annotated mutex
+ * types the concurrent subsystems use (DESIGN.md 3k).
+ *
+ * The macros wrap Clang's capability attributes and expand to nothing
+ * under every other compiler, so the annotations cost nothing at
+ * runtime and nothing on GCC. Under Clang with -Wthread-safety (the
+ * clang-thread-safety CI job builds with -Werror) the compiler proves
+ * that every CNSIM_GUARDED_BY member is only touched while its mutex
+ * is held.
+ *
+ * std::mutex itself carries no capability attribute, so lock-protected
+ * structures hold a cnsim::Mutex (an annotated zero-overhead wrapper)
+ * and take scopes with cnsim::MutexLock. cnsim::Mutex satisfies
+ * BasicLockable, so std::condition_variable_any waits on it directly.
+ *
+ * Two annotations are documentation-only and enforced for *presence*
+ * (not consistency) by cnlint's CNL-C001 rule:
+ *
+ *   CNSIM_SYNC_NOTE("...")  -- the member is synchronized by a protocol
+ *       the capability system cannot express (single-thread ownership,
+ *       SPSC hand-off, release/acquire publication); the string names
+ *       the protocol.
+ *
+ * Every class holding a mutex or an atomic must annotate each of its
+ * other mutable members with CNSIM_GUARDED_BY, CNSIM_PT_GUARDED_BY, or
+ * CNSIM_SYNC_NOTE (CNL-C001), so the synchronization story of every
+ * shared structure is written next to the data it covers.
+ */
+
+#ifndef CNSIM_COMMON_THREAD_ANNOTATIONS_HH
+#define CNSIM_COMMON_THREAD_ANNOTATIONS_HH
+
+#include <mutex>
+
+#if defined(__clang__)
+#define CNSIM_TSA(x) __attribute__((x))
+#else
+#define CNSIM_TSA(x)
+#endif
+
+/** Marks a type as a lockable capability (Clang TSA). */
+#define CNSIM_CAPABILITY(x) CNSIM_TSA(capability(x))
+
+/** Marks an RAII type that acquires in its ctor, releases in its dtor. */
+#define CNSIM_SCOPED_CAPABILITY CNSIM_TSA(scoped_lockable)
+
+/** The member may only be accessed while holding @p x. */
+#define CNSIM_GUARDED_BY(x) CNSIM_TSA(guarded_by(x))
+
+/** The pointee may only be accessed while holding @p x (the pointer
+ *  itself is freely readable, e.g. for a null check). */
+#define CNSIM_PT_GUARDED_BY(x) CNSIM_TSA(pt_guarded_by(x))
+
+/** The function may only be called while holding the capabilities. */
+#define CNSIM_REQUIRES(...) CNSIM_TSA(requires_capability(__VA_ARGS__))
+
+/** The function acquires the capabilities and does not release them. */
+#define CNSIM_ACQUIRE(...) CNSIM_TSA(acquire_capability(__VA_ARGS__))
+
+/** The function releases the capabilities. */
+#define CNSIM_RELEASE(...) CNSIM_TSA(release_capability(__VA_ARGS__))
+
+/** The function acquires the capability iff it returns @p ret. */
+#define CNSIM_TRY_ACQUIRE(...) CNSIM_TSA(try_acquire_capability(__VA_ARGS__))
+
+/** The function must NOT be called while holding the capabilities
+ *  (deadlock guard for functions that take the lock themselves). */
+#define CNSIM_EXCLUDES(...) CNSIM_TSA(locks_excluded(__VA_ARGS__))
+
+/** Opt a function out of the analysis (use sparingly, with a reason). */
+#define CNSIM_NO_THREAD_SAFETY_ANALYSIS CNSIM_TSA(no_thread_safety_analysis)
+
+/**
+ * Documentation-only: the member is synchronized by the protocol named
+ * in @p reason rather than by a capability Clang can check. cnlint's
+ * CNL-C001 accepts it as a thread-safety annotation.
+ */
+#define CNSIM_SYNC_NOTE(reason)
+
+namespace cnsim
+{
+
+/**
+ * Zero-overhead std::mutex wrapper carrying Clang's capability
+ * attribute, so CNSIM_GUARDED_BY members can name it and the analysis
+ * can track it. BasicLockable: std::condition_variable_any waits on it
+ * directly.
+ */
+class CNSIM_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() CNSIM_ACQUIRE() { m.lock(); }
+    void unlock() CNSIM_RELEASE() { m.unlock(); }
+    bool try_lock() CNSIM_TRY_ACQUIRE(true) { return m.try_lock(); }
+
+  private:
+    std::mutex m;
+};
+
+/**
+ * RAII lock scope over a cnsim::Mutex (the std::lock_guard shape, but
+ * annotated as a scoped capability so Clang tracks the critical
+ * section's extent).
+ */
+class CNSIM_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &m) CNSIM_ACQUIRE(m) : mu(m) { mu.lock(); }
+    ~MutexLock() CNSIM_RELEASE() { mu.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu;
+};
+
+} // namespace cnsim
+
+#endif // CNSIM_COMMON_THREAD_ANNOTATIONS_HH

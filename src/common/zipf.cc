@@ -2,10 +2,10 @@
 
 #include <cmath>
 #include <map>
-#include <mutex>
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/thread_annotations.hh"
 
 namespace cnsim
 {
@@ -38,10 +38,10 @@ discreteCdf(std::uint32_t k, std::uint32_t n, double theta)
 
 struct TableCache
 {
-    std::mutex mutex;
+    Mutex mutex;
     std::map<std::pair<std::uint32_t, double>,
              std::shared_ptr<const ZipfTable>>
-        tables;
+        tables CNSIM_GUARDED_BY(mutex);
 };
 
 TableCache &
@@ -118,7 +118,7 @@ ZipfTable::get(std::uint32_t n, double theta)
     cnsim_assert(n >= 1, "zipf needs at least one rank");
     cnsim_assert(theta > 0.0, "alias table is for skewed draws only");
     TableCache &c = tableCache();
-    std::lock_guard<std::mutex> lock(c.mutex);
+    MutexLock lock(c.mutex);
     auto key = std::make_pair(n, theta);
     auto it = c.tables.find(key);
     if (it != c.tables.end())

@@ -71,8 +71,6 @@ class PrivateL2 : public L2Org
     /** Coherence state of @p addr in @p core's cache (tests). */
     CohState stateOf(CoreId core, Addr addr) const;
 
-    unsigned blockSize() const { return params.block_size; }
-
     void saveState(sample::Writer &w) const override;
     void loadState(sample::Reader &r) override;
     std::uint64_t validBlockCount() const override;

@@ -77,8 +77,6 @@ class SharedL2 : public L2Org
         return validBlocks();
     }
 
-    unsigned blockSize() const { return params.block_size; }
-
   protected:
     /**
      * Compute when the access that was granted the array at @p grant

@@ -74,11 +74,6 @@ class Resource
     void attachSink(obs::TraceSink *s, const std::string &path = "");
 
     [[nodiscard]] const std::string &name() const { return _name; }
-    [[nodiscard]] std::uint64_t grants() const { return n_grants.value(); }
-    [[nodiscard]] std::uint64_t totalWait() const
-    {
-        return wait_ticks.value();
-    }
 
     /** Serialize port occupancy (free_at) into a checkpoint. */
     void saveState(sample::Writer &w) const;

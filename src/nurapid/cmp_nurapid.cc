@@ -44,8 +44,11 @@ CmpNurapid::CmpNurapid(const NurapidParams &p, Interconnect &bus,
     }
     if (!p.enable_isc && p.replication == ReplicationPolicy::Never &&
         p.enable_cr) {
-        warn("CR with replication=Never: shared blocks are never copied "
-             "close to readers");
+        // Every worker of a sweep grid builds this config; one line of
+        // modelling caveat is signal, seven identical lines are noise.
+        warnOnce("cr-replication-never",
+                 "CR with replication=Never: shared blocks are never "
+                 "copied close to readers");
     }
 }
 

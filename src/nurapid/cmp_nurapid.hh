@@ -131,7 +131,6 @@ class CmpNurapid : public L2Org
     }
 
     [[nodiscard]] const PrefTable &prefTable() const { return pref; }
-    [[nodiscard]] unsigned blockSize() const { return params.block_size; }
 
     /** Fraction of L2 hits serviced by the requestor's closest d-group. */
     [[nodiscard]] double closestHitFraction() const;
@@ -154,14 +153,6 @@ class CmpNurapid : public L2Org
     }
     [[nodiscard]] std::uint64_t iscJoins() const { return n_isc_joins.value(); }
     [[nodiscard]] std::uint64_t busRepls() const { return n_bus_repl.value(); }
-    [[nodiscard]] std::uint64_t privateEvictions() const
-    {
-        return n_private_evictions.value();
-    }
-    [[nodiscard]] std::uint64_t chainStopEvictions() const
-    {
-        return n_chain_stop_evictions.value();
-    }
 
     void saveState(sample::Writer &w) const override;
     void loadState(sample::Reader &r) override;

@@ -70,7 +70,6 @@ class NuDataArray
     Frame &at(DGroupId dg, int idx) { return frames[dg][idx]; }
     const Frame &at(DGroupId dg, int idx) const { return frames[dg][idx]; }
 
-    [[nodiscard]] unsigned framesPerDGroup() const { return frames_per; }
     [[nodiscard]] int numDGroups() const
     {
         return static_cast<int>(frames.size());

@@ -83,11 +83,6 @@ class PrefTable
 
     /** Access latency of @p dg as seen from @p core (Table 1). */
     [[nodiscard]] Tick latency(CoreId core, DGroupId dg) const;
-
-    [[nodiscard]] int numCores() const
-    {
-        return static_cast<int>(prefs.size());
-    }
     [[nodiscard]] int numDGroups() const { return n_dgroups; }
 
   private:

@@ -118,7 +118,6 @@ class NuTagArray
      */
     [[nodiscard]] TagEntry *replacementVictim(Addr addr);
 
-    [[nodiscard]] unsigned numSets() const { return _num_sets; }
     [[nodiscard]] unsigned assoc() const { return _assoc; }
     [[nodiscard]] unsigned setIndex(Addr addr) const;
 

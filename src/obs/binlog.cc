@@ -120,6 +120,15 @@ getStr(std::FILE *f, std::string &s, std::uint32_t max_len)
     return len == 0 || std::fread(s.data(), 1, len, f) == len;
 }
 
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
 std::uint64_t
 doubleBits(double v)
 {
@@ -174,12 +183,10 @@ toTraceEvent(const BinRecord &r)
 }
 
 SpscRing::SpscRing(std::size_t capacity)
+    : buf(roundUpPow2(capacity) * binlog_record_wire_bytes),
+      cap(roundUpPow2(capacity)),
+      mask(cap - 1)
 {
-    cap = 1;
-    while (cap < capacity)
-        cap <<= 1;
-    buf.resize(cap * binlog_record_wire_bytes);
-    mask = cap - 1;
 }
 
 bool
@@ -293,7 +300,7 @@ BinlogWriter::push(const BinRecord &r)
         // and yields until a slot frees up. Output bytes stay a pure
         // function of the append order.
         {
-            std::lock_guard<std::mutex> lk(wake_mutex);
+            MutexLock lk(wake_mutex);
         }
         wake.notify_one();
         std::this_thread::yield();
@@ -327,7 +334,7 @@ BinlogWriter::writerMain()
     for (;;) {
         if (drain())
             continue;
-        std::unique_lock<std::mutex> lk(wake_mutex);
+        MutexLock lk(wake_mutex);
         if (!ring.empty())
             continue;
         if (stop_requested)
@@ -338,7 +345,10 @@ BinlogWriter::writerMain()
         // so a full measurement-rate burst takes longer than one
         // period to fill it; the full-ring path in push() is the
         // backstop, and finish() notifies for the final drain.
-        wake.wait_for(lk, std::chrono::milliseconds(2));
+        // condition_variable_any waits on the Mutex capability itself
+        // (BasicLockable); MutexLock above keeps the scoped extent
+        // visible to the thread-safety analysis.
+        wake.wait_for(wake_mutex, std::chrono::milliseconds(2));
     }
     while (drain()) {
     }
@@ -350,7 +360,7 @@ BinlogWriter::finish(std::uint64_t capture_dropped)
     if (!begun || finished)
         return;
     {
-        std::lock_guard<std::mutex> lk(wake_mutex);
+        MutexLock lk(wake_mutex);
         stop_requested = true;
     }
     wake.notify_one();

@@ -45,11 +45,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "common/types.hh"
 #include "obs/event.hh"
 
@@ -180,9 +180,12 @@ class SpscRing
     std::size_t capacity() const { return cap; }
 
   private:
-    std::vector<unsigned char> buf;  //!< cap * wire-bytes, encoded
-    std::size_t cap = 0;
-    std::size_t mask = 0;
+    /** cap * wire-bytes, encoded records. */
+    std::vector<unsigned char> buf
+        CNSIM_SYNC_NOTE("SPSC: producer writes [tail, head) cells it "
+                        "owns, consumer reads cells head/tail publish");
+    const std::size_t cap;
+    const std::size_t mask;
     /** Next record the producer writes (monotonic counter). */
     std::atomic<std::size_t> head{0};
     /** Next record the consumer reads (monotonic counter). */
@@ -243,17 +246,23 @@ class BinlogWriter
     void push(const BinRecord &r);
     void writerMain();
 
-    std::string out_path;
-    std::FILE *file = nullptr;
-    SpscRing ring;
+    const std::string out_path;
+    std::FILE *file
+        CNSIM_SYNC_NOTE("opened/closed by the producer outside the "
+                        "writer's lifetime; writer-thread-owned "
+                        "between begin() and finish()") = nullptr;
+    SpscRing ring
+        CNSIM_SYNC_NOTE("SPSC hand-off: producer pushes, writer drains");
     std::thread writer;
-    std::mutex wake_mutex;
-    std::condition_variable wake;
-    bool stop_requested = false;
-    bool begun = false;
-    bool finished = false;
-    std::uint64_t n_appended = 0;
-    std::uint64_t n_written = 0;
+    Mutex wake_mutex;
+    std::condition_variable_any wake;
+    bool stop_requested CNSIM_GUARDED_BY(wake_mutex) = false;
+    bool begun CNSIM_SYNC_NOTE("producer thread only") = false;
+    bool finished CNSIM_SYNC_NOTE("producer thread only") = false;
+    std::uint64_t n_appended
+        CNSIM_SYNC_NOTE("producer thread only") = 0;
+    std::uint64_t n_written
+        CNSIM_SYNC_NOTE("writer thread; producer reads after join()") = 0;
 };
 
 /** One decoded message-table entry of a CNBLG01 file. */

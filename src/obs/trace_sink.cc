@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <set>
 
 #include "common/logging.hh"
+#include "common/thread_annotations.hh"
 #include "obs/binlog.hh"
 
 namespace cnsim
@@ -16,6 +18,54 @@ namespace obs
 
 namespace
 {
+
+/**
+ * Export targets currently being written, process-wide. Two parallel
+ * sweep workers pointed at the same --trace-out path would otherwise
+ * interleave writes and corrupt the file silently; claiming the path
+ * for the duration of the export turns that misconfiguration into a
+ * loud fatal().
+ */
+struct ExportRegistry
+{
+    Mutex mu;
+    std::set<std::string> active CNSIM_GUARDED_BY(mu);
+};
+
+ExportRegistry &
+exportRegistry()
+{
+    static ExportRegistry r;
+    return r;
+}
+
+/** RAII claim of one export path; fatal() on a concurrent duplicate. */
+class ExportPathClaim
+{
+  public:
+    explicit ExportPathClaim(std::string p) : path(std::move(p))
+    {
+        ExportRegistry &r = exportRegistry();
+        MutexLock lock(r.mu);
+        if (!r.active.insert(path).second)
+            fatal("concurrent trace export to '%s': two runs share one "
+                  "output path; give each job its own file",
+                  path.c_str());
+    }
+
+    ~ExportPathClaim()
+    {
+        ExportRegistry &r = exportRegistry();
+        MutexLock lock(r.mu);
+        r.active.erase(path);
+    }
+
+    ExportPathClaim(const ExportPathClaim &) = delete;
+    ExportPathClaim &operator=(const ExportPathClaim &) = delete;
+
+  private:
+    const std::string path;
+};
 
 // Little-endian field-by-field serialization: the in-memory struct has
 // padding, and a raw fwrite of it would not be portable or stable.
@@ -167,6 +217,7 @@ TraceSink::exportChromeJson(const std::string &path) const
         warn("trace export '%s' is incomplete: %" PRIu64
              " events were dropped past the %zu-event cap",
              path.c_str(), n_dropped, params.max_events);
+    ExportPathClaim claim(path);
     writeChromeJson(path, store, comps, n_dropped);
 }
 
@@ -177,6 +228,7 @@ TraceSink::exportBinary(const std::string &path) const
         warn("trace export '%s' is incomplete: %" PRIu64
              " events were dropped past the %zu-event cap",
              path.c_str(), n_dropped, params.max_events);
+    ExportPathClaim claim(path);
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f)
         fatal("cannot open trace output '%s'", path.c_str());

@@ -112,9 +112,6 @@ class TraceSink
      */
     void setBinlog(BinlogWriter *w) { binlog = w; }
 
-    /** @return the attached binlog writer, or null. */
-    BinlogWriter *binlogWriter() const { return binlog; }
-
     /** Dispatch one event to the listener and the store. */
     void record(const TraceEvent &ev);
 

@@ -2,9 +2,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <thread>
 #include <utility>
+
+#include "common/thread_annotations.hh"
 
 namespace cnsim
 {
@@ -64,8 +65,13 @@ ParallelRunner::run()
     // submission-order slot; no result ever depends on which worker or
     // in what order a job ran.
     std::atomic<std::size_t> next{0};
-    std::size_t completed = 0;
-    std::mutex done_mutex;
+    /** Progress state every worker updates after finishing a job. */
+    struct BatchState
+    {
+        Mutex done_mutex;
+        std::size_t completed CNSIM_GUARDED_BY(done_mutex) = 0;
+    };
+    BatchState state;
 
     auto worker = [&]() {
         for (;;) {
@@ -81,12 +87,12 @@ ParallelRunner::run()
             // reporting only; simulation results never read it)
             auto finish = std::chrono::steady_clock::now();
             std::chrono::duration<double> elapsed = finish - start;
-            std::lock_guard<std::mutex> lock(done_mutex);
-            ++completed;
+            MutexLock lock(state.done_mutex);
+            ++state.completed;
             if (progress) {
                 JobReport rep;
                 rep.index = i;
-                rep.completed = completed;
+                rep.completed = state.completed;
                 rep.total = total;
                 rep.seconds = elapsed.count();
                 rep.job = &batch[i];

@@ -108,11 +108,7 @@ class System
     Interconnect &bus() { return *icn; }
     L1Cache &l1d(CoreId c) { return *l1ds[c]; }
     L1Cache &l1i(CoreId c) { return *l1is[c]; }
-    int numCores() const { return cfg.num_cores; }
     const SystemConfig &config() const { return cfg; }
-
-    /** L2 block size of the active organization. */
-    unsigned l2BlockSize() const { return l2_block_size; }
 
     void regStats(StatGroup &group);
 
@@ -150,9 +146,6 @@ class System
 
     /** The metrics registry, or null unless an interval is set. */
     obs::MetricsRegistry *metrics() { return metrics_.get(); }
-
-    /** The CNBLG01 stream writer, or null unless --binlog-out. */
-    obs::BinlogWriter *binlogWriter() { return binlog_.get(); }
 
     /**
      * Close out observability at the end of the run: emits the

@@ -227,7 +227,7 @@ RecordedTrace::hashParams(const SynthWorkloadParams &params)
 void
 RecordedTrace::grow(std::size_t idx)
 {
-    std::lock_guard<std::mutex> lock(grow_mutex);
+    MutexLock lock(grow_mutex);
     while (published.load(std::memory_order_relaxed) <= idx) {
         std::size_t pub = published.load(std::memory_order_relaxed);
         cnsim_assert(pub < max_chunks,
@@ -400,9 +400,10 @@ ReplaySource::advanceTo(std::size_t idx)
         // Frozen trace ran dry: wrap to the top, like the legacy
         // FileTraceSource (sources never run dry by contract).
         if (n_wraps++ == 0)
-            warn("trace replay wrapped on core %d; consider a longer "
-                 "capture",
-                 core);
+            warnOnce(strfmt("replay-wrap-core-%d", core),
+                     "trace replay wrapped on core %d; consider a "
+                     "longer capture",
+                     core);
         idx = 0;
         c = trace.chunk(core, 0);
         prev_iaddr = 0;
@@ -494,7 +495,7 @@ std::shared_ptr<RecordedTrace>
 TraceCache::acquire(const SynthWorkloadParams &params)
 {
     std::string key = serializeParams(params);
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     auto it = entries.find(key);
     if (it != entries.end()) {
         if (std::shared_ptr<RecordedTrace> t = it->second.lock())
@@ -515,7 +516,7 @@ TraceCache::acquire(const SynthWorkloadParams &params)
 std::size_t
 TraceCache::liveEntries()
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     std::size_t n = 0;
     for (const auto &e : entries)
         if (!e.second.expired())

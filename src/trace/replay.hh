@@ -47,10 +47,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "trace/synth.hh"
 #include "trace/trace.hh"
 
@@ -191,24 +191,32 @@ class RecordedTrace
     /** Generate and publish chunks until @p idx is available. */
     void grow(std::size_t idx);
 
-    int num_cores = 0;
-    std::uint64_t trace_seed = 0;
-    std::uint64_t params_hash = 0;
+    int num_cores CNSIM_SYNC_NOTE("immutable after the factory") = 0;
+    std::uint64_t trace_seed
+        CNSIM_SYNC_NOTE("immutable after the factory") = 0;
+    std::uint64_t params_hash
+        CNSIM_SYNC_NOTE("immutable after the factory") = 0;
 
-    /** Generating mode only; null when frozen. */
-    std::unique_ptr<SynthWorkload> synth;
+    /** Generating mode only; null when frozen. The pointer itself is
+     *  set once at construction (frozen() null-checks it lock-free);
+     *  the workload it points to advances only under grow_mutex. */
+    std::unique_ptr<SynthWorkload> synth CNSIM_PT_GUARDED_BY(grow_mutex);
     /** Per-core delta-encoder state (generating mode, under mutex). */
-    std::vector<Addr> enc_prev_iaddr;
-    std::vector<Addr> enc_prev_addr;
+    std::vector<Addr> enc_prev_iaddr CNSIM_GUARDED_BY(grow_mutex);
+    std::vector<Addr> enc_prev_addr CNSIM_GUARDED_BY(grow_mutex);
 
     /**
      * slots[core][chunk] -> published chunks. Pre-sized so readers can
      * index without synchronizing with growth; `published` (release/
      * acquire) is the visibility fence for slot contents.
      */
-    std::vector<std::vector<std::unique_ptr<Chunk>>> slots;
+    std::vector<std::vector<std::unique_ptr<Chunk>>> slots
+        CNSIM_SYNC_NOTE("cells below `published` are frozen and read "
+                        "lock-free; cells above it are written only "
+                        "under grow_mutex, then published with a "
+                        "release store");
     std::atomic<std::size_t> published{0};
-    std::mutex grow_mutex;
+    Mutex grow_mutex;
 };
 
 /**
@@ -282,8 +290,9 @@ class TraceCache
     std::size_t liveEntries();
 
   private:
-    std::mutex mutex;
-    std::map<std::string, std::weak_ptr<RecordedTrace>> entries;
+    Mutex mutex;
+    std::map<std::string, std::weak_ptr<RecordedTrace>> entries
+        CNSIM_GUARDED_BY(mutex);
 };
 
 } // namespace cnsim

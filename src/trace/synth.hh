@@ -150,9 +150,6 @@ class SynthWorkload
     explicit SynthWorkload(const SynthWorkloadParams &p);
     ~SynthWorkload();
 
-    /** Number of threads. */
-    int numThreads() const { return static_cast<int>(sources.size()); }
-
     /** Trace source driving thread @p t. */
     TraceSource &source(int t);
 

@@ -235,7 +235,8 @@ FileTraceSource::next()
     if (pos == trace.size()) {
         pos = 0;
         if (n_wraps++ == 0)
-            warn("trace replay wrapped; consider a longer recording");
+            warnOnce("file-trace-wrap",
+                     "trace replay wrapped; consider a longer recording");
     }
     return trace[pos++];
 }

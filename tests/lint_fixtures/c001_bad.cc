@@ -1,0 +1,26 @@
+// Seeded CNL-C001 violations: classes that own a mutex or an atomic
+// must annotate every other mutable member (CNSIM_GUARDED_BY /
+// CNSIM_PT_GUARDED_BY) or document the synchronization protocol
+// (CNSIM_SYNC_NOTE). One member in each class below does neither.
+// cnlint: scope(sim)
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+class Ledger
+{
+  public:
+    void add(std::uint64_t v);
+
+  private:
+    std::mutex mu;
+    std::uint64_t total CNSIM_GUARDED_BY(mu) = 0;
+    std::uint64_t count = 0; // cnlint-fixture-expect: CNL-C001
+};
+
+struct Progress
+{
+    std::atomic<std::uint64_t> done{0};
+    std::uint64_t goal = 0; // cnlint-fixture-expect: CNL-C001
+};

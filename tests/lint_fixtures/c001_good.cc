@@ -1,0 +1,28 @@
+// Compliant forms: every mutable member of a lock/atomic-owning
+// class is annotated, protocol-documented, const, or itself a
+// synchronization primitive.
+// cnlint: scope(sim)
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+class Ledger
+{
+  public:
+    void add(std::uint64_t v);
+
+  private:
+    std::mutex mu;
+    std::condition_variable cv;
+    const std::uint64_t capacity = 64;
+    std::uint64_t total CNSIM_GUARDED_BY(mu) = 0;
+    std::uint64_t count CNSIM_GUARDED_BY(mu) = 0;
+};
+
+struct Progress
+{
+    std::atomic<std::uint64_t> done{0};
+    std::uint64_t goal CNSIM_SYNC_NOTE("written before the workers start") = 0;
+};

@@ -1,0 +1,15 @@
+// Seeded CNL-C002 violation: raw std::thread in simulation code.
+// Concurrency routes through the blessed owners (ParallelRunner for
+// experiment fan-out, BinlogWriter for the logging drain) so
+// shutdown, affinity, and determinism stay in one place.
+// cnlint: scope(sim)
+
+#include <thread>
+
+void spin();
+
+void launch()
+{
+    std::thread t(spin); // cnlint-fixture-expect: CNL-C002
+    t.join();
+}

@@ -1,0 +1,10 @@
+// Compliant form: simulation code may yield its own thread, but work
+// fan-out goes through ParallelRunner rather than raw std::thread.
+// cnlint: scope(sim)
+
+#include <thread>
+
+void nap()
+{
+    std::this_thread::yield();
+}

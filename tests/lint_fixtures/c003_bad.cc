@@ -1,0 +1,15 @@
+// Seeded CNL-C003 violations: mutable statics are process-wide
+// shared state; parallel experiment workers race on them silently.
+// cnlint: scope(sim)
+
+#include <cstdint>
+#include <string>
+
+static std::uint64_t total_bytes = 0; // cnlint-fixture-expect: CNL-C003
+
+std::uint64_t bump(std::uint64_t n)
+{
+    static std::string last_key; // cnlint-fixture-expect: CNL-C003
+    last_key = "bump";
+    return total_bytes += n;
+}

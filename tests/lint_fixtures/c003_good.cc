@@ -1,0 +1,32 @@
+// Compliant forms for static state: atomic, const, or wrapped in a
+// type whose mutex guards every member (the registry pattern the
+// simulator uses for warn-once keys and trace caches).
+// cnlint: scope(sim)
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+
+static std::atomic<std::uint64_t> total_bytes{0};
+static const std::uint64_t limit = 1 << 20;
+
+struct Registry
+{
+    std::mutex mu;
+    std::set<std::string> seen CNSIM_GUARDED_BY(mu);
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+std::uint64_t
+bump(std::uint64_t n)
+{
+    return total_bytes += n > limit ? limit : n;
+}

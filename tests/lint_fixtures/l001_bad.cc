@@ -1,0 +1,12 @@
+// Seeded CNL-L001 violations: this file claims membership in the obs
+// layer, and obs may depend only on common (plus the universal
+// interface headers). An include of l2 internals is the canonical
+// forbidden edge: observability is a leaf, never a client of the
+// cache hierarchy it observes.
+// cnlint: layer(obs)
+
+#include "common/types.hh"
+#include "l2/l2_org.hh" // cnlint-fixture-expect: CNL-L001
+#include "mem/packet.hh"
+
+void consume();

@@ -1,0 +1,11 @@
+// Compliant form: an obs-layer file depending on its own layer,
+// common, and the universal interface headers (packets and coherence
+// states are vocabulary types, includable from anywhere).
+// cnlint: layer(obs)
+
+#include "cache/coh_state.hh"
+#include "common/types.hh"
+#include "mem/packet.hh"
+#include "obs/event.hh"
+
+void consume();

@@ -1,0 +1,12 @@
+// Seeded CNL-L002 violation: the smallest possible include cycle, a
+// header that includes itself (by its own include key). The rule
+// resolves scanned files by their last two path components, so this
+// is exactly how a real A -> B -> A cycle is detected.
+#ifndef CNSIM_TESTS_LINT_FIXTURES_L002_BAD_HH
+#define CNSIM_TESTS_LINT_FIXTURES_L002_BAD_HH
+
+#include "lint_fixtures/l002_bad.hh" // cnlint-fixture-expect: CNL-L002
+
+void consume();
+
+#endif // CNSIM_TESTS_LINT_FIXTURES_L002_BAD_HH

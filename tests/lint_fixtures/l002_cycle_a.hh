@@ -1,0 +1,11 @@
+// Half of a two-file include cycle (see test_cnlint.cc, which lints
+// this together with l002_cycle_b.hh; the parameterized corpus tests
+// skip the pair because each is only cyclic in company).
+#ifndef CNSIM_TESTS_LINT_FIXTURES_L002_CYCLE_A_HH
+#define CNSIM_TESTS_LINT_FIXTURES_L002_CYCLE_A_HH
+
+#include "lint_fixtures/l002_cycle_b.hh"
+
+void sideA();
+
+#endif // CNSIM_TESTS_LINT_FIXTURES_L002_CYCLE_A_HH

@@ -1,0 +1,9 @@
+// Other half of the two-file include cycle.
+#ifndef CNSIM_TESTS_LINT_FIXTURES_L002_CYCLE_B_HH
+#define CNSIM_TESTS_LINT_FIXTURES_L002_CYCLE_B_HH
+
+#include "lint_fixtures/l002_cycle_a.hh"
+
+void sideB();
+
+#endif // CNSIM_TESTS_LINT_FIXTURES_L002_CYCLE_B_HH

@@ -1,0 +1,9 @@
+// Compliant form: a header with ordinary acyclic includes.
+#ifndef CNSIM_TESTS_LINT_FIXTURES_L002_GOOD_HH
+#define CNSIM_TESTS_LINT_FIXTURES_L002_GOOD_HH
+
+#include <cstdint>
+
+void consume();
+
+#endif // CNSIM_TESTS_LINT_FIXTURES_L002_GOOD_HH

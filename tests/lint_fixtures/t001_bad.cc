@@ -1,0 +1,19 @@
+// Seeded CNL-T001 violations: an EventQueue callable runs when the
+// event fires, long after the scheduling frame has returned, so
+// capturing stack locals by reference (or defaulting to [&]) is a
+// use-after-return waiting to happen.
+// cnlint: scope(sim)
+
+#include <cstdint>
+
+struct EventQueue
+{
+    template <typename F> void schedule(std::uint64_t when, F &&fn);
+};
+
+void arm(EventQueue &eq)
+{
+    std::uint64_t deadline = 100;
+    eq.schedule(5, [&deadline](std::uint64_t now) { deadline = now; }); // cnlint-fixture-expect: CNL-T001
+    eq.schedule(6, [&](std::uint64_t now) { deadline += now; }); // cnlint-fixture-expect: CNL-T001
+}

@@ -1,0 +1,26 @@
+// Compliant forms: capture by value, capture the long-lived owner
+// (this), or capture the queue itself -- the one object guaranteed to
+// outlive every event it holds.
+// cnlint: scope(sim)
+
+#include <cstdint>
+
+struct EventQueue
+{
+    template <typename F> void schedule(std::uint64_t when, F &&fn);
+};
+
+struct Core
+{
+    EventQueue &eq;
+    std::uint64_t deadline = 0;
+
+    void arm();
+};
+
+void Core::arm()
+{
+    std::uint64_t limit = 100;
+    eq.schedule(5, [this](std::uint64_t now) { deadline = now; });
+    eq.schedule(6, [limit](std::uint64_t now) { (void)(limit + now); });
+}

@@ -1,0 +1,13 @@
+// Compliant form: every defined function has a caller somewhere in
+// the scanned set (main is exempt; it is the tree's entry point).
+// cnlint: scope(sim)
+
+int helper()
+{
+    return 1;
+}
+
+int main()
+{
+    return helper();
+}

@@ -78,6 +78,9 @@ std::vector<LineRule>
 actualFindings(const std::string &path)
 {
     cnlint::Linter linter;
+    // CNL-T002 is opt-in (it needs whole-tree context to mean
+    // anything); the t002 fixtures are self-contained trees.
+    linter.setDeadSymbols(path.find("t002") != std::string::npos);
     EXPECT_TRUE(linter.addFile(path)) << "cannot lint fixture " << path;
     linter.run();
     std::vector<LineRule> actual;
@@ -114,7 +117,11 @@ fixtureStems()
 std::string
 extensionFor(const std::string &rule_id)
 {
-    return rule_id.rfind("CNL-H", 0) == 0 ? ".hh" : ".cc";
+    // H-rules are about headers by definition; the L002 fixture is a
+    // header because include cycles are a header disease.
+    if (rule_id.rfind("CNL-H", 0) == 0 || rule_id == "CNL-L002")
+        return ".hh";
+    return ".cc";
 }
 
 class CnlintFixtureTest : public ::testing::TestWithParam<std::string>
@@ -193,7 +200,8 @@ TEST(Cnlint, CatalogCoversEveryRuleFamily)
         EXPECT_FALSE(rule.summary.empty()) << rule.id;
         families.insert(rule.id[4]);
     }
-    EXPECT_EQ(families, (std::set<char>{'A', 'D', 'H', 'S'}));
+    EXPECT_EQ(families,
+              (std::set<char>{'A', 'C', 'D', 'H', 'L', 'S', 'T'}));
     EXPECT_TRUE(cnlint::isKnownRule("CNL-D001"));
     EXPECT_FALSE(cnlint::isKnownRule("CNL-9999"));
 }
@@ -218,6 +226,72 @@ TEST(Cnlint, SuppressionCoversSameLineAndFollowingCodeLine)
     // allow machinery actually reaches the rules.
     auto actual = actualFindings(fixturePath("a001_good.cc"));
     EXPECT_TRUE(actual.empty()) << describe(actual);
+}
+
+TEST(Cnlint, TwoFileIncludeCycleIsReportedInBothFiles)
+{
+    // l002_bad.hh covers the degenerate self-include; this is the real
+    // shape: two headers that include each other. Each file reports
+    // the edge that closes the cycle from its side.
+    cnlint::Linter linter;
+    ASSERT_TRUE(linter.addFile(fixturePath("l002_cycle_a.hh")));
+    ASSERT_TRUE(linter.addFile(fixturePath("l002_cycle_b.hh")));
+    linter.run();
+    std::set<std::string> files_with_cycle;
+    for (const auto &f : linter.findings()) {
+        EXPECT_EQ(f.rule, "CNL-L002") << f.file << ":" << f.line;
+        files_with_cycle.insert(f.file);
+    }
+    EXPECT_EQ(files_with_cycle.size(), 2u);
+
+    // Alone, each half is acyclic: the cycle only exists in company.
+    auto solo = actualFindings(fixturePath("l002_cycle_a.hh"));
+    EXPECT_TRUE(solo.empty()) << describe(solo);
+}
+
+TEST(Cnlint, FindingsCarryColumnNumbers)
+{
+    cnlint::Linter linter;
+    ASSERT_TRUE(linter.addFile(fixturePath("d001_bad.cc")));
+    linter.run();
+    ASSERT_FALSE(linter.findings().empty());
+    for (const auto &f : linter.findings())
+        EXPECT_GE(f.col, 1) << f.file << ":" << f.line << " " << f.rule;
+}
+
+TEST(Cnlint, SarifRenderingIsWellFormed)
+{
+    cnlint::Linter linter;
+    ASSERT_TRUE(linter.addFile(fixturePath("d001_bad.cc")));
+    linter.run();
+    ASSERT_FALSE(linter.findings().empty());
+    std::string sarif = cnlint::renderSarif(linter.findings());
+
+    // Structural smoke checks (no JSON parser in this repo by design):
+    // version marker, every catalog rule listed, every finding's rule
+    // and location present, and balanced braces/brackets.
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"name\": \"cnlint\""), std::string::npos);
+    for (const auto &rule : cnlint::ruleCatalog())
+        EXPECT_NE(sarif.find("\"id\": \"" + rule.id + "\""),
+                  std::string::npos)
+            << rule.id;
+    EXPECT_NE(sarif.find("\"ruleId\": \"CNL-D001\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\": "), std::string::npos);
+    EXPECT_NE(sarif.find("\"startColumn\": "), std::string::npos);
+    long depth = 0;
+    for (char c : sarif) {
+        if (c == '{' || c == '[')
+            ++depth;
+        if (c == '}' || c == ']')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+
+    // Empty-findings document is still a valid run.
+    std::string empty = cnlint::renderSarif({});
+    EXPECT_NE(empty.find("\"results\": ["), std::string::npos);
 }
 
 TEST(Cnlint, FindingsAreSortedAndDeterministic)

@@ -2,15 +2,20 @@
  * @file
  * cnlint: cnsim's determinism-and-invariant static-analysis suite.
  *
- * cnlint is a token-level ("AST-lite") scanner that enforces the
- * project rules the C++ compiler cannot: determinism hygiene in
- * simulation code (D-rules), structural invariants such as exhaustive
- * enum switches and registered statistics (S-rules), and header
- * hygiene (H-rules). It is deliberately not a compiler plugin -- the
- * rules are lexical and cross-file, the tool builds in milliseconds,
- * and it runs identically on every host the simulator builds on.
+ * cnlint is a token-level ("AST-lite") scanner built around a
+ * whole-program project model: every file is loaded before any rule
+ * runs, so the rules see a cross-TU include graph, a class/member
+ * model, and a symbol index in addition to each file's token stream.
+ * It enforces the project rules the C++ compiler cannot: determinism
+ * hygiene in simulation code (D-rules), structural invariants
+ * (S-rules), header hygiene (H-rules), architectural layering
+ * (L-rules), concurrency annotation discipline (C-rules), and
+ * lifetime/liveness properties (T-rules). It is deliberately not a
+ * compiler plugin -- the rules are lexical and cross-file, the tool
+ * builds in milliseconds, and it runs identically on every host the
+ * simulator builds on.
  *
- * Rule catalog (see DESIGN.md section 3f for the full rationale):
+ * Rule catalog (see DESIGN.md sections 3f and 3k for the rationale):
  *
  *   CNL-D001  banned random source (std::rand, random_device, mt19937,
  *             ...) in simulation code; use a seeded cnsim::Rng
@@ -37,6 +42,19 @@
  *             CNSIM_*_HH #ifndef/#define or #pragma once)
  *   CNL-H003  std:: symbol used in a header without a direct include
  *             of its provider (self-containment assist)
+ *   CNL-L001  include edge not permitted by the committed layer DAG
+ *             (src/<dir> dependencies; obs/ can never depend on l2/)
+ *   CNL-L002  include cycle among the scanned files
+ *   CNL-C001  mutable member of a mutex- or atomic-owning class with
+ *             no thread-safety annotation (CNSIM_GUARDED_BY /
+ *             CNSIM_PT_GUARDED_BY / CNSIM_SYNC_NOTE)
+ *   CNL-C002  raw std::thread outside the blessed owners
+ *             (ParallelRunner, BinlogWriter)
+ *   CNL-C003  unannotated mutable static (file- or function-local)
+ *   CNL-T001  EventQueue callable capturing a stack local by
+ *             reference (may run after the frame is gone)
+ *   CNL-T002  function defined in simulation code but never used
+ *             anywhere in the scanned tree (opt-in: --dead-symbols)
  *   CNL-A001  malformed cnlint suppression comment
  *
  * Suppression syntax, placed on the offending line or on a
@@ -47,11 +65,13 @@
  * The rule ID must name a real rule and the reason must be non-empty;
  * anything else is itself a finding (CNL-A001).
  *
- * Scope: D-rules and S002 apply only to simulation code -- files under
- * src/ -- because benches legitimately read wall clocks and tests
- * legitimately fuzz against std::unordered_map. A file outside src/
- * can opt in with a `// cnlint: scope(sim)` pragma (the lint-fixture
- * corpus uses this). All other rules apply everywhere cnlint looks.
+ * Scope: D-rules, C-rules, T-rules and S002 apply only to simulation
+ * code -- files under src/ -- because benches legitimately read wall
+ * clocks, spawn threads, and keep local state unguarded. A file
+ * outside src/ can opt in with a `// cnlint: scope(sim)` pragma (the
+ * lint-fixture corpus uses this). L-rules key off the file's layer,
+ * derived from its src/<dir>/ path or a `// cnlint: layer(<dir>)`
+ * pragma. All other rules apply everywhere cnlint looks.
  */
 
 #ifndef CNSIM_TOOLS_CNLINT_CNLINT_HH
@@ -68,6 +88,7 @@ struct Finding
 {
     std::string file; //!< path as given to the linter
     int line = 0;     //!< 1-based line number
+    int col = 0;      //!< 1-based column number (0 if unknown)
     std::string rule; //!< rule ID, e.g. "CNL-D003"
     std::string message;
 };
@@ -87,10 +108,16 @@ const std::vector<RuleInfo> &ruleCatalog();
 bool isKnownRule(const std::string &id);
 
 /**
+ * Render @p findings as a SARIF 2.1.0 document (one run, one tool,
+ * rule metadata from the catalog). Paths are emitted as given.
+ */
+std::string renderSarif(const std::vector<Finding> &findings);
+
+/**
  * The linter: add files, then run() once. Rules that need cross-file
- * context (enum definitions for CNL-S001, stat registrations for
- * CNL-S002) see every added file, so a whole-tree invocation must add
- * the whole tree before running.
+ * context (enum definitions for CNL-S001, the include graph for the
+ * L-rules, the symbol index for CNL-T002) see every added file, so a
+ * whole-tree invocation must add the whole tree before running.
  */
 class Linter
 {
@@ -101,10 +128,17 @@ class Linter
      */
     bool addFile(const std::string &path);
 
+    /**
+     * Enable CNL-T002 dead-symbol detection. Off by default: dead-code
+     * findings only mean something when the whole tree (including the
+     * tests that exercise a symbol) has been added.
+     */
+    void setDeadSymbols(bool enable);
+
     /** Run every rule over every added file. */
     void run();
 
-    /** Findings sorted by (file, line, rule); valid after run(). */
+    /** Findings sorted by (file, line, col, rule); valid after run(). */
     const std::vector<Finding> &findings() const { return results; }
 
     /** Number of files successfully added. */

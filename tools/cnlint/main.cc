@@ -3,7 +3,8 @@
  * cnlint command-line driver.
  *
  * Usage:
- *   cnlint [--list-rules] [-q] <file-or-directory>...
+ *   cnlint [--list-rules] [-q] [--format=gcc|sarif] [--dead-symbols]
+ *          <file-or-directory>...
  *
  * Directories are walked recursively for C++ sources (.cc/.hh/.cpp/.h);
  * build trees, golden outputs, and the seeded-violation lint fixtures
@@ -11,12 +12,20 @@
  * lints exactly the hand-written tree. Files named explicitly are
  * always scanned (the fixture ctest relies on this).
  *
+ * --format=gcc (default) prints `file:line:col: [RULE] message`, the
+ * shape editors and CI log matchers parse. --format=sarif prints one
+ * SARIF 2.1.0 document on stdout for code-scanning upload.
+ * --dead-symbols enables CNL-T002, which only means something when the
+ * whole tree (tests included) is scanned in one invocation.
+ *
  * Exit status: 0 clean, 1 findings, 2 usage or I/O error.
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -64,12 +73,18 @@ collect(const fs::path &root, std::vector<std::string> &files)
     }
 }
 
+constexpr const char *usage =
+    "usage: cnlint [--list-rules] [-q] [--format=gcc|sarif] "
+    "[--dead-symbols] <path>...\n";
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool quiet = false;
+    bool dead_symbols = false;
+    std::string format = "gcc";
     std::vector<std::string> roots;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -83,8 +98,22 @@ main(int argc, char **argv)
             quiet = true;
             continue;
         }
+        if (arg == "--dead-symbols") {
+            dead_symbols = true;
+            continue;
+        }
+        if (arg.rfind("--format=", 0) == 0) {
+            format = arg.substr(9);
+            if (format != "gcc" && format != "sarif") {
+                std::fprintf(stderr,
+                             "cnlint: unknown format '%s' (gcc|sarif)\n",
+                             format.c_str());
+                return 2;
+            }
+            continue;
+        }
         if (arg == "--help" || arg == "-h") {
-            std::printf("usage: cnlint [--list-rules] [-q] <path>...\n");
+            std::printf("%s", usage);
             return 0;
         }
         if (!arg.empty() && arg[0] == '-') {
@@ -95,7 +124,7 @@ main(int argc, char **argv)
         roots.push_back(arg);
     }
     if (roots.empty()) {
-        std::fprintf(stderr, "usage: cnlint [--list-rules] [-q] <path>...\n");
+        std::fprintf(stderr, "%s", usage);
         return 2;
     }
 
@@ -111,7 +140,11 @@ main(int argc, char **argv)
     std::sort(files.begin(), files.end());
     files.erase(std::unique(files.begin(), files.end()), files.end());
 
+    // Wall time covers load + preprocessing + every rule; the summary
+    // reports it so whole-tree lint cost stays visible in CI logs.
+    auto t0 = std::chrono::steady_clock::now();
     cnlint::Linter linter;
+    linter.setDeadSymbols(dead_symbols);
     for (const auto &f : files) {
         if (!linter.addFile(f)) {
             std::fprintf(stderr, "cnlint: cannot read %s\n", f.c_str());
@@ -119,13 +152,33 @@ main(int argc, char **argv)
         }
     }
     linter.run();
+    auto t1 = std::chrono::steady_clock::now();
+    double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
 
-    for (const auto &fd : linter.findings())
-        std::printf("%s:%d: [%s] %s\n", fd.file.c_str(), fd.line,
-                    fd.rule.c_str(), fd.message.c_str());
-    if (!quiet) {
-        std::fprintf(stderr, "cnlint: %zu file(s), %zu finding(s)\n",
-                     linter.fileCount(), linter.findings().size());
+    if (format == "sarif") {
+        std::printf("%s", cnlint::renderSarif(linter.findings()).c_str());
+    } else {
+        for (const auto &fd : linter.findings())
+            std::printf("%s:%d:%d: [%s] %s\n", fd.file.c_str(), fd.line,
+                        fd.col, fd.rule.c_str(), fd.message.c_str());
+    }
+    if (quiet) {
+        std::fprintf(stderr,
+                     "cnlint: %zu file(s), %zu finding(s), %.1f ms\n",
+                     linter.fileCount(), linter.findings().size(), ms);
+    } else {
+        std::map<char, std::size_t> per_family;
+        for (const auto &fd : linter.findings())
+            ++per_family[fd.rule.size() > 4 ? fd.rule[4] : '?'];
+        std::string breakdown;
+        for (const auto &[family, n] : per_family)
+            breakdown += " " + std::string(1, family) + "=" +
+                         std::to_string(n);
+        std::fprintf(stderr,
+                     "cnlint: %zu file(s), %zu finding(s)%s%s, %.1f ms\n",
+                     linter.fileCount(), linter.findings().size(),
+                     breakdown.empty() ? "" : " |", breakdown.c_str(), ms);
     }
     return linter.findings().empty() ? 0 : 1;
 }

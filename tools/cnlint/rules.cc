@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cnlint/cnlint.hh"
+#include "cnlint/project_model.hh"
 #include "cnlint/source_model.hh"
 
 namespace cnlint
@@ -74,12 +75,19 @@ matchForward(const Tokens &ts, std::size_t i, const char *open,
 }
 
 void
-emit(const SourceFile &f, std::vector<Finding> &out, int line,
+emit(const SourceFile &f, std::vector<Finding> &out, int line, int col,
      const std::string &rule, const std::string &msg)
 {
     if (f.isSuppressed(rule, line))
         return;
-    out.push_back({f.path, line, rule, msg});
+    out.push_back({f.path, line, col, rule, msg});
+}
+
+void
+emit(const SourceFile &f, std::vector<Finding> &out, const Token &t,
+     const std::string &rule, const std::string &msg)
+{
+    emit(f, out, t.line, t.col, rule, msg);
 }
 
 // --------------------------------------------------------------------
@@ -199,7 +207,7 @@ ruleD001BannedRandom(const SourceFile &f, std::vector<Finding> &out)
         if (always.count(ts[i].text) ||
             ((ts[i].text == "rand" || ts[i].text == "srand") &&
              (qualified || called))) {
-            emit(f, out, ts[i].line, "CNL-D001",
+            emit(f, out, ts[i], "CNL-D001",
                  "'" + ts[i].text +
                      "' is a nondeterministic/unseeded random source; "
                      "use a cnsim::Rng seeded from the run config");
@@ -219,7 +227,7 @@ ruleD002BannedClock(const SourceFile &f, std::vector<Finding> &out)
         if (ts[i].kind != TokKind::Ident)
             continue;
         if (always.count(ts[i].text)) {
-            emit(f, out, ts[i].line, "CNL-D002",
+            emit(f, out, ts[i], "CNL-D002",
                  "'" + ts[i].text +
                      "' reads host wall-clock state; simulated time "
                      "must come from EventQueue::now()");
@@ -239,7 +247,7 @@ ruleD002BannedClock(const SourceFile &f, std::vector<Finding> &out)
              isIdent(ts[i + 2], "NULL") ||
              (ts[i + 2].kind == TokKind::Number && ts[i + 2].text == "0"));
         if (qualified || nullary_call) {
-            emit(f, out, ts[i].line, "CNL-D002",
+            emit(f, out, ts[i], "CNL-D002",
                  "'" + ts[i].text +
                      "()' reads host wall-clock state; simulated time "
                      "must come from EventQueue::now()");
@@ -297,8 +305,8 @@ ruleD003UnorderedIteration(const SourceFile &f, std::vector<Finding> &out)
     if (unordered_vars.empty())
         return;
 
-    auto flag = [&](int line, const std::string &var) {
-        emit(f, out, line, "CNL-D003",
+    auto flag = [&](const Token &t, const std::string &var) {
+        emit(f, out, t, "CNL-D003",
              "iteration over unordered container '" + var +
                  "' makes order depend on the host hash/allocator; use "
                  "FlatMap::forEach + sort, or a sorted container");
@@ -320,7 +328,7 @@ ruleD003UnorderedIteration(const SourceFile &f, std::vector<Finding> &out)
             for (std::size_t k = colon; k < close; ++k) {
                 if (ts[k].kind == TokKind::Ident &&
                     unordered_vars.count(ts[k].text)) {
-                    flag(ts[k].line, ts[k].text);
+                    flag(ts[k], ts[k].text);
                     break;
                 }
             }
@@ -332,7 +340,7 @@ ruleD003UnorderedIteration(const SourceFile &f, std::vector<Finding> &out)
             const std::string &m = ts[i + 2].text;
             if (m == "begin" || m == "cbegin" || m == "rbegin" ||
                 m == "crbegin")
-                flag(ts[i].line, ts[i].text);
+                flag(ts[i], ts[i].text);
         }
     }
 }
@@ -367,7 +375,7 @@ ruleD004PointerKeyedMap(const SourceFile &f, std::vector<Finding> &out)
             }
         }
         if (pointer_key) {
-            emit(f, out, ts[i].line, "CNL-D004",
+            emit(f, out, ts[i], "CNL-D004",
                  "std::" + ts[i].text +
                      " keyed by a pointer orders entries by allocation "
                      "address, which varies run to run; key by a stable "
@@ -380,8 +388,8 @@ void
 ruleD005UnseededRng(const SourceFile &f, std::vector<Finding> &out)
 {
     const Tokens &ts = f.tokens;
-    auto flag = [&](int line) {
-        emit(f, out, line, "CNL-D005",
+    auto flag = [&](const Token &t) {
+        emit(f, out, t, "CNL-D005",
              "default-constructed Rng uses the baked-in seed; every Rng "
              "must be seeded explicitly from the run configuration");
     };
@@ -396,17 +404,17 @@ ruleD005UnseededRng(const SourceFile &f, std::vector<Finding> &out)
         // `new Rng;` -- but a bare `Rng ;` also ends using-declarations
         // (`using cnsim::Rng;`), so require the `new`.
         if (isPunct(n1, ";") && i > 0 && isIdent(ts[i - 1], "new")) {
-            flag(ts[i].line);
+            flag(ts[i]);
             continue;
         }
         if (isPunct(n1, "(") && i + 2 < ts.size() &&
             isPunct(ts[i + 2], ")")) { // Rng()
-            flag(ts[i].line);
+            flag(ts[i]);
             continue;
         }
         if (isPunct(n1, "{") && i + 2 < ts.size() &&
             isPunct(ts[i + 2], "}")) { // Rng{}
-            flag(ts[i].line);
+            flag(ts[i]);
             continue;
         }
         if (n1.kind == TokKind::Ident && i + 2 < ts.size()) {
@@ -418,10 +426,10 @@ ruleD005UnseededRng(const SourceFile &f, std::vector<Finding> &out)
                 // invisible here); anywhere else it is a local or
                 // global default construction.
                 if (ts[i].scope != ScopeKind::Class)
-                    flag(ts[i].line);
+                    flag(ts[i]);
             } else if (isPunct(n2, "{") && i + 3 < ts.size() &&
                        isPunct(ts[i + 3], "}")) {
-                flag(ts[i].line); // Rng name{};
+                flag(ts[i]); // Rng name{};
             }
         }
     }
@@ -480,7 +488,7 @@ ruleS001EnumSwitch(const SourceFile &f, const Context &ctx,
             continue; // not a switch over a tracked enum
         if (has_default) {
             if (!has_unreachable) {
-                emit(f, out, ts[i].line, "CNL-S001",
+                emit(f, out, ts[i], "CNL-S001",
                      "switch over " + enum_name +
                          " has a default that silently absorbs new "
                          "enumerators; enumerate them or make the "
@@ -494,7 +502,7 @@ ruleS001EnumSwitch(const SourceFile &f, const Context &ctx,
                 missing += missing.empty() ? v : ", " + v;
         }
         if (!missing.empty()) {
-            emit(f, out, ts[i].line, "CNL-S001",
+            emit(f, out, ts[i], "CNL-S001",
                  "switch over " + enum_name +
                      " is not exhaustive (missing: " + missing +
                      ") and has no cnsim_unreachable() default");
@@ -529,7 +537,7 @@ ruleS002UnregisteredStat(const SourceFile &f, const Context &ctx,
               isPunct(after, "{")))
             continue;
         if (!ctx.registered_stats.count(name.text)) {
-            emit(f, out, name.line, "CNL-S002",
+            emit(f, out, name, "CNL-S002",
                  ts[i].text + " member '" + name.text +
                      "' is never registered via addCounter/addScalar/"
                      "addDistribution, so it is invisible in every "
@@ -559,7 +567,7 @@ ruleS003FunctionOnEventQueue(const SourceFile &f, std::vector<Finding> &out)
                     isIdent(ts[k], "function") && k >= 2 &&
                     isPunct(ts[k - 1], ":") && isPunct(ts[k - 2], ":");
                 if (is_std_function || isIdent(ts[k], "Callback")) {
-                    emit(f, out, ts[k].line, "CNL-S003",
+                    emit(f, out, ts[k], "CNL-S003",
                          "scheduling a type-erased std::function on the "
                          "EventQueue; pass the lambda directly so it "
                          "lands in the arena's inline storage");
@@ -570,7 +578,7 @@ ruleS003FunctionOnEventQueue(const SourceFile &f, std::vector<Finding> &out)
         if (isIdent(ts[i], "EventQueue") && i + 3 < ts.size() &&
             isPunct(ts[i + 1], ":") && isPunct(ts[i + 2], ":") &&
             isIdent(ts[i + 3], "Callback")) {
-            emit(f, out, ts[i].line, "CNL-S003",
+            emit(f, out, ts[i], "CNL-S003",
                  "EventQueue::Callback forces type erasure; declare the "
                  "callable type directly (template or lambda)");
         }
@@ -587,36 +595,11 @@ ruleH001UsingNamespace(const SourceFile &f, std::vector<Finding> &out)
     const Tokens &ts = f.tokens;
     for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
         if (isIdent(ts[i], "using") && isIdent(ts[i + 1], "namespace")) {
-            emit(f, out, ts[i].line, "CNL-H001",
+            emit(f, out, ts[i], "CNL-H001",
                  "'using namespace' in a header leaks the namespace "
                  "into every includer");
         }
     }
-}
-
-/** @return the directive lines ("#word rest") of the blanked view. */
-std::vector<std::pair<int, std::string>>
-directiveLines(const SourceFile &f)
-{
-    std::vector<std::pair<int, std::string>> dirs;
-    std::size_t start = 0;
-    int line = 1;
-    while (start <= f.code.size()) {
-        std::size_t end = f.code.find('\n', start);
-        if (end == std::string::npos)
-            end = f.code.size();
-        std::size_t s = start;
-        while (s < end &&
-               std::isspace(static_cast<unsigned char>(f.code[s])))
-            ++s;
-        if (s < end && f.code[s] == '#')
-            dirs.emplace_back(line, f.code.substr(s, end - s));
-        if (end == f.code.size())
-            break;
-        start = end + 1;
-        ++line;
-    }
-    return dirs;
 }
 
 /** Split a directive into whitespace-separated words. */
@@ -648,30 +631,30 @@ words(const std::string &s)
 void
 ruleH002IncludeGuard(const SourceFile &f, std::vector<Finding> &out)
 {
-    auto dirs = directiveLines(f);
+    const auto &dirs = f.directives;
     if (dirs.empty()) {
-        emit(f, out, 1, "CNL-H002", "header has no include guard");
+        emit(f, out, 1, 1, "CNL-H002", "header has no include guard");
         return;
     }
-    auto first = words(dirs.front().second);
-    int line = dirs.front().first;
+    auto first = words(dirs.front().text);
+    int line = dirs.front().line;
     if (first.size() >= 2 && first[0] == "#pragma" && first[1] == "once")
         return;
     if (first.size() < 2 || first[0] != "#ifndef") {
-        emit(f, out, line, "CNL-H002",
+        emit(f, out, line, 1, "CNL-H002",
              "header must open with '#ifndef CNSIM_..._HH' (or #pragma "
              "once) before any other directive");
         return;
     }
     const std::string &guard = first[1];
     if (dirs.size() < 2) {
-        emit(f, out, line, "CNL-H002", "include guard is never #defined");
+        emit(f, out, line, 1, "CNL-H002", "include guard is never #defined");
         return;
     }
-    auto second = words(dirs[1].second);
+    auto second = words(dirs[1].text);
     if (second.size() < 2 || second[0] != "#define" ||
         second[1] != guard) {
-        emit(f, out, dirs[1].first, "CNL-H002",
+        emit(f, out, dirs[1].line, 1, "CNL-H002",
              "include-guard #define does not match #ifndef " + guard);
         return;
     }
@@ -679,7 +662,7 @@ ruleH002IncludeGuard(const SourceFile &f, std::vector<Finding> &out)
                       guard.size() > 9 &&
                       guard.compare(guard.size() - 3, 3, "_HH") == 0;
     if (!conforming) {
-        emit(f, out, line, "CNL-H002",
+        emit(f, out, line, 1, "CNL-H002",
              "guard macro '" + guard +
                  "' does not follow the CNSIM_<PATH>_HH convention");
     }
@@ -791,19 +774,12 @@ ruleH003MissingInclude(const SourceFile &f, std::vector<Finding> &out)
             {"remove_reference_t", {"type_traits"}},
         };
 
-    // Collect this header's own #include names from the blanked view.
+    // This header's own #include names, from the cached include list
+    // (quoted targets are blanked in the code view, so the cache reads
+    // them from the raw text).
     std::set<std::string> included;
-    for (const auto &[line, text] : directiveLines(f)) {
-        (void)line;
-        auto w = words(text);
-        if (w.size() < 2 || w[0] != "#include")
-            continue;
-        std::string name = w[1];
-        if (name.size() >= 2 &&
-            (name.front() == '<' || name.front() == '"'))
-            name = name.substr(1, name.size() - 2);
-        included.insert(name);
-    }
+    for (const auto &inc : f.includes)
+        included.insert(inc.target);
 
     const Tokens &ts = f.tokens;
     std::set<std::string> reported;
@@ -820,11 +796,278 @@ ruleH003MissingInclude(const SourceFile &f, std::vector<Finding> &out)
             satisfied = satisfied || included.count(p);
         if (!satisfied) {
             reported.insert(sym);
-            emit(f, out, ts[i].line, "CNL-H003",
+            emit(f, out, ts[i], "CNL-H003",
                  "std::" + sym + " used but <" + it->second.front() +
                      "> is not included directly; headers must be "
                      "self-contained");
         }
+    }
+}
+
+// --------------------------------------------------------------------
+// L-rules: architectural layering (whole-program include graph)
+// --------------------------------------------------------------------
+
+void
+ruleL001LayerViolation(const SourceFile &f, std::vector<Finding> &out)
+{
+    if (f.layer.empty() || !layerDag().count(f.layer))
+        return;
+    const auto &allowed = layerDag().at(f.layer);
+    for (const auto &inc : f.includes) {
+        if (inc.angled)
+            continue;
+        std::size_t slash = inc.target.find('/');
+        if (slash == std::string::npos)
+            continue;
+        std::string target_layer = inc.target.substr(0, slash);
+        if (!layerDag().count(target_layer) || target_layer == f.layer)
+            continue; // not a layered include, or intra-layer
+        if (allowed.count(target_layer))
+            continue;
+        if (universalHeaders().count(includeKey(inc.target)))
+            continue;
+        if (layerExceptions().count({f.layer, includeKey(inc.target)}))
+            continue;
+        std::string deps;
+        for (const auto &d : allowed)
+            deps += deps.empty() ? d : ", " + d;
+        emit(f, out, inc.line, inc.col, "CNL-L001",
+             "include of '" + inc.target +
+                 "' violates the committed layer DAG: " + f.layer +
+                 " may only depend on {" + deps +
+                 "} (plus the universal interface headers)");
+    }
+}
+
+void
+ruleL002IncludeCycle(const ProjectModel &pm, std::vector<Finding> &out)
+{
+    // Adjacency restricted to scanned files; detection is per-node
+    // reachability back to itself (self-includes are 1-cycles).
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const auto &[key, edges] : pm.include_graph) {
+        for (const auto &[tkey, line] : edges) {
+            (void)line;
+            if (pm.file_by_key.count(tkey))
+                adj[key].push_back(tkey);
+        }
+    }
+    auto reaches = [&](const std::string &from, const std::string &to) {
+        std::set<std::string> visited;
+        std::vector<std::string> stack{from};
+        while (!stack.empty()) {
+            std::string n = stack.back();
+            stack.pop_back();
+            if (n == to)
+                return true;
+            if (!visited.insert(n).second)
+                continue;
+            auto it = adj.find(n);
+            if (it != adj.end())
+                for (const auto &m : it->second)
+                    stack.push_back(m);
+        }
+        return false;
+    };
+    for (const auto &[key, edges] : pm.include_graph) {
+        const SourceFile &f = *pm.file_by_key.at(key);
+        // Report the first include edge that closes a cycle back to
+        // this file; one finding per file keeps N-cycles readable.
+        for (const auto &[tkey, line] : edges) {
+            if (!pm.file_by_key.count(tkey) || !reaches(tkey, key))
+                continue;
+            int col = 1;
+            for (const auto &inc : f.includes) {
+                if (inc.line == line) {
+                    col = inc.col;
+                    break;
+                }
+            }
+            emit(f, out, line, col, "CNL-L002",
+                 "include of '" + tkey +
+                     "' closes an include cycle back to '" + key +
+                     "'; break the cycle with a forward declaration or "
+                     "an interface header");
+            break;
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// C-rules: concurrency discipline (sim scope)
+// --------------------------------------------------------------------
+
+void
+ruleC001UnannotatedMember(const ProjectModel &pm, std::vector<Finding> &out)
+{
+    for (const auto &ci : pm.classes) {
+        if (!ci.file->sim_scope || (!ci.has_mutex && !ci.has_atomic))
+            continue;
+        for (const auto &m : ci.members) {
+            if (m.is_function || m.is_static || m.is_const || m.is_mutex ||
+                m.is_atomic || m.is_cv || m.is_thread || m.annotated)
+                continue;
+            emit(*ci.file, out, m.line, m.col, "CNL-C001",
+                 "member '" + m.name + "' of lock/atomic-owning class '" +
+                     ci.name +
+                     "' has no thread-safety annotation; add "
+                     "CNSIM_GUARDED_BY / CNSIM_PT_GUARDED_BY, or document "
+                     "the synchronization protocol with CNSIM_SYNC_NOTE");
+        }
+    }
+}
+
+void
+ruleC002RawThread(const SourceFile &f, std::vector<Finding> &out)
+{
+    // The only blessed std::thread owners: the experiment fan-out and
+    // the binlog writer. Everything else routes through them.
+    if (f.path.find("parallel_runner") != std::string::npos ||
+        f.path.find("binlog") != std::string::npos)
+        return;
+    const Tokens &ts = f.tokens;
+    for (std::size_t i = 3; i < ts.size(); ++i) {
+        if (ts[i].kind != TokKind::Ident ||
+            (ts[i].text != "thread" && ts[i].text != "jthread"))
+            continue;
+        if (!(isPunct(ts[i - 1], ":") && isPunct(ts[i - 2], ":") &&
+              isIdent(ts[i - 3], "std")))
+            continue;
+        emit(f, out, ts[i], "CNL-C002",
+             "raw std::thread outside the blessed owners "
+             "(ParallelRunner, BinlogWriter); route concurrency through "
+             "them so shutdown, affinity, and determinism stay in one "
+             "place");
+    }
+}
+
+void
+ruleC003MutableStatic(const SourceFile &f, const ProjectModel &pm,
+                      std::vector<Finding> &out)
+{
+    const Tokens &ts = f.tokens;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (!isIdent(ts[i], "static"))
+            continue;
+        if (ts[i].scope == ScopeKind::Class ||
+            ts[i].scope == ScopeKind::Enum)
+            continue; // class statics are CNL-C001's problem
+        bool exempt = false;
+        bool is_func = false;
+        int adepth = 0;
+        const Token *name = nullptr;
+        for (std::size_t j = i + 1; j < ts.size(); ++j) {
+            const Token &t = ts[j];
+            if (t.kind == TokKind::Punct) {
+                if (t.text == "<") {
+                    ++adepth;
+                } else if (t.text == ">") {
+                    adepth = std::max(0, adepth - 1);
+                } else if (adepth == 0) {
+                    if (t.text == "(") {
+                        is_func = true;
+                        break;
+                    }
+                    if (t.text == ";" || t.text == "=" || t.text == "{" ||
+                        t.text == "[")
+                        break;
+                }
+                continue;
+            }
+            if (t.kind != TokKind::Ident)
+                continue;
+            if (t.text == "const" || t.text == "constexpr" ||
+                t.text == "thread_local")
+                exempt = true;
+            else if (t.text.rfind("atomic", 0) == 0 ||
+                     t.text == "Mutex" ||
+                     t.text.find("mutex") != std::string::npos)
+                exempt = true;
+            else if (pm.mutex_owning_types.count(t.text))
+                exempt = true; // a type that locks all its state
+            if (adepth == 0)
+                name = &t;
+        }
+        if (is_func || exempt || !name)
+            continue;
+        emit(f, out, *name, "CNL-C003",
+             "mutable static '" + name->text +
+                 "' is shared unsynchronized state; make it "
+                 "const/constexpr, std::atomic, or wrap it in a type "
+                 "whose mutex guards every member");
+    }
+}
+
+// --------------------------------------------------------------------
+// T-rules: lifetime and liveness
+// --------------------------------------------------------------------
+
+void
+ruleT001DanglingCapture(const SourceFile &f, std::vector<Finding> &out)
+{
+    const Tokens &ts = f.tokens;
+    for (std::size_t i = 1; i + 1 < ts.size(); ++i) {
+        bool member_call =
+            isIdent(ts[i], "schedule") && isPunct(ts[i + 1], "(") &&
+            (isPunct(ts[i - 1], ".") ||
+             (i >= 2 && isPunct(ts[i - 1], ">") && isPunct(ts[i - 2], "-")));
+        if (!member_call)
+            continue;
+        // The receiver (the queue itself) outlives its events, so
+        // capturing it by reference is the one blessed '&' capture.
+        std::string receiver;
+        std::size_t r = isPunct(ts[i - 1], ".") ? i - 2 : i - 3;
+        if (r < ts.size() && ts[r].kind == TokKind::Ident)
+            receiver = ts[r].text;
+        std::size_t close = matchForward(ts, i + 1, "(", ")");
+        for (std::size_t k = i + 2; k < close; ++k) {
+            if (!isPunct(ts[k], "["))
+                continue;
+            std::size_t rb = matchForward(ts, k, "[", "]");
+            if (rb >= close || rb + 1 >= ts.size() ||
+                !(isPunct(ts[rb + 1], "(") || isPunct(ts[rb + 1], "{"))) {
+                k = rb;
+                continue; // subscript, not a lambda introducer
+            }
+            for (std::size_t m = k + 1; m < rb; ++m) {
+                if (!isPunct(ts[m], "&"))
+                    continue;
+                const Token &n = ts[m + 1];
+                if (n.kind == TokKind::Ident && n.text != receiver) {
+                    emit(f, out, ts[m], "CNL-T001",
+                         "EventQueue callable captures '&" + n.text +
+                             "'; the event may run after the capturing "
+                             "frame is gone -- capture by value or "
+                             "capture a long-lived owner");
+                } else if (isPunct(n, "]") || isPunct(n, ",")) {
+                    emit(f, out, ts[m], "CNL-T001",
+                         "EventQueue callable uses a default "
+                         "by-reference capture '[&]'; events outlive "
+                         "frames, so captures must be explicit and "
+                         "by value (or the queue itself)");
+                }
+            }
+            k = rb;
+        }
+    }
+}
+
+void
+ruleT002DeadSymbol(const ProjectModel &pm, std::vector<Finding> &out)
+{
+    std::set<std::pair<const SourceFile *, int>> seen;
+    for (const auto &d : pm.function_defs) {
+        auto it = pm.uses.find(d.name);
+        if (it != pm.uses.end() && it->second > 0)
+            continue;
+        if (!seen.insert({d.file, d.line}).second)
+            continue;
+        emit(*d.file, out, d.line, d.col, "CNL-T002",
+             "function '" + d.name +
+                 "' is defined but never used anywhere in the scanned "
+                 "tree; delete it or add the caller that was meant to "
+                 "exist");
     }
 }
 
@@ -833,7 +1076,7 @@ ruleA001MalformedDirective(const SourceFile &f, std::vector<Finding> &out)
 {
     for (const auto &a : f.allows) {
         if (a.malformed)
-            emit(f, out, a.line, "CNL-A001",
+            emit(f, out, a.line, 1, "CNL-A001",
                  "malformed cnlint directive: " + a.error);
     }
 }
@@ -849,6 +1092,13 @@ ruleCatalog()
 {
     static const std::vector<RuleInfo> catalog = {
         {"CNL-A001", "malformed cnlint suppression comment", false},
+        {"CNL-C001",
+         "mutable member of a lock/atomic-owning class lacks a "
+         "thread-safety annotation",
+         true},
+        {"CNL-C002",
+         "raw std::thread outside ParallelRunner/BinlogWriter", true},
+        {"CNL-C003", "unannotated mutable static", true},
         {"CNL-D001",
          "banned random source; use a seeded cnsim::Rng", true},
         {"CNL-D002",
@@ -871,6 +1121,15 @@ ruleCatalog()
         {"CNL-H003",
          "std:: symbol without a direct include (self-containment)",
          false},
+        {"CNL-L001",
+         "include edge not permitted by the committed layer DAG", false},
+        {"CNL-L002", "include cycle among the scanned files", false},
+        {"CNL-T001",
+         "EventQueue callable captures a stack local by reference", true},
+        {"CNL-T002",
+         "function defined but never used in the scanned tree "
+         "(--dead-symbols)",
+         true},
     };
     return catalog;
 }
@@ -888,7 +1147,15 @@ struct Linter::Impl
 {
     std::vector<SourceFile> files;
     Context ctx;
+    ProjectModel pm;
+    bool dead_symbols = false;
 };
+
+void
+Linter::setDeadSymbols(bool enable)
+{
+    impl->dead_symbols = enable;
+}
 
 Linter::Linter() : impl(new Impl) {}
 
@@ -917,6 +1184,8 @@ void
 Linter::run()
 {
     results.clear();
+    impl->ctx = Context{};
+    impl->pm.build(impl->files);
     for (const auto &f : impl->files) {
         collectEnums(f, impl->ctx);
         collectStatRegistrations(f, impl->ctx);
@@ -930,6 +1199,9 @@ Linter::run()
             ruleD004PointerKeyedMap(f, results);
             ruleD005UnseededRng(f, results);
             ruleS002UnregisteredStat(f, impl->ctx, results);
+            ruleC002RawThread(f, results);
+            ruleC003MutableStatic(f, impl->pm, results);
+            ruleT001DanglingCapture(f, results);
         }
         ruleS001EnumSwitch(f, impl->ctx, results);
         ruleS003FunctionOnEventQueue(f, results);
@@ -938,13 +1210,20 @@ Linter::run()
             ruleH002IncludeGuard(f, results);
             ruleH003MissingInclude(f, results);
         }
+        ruleL001LayerViolation(f, results);
     }
+    ruleL002IncludeCycle(impl->pm, results);
+    ruleC001UnannotatedMember(impl->pm, results);
+    if (impl->dead_symbols)
+        ruleT002DeadSymbol(impl->pm, results);
     std::sort(results.begin(), results.end(),
               [](const Finding &a, const Finding &b) {
                   if (a.file != b.file)
                       return a.file < b.file;
                   if (a.line != b.line)
                       return a.line < b.line;
+                  if (a.col != b.col)
+                      return a.col < b.col;
                   return a.rule < b.rule;
               });
 }

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * SARIF 2.1.0 rendering for cnlint findings, so CI can upload results
+ * to code-scanning UIs (GitHub annotates the PR diff from these).
+ * Hand-rolled serialization: the document shape is small and fixed,
+ * and cnlint deliberately has no dependencies.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cnlint/cnlint.hh"
+
+namespace cnlint
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderSarif(const std::vector<Finding> &findings)
+{
+    std::string out;
+    out += "{\n";
+    out += "  \"$schema\": "
+           "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+    out += "  \"version\": \"2.1.0\",\n";
+    out += "  \"runs\": [\n    {\n";
+    out += "      \"tool\": {\n        \"driver\": {\n";
+    out += "          \"name\": \"cnlint\",\n";
+    out += "          \"rules\": [\n";
+    const auto &catalog = ruleCatalog();
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+        out += "            {\"id\": \"" + jsonEscape(catalog[i].id) +
+               "\", \"shortDescription\": {\"text\": \"" +
+               jsonEscape(catalog[i].summary) + "\"}}";
+        out += i + 1 < catalog.size() ? ",\n" : "\n";
+    }
+    out += "          ]\n        }\n      },\n";
+    out += "      \"results\": [\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        out += "        {\"ruleId\": \"" + jsonEscape(f.rule) +
+               "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+               jsonEscape(f.message) + "\"}, \"locations\": [{"
+               "\"physicalLocation\": {\"artifactLocation\": {\"uri\": "
+               "\"" + jsonEscape(f.file) + "\"}, \"region\": "
+               "{\"startLine\": " + std::to_string(f.line) +
+               ", \"startColumn\": " +
+               std::to_string(f.col > 0 ? f.col : 1) + "}}}]}";
+        out += i + 1 < findings.size() ? ",\n" : "\n";
+    }
+    out += "      ]\n    }\n  ]\n}\n";
+    return out;
+}
+
+} // namespace cnlint

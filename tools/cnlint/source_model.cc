@@ -33,6 +33,24 @@ endsWith(const std::string &s, const std::string &suffix)
            s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+/** @return the path component following "src/", or "". */
+std::string
+layerFromPath(const std::string &p)
+{
+    std::size_t pos = p.rfind("/src/");
+    std::size_t start;
+    if (pos != std::string::npos)
+        start = pos + 5;
+    else if (p.rfind("src/", 0) == 0)
+        start = 4;
+    else
+        return "";
+    std::size_t slash = p.find('/', start);
+    if (slash == std::string::npos)
+        return ""; // a file directly under src/ has no layer directory
+    return p.substr(start, slash - start);
+}
+
 } // namespace
 
 bool
@@ -50,6 +68,7 @@ SourceFile::load(const std::string &p)
     // Simulation scope: anything under a src/ directory. The path may
     // be given relative ("src/...") or absolute ("/x/repo/src/...").
     sim_scope = raw.npos != p.find("/src/") || p.rfind("src/", 0) == 0;
+    layer = layerFromPath(p);
 
     line_starts.clear();
     line_starts.push_back(0);
@@ -60,6 +79,7 @@ SourceFile::load(const std::string &p)
     blankCommentsAndStrings();
     tokenize();
     assignScopes();
+    collectDirectives();
     parseDirectives();
     return true;
 }
@@ -69,6 +89,13 @@ SourceFile::lineOf(std::size_t off) const
 {
     auto it = std::upper_bound(line_starts.begin(), line_starts.end(), off);
     return static_cast<int>(it - line_starts.begin());
+}
+
+int
+SourceFile::colOf(std::size_t off) const
+{
+    int line = lineOf(off);
+    return static_cast<int>(off - line_starts[line - 1]) + 1;
 }
 
 bool
@@ -225,7 +252,7 @@ SourceFile::tokenize()
         }
         // Preprocessor lines are not code tokens for the rules (an
         // #include <unordered_map> must not trip CNL-D003); H-rules
-        // re-read the raw lines themselves.
+        // and the symbol index read the cached directive lines.
         if (c == '#') {
             in_directive = true;
             ++i;
@@ -236,12 +263,13 @@ SourceFile::tokenize()
             continue;
         }
         int line = lineOf(i);
+        int col = colOf(i);
         if (identStart(c)) {
             std::size_t j = i;
             while (j < code.size() && identChar(code[j]))
                 ++j;
             tokens.push_back(
-                {TokKind::Ident, code.substr(i, j - i), line,
+                {TokKind::Ident, code.substr(i, j - i), line, col,
                  ScopeKind::File});
             i = j;
         } else if (std::isdigit(static_cast<unsigned char>(c))) {
@@ -250,12 +278,12 @@ SourceFile::tokenize()
                    (identChar(code[j]) || code[j] == '.' || code[j] == '\''))
                 ++j;
             tokens.push_back(
-                {TokKind::Number, code.substr(i, j - i), line,
+                {TokKind::Number, code.substr(i, j - i), line, col,
                  ScopeKind::File});
             i = j;
         } else {
-            tokens.push_back(
-                {TokKind::Punct, std::string(1, c), line, ScopeKind::File});
+            tokens.push_back({TokKind::Punct, std::string(1, c), line, col,
+                              ScopeKind::File});
             ++i;
         }
     }
@@ -269,7 +297,9 @@ SourceFile::assignScopes()
     // cancels it (forward declarations, elaborated parameter types,
     // alias initializers). Base-clause `:` and template `<...>` pass
     // through, so `class X : public A, public B {` still opens a Class
-    // scope.
+    // scope. Attribute macros between the keyword and the name --
+    // `class CNSIM_CAPABILITY("mutex") Mutex {` -- are skipped so
+    // their parentheses don't read as a cancellation.
     enum class Pending
     {
         None,
@@ -278,15 +308,35 @@ SourceFile::assignScopes()
     };
     Pending pending = Pending::None;
     std::vector<ScopeKind> stack;
-    const Token *prev = nullptr;
-    for (auto &t : tokens) {
+    for (std::size_t idx = 0; idx < tokens.size(); ++idx) {
+        Token &t = tokens[idx];
         t.scope = stack.empty() ? ScopeKind::File : stack.back();
         if (t.kind == TokKind::Ident) {
+            if (pending != Pending::None &&
+                t.text.rfind("CNSIM_", 0) == 0 && idx + 1 < tokens.size() &&
+                tokens[idx + 1].kind == TokKind::Punct &&
+                tokens[idx + 1].text == "(") {
+                // Skip the attribute macro's argument list.
+                int depth = 0;
+                std::size_t k = idx + 1;
+                for (; k < tokens.size(); ++k) {
+                    tokens[k].scope = t.scope;
+                    if (tokens[k].kind != TokKind::Punct)
+                        continue;
+                    if (tokens[k].text == "(")
+                        ++depth;
+                    else if (tokens[k].text == ")" && --depth == 0)
+                        break;
+                }
+                idx = k;
+                continue;
+            }
             if (t.text == "class" || t.text == "struct" ||
                 t.text == "union") {
                 // `enum class` stays an enum; `template <class T>`'s
                 // keyword (preceded by '<' or ',') is a type
                 // parameter, not a definition.
+                const Token *prev = idx > 0 ? &tokens[idx - 1] : nullptr;
                 bool tparam = prev && prev->kind == TokKind::Punct &&
                               (prev->text == "<" || prev->text == ",");
                 if (pending != Pending::Enum && !tparam)
@@ -308,7 +358,83 @@ SourceFile::assignScopes()
                 pending = Pending::None;
             }
         }
-        prev = &t;
+    }
+}
+
+void
+SourceFile::collectDirectives()
+{
+    directives.clear();
+    includes.clear();
+    std::size_t start = 0;
+    int line = 1;
+    while (start <= code.size()) {
+        std::size_t end = code.find('\n', start);
+        if (end == std::string::npos)
+            end = code.size();
+        std::size_t s = start;
+        while (s < end && std::isspace(static_cast<unsigned char>(code[s])))
+            ++s;
+        if (s < end && code[s] == '#') {
+            Directive d;
+            d.line = line;
+            // Join backslash continuations into one logical line so
+            // multi-line #define bodies stay visible to the symbol
+            // index (the H-rules only read the leading words).
+            std::size_t lstart = s;
+            std::size_t lend = end;
+            std::string text;
+            for (;;) {
+                std::size_t e = lend;
+                bool continues = false;
+                while (e > lstart &&
+                       std::isspace(
+                           static_cast<unsigned char>(code[e - 1])))
+                    --e;
+                if (e > lstart && code[e - 1] == '\\') {
+                    continues = true;
+                    --e;
+                }
+                text.append(code, lstart, e - lstart);
+                text.push_back(' ');
+                if (!continues || lend >= code.size())
+                    break;
+                ++line;
+                lstart = lend + 1;
+                lend = code.find('\n', lstart);
+                if (lend == std::string::npos)
+                    lend = code.size();
+                end = lend;
+            }
+            d.text = text;
+            directives.push_back(std::move(d));
+
+            // #include targets are read from the raw text: the blanked
+            // view erases quoted targets along with every other string
+            // literal.
+            auto w0 = text.find_first_not_of("# \t");
+            if (w0 != std::string::npos &&
+                text.compare(w0, 7, "include") == 0) {
+                std::size_t rs = raw.find_first_of("<\"", s);
+                if (rs != std::string::npos && rs < raw.find('\n', s)) {
+                    char open = raw[rs];
+                    char close = open == '<' ? '>' : '"';
+                    std::size_t re = raw.find(close, rs + 1);
+                    if (re != std::string::npos) {
+                        Include inc;
+                        inc.line = lineOf(rs);
+                        inc.col = colOf(rs);
+                        inc.target = raw.substr(rs + 1, re - rs - 1);
+                        inc.angled = open == '<';
+                        includes.push_back(std::move(inc));
+                    }
+                }
+            }
+        }
+        if (end >= code.size())
+            break;
+        start = end + 1;
+        ++line;
     }
 }
 
@@ -331,13 +457,17 @@ SourceFile::parseDirectives()
         std::string word = raw.substr(pos, wend - pos);
         int line = lineOf(dstart);
 
-        if (word == "scope") {
+        if (word == "scope" || word == "layer") {
             std::size_t open = raw.find('(', wend);
             std::size_t close = open == raw.npos ? raw.npos
                                                  : raw.find(')', open);
-            if (open != raw.npos && close != raw.npos &&
-                raw.substr(open + 1, close - open - 1) == "sim")
-                sim_scope = true;
+            if (open != raw.npos && close != raw.npos) {
+                std::string value = raw.substr(open + 1, close - open - 1);
+                if (word == "scope" && value == "sim")
+                    sim_scope = true;
+                else if (word == "layer" && !value.empty())
+                    layer = value;
+            }
             pos = wend;
             continue;
         }

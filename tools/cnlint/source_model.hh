@@ -2,12 +2,17 @@
  * @file
  * cnlint's view of one translation unit: raw text, a comment- and
  * string-blanked "code" view at identical offsets, a coarse token
- * stream annotated with lexical scope, and the parsed cnlint
- * directives (allow-suppressions and scope pragmas).
+ * stream annotated with lexical scope, the include list, and the
+ * parsed cnlint directives (allow-suppressions and scope pragmas).
  *
  * The blanking pass is what keeps the token rules honest: banned
  * identifiers inside comments, doc examples, or string literals (this
  * very tool is full of them) never reach the rules.
+ *
+ * Preprocessor directives are collected once at load into a cached
+ * list of logical lines (continuations joined); the header rules and
+ * the symbol index consume the cache instead of re-scanning the text
+ * per rule, which is what keeps whole-tree runs fast.
  */
 
 #ifndef CNSIM_TOOLS_CNLINT_SOURCE_MODEL_HH
@@ -45,6 +50,7 @@ struct Token
     TokKind kind;
     std::string text; //!< single character for Punct
     int line;         //!< 1-based
+    int col;          //!< 1-based column of the first character
     ScopeKind scope;  //!< innermost enclosing scope
 };
 
@@ -59,6 +65,22 @@ struct Allow
     std::string error;
 };
 
+/** One preprocessor logical line (continuations joined with spaces). */
+struct Directive
+{
+    int line;         //!< 1-based line the '#' sits on
+    std::string text; //!< blanked view, from '#' to end of logical line
+};
+
+/** One #include, with the target read from the raw text. */
+struct Include
+{
+    int line;           //!< 1-based
+    int col;            //!< 1-based column of the opening '<' or '"'
+    std::string target; //!< path between the delimiters
+    bool angled;        //!< <system> rather than "project"
+};
+
 /** One pre-processed source file. */
 struct SourceFile
 {
@@ -67,8 +89,17 @@ struct SourceFile
     std::string code; //!< comments and literals blanked with spaces
     std::vector<Token> tokens;
     std::vector<Allow> allows;
+    std::vector<Directive> directives; //!< cached once per file
+    std::vector<Include> includes;
     bool header = false;    //!< .hh/.h
     bool sim_scope = false; //!< under src/, or `cnlint: scope(sim)`
+
+    /**
+     * Architectural layer this file belongs to: the directory under
+     * src/ ("l2", "obs", ...), or the value of a `cnlint: layer(x)`
+     * pragma. Empty for files outside the layered tree.
+     */
+    std::string layer;
 
     /** rule ID -> lines on which it is suppressed. */
     std::map<std::string, std::set<int>> suppressed;
@@ -85,6 +116,9 @@ struct SourceFile
     /** @return 1-based line containing byte offset @p off. */
     int lineOf(std::size_t off) const;
 
+    /** @return 1-based column of byte offset @p off within its line. */
+    int colOf(std::size_t off) const;
+
     /** @return true if the code view of @p line holds no code tokens
      *  (the line is blank or comment-only). */
     bool lineIsCodeFree(int line) const;
@@ -95,6 +129,7 @@ struct SourceFile
     void blankCommentsAndStrings();
     void tokenize();
     void assignScopes();
+    void collectDirectives();
     void parseDirectives();
 };
 
