@@ -1,0 +1,209 @@
+#include "farm/cache.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "farm/cell.hh"
+#include "obs/frame.hh"
+#include "sample/checkpoint.hh"
+
+namespace cnsim
+{
+namespace farm
+{
+
+namespace
+{
+
+constexpr char entry_magic[8] = {'C', 'N', 'F', 'A', 'R', 'M', '0', '1'};
+
+/** Frame types inside cache entries: 'r' result, 'c' checkpoint. */
+std::uint8_t
+entryFrameType(char kind)
+{
+    return static_cast<std::uint8_t>(kind);
+}
+
+/** mkdir -p: create @p dir and its ancestors; false on failure. */
+bool
+makeDirs(const std::string &dir)
+{
+    std::string partial;
+    std::istringstream ss(dir);
+    std::string comp;
+    if (!dir.empty() && dir[0] == '/')
+        partial = "/";
+    while (std::getline(ss, comp, '/')) {
+        if (comp.empty())
+            continue;
+        if (!partial.empty() && partial.back() != '/')
+            partial += '/';
+        partial += comp;
+        if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST)
+            return false;
+    }
+    return true;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return in.good() || in.eof();
+}
+
+} // namespace
+
+Cache::Cache(const std::string &dir) : root(dir)
+{
+    if (root.empty())
+        return;
+    if (!makeDirs(root)) {
+        warn("cannot create cache directory '%s' (%s); caching disabled",
+             root.c_str(), std::strerror(errno));
+        root.clear();
+    }
+}
+
+std::string
+Cache::defaultDir()
+{
+    if (const char *dir = std::getenv("CNSIM_CACHE_DIR"))
+        return dir;
+    if (const char *xdg = std::getenv("XDG_CACHE_HOME"))
+        return std::string(xdg) + "/cnsim";
+    if (const char *home = std::getenv("HOME"))
+        return std::string(home) + "/.cache/cnsim";
+    return "";
+}
+
+std::string
+Cache::entryPath(char kind, std::uint64_t key) const
+{
+    return root + "/" + kind + "-" + keyString(key) + ".cnf";
+}
+
+bool
+Cache::loadEntry(char kind, std::uint64_t key, std::string &payload) const
+{
+    if (!enabled())
+        return false;
+    std::string path = entryPath(kind, key);
+    std::string bytes;
+    if (!readFile(path, bytes))
+        return false;
+
+    auto reject = [&](const char *why) {
+        warn("rejecting corrupt cache entry '%s' (%s); recomputing",
+             path.c_str(), why);
+        ::unlink(path.c_str());
+        return false;
+    };
+    if (bytes.size() < sizeof(entry_magic) ||
+        std::memcmp(bytes.data(), entry_magic, sizeof(entry_magic)) != 0)
+        return reject("bad magic");
+    obs::Frame frame;
+    std::size_t consumed = 0;
+    obs::FrameStatus st = obs::decodeFrame(
+        reinterpret_cast<const std::uint8_t *>(bytes.data()) +
+            sizeof(entry_magic),
+        bytes.size() - sizeof(entry_magic), frame, consumed);
+    if (st != obs::FrameStatus::Ok)
+        return reject("frame checksum or length mismatch");
+    if (consumed != bytes.size() - sizeof(entry_magic))
+        return reject("trailing bytes");
+    if (frame.type != entryFrameType(kind))
+        return reject("wrong entry kind");
+    payload = std::move(frame.payload);
+    return true;
+}
+
+void
+Cache::storeEntry(char kind, std::uint64_t key,
+                  const std::string &payload) const
+{
+    if (!enabled())
+        return;
+    std::string path = entryPath(kind, key);
+    std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("cannot write cache entry '%s'", tmp.c_str());
+            return;
+        }
+        out.write(entry_magic, sizeof(entry_magic));
+        std::string frame = obs::encodeFrame(entryFrameType(kind), payload);
+        out.write(frame.data(),
+                  static_cast<std::streamsize>(frame.size()));
+        if (!out.good()) {
+            warn("short write on cache entry '%s'", tmp.c_str());
+            ::unlink(tmp.c_str());
+            return;
+        }
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("cannot publish cache entry '%s' (%s)", path.c_str(),
+             std::strerror(errno));
+        ::unlink(tmp.c_str());
+    }
+}
+
+bool
+Cache::loadResult(std::uint64_t key, RunResult &out) const
+{
+    std::string payload;
+    if (!loadEntry('r', key, payload))
+        return false;
+    out = deserializeResult(payload, entryPath('r', key));
+    return true;
+}
+
+void
+Cache::storeResult(std::uint64_t key, const RunResult &result) const
+{
+    storeEntry('r', key, serializeResult(result));
+}
+
+std::shared_ptr<const std::string>
+Cache::loadCkpt(std::uint64_t key) const
+{
+    std::string payload;
+    if (!loadEntry('c', key, payload))
+        return nullptr;
+    // Defense in depth: the frame checksum already validated the
+    // bytes, but the checkpoint deserializer is fatal-on-corrupt, so
+    // re-check its own integrity envelope before trusting the blob.
+    if (!sample::Checkpoint::checksumOk(payload)) {
+        std::string path = entryPath('c', key);
+        warn("rejecting cache entry '%s': CNCKPT01 checksum failed; "
+             "recomputing",
+             path.c_str());
+        ::unlink(path.c_str());
+        return nullptr;
+    }
+    return std::make_shared<const std::string>(std::move(payload));
+}
+
+void
+Cache::storeCkpt(std::uint64_t key, const std::string &blob) const
+{
+    storeEntry('c', key, blob);
+}
+
+} // namespace farm
+} // namespace cnsim

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Work-unit model of the sweep farm (DESIGN.md 3l).
+ *
+ * A CellSpec is one grid cell of an experiment sweep -- the complete,
+ * self-describing recipe for one Runner::run call: system shape (L2
+ * organization, core count, interconnect, NuRAPID knobs), workload
+ * name, run budgets, sampling plan, observability options, and the
+ * trace-stream mode. It deliberately carries *names and parameters*,
+ * never pointers or materialized streams: the canonical-trace
+ * guarantee (trace/replay.hh) means a worker process rebuilds the
+ * bit-identical stream from the spec alone, so cells serialize into a
+ * few hundred bytes and any placement of cells onto workers yields
+ * byte-identical results.
+ *
+ * Two FNV-1a content keys derive from a spec:
+ *  - cellKey(): the *result* identity -- every serialized field plus
+ *    the effective trace hash and the farm/checkpoint format versions.
+ *    Two specs with equal keys produce byte-identical RunResults, so
+ *    the key addresses the result cache.
+ *  - ckptKey(): the *post-warm-up state* identity -- only the fields
+ *    that shape the warmed machine (organization, workload, warm-up
+ *    budget, quantum, warm mode, seed, trace hash). Cells differing
+ *    only in measurement-side parameters share one warmed CNCKPT01
+ *    blob, which is what lets a modified sweep resume instead of
+ *    re-warming.
+ */
+
+#ifndef CNSIM_FARM_CELL_HH
+#define CNSIM_FARM_CELL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sample/checkpoint.hh"
+#include "sim/parallel_runner.hh"
+#include "sim/runner.hh"
+
+namespace cnsim
+{
+namespace farm
+{
+
+/** Bumped whenever a change anywhere in the simulator can alter
+ *  results or checkpoint state for an unchanged CellSpec; stale cache
+ *  entries then miss instead of serving bytes from an older binary. */
+constexpr std::uint32_t farm_format_version = 1;
+
+/** Frame type discriminators of the farm protocol (obs/frame.hh). */
+enum FrameType : std::uint8_t
+{
+    /** Coordinator -> worker: one serialized CellSpec to execute. */
+    frame_job = 1,
+    /** Worker/server -> client: u64 cell key + serialized RunResult. */
+    frame_result = 2,
+    /** Client -> server: one serialized CellSpec to resolve. */
+    frame_request = 3,
+    /** Client -> server: report the ServeStats counters. */
+    frame_stats_req = 4,
+    /** Server -> client: u64 computed, served, dedup_hits. */
+    frame_stats = 5,
+    /** Client -> server: finish queued work, then exit. Echoed back
+     *  as the acknowledgment. */
+    frame_shutdown = 6,
+};
+
+/** How a cell's cores are fed (mirrors the RunConfig stream modes). */
+enum class CellTraceMode : std::uint8_t
+{
+    /** Per-cell live generation, timing-interleaved draw order. */
+    Live = 0,
+    /** Shared materialized RecordedTrace (positional cursor needed:
+     *  sampling hops, checkpoint save/load). */
+    Materialized = 1,
+    /** Canonical-live generation: replay-identical records, no codec. */
+    Canonical = 2,
+};
+
+/** One sweep grid cell; see the file comment. */
+struct CellSpec
+{
+    // System shape.
+    std::uint32_t l2_kind = 0;
+    std::uint32_t cores = 4;
+    std::uint32_t interconnect = 0;
+    std::uint8_t enable_cr = 1;
+    std::uint8_t enable_isc = 1;
+    std::uint32_t promotion = 0;
+    std::uint32_t tag_factor = 2;
+
+    // Observability.
+    std::uint8_t audit = 0;
+    std::uint64_t metrics_interval = 0;
+    std::string trace_out;
+    std::uint8_t trace_format = 0;
+    std::string binlog_out;
+
+    // Workload and budgets.
+    std::string workload = "oltp";
+    std::uint64_t warmup = 3'000'000;
+    std::uint64_t measure = 5'000'000;
+    std::uint64_t quantum = 20'000;
+    std::uint64_t seed = 1;
+    std::uint32_t sample_windows = 0;
+    std::uint64_t sample_detail = 0;
+    std::uint64_t sample_warmup = 0;
+
+    // Result content switches.
+    std::uint8_t collect_stats_dump = 0;
+    std::uint8_t collect_stats_csv = 0;
+
+    /** Stream mode (CellTraceMode). */
+    std::uint8_t trace_mode =
+        static_cast<std::uint8_t>(CellTraceMode::Canonical);
+    /** Let the worker share warmed checkpoints through the cache. */
+    std::uint8_t use_ckpt_cache = 1;
+
+    /** Delivery attempt (0 first try, 1 after a requeue). Transported
+     *  with the spec but excluded from both content keys. */
+    std::uint32_t attempt = 0;
+
+    /** "l2/workload" label for progress and error messages. */
+    [[nodiscard]] std::string label() const;
+
+    /** True when a result-cache entry may stand in for running this
+     *  cell (cells writing side-effect files must actually run). */
+    [[nodiscard]] bool cacheable() const
+    {
+        return trace_out.empty() && binlog_out.empty();
+    }
+};
+
+/** Serialize @p spec (all fields, attempt last) for the job frames. */
+std::string serializeCell(const CellSpec &spec);
+
+/** Parse serializeCell bytes; fatal on truncation ( @p what names the
+ *  source in errors). */
+CellSpec deserializeCell(const std::string &bytes,
+                         const std::string &what);
+
+/** Content key addressing @p spec's RunResult in the cache. */
+std::uint64_t cellKey(const CellSpec &spec);
+
+/** Content key addressing @p spec's post-warm-up checkpoint blob. */
+std::uint64_t ckptKey(const CellSpec &spec);
+
+/** A cell key rendered as the canonical 16-digit hex string. */
+std::string keyString(std::uint64_t key);
+
+/** Materialize the Runner::run argument triple for @p spec. */
+ParallelJob buildJob(const CellSpec &spec);
+
+/** Serialize a RunResult for result frames and cache entries. */
+std::string serializeResult(const RunResult &r);
+
+/** Parse serializeResult bytes; fatal on truncation. */
+RunResult deserializeResult(const std::string &bytes,
+                            const std::string &what);
+
+} // namespace farm
+} // namespace cnsim
+
+#endif // CNSIM_FARM_CELL_HH

@@ -1,0 +1,303 @@
+#include "farm/serve.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "farm/cache.hh"
+#include "farm/worker.hh"
+#include "obs/frame.hh"
+
+namespace cnsim
+{
+namespace farm
+{
+
+namespace
+{
+
+/** A cell queued for computation plus everyone waiting on it. */
+struct PendingCell
+{
+    CellSpec spec;
+    std::uint64_t key = 0;
+    std::vector<int> waiters;
+};
+
+sockaddr_un
+socketAddr(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        fatal("serve: socket path '%s' exceeds the %zu-byte AF_UNIX "
+              "limit",
+              path.c_str(), sizeof(addr.sun_path) - 1);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+/** Connect to the daemon, retrying while it starts up. */
+int
+connectRetry(const std::string &path)
+{
+    sockaddr_un addr = socketAddr(path);
+    for (int tries = 0; tries < 250; ++tries) {
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            fatal("serve: cannot create socket (%s)",
+                  std::strerror(errno));
+        if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            return fd;
+        ::close(fd);
+        ::usleep(20 * 1000);
+    }
+    fatal("serve: no daemon on '%s' after 5s of retries", path.c_str());
+}
+
+} // namespace
+
+int
+serveMain(const std::string &socket_path, const std::string &cache_dir)
+{
+    // A client that hangs up before its reply must not kill the
+    // daemon via SIGPIPE; the write error is handled instead.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    ::unlink(socket_path.c_str());
+    int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (lfd < 0)
+        fatal("serve: cannot create socket (%s)", std::strerror(errno));
+    sockaddr_un addr = socketAddr(socket_path);
+    if (::bind(lfd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        fatal("serve: cannot bind '%s' (%s)", socket_path.c_str(),
+              std::strerror(errno));
+    if (::listen(lfd, 64) != 0)
+        fatal("serve: cannot listen on '%s' (%s)", socket_path.c_str(),
+              std::strerror(errno));
+    inform("serving on %s (cache: %s)", socket_path.c_str(),
+           cache_dir.empty() ? "<disabled>" : cache_dir.c_str());
+
+    Cache cache(cache_dir);
+    // Serialized results held for the daemon's lifetime; every repeat
+    // request for a computed cell is a memory hit.
+    std::map<std::uint64_t, std::string> results;
+    std::vector<PendingCell> queue;
+    std::map<int, std::string> conns;  // fd -> input buffer
+    ServeStats stats;
+    bool shutting_down = false;
+
+    auto reply_result = [&](int fd, std::uint64_t key) {
+        sample::Writer w;
+        w.u64(key);
+        const std::string &body = results[key];
+        w.raw(body.data(), body.size());
+        obs::writeFrame(fd, frame_result, w.bytes());
+        ::close(fd);
+        conns.erase(fd);
+    };
+
+    while (!shutting_down || !queue.empty()) {
+        std::vector<pollfd> fds;
+        fds.push_back({lfd, POLLIN, 0});
+        for (const auto &c : conns)
+            fds.push_back({c.first, POLLIN, 0});
+        int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                        queue.empty() ? -1 : 0);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("serve: poll failed (%s)", std::strerror(errno));
+        }
+
+        if (fds[0].revents & POLLIN) {
+            int cfd = ::accept(lfd, nullptr, nullptr);
+            if (cfd >= 0)
+                conns[cfd];
+        }
+
+        for (std::size_t fi = 1; fi < fds.size(); ++fi) {
+            if (!(fds[fi].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            int fd = fds[fi].fd;
+            auto it = conns.find(fd);
+            if (it == conns.end())
+                continue;  // replied and closed earlier this sweep
+            char chunk[65536];
+            ssize_t r = ::read(fd, chunk, sizeof(chunk));
+            if (r <= 0) {
+                if (r < 0 && (errno == EINTR || errno == EAGAIN))
+                    continue;
+                // Client went away; if it was waiting on a queued
+                // cell the eventual reply write just fails quietly.
+                ::close(fd);
+                conns.erase(it);
+                continue;
+            }
+            it->second.append(chunk, static_cast<std::size_t>(r));
+
+            obs::Frame frame;
+            std::size_t consumed = 0;
+            obs::FrameStatus st = obs::decodeFrame(
+                reinterpret_cast<const std::uint8_t *>(
+                    it->second.data()),
+                it->second.size(), frame, consumed);
+            if (st == obs::FrameStatus::Incomplete)
+                continue;
+            if (st != obs::FrameStatus::Ok) {
+                warn("serve: torn request frame; dropping client");
+                ::close(fd);
+                conns.erase(it);
+                continue;
+            }
+            it->second.erase(0, consumed);
+
+            if (frame.type == frame_stats_req) {
+                sample::Writer w;
+                w.u64(stats.computed);
+                w.u64(stats.served);
+                w.u64(stats.dedup_hits);
+                obs::writeFrame(fd, frame_stats, w.bytes());
+                ::close(fd);
+                conns.erase(fd);
+                continue;
+            }
+            if (frame.type == frame_shutdown) {
+                obs::writeFrame(fd, frame_shutdown, std::string());
+                ::close(fd);
+                conns.erase(fd);
+                shutting_down = true;
+                continue;
+            }
+            if (frame.type != frame_request) {
+                warn("serve: unexpected frame type %u; dropping client",
+                     frame.type);
+                ::close(fd);
+                conns.erase(fd);
+                continue;
+            }
+
+            ++stats.served;
+            CellSpec spec =
+                deserializeCell(frame.payload, "<request frame>");
+            std::uint64_t key = cellKey(spec);
+            if (results.find(key) != results.end()) {
+                reply_result(fd, key);
+                continue;
+            }
+            RunResult cached;
+            if (spec.cacheable() && cache.loadResult(key, cached)) {
+                results[key] = serializeResult(cached);
+                reply_result(fd, key);
+                continue;
+            }
+            bool queued = false;
+            for (PendingCell &pc : queue) {
+                if (pc.key == key) {
+                    ++stats.dedup_hits;
+                    pc.waiters.push_back(fd);
+                    queued = true;
+                    break;
+                }
+            }
+            if (!queued) {
+                PendingCell pc;
+                pc.spec = spec;
+                pc.key = key;
+                pc.waiters.push_back(fd);
+                queue.push_back(std::move(pc));
+            }
+        }
+
+        if (!queue.empty()) {
+            // One cell per sweep keeps the daemon responsive to
+            // stats/shutdown requests between computations.
+            PendingCell pc = std::move(queue.front());
+            queue.erase(queue.begin());
+            RunResult result = computeCell(pc.spec, cache);
+            ++stats.computed;
+            results[pc.key] = serializeResult(result);
+            if (pc.spec.cacheable())
+                cache.storeResult(pc.key, result);
+            for (int wfd : pc.waiters) {
+                if (conns.find(wfd) != conns.end())
+                    reply_result(wfd, pc.key);
+            }
+        }
+    }
+
+    ::close(lfd);
+    ::unlink(socket_path.c_str());
+    return 0;
+}
+
+int
+openRequest(const std::string &socket_path, const CellSpec &spec)
+{
+    int fd = connectRetry(socket_path);
+    if (!obs::writeFrame(fd, frame_request, serializeCell(spec)))
+        fatal("serve: cannot send request for %s", spec.label().c_str());
+    return fd;
+}
+
+bool
+finishRequest(int fd, RunResult &out)
+{
+    obs::Frame frame;
+    obs::FrameStatus st = obs::readFrame(fd, frame);
+    ::close(fd);
+    if (st != obs::FrameStatus::Ok || frame.type != frame_result)
+        return false;
+    if (frame.payload.size() < sizeof(std::uint64_t))
+        return false;
+    std::string body(frame.payload.data() + sizeof(std::uint64_t),
+                     frame.payload.size() - sizeof(std::uint64_t));
+    out = deserializeResult(body, "<serve reply>");
+    return true;
+}
+
+ServeStats
+requestStats(const std::string &socket_path)
+{
+    int fd = connectRetry(socket_path);
+    if (!obs::writeFrame(fd, frame_stats_req, std::string()))
+        fatal("serve: cannot send stats request");
+    obs::Frame frame;
+    obs::FrameStatus st = obs::readFrame(fd, frame);
+    ::close(fd);
+    if (st != obs::FrameStatus::Ok || frame.type != frame_stats)
+        fatal("serve: torn stats reply");
+    sample::Reader rd(frame.payload.data(), frame.payload.size(),
+                      "<stats reply>");
+    ServeStats stats;
+    stats.computed = rd.u64();
+    stats.served = rd.u64();
+    stats.dedup_hits = rd.u64();
+    rd.expectExhausted();
+    return stats;
+}
+
+void
+requestShutdown(const std::string &socket_path)
+{
+    int fd = connectRetry(socket_path);
+    if (!obs::writeFrame(fd, frame_shutdown, std::string()))
+        fatal("serve: cannot send shutdown request");
+    obs::Frame frame;
+    obs::readFrame(fd, frame);  // ack (best effort)
+    ::close(fd);
+}
+
+} // namespace farm
+} // namespace cnsim

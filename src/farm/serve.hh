@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Farm serve mode: a result server on a Unix socket (DESIGN.md 3l).
+ *
+ * `cnsim serve --socket <path>` runs a single-process daemon that
+ * accepts CNFRM01-framed cell requests, serves cached results
+ * immediately (in-memory first, then the on-disk result cache), and
+ * queues misses for computation. Identical cells requested while one
+ * is already queued are deduplicated: the later requesters are parked
+ * as waiters and all of them receive the one computed result. The
+ * daemon is deliberately single-threaded -- computation happens
+ * between poll sweeps, one cell at a time -- so its observable
+ * counters (computed / served / dedup_hits) are deterministic
+ * functions of the request streams.
+ *
+ * Protocol (all frames CNFRM01, one request per connection):
+ *   frame_request   serialized CellSpec  -> frame_result reply
+ *   frame_stats_req empty                -> frame_stats (3x u64)
+ *   frame_shutdown  empty                -> frame_shutdown ack, then
+ *                                           the daemon drains its
+ *                                           queue and exits
+ *
+ * The client helpers below are what tests and tools use; they hide
+ * the connect-retry dance around daemon startup.
+ */
+
+#ifndef CNSIM_FARM_SERVE_HH
+#define CNSIM_FARM_SERVE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "farm/cell.hh"
+
+namespace cnsim
+{
+namespace farm
+{
+
+/** Observable serve-daemon counters (frame_stats payload). */
+struct ServeStats
+{
+    /** Cells actually executed by this daemon. */
+    std::uint64_t computed = 0;
+    /** frame_request frames received (hits and misses alike). */
+    std::uint64_t served = 0;
+    /** Requests parked behind an identical queued cell. */
+    std::uint64_t dedup_hits = 0;
+};
+
+/**
+ * Run the serve daemon on @p socket_path until a shutdown request
+ * arrives. @return the process exit code.
+ */
+int serveMain(const std::string &socket_path,
+              const std::string &cache_dir);
+
+/**
+ * Connect to the daemon at @p socket_path (retrying while it starts
+ * up) and send a request for @p spec. @return the connected fd; the
+ * reply is collected later with finishRequest, so several requests
+ * can be put in flight before any reply is read -- that overlap is
+ * what exercises the dedup path. Fatal if the daemon never appears.
+ */
+int openRequest(const std::string &socket_path, const CellSpec &spec);
+
+/**
+ * Block until the result for a previously opened request arrives,
+ * then close the connection. @return false on a torn reply.
+ */
+bool finishRequest(int fd, RunResult &out);
+
+/** Fetch the daemon's counters. Fatal on connection failure. */
+ServeStats requestStats(const std::string &socket_path);
+
+/** Ask the daemon to drain and exit; waits for its ack. */
+void requestShutdown(const std::string &socket_path);
+
+} // namespace farm
+} // namespace cnsim
+
+#endif // CNSIM_FARM_SERVE_HH

@@ -1,0 +1,116 @@
+#include "farm/worker.hh"
+
+#include <cstdlib>
+#include <memory>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "obs/frame.hh"
+#include "sample/checkpoint.hh"
+
+namespace cnsim
+{
+namespace farm
+{
+
+namespace
+{
+
+/** Honor CNSIM_FARM_TEST_CRASH_CELL (see worker.hh). */
+void
+maybeCrash(const CellSpec &spec)
+{
+    const char *hook = std::getenv("CNSIM_FARM_TEST_CRASH_CELL");
+    if (!hook)
+        return;
+    std::string want(hook);
+    bool always = false;
+    const std::string suffix = ":always";
+    if (want.size() > suffix.size() &&
+        want.compare(want.size() - suffix.size(), suffix.size(),
+                     suffix) == 0) {
+        always = true;
+        want.resize(want.size() - suffix.size());
+    }
+    if (want != spec.label())
+        return;
+    if (spec.attempt == 0 || always) {
+        std::fprintf(stderr,
+                     "synthetic crash (CNSIM_FARM_TEST_CRASH_CELL) on "
+                     "%s attempt %u\n",
+                     spec.label().c_str(), spec.attempt);
+        std::fflush(stderr);
+        _exit(97);
+    }
+}
+
+} // namespace
+
+RunResult
+computeCell(const CellSpec &spec, const Cache &cache)
+{
+    ParallelJob job = buildJob(spec);
+    // Warmed-state sharing through the checkpoint cache: resume when a
+    // valid blob exists, capture-and-publish when it does not. Live
+    // streams are excluded -- their timing-interleaved draw order has
+    // no positional cursor a checkpoint could honor.
+    std::shared_ptr<std::string> fresh;
+    if (cache.enabled() && spec.use_ckpt_cache != 0 &&
+        static_cast<CellTraceMode>(spec.trace_mode) !=
+            CellTraceMode::Live) {
+        std::uint64_t ck = ckptKey(spec);
+        if (auto blob = cache.loadCkpt(ck)) {
+            job.run_cfg.ckpt_blob_in = blob;
+            // Resuming repositions the stream cursor past the whole
+            // warm-up, so follow ParallelRunner's policy and serve the
+            // stream materialized: flat-chunk replay reaches the
+            // cursor at raw generator speed and skips in O(1) per
+            // chunk, where canonical-live would regenerate every
+            // skipped record through its reorder FIFO. Same canonical
+            // records either way, so the restored state still matches.
+            if (job.run_cfg.canonical_live) {
+                job.run_cfg.canonical_live = false;
+                job.run_cfg.replay = Runner::acquireSharedTrace(
+                    job.workload, job.run_cfg);
+            }
+        } else {
+            fresh = std::make_shared<std::string>();
+            job.run_cfg.ckpt_blob_out = fresh;
+        }
+    }
+    RunResult result =
+        Runner::run(job.sys_cfg, job.workload, job.run_cfg);
+    if (fresh && !fresh->empty())
+        cache.storeCkpt(ckptKey(spec), *fresh);
+    return result;
+}
+
+int
+workerMain(const std::string &cache_dir, int job_fd, int result_fd)
+{
+    Cache cache(cache_dir);
+    for (;;) {
+        obs::Frame frame;
+        obs::FrameStatus st = obs::readFrame(job_fd, frame);
+        if (st == obs::FrameStatus::Eof)
+            return 0;
+        if (st != obs::FrameStatus::Ok)
+            fatal("worker: torn job frame on fd %d", job_fd);
+        if (frame.type != frame_job)
+            fatal("worker: unexpected frame type %u", frame.type);
+        CellSpec spec = deserializeCell(frame.payload, "<job frame>");
+        maybeCrash(spec);
+        RunResult result = computeCell(spec, cache);
+        sample::Writer w;
+        w.u64(cellKey(spec));
+        std::string body = serializeResult(result);
+        w.raw(body.data(), body.size());
+        if (!obs::writeFrame(result_fd, frame_result, w.bytes()))
+            fatal("worker: cannot write result frame for %s",
+                  spec.label().c_str());
+    }
+}
+
+} // namespace farm
+} // namespace cnsim

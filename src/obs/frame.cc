@@ -1,0 +1,175 @@
+#include "obs/frame.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace cnsim
+{
+namespace obs
+{
+
+namespace
+{
+
+constexpr std::uint64_t fnv_prime = 1099511628211ull;
+
+/** Header bytes before the payload: u32 length + u8 type. */
+constexpr std::size_t frame_header_bytes = 5;
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+frameChecksum(std::uint8_t type, const void *payload, std::size_t n)
+{
+    std::uint64_t h = fnv1a(&type, 1);
+    return fnv1a(payload, n, h);
+}
+
+/** Read exactly @p n bytes; returns bytes read (short only at EOF). */
+std::size_t
+readFull(int fd, void *buf, std::size_t n)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        ssize_t r = ::read(fd, static_cast<char *>(buf) + got, n - got);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return got;
+        }
+        if (r == 0)
+            return got;
+        got += static_cast<std::size_t>(r);
+    }
+    return got;
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a(const void *data, std::size_t n, std::uint64_t seed)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= fnv_prime;
+    }
+    return h;
+}
+
+std::string
+encodeFrame(std::uint8_t type, const std::string &payload)
+{
+    std::string out;
+    out.reserve(frame_header_bytes + payload.size() + 8);
+    putU32(out, static_cast<std::uint32_t>(payload.size()));
+    out.push_back(static_cast<char>(type));
+    out.append(payload);
+    putU64(out, frameChecksum(type, payload.data(), payload.size()));
+    return out;
+}
+
+FrameStatus
+decodeFrame(const std::uint8_t *data, std::size_t size, Frame &out,
+            std::size_t &consumed)
+{
+    consumed = 0;
+    if (size == 0)
+        return FrameStatus::Eof;
+    if (size < frame_header_bytes)
+        return FrameStatus::Incomplete;
+    std::uint32_t len = getU32(data);
+    if (len > frame_max_payload)
+        return FrameStatus::Torn;
+    std::size_t need = frame_header_bytes + len + 8;
+    if (size < need)
+        return FrameStatus::Incomplete;
+    std::uint8_t type = data[4];
+    const std::uint8_t *payload = data + frame_header_bytes;
+    std::uint64_t want = getU64(payload + len);
+    if (frameChecksum(type, payload, len) != want)
+        return FrameStatus::Torn;
+    out.type = type;
+    out.payload.assign(reinterpret_cast<const char *>(payload), len);
+    consumed = need;
+    return FrameStatus::Ok;
+}
+
+bool
+writeFrame(int fd, std::uint8_t type, const std::string &payload)
+{
+    std::string bytes = encodeFrame(type, payload);
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        ssize_t w = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+FrameStatus
+readFrame(int fd, Frame &out)
+{
+    std::uint8_t header[frame_header_bytes];
+    std::size_t got = readFull(fd, header, sizeof(header));
+    if (got == 0)
+        return FrameStatus::Eof;
+    if (got < sizeof(header))
+        return FrameStatus::Torn;
+    std::uint32_t len = getU32(header);
+    if (len > frame_max_payload)
+        return FrameStatus::Torn;
+    std::string payload(len, '\0');
+    if (len && readFull(fd, payload.data(), len) < len)
+        return FrameStatus::Torn;
+    std::uint8_t sum[8];
+    if (readFull(fd, sum, sizeof(sum)) < sizeof(sum))
+        return FrameStatus::Torn;
+    std::uint8_t type = header[4];
+    if (frameChecksum(type, payload.data(), len) != getU64(sum))
+        return FrameStatus::Torn;
+    out.type = type;
+    out.payload = std::move(payload);
+    return FrameStatus::Ok;
+}
+
+} // namespace obs
+} // namespace cnsim

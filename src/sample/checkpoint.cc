@@ -158,6 +158,23 @@ Checkpoint::serialize() const
     return out;
 }
 
+bool
+Checkpoint::checksumOk(const std::string &bytes)
+{
+    if (bytes.size() < sizeof(magic) + sizeof(std::uint64_t) + 4)
+        return false;
+    if (std::memcmp(bytes.data(), magic, sizeof(magic)) != 0)
+        return false;
+    std::size_t payload = bytes.size() - sizeof(std::uint64_t);
+    std::uint64_t stored;
+    std::memcpy(&stored, bytes.data() + payload, sizeof(stored));
+    if (fnv1a(bytes.data(), payload) != stored)
+        return false;
+    std::uint32_t version;
+    std::memcpy(&version, bytes.data() + sizeof(magic), sizeof(version));
+    return version == current_version;
+}
+
 Checkpoint
 Checkpoint::deserialize(const std::string &bytes, const std::string &what)
 {

@@ -141,6 +141,15 @@ struct Checkpoint
     static Checkpoint deserialize(const std::string &bytes,
                                   const std::string &what);
 
+    /**
+     * Non-fatal structural check: magic present, checksum matches,
+     * version readable. A cache layer holding checkpoints of unknown
+     * provenance (src/farm) calls this before handing bytes to the
+     * fatal-on-corruption deserialize(); a failing blob is *rejected*
+     * (recomputed), never trusted and never a process exit.
+     */
+    [[nodiscard]] static bool checksumOk(const std::string &bytes);
+
     /** Write serialize() to @p path; fatal on I/O failure. */
     void saveFile(const std::string &path) const;
 

@@ -13,6 +13,7 @@
 #include "sample/checkpoint.hh"
 #include "sim/event_queue.hh"
 #include "sim/parallel_runner.hh"
+#include "trace/replay.hh"
 
 namespace cnsim
 {
@@ -166,6 +167,14 @@ Runner::effectiveSynthParams(const WorkloadSpec &workload,
     return wp;
 }
 
+std::shared_ptr<RecordedTrace>
+Runner::acquireSharedTrace(const WorkloadSpec &workload,
+                           const RunConfig &run_cfg)
+{
+    return TraceCache::global().acquire(
+        effectiveSynthParams(workload, run_cfg));
+}
+
 void
 Runner::validate(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
                  const RunConfig &run_cfg)
@@ -186,6 +195,9 @@ Runner::validate(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
         fatal("replay trace has %d cores but the system has %d; "
               "recapture the trace at this core count",
               run_cfg.replay->cores(), sys_cfg.num_cores);
+    if (run_cfg.canonical_live && run_cfg.replay)
+        fatal("canonical-live generation and trace replay are mutually "
+              "exclusive: both define the same stream, pick one");
     if (!run_cfg.ckpt_save.empty() && !run_cfg.replay)
         fatal("--ckpt-save requires a replay trace: the checkpoint "
               "stores a positional stream cursor, which only a "
@@ -281,14 +293,19 @@ Runner::run(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
 
     System system(sc);
     // Replay runs pull records from the shared pre-materialized trace;
+    // canonical-live runs generate the same stream codec-free; plain
     // live runs own a fresh generative workload. Either way each core
     // gets its own TraceSource.
     std::unique_ptr<SynthWorkload> synth;
+    std::unique_ptr<CanonicalWorkload> canon;
     std::vector<std::unique_ptr<ReplaySource>> replays;
     if (run_cfg.replay) {
         for (int c = 0; c < sc.num_cores; ++c)
             replays.emplace_back(std::make_unique<ReplaySource>(
                 *run_cfg.replay, c));
+    } else if (run_cfg.canonical_live) {
+        canon = std::make_unique<CanonicalWorkload>(
+            effectiveSynthParams(workload, run_cfg));
     } else {
         synth = std::make_unique<SynthWorkload>(
             effectiveSynthParams(workload, run_cfg));
@@ -296,6 +313,8 @@ Runner::run(const SystemConfig &sys_cfg, const WorkloadSpec &workload,
     auto source = [&](int c) -> TraceSource & {
         if (synth)
             return synth->source(c);
+        if (canon)
+            return canon->source(c);
         return *replays[static_cast<std::size_t>(c)];
     };
     EventQueue eq;

@@ -61,6 +61,16 @@ struct RunConfig
     std::shared_ptr<RecordedTrace> replay;
 
     /**
+     * Drive the cores from a CanonicalWorkload: live generation in the
+     * canonical round-robin draw order, producing records positionally
+     * identical to a materialized replay of the same effective params
+     * at zero codec cost (trace/replay.hh). Grid drivers prefer this
+     * over `replay` for cells that never reposition the stream;
+     * mutually exclusive with `replay`.
+     */
+    bool canonical_live = false;
+
+    /**
      * Interval sampling: > 0 replaces the single detailed measurement
      * with this many detailed windows separated by decode-only
      * fast-forward, warm-up running functionally (caches and coherence
@@ -242,6 +252,18 @@ class Runner
     static SynthWorkloadParams
     effectiveSynthParams(const WorkloadSpec &workload,
                          const RunConfig &run_cfg);
+
+    /**
+     * The process-wide materialized canonical stream for this
+     * (workload, run) pair, acquired from TraceCache under the
+     * effectiveSynthParams key. Callers outside the trace layer (the
+     * farm worker upgrading a checkpoint-resumed cell to flat-chunk
+     * replay) use this instead of touching TraceCache directly, so
+     * the sharing key stays in one place.
+     */
+    static std::shared_ptr<RecordedTrace>
+    acquireSharedTrace(const WorkloadSpec &workload,
+                       const RunConfig &run_cfg);
 };
 
 } // namespace cnsim

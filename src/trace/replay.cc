@@ -207,9 +207,7 @@ RecordedTrace::RecordedTrace() = default;
 RecordedTrace::RecordedTrace(const SynthWorkloadParams &params)
     : num_cores(static_cast<int>(params.threads.size())),
       trace_seed(params.seed), params_hash(hashParams(params)),
-      synth(std::make_unique<SynthWorkload>(params)),
-      enc_prev_iaddr(params.threads.size(), 0),
-      enc_prev_addr(params.threads.size(), 0)
+      synth(std::make_unique<SynthWorkload>(params))
 {
     slots.resize(params.threads.size());
     for (auto &core_slots : slots)
@@ -237,10 +235,7 @@ RecordedTrace::grow(std::size_t idx)
         pending.reserve(static_cast<std::size_t>(num_cores));
         for (int c = 0; c < num_cores; ++c) {
             auto chunk = std::make_unique<Chunk>();
-            chunk->n_records = chunk_records;
-            // ~8 B/record for the paper workloads; headroom avoids a
-            // mid-chunk regrow in the common case.
-            chunk->bytes.reserve(chunk_records * 10);
+            chunk->records.reserve(chunk_records);
             pending.push_back(std::move(chunk));
         }
         // Canonical round-robin interleaving: core 0..N-1, repeat.
@@ -251,14 +246,11 @@ RecordedTrace::grow(std::size_t idx)
                 TraceRecord rec = synth->source(c).next();
                 auto ci = static_cast<std::size_t>(c);
                 pending[ci]->instr_total += rec.gap + 1;
-                encodeRecord(pending[ci]->bytes, enc_prev_iaddr[ci],
-                             enc_prev_addr[ci], rec);
+                pending[ci]->records.push_back(rec);
             }
         }
         for (int c = 0; c < num_cores; ++c) {
             auto ci = static_cast<std::size_t>(c);
-            pending[ci]->end_prev_iaddr = enc_prev_iaddr[ci];
-            pending[ci]->end_prev_addr = enc_prev_addr[ci];
             slots[ci][pub] = std::move(pending[ci]);
         }
         published.store(pub + 1, std::memory_order_release);
@@ -272,7 +264,7 @@ RecordedTrace::recordsPublished(int core) const
     std::uint64_t n = 0;
     const auto &core_slots = slots[static_cast<std::size_t>(core)];
     for (std::size_t i = 0; i < pub; ++i)
-        n += core_slots[i]->n_records;
+        n += core_slots[i]->nRecords();
     return n;
 }
 
@@ -283,7 +275,7 @@ RecordedTrace::bytesPublished() const
     std::uint64_t n = 0;
     for (const auto &core_slots : slots)
         for (std::size_t i = 0; i < pub; ++i)
-            n += core_slots[i]->bytes.size();
+            n += core_slots[i]->records.size() * sizeof(TraceRecord);
     return n;
 }
 
@@ -301,11 +293,14 @@ RecordedTrace::saveTrf(const std::string &path) const
     for (int c = 0; c < num_cores; ++c) {
         const auto &core_slots = slots[static_cast<std::size_t>(c)];
         PackedCoreTrace &out = t.cores[static_cast<std::size_t>(c)];
+        // Pack on the way out: files keep the delta-varint codec (this
+        // is the only encode the flat in-memory chunks ever pay).
+        Addr prev_iaddr = 0, prev_addr = 0;
         for (std::size_t i = 0; i < pub; ++i) {
             const Chunk &ch = *core_slots[i];
-            out.n_records += ch.n_records;
-            out.bytes.insert(out.bytes.end(), ch.bytes.begin(),
-                             ch.bytes.end());
+            out.n_records += ch.nRecords();
+            for (const TraceRecord &rec : ch.records)
+                encodeRecord(out.bytes, prev_iaddr, prev_addr, rec);
         }
     }
     writeTrf(path, t);
@@ -326,16 +321,16 @@ RecordedTrace::fromFile(const std::string &path)
         if (core.n_records == 0)
             fatal("trace '%s' has no records for core %zu",
                   path.c_str(), c);
-        // Decode-validate the whole payload up front: the hot replay
-        // decoder trusts its buffer, so nothing malformed may pass.
+        // Decode the whole payload up front (validating: nothing
+        // malformed may pass) straight into the flat chunk the hot
+        // replay path reads.
         PackedStreamReader reader(core.bytes.data(), core.bytes.size());
         TraceRecord rec;
-        std::uint64_t instr_total = 0;
-        Addr last_iaddr = 0, last_addr = 0;
+        auto chunk = std::make_unique<Chunk>();
+        chunk->records.reserve(core.n_records);
         while (reader.next(rec)) {
-            instr_total += rec.gap + 1;
-            last_iaddr = rec.iaddr;
-            last_addr = rec.addr;
+            chunk->instr_total += rec.gap + 1;
+            chunk->records.push_back(rec);
         }
         if (reader.error() || reader.decoded() != core.n_records) {
             fatal("corrupt packed stream for core %zu in '%s': "
@@ -344,12 +339,6 @@ RecordedTrace::fromFile(const std::string &path)
                   static_cast<unsigned long long>(reader.decoded()),
                   static_cast<unsigned long long>(core.n_records));
         }
-        auto chunk = std::make_unique<Chunk>();
-        chunk->n_records = static_cast<std::uint32_t>(core.n_records);
-        chunk->bytes = std::move(core.bytes);
-        chunk->instr_total = instr_total;
-        chunk->end_prev_iaddr = last_iaddr;
-        chunk->end_prev_addr = last_addr;
         trace->slots[c].resize(1);
         trace->slots[c][0] = std::move(chunk);
     }
@@ -369,14 +358,9 @@ RecordedTrace::fromRecords(
         cnsim_assert(!records[c].empty(),
                      "core %zu has an empty record stream", c);
         auto chunk = std::make_unique<Chunk>();
-        chunk->n_records = static_cast<std::uint32_t>(records[c].size());
-        Addr prev_iaddr = 0, prev_addr = 0;
-        for (const TraceRecord &rec : records[c]) {
+        chunk->records = records[c];
+        for (const TraceRecord &rec : records[c])
             chunk->instr_total += rec.gap + 1;
-            encodeRecord(chunk->bytes, prev_iaddr, prev_addr, rec);
-        }
-        chunk->end_prev_iaddr = prev_iaddr;
-        chunk->end_prev_addr = prev_addr;
         trace->slots[c].resize(1);
         trace->slots[c][0] = std::move(chunk);
     }
@@ -406,54 +390,32 @@ ReplaySource::advanceTo(std::size_t idx)
                      core);
         idx = 0;
         c = trace.chunk(core, 0);
-        prev_iaddr = 0;
-        prev_addr = 0;
     }
     chunk_idx = idx;
     cur = c;
-    ptr = c->bytes.data();
     off = 0;
 }
 
 TraceRecord
 ReplaySource::next()
 {
-    if (off == cur->n_records)
+    if (off == cur->nRecords())
         advanceTo(chunk_idx + 1);
-    ++off;
     ++n_consumed;
-    std::uint64_t go = getVarint(ptr);
-    prev_iaddr += unzigzag(getVarint(ptr));
-    prev_addr += unzigzag(getVarint(ptr));
-    TraceRecord r;
-    r.gap = static_cast<std::uint32_t>(go >> 2);
-    r.op = (go & 3) == 0   ? MemOp::Load
-           : (go & 3) == 1 ? MemOp::Store
-                           : MemOp::Ifetch;
-    r.iaddr = prev_iaddr;
-    r.addr = prev_addr;
-    return r;
+    return cur->records[off++];
 }
 
 void
 ReplaySource::skip(std::uint64_t n)
 {
     while (n) {
-        if (off == cur->n_records)
+        if (off == cur->nRecords())
             advanceTo(chunk_idx + 1);
-        if (off == 0 && n >= cur->n_records) {
-            // The whole chunk is discarded: adopt its end-of-chunk
-            // decoder state instead of decoding record by record.
-            n -= cur->n_records;
-            n_consumed += cur->n_records;
-            prev_iaddr = cur->end_prev_iaddr;
-            prev_addr = cur->end_prev_addr;
-            off = cur->n_records;
-            ptr = cur->bytes.data() + cur->bytes.size();
-            continue;
-        }
-        (void)next();
-        --n;
+        std::uint64_t left = cur->nRecords() - off;
+        std::uint64_t step = std::min(n, left);
+        off += static_cast<std::uint32_t>(step);
+        n_consumed += step;
+        n -= step;
     }
 }
 
@@ -462,19 +424,16 @@ ReplaySource::skipInstructions(std::uint64_t min_instrs)
 {
     SkipResult r;
     while (r.instructions < min_instrs) {
-        if (off == cur->n_records)
+        if (off == cur->nRecords())
             advanceTo(chunk_idx + 1);
-        // Hop the chunk whenever a decode-and-count loop would consume
+        // Hop the chunk whenever a scan-and-count loop would consume
         // all of it without reaching the target inside.
         if (off == 0 &&
             r.instructions + cur->instr_total < min_instrs) {
             r.instructions += cur->instr_total;
-            r.records += cur->n_records;
-            n_consumed += cur->n_records;
-            prev_iaddr = cur->end_prev_iaddr;
-            prev_addr = cur->end_prev_addr;
-            off = cur->n_records;
-            ptr = cur->bytes.data() + cur->bytes.size();
+            r.records += cur->nRecords();
+            n_consumed += cur->nRecords();
+            off = cur->nRecords();
             continue;
         }
         TraceRecord rec = next();
@@ -522,6 +481,77 @@ TraceCache::liveEntries()
         if (!e.second.expired())
             ++n;
     return n;
+}
+
+// ---------------------------------------------------------------------
+// CanonicalWorkload: the canonical stream without the codec.
+// ---------------------------------------------------------------------
+
+/**
+ * A final TraceSource popping one core's records from its FIFO buffer,
+ * drawing a fresh canonical round from the shared workload whenever
+ * the buffer runs dry. The buffer absorbs consumption skew: a core
+ * running ahead of the others forces rounds that park records in the
+ * laggards' buffers, bounded by the cores' retirement skew (the run
+ * ends when the *first* core meets its budget).
+ */
+class CanonicalWorkload::CoreSource final : public TraceSource
+{
+  public:
+    explicit CoreSource(CanonicalWorkload &o) : owner(o) {}
+
+    TraceRecord
+    next() override
+    {
+        if (head == buf.size()) {
+            buf.clear();
+            head = 0;
+            owner.drawRound();
+        } else if (head >= buf.size() - head) {
+            // Trim the consumed prefix once it is at least as long as
+            // the backlog: each surviving record has been paid for by
+            // a prior pop, so the move cost amortizes to O(1) per
+            // record regardless of how far this core lags, and the
+            // held memory stays within 2x the live skew.
+            buf.erase(buf.begin(),
+                      buf.begin() + static_cast<std::ptrdiff_t>(head));
+            head = 0;
+        }
+        return buf[head++];
+    }
+
+  private:
+    friend class CanonicalWorkload;
+
+    CanonicalWorkload &owner;
+    std::vector<TraceRecord> buf;
+    std::size_t head = 0;
+};
+
+CanonicalWorkload::CanonicalWorkload(const SynthWorkloadParams &params)
+    : synth(params), num_cores(static_cast<int>(params.threads.size()))
+{
+    for (int c = 0; c < num_cores; ++c)
+        sources.push_back(std::make_unique<CoreSource>(*this));
+}
+
+CanonicalWorkload::~CanonicalWorkload() = default;
+
+TraceSource &
+CanonicalWorkload::source(int core)
+{
+    return *sources[static_cast<std::size_t>(core)];
+}
+
+void
+CanonicalWorkload::drawRound()
+{
+    // Must match RecordedTrace::grow() exactly: this fixed interleaving
+    // -- not the simulated timing -- is what makes the stream identical
+    // across organizations, --jobs values, and replay modes.
+    for (int c = 0; c < num_cores; ++c)
+        sources[static_cast<std::size_t>(c)]->buf.push_back(
+            synth.source(c).next());
 }
 
 } // namespace cnsim

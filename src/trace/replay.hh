@@ -6,12 +6,23 @@
  * synthetic reference stream, yet historically every grid cell re-ran
  * the full generative model. A RecordedTrace materializes each
  * (workload, seed) stream once -- all cores, in a *canonical* order --
- * into packed per-core buffers, and ReplaySource replays a core's
- * stream from those buffers with nothing but a pointer bump and a
- * few-byte varint decode per record. Every cell of a sweep then shares
- * one immutable trace (via TraceCache), so generation is paid once
- * instead of once per cell, and every organization is, by
- * construction, measured against the bit-identical reference stream.
+ * into flat per-core record buffers, and ReplaySource replays a core's
+ * stream from those buffers with nothing but an array read per record.
+ * Every cell of a sweep then shares one immutable trace (via
+ * TraceCache), so generation is paid once instead of once per cell,
+ * and every organization is, by construction, measured against the
+ * bit-identical reference stream.
+ *
+ * In-memory chunks are deliberately *not* varint-packed: profiling the
+ * packed read path (bench/perf_gate's sweep scenario) measured the
+ * per-record varint decode costing as much as generation itself
+ * (~25 ns each on the baseline host), which capped a replay-backed
+ * sweep at parity with a live one. A flat TraceRecord array trades
+ * ~3x the trace memory (24 B/record vs ~8 B packed, a few MB for the
+ * paper budgets) for a decode-free hot path that the hardware
+ * prefetcher streams. The varint codec below survives only at the
+ * file boundary: CNTRF001 payloads are packed on save and decoded
+ * (with validation) once on load.
  *
  * Canonical generation order. The synthetic model keeps cross-thread
  * state (the ROS/RWS recently-used registries), so per-core streams
@@ -109,20 +120,21 @@ class RecordedTrace
     /** Records per generated chunk, per core. */
     static constexpr std::uint32_t chunk_records = 4096;
 
-    /** One packed segment of a core's stream. The skip metadata lets
-     *  ReplaySource fast-forward over a whole chunk in O(1): the
-     *  instruction total decides whether a decode-and-count loop would
-     *  stop inside it, and the end state is what the sequential delta
-     *  decoder would hold after its last record. */
+    /** One flat segment of a core's stream (see the file comment for
+     *  why in-memory chunks are not varint-packed). The instruction
+     *  total lets ReplaySource fast-forward over a whole chunk in
+     *  O(1): it decides whether a scan-and-count loop would stop
+     *  inside it. */
     struct Chunk
     {
-        std::uint32_t n_records = 0;
-        std::vector<std::uint8_t> bytes;
+        std::vector<TraceRecord> records;
         /** Sum of (gap + 1) over the chunk's records. */
         std::uint64_t instr_total = 0;
-        /** Delta-decoder state after the chunk's last record. */
-        Addr end_prev_iaddr = 0;
-        Addr end_prev_addr = 0;
+
+        std::uint32_t nRecords() const
+        {
+            return static_cast<std::uint32_t>(records.size());
+        }
     };
 
     /** Generating mode over a fresh SynthWorkload for @p params. */
@@ -154,7 +166,9 @@ class RecordedTrace
      *  mode as consumers pull). */
     std::uint64_t recordsPublished(int core) const;
 
-    /** Packed payload bytes currently published, across all cores. */
+    /** Flat in-memory record bytes currently published, across all
+     *  cores (sizeof(TraceRecord) per record; the varint-packed size
+     *  exists only in CNTRF001 files). */
     std::uint64_t bytesPublished() const;
 
     /** Effective workload seed (provenance; 0 for fromRecords). */
@@ -201,9 +215,6 @@ class RecordedTrace
      *  set once at construction (frozen() null-checks it lock-free);
      *  the workload it points to advances only under grow_mutex. */
     std::unique_ptr<SynthWorkload> synth CNSIM_PT_GUARDED_BY(grow_mutex);
-    /** Per-core delta-encoder state (generating mode, under mutex). */
-    std::vector<Addr> enc_prev_iaddr CNSIM_GUARDED_BY(grow_mutex);
-    std::vector<Addr> enc_prev_addr CNSIM_GUARDED_BY(grow_mutex);
 
     /**
      * slots[core][chunk] -> published chunks. Pre-sized so readers can
@@ -222,7 +233,7 @@ class RecordedTrace
 /**
  * A final, pointer-bumping TraceSource over one core's stream of a
  * RecordedTrace. Replaces the whole generative machinery on the replay
- * side of a sweep: next() is a varint decode from the current chunk.
+ * side of a sweep: next() is an array read from the current chunk.
  *
  * Multiple ReplaySources (across threads) may share one RecordedTrace;
  * each keeps its own cursor.
@@ -234,11 +245,11 @@ class ReplaySource final : public TraceSource
 
     TraceRecord next() override;
 
-    /** Positional reposition; hops whole chunks without decoding. */
+    /** Positional reposition; hops whole chunks in O(1) each. */
     void skip(std::uint64_t n) override;
 
     /** Instruction-bounded fast-forward; hops whole chunks using the
-     *  per-chunk instruction totals, decoding only the partial chunk
+     *  per-chunk instruction totals, scanning only the partial chunk
      *  the stopping record lands in. */
     SkipResult skipInstructions(std::uint64_t min_instrs) override;
 
@@ -258,12 +269,61 @@ class ReplaySource final : public TraceSource
     int core;
     const RecordedTrace::Chunk *cur = nullptr;
     std::size_t chunk_idx = 0;
-    const std::uint8_t *ptr = nullptr;
     std::uint32_t off = 0;
-    Addr prev_iaddr = 0;
-    Addr prev_addr = 0;
     std::uint64_t n_wraps = 0;
     std::uint64_t n_consumed = 0;
+};
+
+/**
+ * Canonical-order live generation: the replay *stream* without the
+ * replay *codec*.
+ *
+ * Profiling the packed-chunk read path (bench/perf_gate's sweep
+ * scenario) showed the varint encode+decode round trip costing more
+ * than generation itself on hosts where the generative model is cheap
+ * relative to simulation (BENCH_perf.json `generator_share` ~0.18:
+ * decode ~5.7 ms/cell vs generation ~4.3 ms/cell on the baseline
+ * host), which is how replay-backed sweeps ended up *slower* than
+ * live ones (`sweep.speedup` 0.945). What defines replay semantics is
+ * not the materialized bytes but the canonical draw order; this class
+ * reproduces exactly that order -- one record per core, core 0..N-1,
+ * repeat, identical to RecordedTrace::grow() -- straight out of a
+ * SynthWorkload, with per-core FIFO buffers absorbing the skew
+ * between the fixed generation order and the timing-dependent
+ * consumption order. Every record equals the materialized trace's
+ * record at the same position, so results are byte-identical to
+ * replay mode at zero codec cost.
+ *
+ * Materialize a RecordedTrace instead when a *positional cursor* is
+ * needed (checkpoint save/load, sampling's O(1) chunk hops, trace
+ * capture); ParallelRunner::needsMaterializedTrace encodes that
+ * policy.
+ *
+ * Not thread-safe: one instance drives one run, like SynthWorkload.
+ */
+class CanonicalWorkload
+{
+  public:
+    explicit CanonicalWorkload(const SynthWorkloadParams &params);
+    ~CanonicalWorkload();
+
+    CanonicalWorkload(const CanonicalWorkload &) = delete;
+    CanonicalWorkload &operator=(const CanonicalWorkload &) = delete;
+
+    int cores() const { return num_cores; }
+
+    /** Trace source driving @p core; emits the canonical stream. */
+    TraceSource &source(int core);
+
+  private:
+    class CoreSource;
+
+    /** Draw one canonical round: one record per core, core 0..N-1. */
+    void drawRound();
+
+    SynthWorkload synth;
+    int num_cores;
+    std::vector<std::unique_ptr<CoreSource>> sources;
 };
 
 /**

@@ -1,0 +1,18 @@
+// Seeded CNL-C004 violations: process control outside src/farm/.
+// fork/exec/waitpid belong to the farm coordinator the way raw
+// std::thread belongs to ParallelRunner (CNL-C002): one owner for
+// worker lifecycle, stderr capture, and crash/requeue policy.
+// cnlint: scope(sim)
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+int spawnHelper(const char *exe)
+{
+    pid_t pid = fork(); // cnlint-fixture-expect: CNL-C004
+    if (pid == 0)
+        execl(exe, exe, nullptr); // cnlint-fixture-expect: CNL-C004
+    int status = 0;
+    waitpid(pid, &status, 0); // cnlint-fixture-expect: CNL-C004
+    return status;
+}

@@ -1,0 +1,21 @@
+// Compliant form: simulation code that needs a worker process asks
+// the farm coordinator (src/farm/coordinator.hh) instead of spawning
+// one itself; mentioning the primitives in prose stays legal, only
+// calls are confined to src/farm/.
+// cnlint: scope(sim)
+
+#include <string>
+#include <vector>
+
+namespace farm_api
+{
+long spawnProcess(const std::string &exe,
+                  const std::vector<std::string> &args);
+int reapProcess(long pid);
+} // namespace farm_api
+
+int runHelper(const std::string &exe)
+{
+    long pid = farm_api::spawnProcess(exe, {});
+    return farm_api::reapProcess(pid);
+}

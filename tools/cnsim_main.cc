@@ -16,6 +16,12 @@
  * over --jobs worker threads (default: hardware concurrency). Results
  * are printed in grid order and are byte-identical for every --jobs
  * value; per-job progress and elapsed time go to stderr.
+ *
+ * --farm-jobs moves the fan-out from threads to worker *processes*
+ * with a content-addressed result/checkpoint cache (src/farm/); the
+ * printed table stays byte-identical to the in-process path. The same
+ * binary is also the farm worker (`cnsim --worker`, spawned by the
+ * coordinator) and the result server (`cnsim serve --socket <path>`).
  */
 
 #include <cstdio>
@@ -29,6 +35,10 @@
 
 #include "common/logging.hh"
 #include "core/core.hh"
+#include "farm/cache.hh"
+#include "farm/coordinator.hh"
+#include "farm/serve.hh"
+#include "farm/worker.hh"
 #include "sim/event_queue.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/runner.hh"
@@ -69,6 +79,16 @@ usage(const char *argv0)
         "  --jobs <N>         worker threads for grid sweeps (default: "
         "hardware\n"
         "                     concurrency; results identical for any N)\n"
+        "  --farm-jobs <N>    run the sweep on N worker *processes* "
+        "with a\n"
+        "                     content-addressed result/checkpoint cache "
+        "(0 =\n"
+        "                     hardware concurrency; results identical "
+        "to --jobs)\n"
+        "  --cache-dir <dir>  farm cache directory (default "
+        "$CNSIM_CACHE_DIR,\n"
+        "                     else ~/.cache/cnsim; '' disables "
+        "caching)\n"
         "  --sample-windows <K>  interval sampling: K detailed windows "
         "separated by\n"
         "                     decode-only fast-forward, functional "
@@ -117,8 +137,16 @@ usage(const char *argv0)
         "  --replay-cache     materialize each workload's stream once "
         "(canonical\n"
         "                     order) and replay it across every grid "
-        "cell; default\n"
-        "                     for multi-cell grids\n"
+        "cell;\n"
+        "                     multi-cell grids default to generating "
+        "the same\n"
+        "                     canonical stream live per cell (identical "
+        "records,\n"
+        "                     no decode cost) and materialize only when "
+        "a\n"
+        "                     positional cursor is needed (sampling, "
+        "checkpoints,\n"
+        "                     capture)\n"
         "  --no-replay-cache  regenerate the stream live per cell "
         "(timing-\n"
         "                     interleaved order)\n"
@@ -137,7 +165,18 @@ usage(const char *argv0)
         "                     CNSTRC01, timing-interleaved, serial)\n"
         "  --replay <prefix>  drive the cores from recorded legacy "
         "traces\n"
-        "  --list             list workloads and organizations\n",
+        "  --list             list workloads and organizations\n"
+        "subcommands:\n"
+        "  serve --socket <path> [--cache-dir <dir>]\n"
+        "                     run the result server: framed cell "
+        "requests over a\n"
+        "                     Unix socket, cached results, in-flight "
+        "dedup\n"
+        "  --worker [--cache-dir <dir>]\n"
+        "                     farm worker loop on stdin/stdout "
+        "(spawned by the\n"
+        "                     --farm-jobs coordinator; not for "
+        "interactive use)\n",
         argv0);
 }
 
@@ -316,6 +355,37 @@ parseWorkloads(const std::string &s)
 int
 main(int argc, char **argv)
 {
+    // Subcommand dispatch before regular flag parsing: the worker and
+    // serve modes are protocol loops, not sweep drivers.
+    if (argc > 1 && std::strcmp(argv[1], "--worker") == 0) {
+        std::string cache_dir;
+        for (int i = 2; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--cache-dir") == 0 && i + 1 < argc)
+                cache_dir = argv[++i];
+            else
+                fatal("--worker accepts only --cache-dir <dir>, "
+                      "got '%s'", argv[i]);
+        }
+        return farm::workerMain(cache_dir);
+    }
+    if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+        std::string socket_path;
+        std::string serve_cache = farm::Cache::defaultDir();
+        for (int i = 2; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc)
+                socket_path = argv[++i];
+            else if (std::strcmp(argv[i], "--cache-dir") == 0 &&
+                     i + 1 < argc)
+                serve_cache = argv[++i];
+            else
+                fatal("serve accepts --socket <path> and --cache-dir "
+                      "<dir>, got '%s'", argv[i]);
+        }
+        if (socket_path.empty())
+            fatal("serve needs --socket <path>");
+        return farm::serveMain(socket_path, serve_cache);
+    }
+
     std::string l2_arg = "nurapid";
     std::string wl_arg = "oltp";
     int cores = 4;
@@ -324,6 +394,8 @@ main(int argc, char **argv)
     rc.warmup_instructions = 6'000'000;
     rc.measure_instructions = 10'000'000;
     unsigned jobs = ParallelRunner::defaultWorkers();
+    int farm_jobs = -1;  // -1 off, 0 hardware concurrency, N workers
+    std::string cache_dir = farm::Cache::defaultDir();
     bool want_stats = false;
     bool no_cr = false;
     bool no_isc = false;
@@ -375,6 +447,15 @@ main(int argc, char **argv)
             jobs = static_cast<unsigned>(std::strtoul(v, &end, 10));
             if (end == v || *end != '\0' || jobs == 0)
                 fatal("--jobs needs a positive integer, got '%s'", v);
+        } else if (a == "--farm-jobs") {
+            const char *v = next();
+            char *end = nullptr;
+            farm_jobs = static_cast<int>(std::strtol(v, &end, 10));
+            if (end == v || *end != '\0' || farm_jobs < 0)
+                fatal("--farm-jobs needs a non-negative integer "
+                      "(0 = hardware concurrency), got '%s'", v);
+        } else if (a == "--cache-dir") {
+            cache_dir = next();
         } else if (a == "--stats") {
             want_stats = true;
         } else if (a == "--stats-csv") {
@@ -485,6 +566,20 @@ main(int argc, char **argv)
         fatal("--trace-capture and --trace-replay are mutually "
               "exclusive");
 
+    const bool farm_mode = farm_jobs >= 0;
+    if (farm_mode) {
+        if (trace_io)
+            fatal("--farm-jobs cannot drive the legacy "
+                  "--record/--replay path");
+        if (!trace_capture_path.empty() || !trace_replay_path.empty())
+            fatal("--farm-jobs cannot capture or replay CNTRF001 "
+                  "traces; cells rebuild their canonical streams from "
+                  "parameters");
+        if (ckpt)
+            fatal("--farm-jobs manages warmed state through its "
+                  "checkpoint cache; drop --ckpt-save/--ckpt-load");
+    }
+
     // Build the (L2 kind x workload) grid in print order.
     const std::vector<L2Kind> kind_list = parseKinds(l2_arg);
     const std::vector<std::string> wl_list = parseWorkloads(wl_arg);
@@ -496,14 +591,28 @@ main(int argc, char **argv)
         fatal("--trace-replay drives a single workload (got %zu)",
               wl_list.size());
 
-    // Replay-cache mode: multi-cell grids default to sharing one
-    // canonical pre-materialized stream per workload; capturing
-    // requires it. --no-replay-cache restores live per-cell
-    // generation (timing-interleaved stream order).
+    // Stream-sharing policy. Multi-cell grids default to the canonical
+    // stream -- byte-identical records in every cell. Grids where at
+    // least ParallelRunner::min_stream_sharers cells share a
+    // workload's stream materialize it once (the generator amortizes
+    // and cells read flat chunks); below that threshold the stream is
+    // served by regeneration (canonical-live), which is cheaper than
+    // materialize-then-read for a lone consumer. A materialized
+    // RecordedTrace is also forced whenever something needs its
+    // positional cursor: sampling hops, checkpoints, capture, or an
+    // explicit --replay-cache. --no-replay-cache restores plain live
+    // per-cell generation (timing-interleaved stream order).
+    const bool auto_shared = replay_cache == -1 && multi && !trace_io &&
+                             !ckpt && trace_capture_path.empty();
     const bool use_replay_cache =
         replay_cache == 1 || ckpt ||
         (!trace_capture_path.empty() && replay_cache != 0) ||
-        (replay_cache == -1 && multi && !trace_io);
+        (auto_shared &&
+         (rc.sample_windows > 0 ||
+          kind_list.size() >= ParallelRunner::min_stream_sharers));
+    const bool use_canonical = auto_shared && rc.sample_windows == 0 &&
+                               trace_replay_path.empty() &&
+                               !use_replay_cache;
     if (!trace_capture_path.empty() && !use_replay_cache)
         fatal("--trace-capture needs the replay cache; drop "
               "--no-replay-cache");
@@ -536,6 +645,7 @@ main(int argc, char **argv)
     };
 
     ParallelRunner pool(jobs);
+    std::vector<farm::CellSpec> farm_cells;
     std::vector<RunResult> results;
     for (L2Kind kind : kind_list) {
         SystemConfig cfg = Runner::paperConfig(kind, cores, icn);
@@ -553,12 +663,15 @@ main(int argc, char **argv)
 
         for (const auto &w : wl_list) {
             RunConfig run = rc;
-            run.replay = trace_for(w);
+            // Farm cells rebuild their streams worker-side from the
+            // spec; materializing here would be pure waste.
+            run.replay = farm_mode ? nullptr : trace_for(w);
             if (run.replay && run.replay->cores() != cfg.num_cores) {
                 fatal("trace '%s' has %d cores but the system has %d",
                       trace_replay_path.c_str(), run.replay->cores(),
                       cfg.num_cores);
             }
+            run.canonical_live = use_canonical && !run.replay;
             // Grid sweeps write one trace per run, tagged by cell.
             if (!trace_out.empty())
                 run.trace_out =
@@ -588,13 +701,51 @@ main(int argc, char **argv)
                 results.push_back(runWithTraceIO(
                     cfg, workloads::byName(w, cores), run, record_prefix,
                     replay_prefix));
+            } else if (farm_mode) {
+                farm::CellSpec spec;
+                spec.l2_kind = static_cast<std::uint32_t>(kind);
+                spec.cores = static_cast<std::uint32_t>(cores);
+                spec.interconnect = static_cast<std::uint32_t>(icn);
+                spec.enable_cr = cfg.nurapid.enable_cr ? 1 : 0;
+                spec.enable_isc = cfg.nurapid.enable_isc ? 1 : 0;
+                spec.promotion =
+                    static_cast<std::uint32_t>(cfg.nurapid.promotion);
+                spec.tag_factor = tag_factor;
+                spec.audit = audit ? 1 : 0;
+                spec.metrics_interval = metrics_interval;
+                spec.trace_out = run.trace_out;
+                spec.trace_format =
+                    static_cast<std::uint8_t>(trace_format);
+                spec.binlog_out = run.binlog_out;
+                spec.workload = w;
+                spec.warmup = rc.warmup_instructions;
+                spec.measure = rc.measure_instructions;
+                spec.quantum = rc.quantum;
+                spec.seed = rc.seed;
+                spec.sample_windows = rc.sample_windows;
+                spec.sample_detail = rc.sample_detail;
+                spec.sample_warmup = rc.sample_warmup;
+                spec.collect_stats_dump = rc.collect_stats_dump ? 1 : 0;
+                spec.collect_stats_csv = rc.collect_stats_csv ? 1 : 0;
+                // Mirror the in-process stream decision so farm and
+                // in-process sweeps stay byte-identical.
+                spec.trace_mode = static_cast<std::uint8_t>(
+                    use_replay_cache ? farm::CellTraceMode::Materialized
+                    : use_canonical  ? farm::CellTraceMode::Canonical
+                                     : farm::CellTraceMode::Live);
+                farm_cells.push_back(spec);
             } else {
                 pool.submit(cfg, workloads::byName(w, cores), run);
             }
         }
     }
 
-    if (!trace_io) {
+    if (farm_mode) {
+        farm::FarmOptions fo;
+        fo.workers = static_cast<unsigned>(farm_jobs);
+        fo.cache_dir = cache_dir;
+        results = farm::runFarm(farm_cells, fo);
+    } else if (!trace_io) {
         pool.onProgress([](const JobReport &rep) {
             inform("[%zu/%zu] %s/%s: %.1fs", rep.completed, rep.total,
                    rep.result->l2_kind.c_str(),
@@ -664,17 +815,13 @@ main(int argc, char **argv)
                                    ? tagPath(trace_capture_path, ct.first)
                                    : trace_capture_path;
             ct.second->saveTrf(path);
-            inform("captured %s: %llu records/core, %.1f MB packed "
-                   "(%.2f B/record)",
+            inform("captured %s: %llu records/core, %.1f MB resident "
+                   "(packed on disk by the CNTRF001 codec)",
                    path.c_str(),
                    static_cast<unsigned long long>(
                        ct.second->recordsPublished(0)),
                    static_cast<double>(ct.second->bytesPublished()) /
-                       (1024.0 * 1024.0),
-                   static_cast<double>(ct.second->bytesPublished()) /
-                       (static_cast<double>(
-                            ct.second->recordsPublished(0)) *
-                        ct.second->cores()));
+                       (1024.0 * 1024.0));
         }
     }
     return 0;
